@@ -1,0 +1,172 @@
+package fluidmem_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§VI), plus the DESIGN.md ablations. Each iteration executes a
+// reduced-scale variant of the experiment (bench.Options.Quick); the
+// full-scale runs behind EXPERIMENTS.md come from `cmd/fluidmem-bench`.
+// Reported custom metrics are virtual-time results (µs of simulated latency,
+// simulated TEPS), so they are comparable with the paper's numbers, while
+// ns/op measures the simulator itself.
+
+import (
+	"testing"
+
+	"fluidmem/internal/bench"
+	"fluidmem/internal/stats"
+)
+
+func benchOpts(i int) bench.Options {
+	return bench.Options{Quick: true, Seed: uint64(i) + 1}
+}
+
+// BenchmarkFig3PmbenchCDF regenerates Figure 3: pmbench fault-latency
+// distributions over all six system configurations.
+func BenchmarkFig3PmbenchCDF(b *testing.B) {
+	var fmRC, swapNVMe float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig3(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := res.Average("FluidMem RAMCloud"); ok {
+			fmRC = stats.Micros(d)
+		}
+		if d, ok := res.Average("Swap NVMeoF"); ok {
+			swapNVMe = stats.Micros(d)
+		}
+	}
+	b.ReportMetric(fmRC, "µs-fluidmem-ramcloud")
+	b.ReportMetric(swapNVMe, "µs-swap-nvmeof")
+}
+
+// BenchmarkTable1CodePathProfile regenerates Table I: the monitor's
+// per-code-path latency profile on RAMCloud.
+func BenchmarkTable1CodePathProfile(b *testing.B) {
+	var readPage float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable1(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := res.Row("READ_PAGE"); ok {
+			readPage = stats.Micros(row.Avg)
+		}
+	}
+	b.ReportMetric(readPage, "µs-read-page")
+}
+
+// BenchmarkTable2Optimisations regenerates Table II: fault latency by
+// optimisation level, backend, and access pattern.
+func BenchmarkTable2Optimisations(b *testing.B) {
+	var def, both float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable2(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c, ok := res.Cell("Default", "ramcloud"); ok {
+			def = stats.Micros(c.Random)
+		}
+		if c, ok := res.Cell("Async Read/Write", "ramcloud"); ok {
+			both = stats.Micros(c.Random)
+		}
+	}
+	b.ReportMetric(def, "µs-default")
+	b.ReportMetric(both, "µs-optimised")
+}
+
+// BenchmarkFig4Graph500 regenerates Figure 4: Graph500 TEPS across scale
+// factors and systems.
+func BenchmarkFig4Graph500(b *testing.B) {
+	var fm, sw float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig4(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		high := res.Config.Scales[len(res.Config.Scales)-1]
+		fm, _ = res.TEPS("FluidMem RAMCloud", high)
+		sw, _ = res.TEPS("Swap NVMeoF", high)
+	}
+	b.ReportMetric(fm/1e6, "MTEPS-fluidmem")
+	b.ReportMetric(sw/1e6, "MTEPS-swap")
+}
+
+// BenchmarkFig5MongoDB regenerates Figure 5: YCSB-C read latency over the
+// MongoDB-like store, swap vs FluidMem.
+func BenchmarkFig5MongoDB(b *testing.B) {
+	var fm, sw float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig5(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := res.Config.CacheSizes[0]
+		if d, ok := res.Mean("FluidMem RAMCloud", small); ok {
+			fm = stats.Micros(d)
+		}
+		if d, ok := res.Mean("Swap NVMeoF", small); ok {
+			sw = stats.Micros(d)
+		}
+	}
+	b.ReportMetric(fm, "µs-fluidmem")
+	b.ReportMetric(sw, "µs-swap")
+}
+
+// BenchmarkTable3Footprint regenerates Table III: footprint minimisation
+// with service-responsiveness probes.
+func BenchmarkTable3Footprint(b *testing.B) {
+	var minResponsive float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable3(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.ICMP {
+				minResponsive = float64(row.FootprintPages)
+			}
+		}
+	}
+	b.ReportMetric(minResponsive, "min-icmp-pages")
+}
+
+// BenchmarkAblationSteal regenerates ablation A1.
+func BenchmarkAblationSteal(b *testing.B) {
+	var onP99 float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblationSteal(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		onP99 = stats.Micros(res.Points[0].P99Latency)
+	}
+	b.ReportMetric(onP99, "µs-p99-steal-on")
+}
+
+// BenchmarkAblationBatch regenerates ablation A2.
+func BenchmarkAblationBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationBatch(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRemap regenerates ablation A3.
+func BenchmarkAblationRemap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationRemap(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLRU regenerates ablation A4.
+func BenchmarkAblationLRU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationLRU(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command fluidmem-bench regenerates the paper's evaluation tables and
+// figures (§VI) plus the DESIGN.md ablations, printing paper-style text
+// tables. Run with -list to see experiment names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fluidmem/internal/bench"
+)
+
+// renderable is any experiment result.
+type renderable interface{ Render() string }
+
+// experiment couples a name to its runner.
+type experiment struct {
+	name string
+	desc string
+	run  func(bench.Options) (renderable, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig3", "pmbench page-fault latency CDFs, 6 systems", func(o bench.Options) (renderable, error) { return bench.RunFig3(o) }},
+		{"table1", "monitor code-path latency profile (RAMCloud, sync)", func(o bench.Options) (renderable, error) { return bench.RunTable1(o) }},
+		{"table2", "fault latency vs optimisations × backend × pattern", func(o bench.Options) (renderable, error) { return bench.RunTable2(o) }},
+		{"fig4", "Graph500 TEPS across scale factors, 6 systems", func(o bench.Options) (renderable, error) { return bench.RunFig4(o) }},
+		{"fig5", "MongoDB YCSB-C latency time courses, swap vs FluidMem", func(o bench.Options) (renderable, error) { return bench.RunFig5(o) }},
+		{"table3", "VM footprint minimisation and service responsiveness", func(o bench.Options) (renderable, error) { return bench.RunTable3(o) }},
+		{"ablation-steal", "A1: write-list page stealing on/off", func(o bench.Options) (renderable, error) { return bench.RunAblationSteal(o) }},
+		{"ablation-batch", "A2: writeback batch-size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationBatch(o) }},
+		{"ablation-remap", "A3: UFFD_REMAP vs copy-out eviction", func(o bench.Options) (renderable, error) { return bench.RunAblationRemap(o) }},
+		{"ablation-lru", "A4: LRU list size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationLRU(o) }},
+		{"ablation-compress", "A5: compressed-tier pool size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationCompress(o) }},
+		{"ablation-prefetch", "A6: sequential prefetching on/off × pattern", func(o bench.Options) (renderable, error) { return bench.RunAblationPrefetch(o) }},
+		{"density", "multi-VM density: idle guests drain, active guest grows (§VI-E)", func(o bench.Options) (renderable, error) { return bench.RunDensity(o) }},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fluidmem-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fluidmem-bench", flag.ContinueOnError)
+	var (
+		runNames = fs.String("run", "all", "comma-separated experiment names, or 'all'")
+		quick    = fs.Bool("quick", false, "run reduced-scale variants")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		list     = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("  %-16s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	want := map[string]bool{}
+	if *runNames != "all" {
+		for _, n := range strings.Split(*runNames, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	matched := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		matched++
+		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		res, err := e.run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(res.Render())
+	}
+	if matched == 0 {
+		return fmt.Errorf("no experiment matches %q (use -list)", *runNames)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nonsense"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestQuickSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment still takes seconds")
+	}
+	if err := run([]string{"-quick", "-run", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range experiments() {
+		if seen[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.desc == "" {
+			t.Fatalf("experiment %q lacks a description", e.name)
+		}
+	}
+	// Every paper table/figure must be present.
+	for _, want := range []string{"fig3", "fig4", "fig5", "table1", "table2", "table3"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}

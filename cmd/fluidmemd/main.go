@@ -1,0 +1,129 @@
+// Command fluidmemd is a demonstration of FluidMem's operator surface: it
+// boots a VM against a chosen backend and then executes a scripted sequence
+// of footprint operations (resize, hotplug, service probes), printing the
+// monitor's view after each step — the "cloud provider console" the paper's
+// §III envisions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fluidmem"
+	"fluidmem/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fluidmemd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fluidmemd", flag.ContinueOnError)
+	var (
+		backend = fs.String("backend", "ramcloud", "dram | ramcloud | memcached")
+		localMB = fs.Int("local", 64, "local DRAM budget in MB")
+		guestMB = fs.Int("guest", 256, "guest memory in MB")
+		script  = fs.String("script", "status;resize 180;probe;resize 80;probe;resize 32768;probe;status",
+			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n>")
+		seed = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := fluidmem.NewMachine(fluidmem.MachineConfig{
+		Mode:        fluidmem.ModeFluidMem,
+		Backend:     fluidmem.Backend(*backend),
+		LocalMemory: uint64(*localMB) << 20,
+		GuestMemory: uint64(*guestMB) << 20,
+		BootOS:      true,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fluidmemd: booted %d MB guest on %s, local budget %d MB, resident %d pages (%.1f MB), boot took %v\n",
+		*guestMB, *backend, *localMB, m.ResidentPages(), float64(m.ResidentPages())*4/1024, m.Now())
+
+	for _, raw := range strings.Split(*script, ";") {
+		fields := strings.Fields(strings.TrimSpace(raw))
+		if len(fields) == 0 {
+			continue
+		}
+		fmt.Printf("\n> %s\n", strings.Join(fields, " "))
+		if err := execute(m, fields); err != nil {
+			return fmt.Errorf("%s: %w", fields[0], err)
+		}
+	}
+	return nil
+}
+
+func execute(m *fluidmem.Machine, fields []string) error {
+	switch fields[0] {
+	case "status":
+		st := m.Monitor().Stats()
+		fmt.Printf("  t=%v resident=%d pages (%.3f MB) limit=%d faults=%d first-touch=%d remote-reads=%d steals=%d evictions=%d\n",
+			m.Now(), m.ResidentPages(), float64(m.ResidentPages())*4/1024,
+			m.Monitor().FootprintLimit(), st.Faults, st.FirstTouch, st.RemoteReads, st.Steals, st.Evictions)
+		fmt.Printf("  store: %+v\n", m.Store().Stats())
+	case "resize":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: resize <pages>")
+		}
+		pages, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := m.ResizeFootprint(pages); err != nil {
+			return err
+		}
+		fmt.Printf("  footprint limit now %d pages, resident %d\n", pages, m.ResidentPages())
+	case "hotplug":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: hotplug <mb>")
+		}
+		mb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := m.Hotplug(uint64(mb) << 20); err != nil {
+			return err
+		}
+		fmt.Printf("  guest memory now %d MB\n", m.VM().MemBytes()>>20)
+	case "probe":
+		for _, svc := range []vm.Service{vm.SSHService(), vm.ICMPService()} {
+			res, err := m.Probe(svc)
+			if err != nil {
+				return err
+			}
+			verdict := "TIMEOUT"
+			switch {
+			case res.Deadlocked:
+				verdict = "DEADLOCKED"
+			case res.Responded:
+				verdict = fmt.Sprintf("OK in %v", res.Elapsed)
+			}
+			fmt.Printf("  %s @ %d pages: %s\n", svc.Name, res.FootprintPages, verdict)
+		}
+	case "tick":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: tick <touches>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := m.OSTick(n); err != nil {
+			return err
+		}
+		fmt.Printf("  OS ticked %d touches, resident %d\n", n, m.ResidentPages())
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestDefaultScript(t *testing.T) {
+	if err := run([]string{"-local", "16", "-guest", "64"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotplugAndTick(t *testing.T) {
+	if err := run([]string{"-local", "8", "-guest", "32",
+		"-script", "status;hotplug 16;tick 100;status"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if err := run([]string{"-local", "8", "-guest", "32", "-script", "explode"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestResizeArgValidation(t *testing.T) {
+	if err := run([]string{"-local", "8", "-guest", "32", "-script", "resize"}); err == nil {
+		t.Fatal("resize without argument accepted")
+	}
+	if err := run([]string{"-local", "8", "-guest", "32", "-script", "resize banana"}); err == nil {
+		t.Fatal("non-numeric resize accepted")
+	}
+}
+
+func TestBadBackend(t *testing.T) {
+	if err := run([]string{"-backend", "abacus"}); err == nil {
+		t.Fatal("bad backend accepted")
+	}
+}

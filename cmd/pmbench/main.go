@@ -1,0 +1,80 @@
+// Command pmbench runs the paging micro-benchmark (§VI-B) against a single
+// configurable machine and prints the latency distribution — a standalone
+// version of one Figure 3 line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fluidmem"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/workload/pmbench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pmbench", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "fluidmem", "fluidmem | swap")
+		backend   = fs.String("backend", "ramcloud", "dram | ramcloud | memcached (fluidmem mode)")
+		swapDev   = fs.String("swapdev", "nvmeof", "dram | nvmeof | ssd (swap mode)")
+		localMB   = fs.Int("local", 16, "local DRAM budget in MB")
+		wssMB     = fs.Int("wss", 64, "working set size in MB")
+		accesses  = fs.Int("accesses", 40000, "number of timed accesses")
+		readRatio = fs.Float64("reads", 0.5, "read fraction")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := fluidmem.MachineConfig{
+		LocalMemory: uint64(*localMB) << 20,
+		GuestMemory: uint64(*wssMB) << 20 * 5 / 4,
+		Seed:        *seed,
+	}
+	switch *mode {
+	case "fluidmem":
+		cfg.Mode = fluidmem.ModeFluidMem
+		cfg.Backend = fluidmem.Backend(*backend)
+	case "swap":
+		cfg.Mode = fluidmem.ModeSwap
+		cfg.SwapDev = fluidmem.SwapDevice(*swapDev)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	m, err := fluidmem.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	pcfg := pmbench.DefaultConfig(uint64(*wssMB) << 20)
+	pcfg.Duration = time.Hour
+	pcfg.MaxAccesses = *accesses
+	pcfg.ReadRatio = *readRatio
+	pcfg.Seed = *seed
+	res, _, err := pmbench.Run(m.Now(), m.VM(), pcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pmbench: mode=%s %d accesses over %d MB WSS / %d MB local\n",
+		*mode, res.Accesses, *wssMB, *localMB)
+	fmt.Printf("  warm-up: %v virtual, timed phase: %v virtual\n", res.WarmupTime, res.RunTime)
+	fmt.Println(stats.RenderCDFASCII("all accesses", res.Latencies, 40))
+	fmt.Printf("  reads:  %s\n", res.ReadLatencies.Summary())
+	fmt.Printf("  writes: %s\n", res.WriteLatencies.Summary())
+	if mon := m.Monitor(); mon != nil {
+		fmt.Printf("  monitor: %+v\n", mon.Stats())
+	}
+	if sw := m.Swap(); sw != nil {
+		fmt.Printf("  swap: %+v\n", sw.Stats())
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunFluidMem(t *testing.T) {
+	if err := run([]string{"-wss", "4", "-local", "1", "-accesses", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSwap(t *testing.T) {
+	if err := run([]string{"-mode", "swap", "-swapdev", "ssd", "-wss", "4", "-local", "1", "-accesses", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "levitation"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestRunBadBackend(t *testing.T) {
+	if err := run([]string{"-backend", "floppy", "-wss", "4", "-local", "1", "-accesses", "10"}); err == nil {
+		t.Fatal("bad backend accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

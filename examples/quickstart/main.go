@@ -1,0 +1,68 @@
+// Quickstart: boot a FluidMem-backed VM whose guest memory is five times its
+// local DRAM budget, write a dataset bigger than local memory, and read it
+// back — every page transparently round-trips through the remote key-value
+// store.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluidmem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	machine, err := fluidmem.NewMachine(fluidmem.MachineConfig{
+		Mode:        fluidmem.ModeFluidMem,
+		Backend:     fluidmem.BackendRAMCloud,
+		LocalMemory: 8 << 20,  // 8 MB of local DRAM (the monitor's LRU size)
+		GuestMemory: 40 << 20, // the guest sees 40 MB
+		BootOS:      true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("booted: %d pages resident (%.1f MB), boot took %v of virtual time\n",
+		machine.ResidentPages(), float64(machine.ResidentPages())*4/1024, machine.Now())
+
+	// Allocate a 24 MB heap — 3× the local budget.
+	heap, err := machine.Alloc("heap", 24<<20)
+	if err != nil {
+		return err
+	}
+	words := heap.Pages()
+	fmt.Printf("writing %d pages (%d MB) through an %d MB window...\n",
+		words, heap.Bytes>>20, 8)
+	for i := 0; i < words; i++ {
+		if err := machine.Write64(heap.Addr(uint64(i)*fluidmem.PageSize), uint64(i)*7+3); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("reading everything back...\n")
+	for i := 0; i < words; i++ {
+		v, err := machine.Read64(heap.Addr(uint64(i) * fluidmem.PageSize))
+		if err != nil {
+			return err
+		}
+		if v != uint64(i)*7+3 {
+			return fmt.Errorf("page %d corrupted: got %d", i, v)
+		}
+	}
+
+	st := machine.Monitor().Stats()
+	store := machine.Store().Stats()
+	fmt.Printf("\nall %d pages verified.\n", words)
+	fmt.Printf("resident now: %d pages — never above the local budget\n", machine.ResidentPages())
+	fmt.Printf("monitor: %d faults (%d first-touch, %d remote reads, %d steals), %d evictions\n",
+		st.Faults, st.FirstTouch, st.RemoteReads, st.Steals, st.Evictions)
+	fmt.Printf("store:   %d gets, %d puts (%d batched flushes), %.1f MB resident remotely\n",
+		store.Gets, store.Puts, st.Flushes, float64(store.BytesStored)/(1<<20))
+	fmt.Printf("virtual time elapsed: %v\n", machine.Now())
+	return nil
+}

@@ -1,0 +1,3 @@
+module fluidmem
+
+go 1.22

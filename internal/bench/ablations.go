@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fluidmem"
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/workload/pmbench"
+)
+
+// AblationPoint is one configuration's measurement.
+type AblationPoint struct {
+	Label string
+	// MeanLatency is the pmbench mean access latency.
+	MeanLatency time.Duration
+	// P99Latency is the tail.
+	P99Latency time.Duration
+	// StoreGets/StorePuts expose the remote traffic behind the number.
+	StoreGets uint64
+	StorePuts uint64
+	Steals    uint64
+}
+
+// AblationResult is a one-dimensional sweep.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// runAblationPoint measures pmbench over a RAMCloud monitor variant.
+func runAblationPoint(label string, localBytes, wssBytes uint64, accesses int, mutate func(*core.Config), seed uint64) (AblationPoint, error) {
+	return runAblationPointDense(label, localBytes, wssBytes, accesses, 0, mutate, seed)
+}
+
+// runAblationPointDense additionally controls the page fill density (used by
+// the compression ablation, where page contents matter).
+func runAblationPointDense(label string, localBytes, wssBytes uint64, accesses int, density float64, mutate func(*core.Config), seed uint64) (AblationPoint, error) {
+	m, err := newMonitorMachine(fluidmem.BackendRAMCloud, localBytes, wssBytes+wssBytes/4, mutate, seed)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	cfg := pmbench.DefaultConfig(wssBytes)
+	cfg.Duration = time.Hour
+	cfg.MaxAccesses = accesses
+	cfg.FillDensity = density
+	cfg.Seed = seed
+	res, _, err := pmbench.Run(m.Now(), m.VM(), cfg)
+	if err != nil {
+		return AblationPoint{}, fmt.Errorf("ablation %s: %w", label, err)
+	}
+	st := m.Store().Stats()
+	return AblationPoint{
+		Label:       label,
+		MeanLatency: res.Latencies.Mean(),
+		P99Latency:  res.Latencies.Percentile(99),
+		StoreGets:   st.Gets,
+		StorePuts:   st.Puts,
+		Steals:      m.Monitor().Stats().Steals,
+	}, nil
+}
+
+func ablationScale(opts Options) (localBytes, wssBytes uint64, accesses int) {
+	if opts.Quick {
+		return 1 << 20, 4 << 20, 2500
+	}
+	return 4 << 20, 16 << 20, 15000
+}
+
+// RunAblationSteal measures A1: write-list page stealing on vs off (§V-B:
+// the steal "shortcuts two round trips to the remote key-value store").
+func RunAblationSteal(opts Options) (*AblationResult, error) {
+	local, wss, accesses := ablationScale(opts)
+	out := &AblationResult{Name: "A1: write-list stealing"}
+	for _, steal := range []bool{true, false} {
+		steal := steal
+		label := "steal=off"
+		if steal {
+			label = "steal=on"
+		}
+		p, err := runAblationPoint(label, local, wss, accesses, func(cfg *core.Config) {
+			cfg.StealEnabled = steal
+			cfg.WriteBatchSize = 64 // a deep write list gives stealing room to matter
+		}, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunAblationBatch measures A2: writeback batch-size sweep (multi-write
+// amortisation vs write-list staleness).
+func RunAblationBatch(opts Options) (*AblationResult, error) {
+	local, wss, accesses := ablationScale(opts)
+	out := &AblationResult{Name: "A2: writeback batch size"}
+	for _, batch := range []int{1, 4, 16, 32, 128} {
+		batch := batch
+		p, err := runAblationPoint(fmt.Sprintf("batch=%d", batch), local, wss, accesses, func(cfg *core.Config) {
+			cfg.WriteBatchSize = batch
+		}, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunAblationRemap measures A3: zero-copy UFFD_REMAP eviction vs copy-out
+// (§V-B zero-copy semantics: "UFFD_REMAP ... is not always faster than
+// UFFD_COPY because of the synchronization required").
+func RunAblationRemap(opts Options) (*AblationResult, error) {
+	local, wss, accesses := ablationScale(opts)
+	out := &AblationResult{Name: "A3: eviction mechanism"}
+	for _, withCopy := range []bool{false, true} {
+		withCopy := withCopy
+		label := "UFFD_REMAP (zero-copy)"
+		if withCopy {
+			label = "copy-out + zap"
+		}
+		p, err := runAblationPoint(label, local, wss, accesses, func(cfg *core.Config) {
+			cfg.EvictWithCopy = withCopy
+		}, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunAblationLRU measures A4: LRU capacity sweep — the local-hit ratio vs
+// footprint trade-off behind the paper's resizable buffer.
+func RunAblationLRU(opts Options) (*AblationResult, error) {
+	_, wss, accesses := ablationScale(opts)
+	out := &AblationResult{Name: "A4: LRU list size"}
+	for _, frac := range []int{8, 4, 2, 1} {
+		frac := frac
+		local := wss / uint64(frac)
+		p, err := runAblationPoint(fmt.Sprintf("local=WSS/%d", frac), local, wss, accesses, nil, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunAblationCompress measures A5: the zswap-style compressed tier (§III's
+// page-compression customisation) across pool sizes. pmbench pages are
+// mostly zero-filled, so the tier absorbs most refaults at decompression
+// speed; the sweep shows the latency win and the remote traffic removed.
+func RunAblationCompress(opts Options) (*AblationResult, error) {
+	local, wss, accesses := ablationScale(opts)
+	out := &AblationResult{Name: "A5: compressed tier pool size"}
+	for _, frac := range []int{0, 16, 4, 1} {
+		frac := frac
+		label := "pool=off"
+		var pool uint64
+		if frac > 0 {
+			pool = wss / uint64(frac)
+			label = fmt.Sprintf("pool=WSS/%d", frac)
+		}
+		// Half-dense pages: compressible at ratio ≈ 0.5, so pool budgets bind.
+		p, err := runAblationPointDense(label, local, wss, accesses, 0.5, func(cfg *core.Config) {
+			if pool > 0 {
+				params := core.DefaultCompressParams(pool)
+				cfg.Compress = &params
+			}
+		}, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunAblationPrefetch measures A6: sequential prefetching on/off for
+// sequential and random access patterns. Prefetching pays off on scans and
+// costs wasted store reads on random access — the trade-off that keeps it
+// opt-in (the paper's own configuration disables swap readahead).
+func RunAblationPrefetch(opts Options) (*AblationResult, error) {
+	local, wss, accesses := ablationScale(opts)
+	out := &AblationResult{Name: "A6: sequential prefetching"}
+	for _, p := range []struct {
+		label    string
+		prefetch int
+		seq      bool
+	}{
+		{"seq, prefetch=0", 0, true},
+		{"seq, prefetch=8", 8, true},
+		{"rand, prefetch=0", 0, false},
+		{"rand, prefetch=8", 8, false},
+	} {
+		p := p
+		point, err := runSequentialPoint(p.label, local, wss, accesses, p.seq, func(cfg *core.Config) {
+			cfg.PrefetchPages = p.prefetch
+		}, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, point)
+	}
+	return out, nil
+}
+
+// runSequentialPoint measures average access latency for a strided or random
+// sweep over a working set 4× the local budget.
+func runSequentialPoint(label string, localBytes, wssBytes uint64, accesses int, sequential bool, mutate func(*core.Config), seed uint64) (AblationPoint, error) {
+	m, err := newMonitorMachine(fluidmem.BackendRAMCloud, localBytes, wssBytes+wssBytes/4, mutate, seed)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	seg, err := m.Alloc("a6.wss", wssBytes)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	pages := seg.Pages()
+	rng := clock.NewRand(seed + 99)
+	// Populate.
+	for i := 0; i < pages; i++ {
+		if err := m.Write64(seg.Addr(uint64(i)*fluidmem.PageSize), uint64(i)); err != nil {
+			return AblationPoint{}, err
+		}
+	}
+	lat := stats.NewSample(accesses)
+	next := 0
+	for n := 0; n < accesses; n++ {
+		page := next
+		if sequential {
+			next = (next + 1) % pages
+		} else {
+			page = rng.Intn(pages)
+		}
+		start := m.Now()
+		if _, err := m.Read64(seg.Addr(uint64(page) * fluidmem.PageSize)); err != nil {
+			return AblationPoint{}, err
+		}
+		lat.Add(m.Now() - start)
+	}
+	st := m.Store().Stats()
+	return AblationPoint{
+		Label:       label,
+		MeanLatency: lat.Mean(),
+		P99Latency:  lat.Percentile(99),
+		StoreGets:   st.Gets,
+		StorePuts:   st.Puts,
+		Steals:      m.Monitor().Stats().Steals,
+	}, nil
+}
+
+// Render prints the sweep.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation %s\n", r.Name)
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %10s %8s\n", "Config", "avg µs", "p99 µs", "gets", "puts", "steals")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-24s %10s %10s %10d %10d %8d\n",
+			p.Label, microseconds(p.MeanLatency), microseconds(p.P99Latency), p.StoreGets, p.StorePuts, p.Steals)
+	}
+	return b.String()
+}

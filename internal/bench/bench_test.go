@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fluidmem/internal/core"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 1} }
+
+func TestFig3ShapeMatchesPaper(t *testing.T) {
+	res, err := RunFig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lines) != 6 {
+		t.Fatalf("lines = %d", len(res.Lines))
+	}
+	get := func(name string) float64 {
+		d, ok := res.Average(name)
+		if !ok {
+			t.Fatalf("missing system %q", name)
+		}
+		return float64(d)
+	}
+	fmRC := get("FluidMem RAMCloud")
+	fmMC := get("FluidMem Memcached")
+	swapDRAM := get("Swap DRAM")
+	swapNVMe := get("Swap NVMeoF")
+	swapSSD := get("Swap SSD")
+	fmDRAM := get("FluidMem DRAM")
+
+	// The paper's headline orderings (§VI-B).
+	if !(fmRC < swapNVMe) {
+		t.Errorf("FluidMem RAMCloud (%v) not faster than swap NVMeoF (%v)", fmRC, swapNVMe)
+	}
+	if !(fmRC < swapSSD) {
+		t.Errorf("FluidMem RAMCloud (%v) not faster than swap SSD (%v)", fmRC, swapSSD)
+	}
+	if !(fmDRAM < swapDRAM) {
+		t.Errorf("FluidMem DRAM (%v) not faster than swap DRAM (%v)", fmDRAM, swapDRAM)
+	}
+	if !(swapDRAM < swapNVMe && swapNVMe < swapSSD) {
+		t.Errorf("swap device ordering broken: %v %v %v", swapDRAM, swapNVMe, swapSSD)
+	}
+	if !(fmMC > swapNVMe && fmMC < swapSSD) {
+		t.Errorf("Memcached (%v) should sit between NVMeoF (%v) and SSD (%v)", fmMC, swapNVMe, swapSSD)
+	}
+	// Paper: 40% reduction FluidMem-RAMCloud vs swap-NVMeoF; allow a band.
+	if saving := 1 - fmRC/swapNVMe; saving < 0.15 || saving > 0.60 {
+		t.Errorf("RAMCloud saving vs NVMeoF = %.0f%%, want ≈40%%", saving*100)
+	}
+	if !strings.Contains(res.Render(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable1MatchesPaperCalibration(t *testing.T) {
+	res, err := RunTable1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's Table I averages in µs, with a ±25% acceptance band.
+	want := map[string]float64{
+		core.OpUpdatePageCache: 2.56,
+		core.OpInsertPageHash:  2.58,
+		core.OpInsertLRUCache:  2.87,
+		core.OpUffdZeroPage:    2.61,
+		core.OpUffdRemap:       1.65,
+		core.OpUffdCopy:        3.89,
+		core.OpReadPage:        15.62,
+		core.OpWritePage:       14.70,
+	}
+	for op, target := range want {
+		row, ok := res.Row(op)
+		if !ok {
+			t.Fatalf("missing row %s", op)
+		}
+		got := float64(row.Avg) / 1000 // ns → µs
+		if got < target*0.75 || got > target*1.25 {
+			t.Errorf("%s avg = %.2fµs, want ≈%.2fµs", op, got, target)
+		}
+	}
+	// UFFD_REMAP's defining feature: a TLB-shootdown p99 tail far above avg.
+	remap, _ := res.Row(core.OpUffdRemap)
+	if remap.P99 < 4*remap.Avg {
+		t.Errorf("REMAP p99 (%v) lacks the shootdown tail (avg %v)", remap.P99, remap.Avg)
+	}
+}
+
+func TestTable2OptimisationsMonotone(t *testing.T) {
+	res, err := RunTable2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(opt, backend string) float64 {
+		c, ok := res.Cell(opt, backend)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", opt, backend)
+		}
+		return float64(c.Random)
+	}
+	def := cell("Default", "ramcloud")
+	ar := cell("Async Read", "ramcloud")
+	aw := cell("Async Write", "ramcloud")
+	both := cell("Async Read/Write", "ramcloud")
+	if !(ar < def) {
+		t.Errorf("async read (%v) did not beat default (%v)", ar, def)
+	}
+	if !(aw < def) {
+		t.Errorf("async write (%v) did not beat default (%v)", aw, def)
+	}
+	if !(both < ar && both < aw) {
+		t.Errorf("combined (%v) did not beat singles (%v, %v)", both, ar, aw)
+	}
+	// Paper: combined optimisations cut RAMCloud latency roughly in half.
+	if ratio := both / def; ratio > 0.75 {
+		t.Errorf("combined/default = %.2f, want large improvement", ratio)
+	}
+	// DRAM shows much smaller absolute gains than RAMCloud.
+	dramGain := cell("Default", "dram") - cell("Async Read/Write", "dram")
+	rcGain := def - both
+	if dramGain > rcGain {
+		t.Errorf("DRAM gained more (%v) than RAMCloud (%v)", dramGain, rcGain)
+	}
+}
+
+func TestFig4ShapeMatchesPaper(t *testing.T) {
+	res, err := RunFig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := res.Config.Scales
+	low, high := scales[0], scales[len(scales)-1]
+	teps := func(sys string, scale int) float64 {
+		v, ok := res.TEPS(sys, scale)
+		if !ok {
+			t.Fatalf("missing %s scale %d", sys, scale)
+		}
+		return v
+	}
+	// In-DRAM scale: FluidMem overhead vs swap is small (paper: 2.6%).
+	fm, sw := teps("FluidMem RAMCloud", low), teps("Swap NVMeoF", low)
+	if overhead := 1 - fm/sw; overhead > 0.15 {
+		t.Errorf("FluidMem overhead at in-DRAM scale = %.1f%%, want small", overhead*100)
+	}
+	// Beyond DRAM: FluidMem RAMCloud must beat swap NVMeoF (Figure 4b-d).
+	if fm, sw := teps("FluidMem RAMCloud", high), teps("Swap NVMeoF", high); fm <= sw {
+		t.Errorf("FluidMem RAMCloud (%v) not above swap NVMeoF (%v) under pressure", fm, sw)
+	}
+	// Memcached-backed FluidMem beats swap on SSD (the Ethernet-datacenter
+	// argument of §VI-D1).
+	if mc, ssd := teps("FluidMem Memcached", high), teps("Swap SSD", high); mc <= ssd {
+		t.Errorf("FluidMem Memcached (%v) not above swap SSD (%v)", mc, ssd)
+	}
+	// TEPS decreases as WSS grows for every system.
+	for _, sys := range Systems() {
+		if a, b := teps(sys.Label, low), teps(sys.Label, high); b >= a {
+			t.Errorf("%s TEPS did not degrade with scale (%v → %v)", sys.Label, a, b)
+		}
+	}
+}
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	res, err := RunFig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := res.Config.CacheSizes
+	small, large := sizes[0], sizes[len(sizes)-1]
+	fmSmall, ok := res.Mean("FluidMem RAMCloud", small)
+	if !ok {
+		t.Fatal("missing series")
+	}
+	fmLarge, _ := res.Mean("FluidMem RAMCloud", large)
+	swSmall, _ := res.Mean("Swap NVMeoF", small)
+	swLarge, _ := res.Mean("Swap NVMeoF", large)
+	// Latency decreases with cache size for both systems.
+	if fmLarge >= fmSmall {
+		t.Errorf("FluidMem did not improve with cache: %v → %v", fmSmall, fmLarge)
+	}
+	if swLarge >= swSmall {
+		t.Errorf("swap did not improve with cache: %v → %v", swSmall, swLarge)
+	}
+	// At the smallest cache, swap is markedly worse (paper: up to 95%).
+	if swSmall <= fmSmall {
+		t.Errorf("swap (%v) not slower than FluidMem (%v) at small cache", swSmall, fmSmall)
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	res, err := RunTable3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	boot, _ := res.Row("After startup")
+	if !boot.SSH || !boot.ICMP {
+		t.Error("fresh VM should answer both services")
+	}
+	balloon, _ := res.Row("Max VM balloon size")
+	if balloon.FootprintPages <= 180 {
+		t.Error("balloon reached a FluidMem-scale footprint; its floor should stop it")
+	}
+	fm180, _ := res.Row("FluidMem (KVM) 180")
+	if !fm180.SSH || !fm180.ICMP || !fm180.Revived {
+		t.Errorf("180 pages: %+v", fm180)
+	}
+	fm80, _ := res.Row("FluidMem (KVM) 80")
+	if fm80.SSH || !fm80.ICMP || !fm80.Revived {
+		t.Errorf("80 pages: %+v", fm80)
+	}
+	fv1, _ := res.Row("FluidMem (full virtualization)")
+	if fv1.SSH || fv1.ICMP || fv1.Deadlocked || !fv1.Revived {
+		t.Errorf("1 page full virt: %+v", fv1)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	steal, err := RunAblationSteal(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on, off AblationPoint
+	for _, p := range steal.Points {
+		if p.Label == "steal=on" {
+			on = p
+		} else {
+			off = p
+		}
+	}
+	if on.Steals == 0 || off.Steals != 0 {
+		t.Errorf("steal counters wrong: on=%d off=%d", on.Steals, off.Steals)
+	}
+	// Stealing removes the forced-flush wait: the tail must be smaller.
+	if on.P99Latency >= off.P99Latency {
+		t.Errorf("steal=on p99 (%v) not below steal=off (%v)", on.P99Latency, off.P99Latency)
+	}
+
+	remap, err := RunAblationRemap(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap.Points) != 2 {
+		t.Fatal("remap ablation incomplete")
+	}
+
+	lru, err := RunAblationLRU(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More local memory, fewer remote reads.
+	for i := 1; i < len(lru.Points); i++ {
+		if lru.Points[i].StoreGets > lru.Points[i-1].StoreGets {
+			t.Errorf("gets rose with more local memory: %+v", lru.Points)
+		}
+	}
+
+	batch, err := RunAblationBatch(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Points) != 5 {
+		t.Fatal("batch sweep incomplete")
+	}
+
+	compress, err := RunAblationCompress(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A big-enough pool must remove remote read traffic entirely.
+	first, last := compress.Points[0], compress.Points[len(compress.Points)-1]
+	if first.Label != "pool=off" || first.StoreGets == 0 {
+		t.Errorf("baseline point wrong: %+v", first)
+	}
+	if last.StoreGets >= first.StoreGets {
+		t.Errorf("largest pool removed no remote reads: %d vs %d", last.StoreGets, first.StoreGets)
+	}
+
+	prefetch, err := RunAblationPrefetch(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqOff, seqOn, randOff, randOn AblationPoint
+	for _, p := range prefetch.Points {
+		switch p.Label {
+		case "seq, prefetch=0":
+			seqOff = p
+		case "seq, prefetch=8":
+			seqOn = p
+		case "rand, prefetch=0":
+			randOff = p
+		case "rand, prefetch=8":
+			randOn = p
+		}
+	}
+	if seqOn.MeanLatency >= seqOff.MeanLatency {
+		t.Errorf("prefetch did not help sequential scans: %v vs %v", seqOn.MeanLatency, seqOff.MeanLatency)
+	}
+	if randOn.StoreGets <= randOff.StoreGets {
+		t.Errorf("random prefetch shows no wasted reads: %d vs %d", randOn.StoreGets, randOff.StoreGets)
+	}
+
+	for _, r := range []*AblationResult{steal, remap, lru, batch, compress, prefetch} {
+		if !strings.Contains(r.Render(), "Ablation") {
+			t.Error("render missing header")
+		}
+	}
+}
+
+func TestDensityFluidMemWins(t *testing.T) {
+	res, err := RunDensity(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared LRU must hand the idle guests' DRAM to the active one.
+	if res.FluidMemMean >= res.SwapMean {
+		t.Errorf("FluidMem active guest (%v) not faster than statically partitioned swap (%v)",
+			res.FluidMemMean, res.SwapMean)
+	}
+	if res.FluidMemActiveRes <= res.SwapFramesPerVM {
+		t.Errorf("active guest only holds %d pages; static split gives %d",
+			res.FluidMemActiveRes, res.SwapFramesPerVM)
+	}
+	// Density must not kill the idle guests.
+	if !res.IdleStillRespond {
+		t.Error("idle guests stopped answering ICMP")
+	}
+	if !strings.Contains(res.Render(), "Density") {
+		t.Error("render missing header")
+	}
+}

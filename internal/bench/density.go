@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fluidmem/internal/blockdev"
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/swap"
+	"fluidmem/internal/vm"
+)
+
+// This experiment realises Table III's motivation (§VI-E): "Virtual machines
+// may remain on, but unused, and cloud providers could benefit from a
+// mechanism to repurpose idle memory capacity for increasing density."
+//
+// One hypervisor with a fixed DRAM budget hosts K idle VMs plus one active
+// VM. Under FluidMem a single monitor LRU spans all VMs, so the idle guests'
+// cold pages drain to remote memory and the active guest ends up with nearly
+// the whole budget — while the idle guests still answer pings. Under swap,
+// each guest owns a fixed slice of physical DRAM: the idle VMs hold their
+// frames hostage and the active VM runs in a fraction of the machine.
+
+// DensityConfig scales the experiment.
+type DensityConfig struct {
+	// HostDRAMBytes is the hypervisor's DRAM budget for guest memory.
+	HostDRAMBytes uint64
+	// IdleVMs is the number of parked guests.
+	IdleVMs int
+	// Accesses is the active guest's timed workload length.
+	Accesses int
+	Seed     uint64
+}
+
+// DefaultDensityConfig hosts 7 idle guests plus one active one in 32 MB.
+func DefaultDensityConfig(opts Options) DensityConfig {
+	cfg := DensityConfig{
+		HostDRAMBytes: 32 << 20,
+		IdleVMs:       7,
+		Accesses:      20000,
+		Seed:          opts.Seed,
+	}
+	if opts.Quick {
+		cfg.HostDRAMBytes = 16 << 20
+		cfg.IdleVMs = 3
+		cfg.Accesses = 4000
+	}
+	return cfg
+}
+
+// DensityResult compares the two mechanisms.
+type DensityResult struct {
+	Config DensityConfig
+	// FluidMem side.
+	FluidMemMean      time.Duration
+	FluidMemActiveRes int // active-guest resident pages at the end
+	FluidMemIdleRes   int // combined idle-guest resident pages at the end
+	IdleStillRespond  bool
+	// Swap side (static partitioning).
+	SwapMean time.Duration
+	// SwapFramesPerVM is the static slice each guest owns.
+	SwapFramesPerVM int
+}
+
+// RunDensity measures the active guest's mean access latency under both
+// mechanisms, at equal total host DRAM.
+func RunDensity(opts Options) (*DensityResult, error) {
+	cfg := DefaultDensityConfig(opts)
+	res := &DensityResult{Config: cfg}
+
+	hostPages := int(cfg.HostDRAMBytes / vm.PageSize)
+	guests := cfg.IdleVMs + 1
+	// Each guest's OS boots at ~30% of its fair DRAM share.
+	osPages := hostPages / guests * 3 / 10
+	// The active working set: sized just above host DRAM, so performance
+	// hinges on how much of the machine the active guest can claim.
+	wssBytes := cfg.HostDRAMBytes * 11 / 10
+
+	// --- FluidMem: one monitor, shared LRU across all guests. ---
+	store := ramcloud.New(ramcloud.DefaultParams(), cfg.Seed+1)
+	mon, err := core.NewMonitor(core.DefaultConfig(store, hostPages), nil, "hyp-density")
+	if err != nil {
+		return nil, err
+	}
+	guestSpan := (uint64(osPages)*vm.PageSize + wssBytes + (8 << 20)) &^ uint64(vm.PageSize-1)
+	newGuest := func(i int) (*vm.VM, *vm.GuestOS, time.Duration, error) {
+		base := uint64(0x7f00_0000_0000) + uint64(i)*(guestSpan+vm.PageSize)
+		pid := 1000 + i
+		if _, err := mon.RegisterRange(base, guestSpan, pid); err != nil {
+			return nil, nil, 0, err
+		}
+		guest, err := vm.New(vm.Config{Name: fmt.Sprintf("g%d", i), MemBytes: guestSpan, PID: pid, Base: base}, mon)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		os, now, err := vm.BootOS(0, guest, vm.ScaledOSProfile(osPages), cfg.Seed+uint64(i))
+		return guest, os, now, err
+	}
+
+	var (
+		now     time.Duration
+		idleVMs []*vm.VM
+		idleOS  []*vm.GuestOS
+	)
+	for i := 0; i < cfg.IdleVMs; i++ {
+		guest, os, done, err := newGuest(i)
+		if err != nil {
+			return nil, fmt.Errorf("density: boot idle %d: %w", i, err)
+		}
+		if done > now {
+			now = done
+		}
+		idleVMs = append(idleVMs, guest)
+		idleOS = append(idleOS, os)
+	}
+	active, _, bootDone, err := newGuest(cfg.IdleVMs)
+	if err != nil {
+		return nil, fmt.Errorf("density: boot active: %w", err)
+	}
+	if bootDone > now {
+		now = bootDone
+	}
+
+	mean, now, err := densityWorkload(now, active, wssBytes, cfg.Accesses, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("density fluidmem: %w", err)
+	}
+	res.FluidMemMean = mean
+
+	// Footprint split after the run: the idle guests should have drained.
+	res.FluidMemActiveRes, res.FluidMemIdleRes = splitResidency(mon, idleVMs)
+
+	// The idle guests must still answer pings (they revive on demand).
+	res.IdleStillRespond = true
+	for i, g := range idleVMs {
+		fileSeg := idleOS[i].Segments()[1]
+		probe, done, err := vm.Probe(now, g, fileSeg, vm.ICMPService())
+		if err != nil {
+			return nil, err
+		}
+		now = done
+		if !probe.Responded {
+			res.IdleStillRespond = false
+		}
+	}
+
+	// --- Swap: static DRAM partitioning, one subsystem per guest. ---
+	res.SwapFramesPerVM = hostPages / guests
+	swapDev, err := blockdev.New(blockdev.NVMeoFParams(cfg.HostDRAMBytes*8), cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	fsDev, err := blockdev.New(blockdev.SSDParams(cfg.HostDRAMBytes*8), cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := swap.New(swap.DefaultParams(res.SwapFramesPerVM), swapDev, fsDev, cfg.Seed+4)
+	if err != nil {
+		return nil, err
+	}
+	swapGuest, err := vm.New(vm.Config{Name: "swap-active", MemBytes: guestSpan, PID: 1, Base: 0x7f00_0000_0000}, sub)
+	if err != nil {
+		return nil, err
+	}
+	swapNow := time.Duration(0)
+	if _, swapNow, err = vm.BootOS(swapNow, swapGuest, vm.ScaledOSProfile(osPages), cfg.Seed+9); err != nil {
+		return nil, err
+	}
+	mean, _, err = densityWorkload(swapNow, swapGuest, wssBytes, cfg.Accesses, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("density swap: %w", err)
+	}
+	res.SwapMean = mean
+	return res, nil
+}
+
+// densityWorkload warms a working set and measures mean random-access
+// latency over it.
+func densityWorkload(now time.Duration, guest *vm.VM, wssBytes uint64, accesses int, seed uint64) (time.Duration, time.Duration, error) {
+	seg, err := guest.Alloc("active.wss", wssBytes, vm.ClassAnon)
+	if err != nil {
+		return 0, now, err
+	}
+	pages := seg.Pages()
+	for i := 0; i < pages; i++ {
+		if _, now, err = guest.Touch(now, seg.Addr(uint64(i)*vm.PageSize), true); err != nil {
+			return 0, now, err
+		}
+	}
+	rng := clock.NewRand(seed + 77)
+	sample := stats.NewSample(accesses)
+	for n := 0; n < accesses; n++ {
+		start := now
+		if _, now, err = guest.Touch(now, seg.Addr(uint64(rng.Intn(pages))*vm.PageSize), n%2 == 0); err != nil {
+			return 0, now, err
+		}
+		sample.Add(now - start)
+	}
+	return sample.Mean(), now, nil
+}
+
+// splitResidency counts resident pages belonging to the idle guests by
+// walking their allocated ranges; everything else is the active guest's.
+func splitResidency(mon *core.Monitor, idle []*vm.VM) (activeRes, idleRes int) {
+	for _, g := range idle {
+		for _, seg := range g.Segments() {
+			for a := seg.Start; a < seg.End(); a += vm.PageSize {
+				if mon.PageResident(a) {
+					idleRes++
+				}
+			}
+		}
+	}
+	return mon.ResidentPages() - idleRes, idleRes
+}
+
+// Render prints the comparison.
+func (r *DensityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Density: %d idle + 1 active guest in %d MB host DRAM (§VI-E motivation)\n",
+		r.Config.IdleVMs, r.Config.HostDRAMBytes>>20)
+	fmt.Fprintf(&b, "%-44s %12s\n", "Mechanism", "active avg µs")
+	fmt.Fprintf(&b, "%-44s %12s\n",
+		fmt.Sprintf("FluidMem shared LRU (idle drained to %d pages)", r.FluidMemIdleRes),
+		microseconds(r.FluidMemMean))
+	fmt.Fprintf(&b, "%-44s %12s\n",
+		fmt.Sprintf("Swap static split (%d frames per guest)", r.SwapFramesPerVM),
+		microseconds(r.SwapMean))
+	fmt.Fprintf(&b, "active guest resident: %d pages; idle guests respond to ICMP: %v\n",
+		r.FluidMemActiveRes, r.IdleStillRespond)
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fluidmem"
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/vm"
+)
+
+// Table2Opt names one optimisation level (a row of Table II).
+type Table2Opt struct {
+	Label      string
+	AsyncRead  bool
+	AsyncWrite bool
+}
+
+// Table2Opts is the paper's four optimisation levels.
+func Table2Opts() []Table2Opt {
+	return []Table2Opt{
+		{Label: "Default"},
+		{Label: "Async Read", AsyncRead: true},
+		{Label: "Async Write", AsyncWrite: true},
+		{Label: "Async Read/Write", AsyncRead: true, AsyncWrite: true},
+	}
+}
+
+// Table2Cell is one measured average.
+type Table2Cell struct {
+	Opt        string
+	Backend    string
+	Sequential time.Duration
+	Random     time.Duration
+}
+
+// Table2Result reproduces Table II: average fault latency by optimisation,
+// backend, and access pattern, measured from the application (the paper's
+// libuserfault test program, no virtualisation layer).
+type Table2Result struct {
+	Cells []Table2Cell
+}
+
+// RunTable2 measures all optimisation combinations.
+func RunTable2(opts Options) (*Table2Result, error) {
+	faults := 6000
+	if opts.Quick {
+		faults = 1200
+	}
+	res := &Table2Result{}
+	for _, opt := range Table2Opts() {
+		for _, backend := range []fluidmem.Backend{fluidmem.BackendDRAM, fluidmem.BackendRAMCloud} {
+			seq, err := runTable2Cell(backend, opt, false, faults, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rnd, err := runTable2Cell(backend, opt, true, faults, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Table2Cell{
+				Opt:        opt.Label,
+				Backend:    string(backend),
+				Sequential: seq,
+				Random:     rnd,
+			})
+		}
+	}
+	return res, nil
+}
+
+// runTable2Cell measures the average fault latency for one configuration.
+// The working set is 4× the monitor's LRU capacity, so steady-state accesses
+// to new pages always fault and always evict.
+func runTable2Cell(backend fluidmem.Backend, opt Table2Opt, random bool, faults int, seed uint64) (time.Duration, error) {
+	const localBytes = 2 << 20 // 512 resident pages
+	const wssBytes = 8 << 20   // 2048-page working set
+	m, err := newMonitorMachine(backend, localBytes, wssBytes+wssBytes/4,
+		func(cfg *core.Config) {
+			cfg.AsyncRead = opt.AsyncRead
+			cfg.AsyncWrite = opt.AsyncWrite
+			// The steal shortcut is part of the async-write machinery.
+			cfg.StealEnabled = opt.AsyncWrite
+		}, seed)
+	if err != nil {
+		return 0, err
+	}
+	var latencies []time.Duration
+	m.Monitor().SetFaultLatencySink(func(d time.Duration) { latencies = append(latencies, d) })
+
+	seg, err := m.Alloc("table2.wss", wssBytes)
+	if err != nil {
+		return 0, err
+	}
+	pages := seg.Pages()
+	rng := clock.NewRand(seed + 77)
+	// Warm-up: populate every page once so the timed phase measures the
+	// store-read path, not first-touch zero-fill.
+	for i := 0; i < pages; i++ {
+		if err := m.Write64(seg.Addr(uint64(i)*vm.PageSize), uint64(i)); err != nil {
+			return 0, err
+		}
+	}
+	warmFaults := len(latencies)
+	next := 0
+	for len(latencies)-warmFaults < faults {
+		var page int
+		if random {
+			page = rng.Intn(pages)
+		} else {
+			page = next
+			next = (next + 1) % pages
+		}
+		if _, err := m.Read64(seg.Addr(uint64(page) * vm.PageSize)); err != nil {
+			return 0, err
+		}
+	}
+	timed := stats.NewSample(len(latencies) - warmFaults)
+	for _, d := range latencies[warmFaults:] {
+		timed.Add(d)
+	}
+	return timed.Mean(), nil
+}
+
+// Cell returns a measured cell (test hook).
+func (r *Table2Result) Cell(opt, backend string) (Table2Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Opt == opt && c.Backend == backend {
+			return c, true
+		}
+	}
+	return Table2Cell{}, false
+}
+
+// Render prints the paper's Table II layout.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: average fault latency by optimisation (application-measured, units: µs)\n")
+	fmt.Fprintf(&b, "%-18s | %-10s %-10s | %-10s %-10s\n", "", "DRAM seq", "DRAM rnd", "RC seq", "RC rnd")
+	for _, opt := range Table2Opts() {
+		var dram, rc Table2Cell
+		for _, c := range r.Cells {
+			if c.Opt != opt.Label {
+				continue
+			}
+			if c.Backend == "dram" {
+				dram = c
+			} else {
+				rc = c
+			}
+		}
+		fmt.Fprintf(&b, "%-18s | %-10s %-10s | %-10s %-10s\n", opt.Label,
+			microseconds(dram.Sequential), microseconds(dram.Random),
+			microseconds(rc.Sequential), microseconds(rc.Random))
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+// Package blockdev models the block devices that back swap in the paper's
+// comparison points (§VI-A): a DRAM/pmem device (/dev/pmem0), an NVMe-over-
+// Fabrics target reached over FDR InfiniBand, and a local SSD partition. A
+// device services page-granularity reads and writes with a queued service
+// time, and optionally interposes a host page cache (the libvirt "writeback"
+// mode the paper shows hurts swap-to-DRAM).
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+)
+
+// PageSize is the I/O granularity (swap I/O is page-sized).
+const PageSize = 4096
+
+// Errors returned by devices.
+var (
+	// ErrOutOfRange reports an access past the device size.
+	ErrOutOfRange = errors.New("blockdev: sector out of range")
+	// ErrNotWritten reports a read of a never-written page; swap never does
+	// this, so surfacing it loudly catches simulation bugs.
+	ErrNotWritten = errors.New("blockdev: page never written")
+)
+
+// CacheMode selects the hypervisor cache configuration for the virtual disk,
+// mirroring libvirt's cache= attribute.
+type CacheMode int
+
+// Cache modes.
+const (
+	// CacheNone is O_DIRECT: requests go straight to the device. The paper
+	// uses this for accurate swap comparisons.
+	CacheNone CacheMode = iota + 1
+	// CacheWriteback buffers writes in the host page cache, adding an extra
+	// caching layer that the paper observes makes swap-to-DRAM *slower*.
+	CacheWriteback
+)
+
+// Kind identifies a device technology.
+type Kind string
+
+// Device kinds used in the evaluation.
+const (
+	KindPmem   Kind = "pmem"   // remote DRAM exposed as /dev/pmem0
+	KindNVMeoF Kind = "nvmeof" // NVMe over Fabrics target over FDR IB
+	KindSSD    Kind = "ssd"    // local SATA/NVMe flash partition
+)
+
+// Params configures one device.
+type Params struct {
+	Kind Kind
+	// SizeBytes is the device capacity (the paper uses 10–20 GB).
+	SizeBytes uint64
+	// ReadLatency and WriteLatency are per-page service times.
+	ReadLatency  clock.LatencyModel
+	WriteLatency clock.LatencyModel
+	// CacheMode selects the host cache interposition.
+	CacheMode CacheMode
+	// WritebackOverhead is the extra copy/bookkeeping cost per request when
+	// CacheWriteback interposes the host page cache.
+	WritebackOverhead time.Duration
+}
+
+// PmemParams models remote DRAM via /dev/pmem0: DAX-like, microsecond-scale.
+func PmemParams(size uint64) Params {
+	return Params{
+		Kind:         KindPmem,
+		SizeBytes:    size,
+		ReadLatency:  clock.LatencyModel{Base: 2800 * time.Nanosecond, Jitter: 300 * time.Nanosecond},
+		WriteLatency: clock.LatencyModel{Base: 3000 * time.Nanosecond, Jitter: 300 * time.Nanosecond},
+		CacheMode:    CacheNone,
+	}
+}
+
+// NVMeoFParams models an NVMeoF target over FDR InfiniBand: an RDMA round
+// trip plus the remote block stack.
+func NVMeoFParams(size uint64) Params {
+	return Params{
+		Kind:         KindNVMeoF,
+		SizeBytes:    size,
+		ReadLatency:  clock.LatencyModel{Base: 21 * time.Microsecond, Jitter: 3 * time.Microsecond, TailProb: 0.008, TailExtra: 200 * time.Microsecond},
+		WriteLatency: clock.LatencyModel{Base: 19 * time.Microsecond, Jitter: 3 * time.Microsecond, TailProb: 0.008, TailExtra: 200 * time.Microsecond},
+		CacheMode:    CacheNone,
+	}
+}
+
+// SSDParams models a local SATA SSD partition.
+func SSDParams(size uint64) Params {
+	return Params{
+		Kind:         KindSSD,
+		SizeBytes:    size,
+		ReadLatency:  clock.LatencyModel{Base: 98 * time.Microsecond, Jitter: 16 * time.Microsecond, TailProb: 0.012, TailExtra: 900 * time.Microsecond},
+		WriteLatency: clock.LatencyModel{Base: 55 * time.Microsecond, Jitter: 12 * time.Microsecond, TailProb: 0.02, TailExtra: 1500 * time.Microsecond},
+		CacheMode:    CacheNone,
+	}
+}
+
+// Device is one simulated block device storing real page contents.
+type Device struct {
+	params Params
+	pages  map[uint64][]byte
+	queue  *clock.Device
+	// bgQueue services asynchronous writeback (kswapd swap-out): background
+	// writes occupy it without head-of-line-blocking foreground reads,
+	// modelling the block layer's sync-read priority.
+	bgQueue *clock.Device
+
+	// Host page cache for CacheWriteback mode: dirty pages not yet flushed.
+	hostCache map[uint64][]byte
+
+	reads, writes uint64
+}
+
+// New builds a device from params.
+func New(p Params, seed uint64) (*Device, error) {
+	if p.SizeBytes == 0 {
+		return nil, fmt.Errorf("blockdev: zero-size %s device", p.Kind)
+	}
+	if p.CacheMode == 0 {
+		p.CacheMode = CacheNone
+	}
+	if p.CacheMode == CacheWriteback && p.WritebackOverhead == 0 {
+		p.WritebackOverhead = 5 * time.Microsecond
+	}
+	return &Device{
+		params:    p,
+		pages:     make(map[uint64][]byte),
+		queue:     clock.NewDevice(p.ReadLatency, seed),
+		bgQueue:   clock.NewDevice(p.WriteLatency, seed+1),
+		hostCache: make(map[uint64][]byte),
+	}, nil
+}
+
+// Kind reports the device technology.
+func (d *Device) Kind() Kind { return d.params.Kind }
+
+// Pages reports the device capacity in pages.
+func (d *Device) Pages() uint64 { return d.params.SizeBytes / PageSize }
+
+// ReadPage reads the page at index page, returning data and completion time.
+func (d *Device) ReadPage(now time.Duration, page uint64) ([]byte, time.Duration, error) {
+	if page >= d.Pages() {
+		return nil, now, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, d.Pages())
+	}
+	d.reads++
+	if d.params.CacheMode == CacheWriteback {
+		// Cache hit in the host page cache: no device I/O, just copy cost.
+		if data, ok := d.hostCache[page]; ok {
+			return append([]byte(nil), data...), now + d.params.WritebackOverhead, nil
+		}
+		now += d.params.WritebackOverhead
+	}
+	data, ok := d.pages[page]
+	done := d.submit(now, d.params.ReadLatency)
+	if !ok {
+		return nil, done, fmt.Errorf("%w: page %d", ErrNotWritten, page)
+	}
+	return append([]byte(nil), data...), done, nil
+}
+
+// WritePage writes one page, returning the completion time.
+func (d *Device) WritePage(now time.Duration, page uint64, data []byte) (time.Duration, error) {
+	if page >= d.Pages() {
+		return now, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, d.Pages())
+	}
+	if len(data) != PageSize {
+		return now, fmt.Errorf("blockdev: write of %d bytes, want %d", len(data), PageSize)
+	}
+	d.writes++
+	if d.params.CacheMode == CacheWriteback {
+		// Buffered write: lands in the host cache quickly, flushes lazily.
+		d.hostCache[page] = append([]byte(nil), data...)
+		d.pages[page] = append([]byte(nil), data...)
+		return now + d.params.WritebackOverhead, nil
+	}
+	d.pages[page] = append([]byte(nil), data...)
+	return d.submit(now, d.params.WriteLatency), nil
+}
+
+// WritePageAsync writes one page on the background (writeback) channel: the
+// data is durable immediately for subsequent reads, the returned completion
+// time reports when the device finishes the transfer, and foreground reads
+// do not queue behind it. This is the path kswapd-style asynchronous
+// swap-out takes; callers use the completion time for writeback throttling.
+func (d *Device) WritePageAsync(now time.Duration, page uint64, data []byte) (time.Duration, error) {
+	if page >= d.Pages() {
+		return now, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, d.Pages())
+	}
+	if len(data) != PageSize {
+		return now, fmt.Errorf("blockdev: write of %d bytes, want %d", len(data), PageSize)
+	}
+	d.writes++
+	d.pages[page] = append([]byte(nil), data...)
+	return d.bgQueue.Submit(now), nil
+}
+
+// BackgroundLag reports how far the background write channel is running
+// behind now (0 when idle) — the writeback-throttling signal.
+func (d *Device) BackgroundLag(now time.Duration) time.Duration {
+	if lag := d.bgQueue.BusyUntil() - now; lag > 0 {
+		return lag
+	}
+	return 0
+}
+
+// Flush drains the host cache (writeback mode), charging device write time
+// per dirty page; a no-op for CacheNone.
+func (d *Device) Flush(now time.Duration) time.Duration {
+	if d.params.CacheMode != CacheWriteback || len(d.hostCache) == 0 {
+		return now
+	}
+	done := now
+	for page := range d.hostCache {
+		delete(d.hostCache, page)
+		done = d.submit(done, d.params.WriteLatency)
+	}
+	return done
+}
+
+// Counters reports total reads and writes serviced.
+func (d *Device) Counters() (reads, writes uint64) {
+	return d.reads, d.writes
+}
+
+func (d *Device) submit(now time.Duration, m clock.LatencyModel) time.Duration {
+	old := d.queue.Model
+	d.queue.Model = m
+	defer func() { d.queue.Model = old }()
+	return d.queue.Submit(now)
+}

@@ -1,0 +1,218 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func page(tag byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = tag
+	}
+	return p
+}
+
+func mustNew(t *testing.T, p Params, seed uint64) *Device {
+	t.Helper()
+	d, err := New(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, params := range []Params{PmemParams(1 << 30), NVMeoFParams(1 << 30), SSDParams(1 << 30)} {
+		t.Run(string(params.Kind), func(t *testing.T) {
+			d := mustNew(t, params, 1)
+			if _, err := d.WritePage(0, 42, page(7)); err != nil {
+				t.Fatal(err)
+			}
+			got, done, err := d.ReadPage(time.Millisecond, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, page(7)) {
+				t.Fatal("data corrupted")
+			}
+			if done <= time.Millisecond {
+				t.Fatal("read completed instantly")
+			}
+		})
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := mustNew(t, PmemParams(1<<20), 1) // 256 pages
+	if _, err := d.WritePage(0, 256, page(1)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, _, err := d.ReadPage(0, 9999); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestReadNeverWritten(t *testing.T) {
+	d := mustNew(t, PmemParams(1<<20), 1)
+	if _, _, err := d.ReadPage(0, 3); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteWrongSize(t *testing.T) {
+	d := mustNew(t, PmemParams(1<<20), 1)
+	if _, err := d.WritePage(0, 0, []byte("tiny")); err == nil {
+		t.Fatal("want error for short write")
+	}
+}
+
+func TestZeroSizeRejected(t *testing.T) {
+	if _, err := New(Params{Kind: KindSSD}, 1); err == nil {
+		t.Fatal("want error for zero-size device")
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// pmem < NVMeoF < SSD on average read latency.
+	avg := func(p Params) time.Duration {
+		d := mustNew(t, p, 7)
+		if _, err := d.WritePage(0, 0, page(1)); err != nil {
+			t.Fatal(err)
+		}
+		var total time.Duration
+		now := time.Duration(0)
+		const n = 500
+		for i := 0; i < n; i++ {
+			now += 10 * time.Millisecond
+			_, done, err := d.ReadPage(now, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += done - now
+			now = done
+		}
+		return total / n
+	}
+	pmem, nvme, ssd := avg(PmemParams(1<<30)), avg(NVMeoFParams(1<<30)), avg(SSDParams(1<<30))
+	if !(pmem < nvme && nvme < ssd) {
+		t.Fatalf("latency ordering violated: pmem=%v nvmeof=%v ssd=%v", pmem, nvme, ssd)
+	}
+}
+
+func TestQueueingUnderBurst(t *testing.T) {
+	d := mustNew(t, SSDParams(1<<30), 3)
+	if _, err := d.WritePage(0, 0, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Burst of reads at the same instant: later ones must queue.
+	_, first, err := d.ReadPage(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := d.ReadPage(time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second <= first {
+		t.Fatalf("no queueing: first=%v second=%v", first, second)
+	}
+}
+
+func TestWritebackCacheFastWritesSlowerFirstRead(t *testing.T) {
+	p := PmemParams(1 << 30)
+	p.CacheMode = CacheWriteback
+	d := mustNew(t, p, 4)
+	done, err := d.WritePage(0, 5, page(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffered write completes in host-cache time, before device time.
+	direct := mustNew(t, PmemParams(1<<30), 4)
+	directDone, err := direct.WritePage(0, 5, page(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 || done >= directDone+10*time.Microsecond {
+		t.Fatalf("writeback write %v vs direct %v", done, directDone)
+	}
+	// Cached read skips the device.
+	_, readDone, err := d.ReadPage(time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := readDone - time.Second; lat > 6*time.Microsecond {
+		t.Fatalf("cached read took %v", lat)
+	}
+}
+
+func TestWritebackAddsOverheadOnMiss(t *testing.T) {
+	// The paper: "writeback actually made swapping to DRAM slower because of
+	// the extra caching layer". A cache-miss read pays overhead + device.
+	base := PmemParams(1 << 30)
+	wb := base
+	wb.CacheMode = CacheWriteback
+
+	direct := mustNew(t, base, 5)
+	cached := mustNew(t, wb, 5)
+	if _, err := direct.WritePage(0, 1, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.WritePage(0, 1, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	cached.Flush(0) // empty the host cache so the read misses
+
+	_, d1, err := direct.ReadPage(time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := cached.ReadPage(time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2-time.Second <= d1-time.Second {
+		t.Fatalf("writeback miss (%v) should exceed direct (%v)", d2-time.Second, d1-time.Second)
+	}
+}
+
+func TestFlushDrainsCache(t *testing.T) {
+	p := SSDParams(1 << 30)
+	p.CacheMode = CacheWriteback
+	d := mustNew(t, p, 6)
+	for i := uint64(0); i < 10; i++ {
+		if _, err := d.WritePage(0, i, page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := d.Flush(0)
+	if done <= 0 {
+		t.Fatal("flush of dirty pages cost nothing")
+	}
+	if again := d.Flush(done); again != done {
+		t.Fatal("second flush should be free")
+	}
+}
+
+func TestFlushNoOpForDirect(t *testing.T) {
+	d := mustNew(t, PmemParams(1<<30), 7)
+	if got := d.Flush(5 * time.Second); got != 5*time.Second {
+		t.Fatalf("Flush = %v", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := mustNew(t, PmemParams(1<<30), 8)
+	if _, err := d.WritePage(0, 0, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.ReadPage(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, w := d.Counters()
+	if r != 1 || w != 1 {
+		t.Fatalf("counters = %d/%d", r, w)
+	}
+}

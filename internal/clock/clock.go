@@ -1,0 +1,51 @@
+// Package clock provides the deterministic virtual-time substrate used by
+// every simulated component in this repository.
+//
+// All latency results reported by the benchmark harness are measured on a
+// virtual timeline: devices and code paths charge simulated durations to a
+// Clock instead of sleeping. Runs are reproducible bit-for-bit because every
+// source of randomness is a seeded PRNG owned by the component that uses it.
+package clock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a monotonic virtual clock. The zero value is a clock at time zero,
+// ready to use.
+//
+// Clock is not safe for concurrent use; the simulation model in this
+// repository is single-threaded discrete-event simulation (see DESIGN.md §5),
+// so each simulated machine owns exactly one Clock.
+type Clock struct {
+	now time.Duration
+}
+
+// New returns a clock starting at virtual time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time as an offset from the start of the
+// simulation.
+func (c *Clock) Now() time.Duration {
+	return c.now
+}
+
+// Advance moves the clock forward by d. Advancing by a negative duration is a
+// programming error and panics, since virtual time is monotonic.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t. If t is in the past the clock is
+// unchanged; discrete-event completions may be observed late, never early.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,260 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Microsecond)
+	c.Advance(7 * time.Microsecond)
+	if got, want := c.Now(), 12*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	New().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(10 * time.Microsecond)
+	if got, want := c.Now(), 10*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	// Moving to the past is a no-op.
+	c.AdvanceTo(3 * time.Microsecond)
+	if got, want := c.Now(), 10*time.Microsecond; got != want {
+		t.Fatalf("Now() after past AdvanceTo = %v, want %v", got, want)
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := New()
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(time.Duration(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandNormFloat64Moments(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestLatencyModelFixed(t *testing.T) {
+	m := Fixed(10 * time.Microsecond)
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if got := m.Sample(r); got != 10*time.Microsecond {
+			t.Fatalf("fixed model sampled %v", got)
+		}
+	}
+}
+
+func TestLatencyModelJitterMean(t *testing.T) {
+	m := LatencyModel{Base: 100 * time.Microsecond, Jitter: 5 * time.Microsecond}
+	r := NewRand(5)
+	const n = 50000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += m.Sample(r)
+	}
+	mean := sum / n
+	if mean < 98*time.Microsecond || mean > 102*time.Microsecond {
+		t.Fatalf("mean = %v, want ~100µs", mean)
+	}
+}
+
+func TestLatencyModelFloor(t *testing.T) {
+	m := LatencyModel{Base: 8 * time.Microsecond, Jitter: 100 * time.Microsecond}
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		if got := m.Sample(r); got < 2*time.Microsecond {
+			t.Fatalf("sample %v below floor Base/4", got)
+		}
+	}
+}
+
+func TestLatencyModelTail(t *testing.T) {
+	m := LatencyModel{Base: 2 * time.Microsecond, TailProb: 0.05, TailExtra: 100 * time.Microsecond}
+	r := NewRand(6)
+	tail := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) > 10*time.Microsecond {
+			tail++
+		}
+	}
+	frac := float64(tail) / n
+	if frac < 0.03 || frac > 0.07 {
+		t.Fatalf("tail fraction = %v, want ~0.05", frac)
+	}
+}
+
+func TestDeviceQueueing(t *testing.T) {
+	d := NewDevice(Fixed(10*time.Microsecond), 1)
+	// Two requests at t=0: the second queues behind the first.
+	c1 := d.Submit(0)
+	c2 := d.Submit(0)
+	if c1 != 10*time.Microsecond {
+		t.Fatalf("first completion = %v, want 10µs", c1)
+	}
+	if c2 != 20*time.Microsecond {
+		t.Fatalf("queued completion = %v, want 20µs", c2)
+	}
+}
+
+func TestDeviceIdleRestart(t *testing.T) {
+	d := NewDevice(Fixed(10*time.Microsecond), 1)
+	d.Submit(0)
+	// A request arriving after the device is idle starts immediately.
+	c := d.Submit(100 * time.Microsecond)
+	if c != 110*time.Microsecond {
+		t.Fatalf("completion = %v, want 110µs", c)
+	}
+}
+
+func TestDeviceSubmitNAmortised(t *testing.T) {
+	d := NewDevice(Fixed(20*time.Microsecond), 1)
+	batch := d.Submit(0)
+	d.Reset()
+	batched := d.SubmitN(0, 8)
+	var serial time.Duration
+	d.Reset()
+	for i := 0; i < 8; i++ {
+		serial = d.Submit(0)
+	}
+	if batched <= batch {
+		t.Fatalf("batch of 8 (%v) should cost more than one op (%v)", batched, batch)
+	}
+	if batched >= serial {
+		t.Fatalf("batch of 8 (%v) should cost less than 8 serial ops (%v)", batched, serial)
+	}
+}
+
+func TestDeviceSubmitNZero(t *testing.T) {
+	d := NewDevice(Fixed(time.Microsecond), 1)
+	if got := d.SubmitN(5, 0); got != 5 {
+		t.Fatalf("SubmitN(5, 0) = %v, want 5", got)
+	}
+}
+
+func TestDeviceCompletionNeverBeforeSubmission(t *testing.T) {
+	f := func(seed uint64, offsets []uint16) bool {
+		d := NewDevice(LatencyModel{
+			Base:      3 * time.Microsecond,
+			Jitter:    time.Microsecond,
+			TailProb:  0.01,
+			TailExtra: 50 * time.Microsecond,
+		}, seed)
+		now := time.Duration(0)
+		for _, off := range offsets {
+			now += time.Duration(off)
+			if done := d.Submit(now); done < now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

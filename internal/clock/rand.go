@@ -1,0 +1,55 @@
+package clock
+
+// Rand is a small, fast, deterministic PRNG (SplitMix64 seeded xorshift).
+// Components own their generator so that adding randomness to one device does
+// not perturb another device's sequence.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded from seed. Two generators with the same
+// seed produce identical sequences.
+func NewRand(seed uint64) *Rand {
+	// SplitMix64 step to avoid weak states for small seeds (including 0).
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	return &Rand{state: z}
+}
+
+// Uint64 returns the next pseudo-random value (xorshift64*).
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("clock: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns an approximately standard-normal variate using the sum
+// of uniforms (Irwin–Hall with 12 terms), which is plenty for latency jitter.
+func (r *Rand) NormFloat64() float64 {
+	sum := 0.0
+	for i := 0; i < 12; i++ {
+		sum += r.Float64()
+	}
+	return sum - 6
+}

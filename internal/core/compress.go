@@ -1,0 +1,289 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/kvstore"
+)
+
+// This file implements the page-compression customisation the paper lists
+// among the provider-side benefits of user-space paging (§III: "Some
+// examples are page compression or replication across remote servers").
+//
+// The design is zswap-like: evicted pages that compress well are parked in a
+// bounded hypervisor-local pool of compressed frames; a refault that hits
+// the pool is resolved with a decompression (a microsecond of CPU) instead
+// of a network round trip. Pages that compress poorly, and pool overflow,
+// take the normal path to the remote store. Memory pages — page tables,
+// zeroed heap, sparse data — are typically zero-heavy, so a simple zero-run
+// codec captures most of the win at negligible CPU cost.
+
+// CompressParams configures the compressed tier.
+type CompressParams struct {
+	// PoolBytes bounds the compressed pool's payload.
+	PoolBytes uint64
+	// MaxRatio is the largest compressed/raw ratio worth keeping; pages
+	// compressing worse go straight to the store. zswap uses ~0.9.
+	MaxRatio float64
+	// CompressCPU and DecompressCPU are the per-page codec costs.
+	CompressCPU   clock.LatencyModel
+	DecompressCPU clock.LatencyModel
+}
+
+// DefaultCompressParams returns a tier sized at poolBytes with lzo-class
+// codec costs.
+func DefaultCompressParams(poolBytes uint64) CompressParams {
+	return CompressParams{
+		PoolBytes:     poolBytes,
+		MaxRatio:      0.75,
+		CompressCPU:   clock.LatencyModel{Base: 2800 * time.Nanosecond, Jitter: 300 * time.Nanosecond},
+		DecompressCPU: clock.LatencyModel{Base: 1200 * time.Nanosecond, Jitter: 150 * time.Nanosecond},
+	}
+}
+
+// CompressStats counts tier activity.
+type CompressStats struct {
+	// Stored counts pages parked in the pool.
+	Stored uint64
+	// Rejected counts pages that compressed too poorly for the pool.
+	Rejected uint64
+	// Hits counts refaults resolved from the pool (round trips saved).
+	Hits uint64
+	// Overflowed counts pages displaced from the pool to the store.
+	Overflowed uint64
+	// PoolBytes is the current compressed payload.
+	PoolBytes uint64
+	// RawBytes is the uncompressed size of pooled pages.
+	RawBytes uint64
+}
+
+// compressedTier is the pool.
+type compressedTier struct {
+	params CompressParams
+	rng    *clock.Rand
+
+	entries map[kvstore.Key][]byte
+	order   []kvstore.Key // FIFO for overflow, consistent with the monitor's LRU
+	bytes   uint64
+
+	stats CompressStats
+}
+
+func newCompressedTier(p CompressParams, seed uint64) *compressedTier {
+	return &compressedTier{
+		params:  p,
+		rng:     clock.NewRand(seed),
+		entries: make(map[kvstore.Key][]byte),
+	}
+}
+
+// offer tries to park an evicted page. It returns accepted=false (and the
+// untouched page) when the page compresses poorly. Pool overflow is returned
+// as displaced raw pages for the caller to push to the store.
+func (c *compressedTier) offer(now time.Duration, key kvstore.Key, page []byte) (done time.Duration, accepted bool, displaced []displacedPage, err error) {
+	done = now + c.params.CompressCPU.Sample(c.rng)
+	compressed := compressPage(page)
+	if float64(len(compressed)) > c.params.MaxRatio*float64(len(page)) {
+		c.stats.Rejected++
+		return done, false, nil, nil
+	}
+	if old, exists := c.entries[key]; exists {
+		c.bytes -= uint64(len(old))
+		c.stats.RawBytes -= PageSize
+		c.removeFromOrder(key)
+	}
+	c.entries[key] = compressed
+	c.order = append(c.order, key)
+	c.bytes += uint64(len(compressed))
+	c.stats.Stored++
+	c.stats.RawBytes += PageSize
+
+	// Overflow: displace oldest entries until within budget.
+	for c.bytes > c.params.PoolBytes && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		blob, ok := c.entries[victim]
+		if !ok {
+			continue
+		}
+		delete(c.entries, victim)
+		c.bytes -= uint64(len(blob))
+		c.stats.RawBytes -= PageSize
+		c.stats.Overflowed++
+		raw, derr := decompressPage(blob)
+		if derr != nil {
+			return done, false, nil, fmt.Errorf("core: corrupt pool entry %v: %w", victim, derr)
+		}
+		done += c.params.DecompressCPU.Sample(c.rng)
+		displaced = append(displaced, displacedPage{key: victim, data: raw})
+	}
+	c.stats.PoolBytes = c.bytes
+	return done, true, displaced, nil
+}
+
+// take resolves a refault from the pool, removing the entry.
+func (c *compressedTier) take(now time.Duration, key kvstore.Key) ([]byte, time.Duration, bool, error) {
+	blob, ok := c.entries[key]
+	if !ok {
+		return nil, now, false, nil
+	}
+	delete(c.entries, key)
+	c.removeFromOrder(key)
+	c.bytes -= uint64(len(blob))
+	c.stats.RawBytes -= PageSize
+	c.stats.PoolBytes = c.bytes
+	c.stats.Hits++
+	raw, err := decompressPage(blob)
+	if err != nil {
+		return nil, now, false, fmt.Errorf("core: corrupt pool entry %v: %w", key, err)
+	}
+	return raw, now + c.params.DecompressCPU.Sample(c.rng), true, nil
+}
+
+// drop discards a pooled page (balloon discard, VM teardown).
+func (c *compressedTier) drop(key kvstore.Key) {
+	if blob, ok := c.entries[key]; ok {
+		delete(c.entries, key)
+		c.removeFromOrder(key)
+		c.bytes -= uint64(len(blob))
+		c.stats.RawBytes -= PageSize
+		c.stats.PoolBytes = c.bytes
+	}
+}
+
+// drainTo empties the pool into the writeback engine (migration export).
+func (c *compressedTier) drainTo(now time.Duration, wb *writeback) (time.Duration, error) {
+	for len(c.order) > 0 {
+		key := c.order[0]
+		c.order = c.order[1:]
+		blob, ok := c.entries[key]
+		if !ok {
+			continue
+		}
+		delete(c.entries, key)
+		c.bytes -= uint64(len(blob))
+		c.stats.RawBytes -= PageSize
+		raw, err := decompressPage(blob)
+		if err != nil {
+			return now, fmt.Errorf("core: corrupt pool entry %v: %w", key, err)
+		}
+		now += c.params.DecompressCPU.Sample(c.rng)
+		if now, err = wb.Enqueue(now, key, key.Page(), raw); err != nil {
+			return now, err
+		}
+	}
+	c.stats.PoolBytes = c.bytes
+	return now, nil
+}
+
+func (c *compressedTier) removeFromOrder(key kvstore.Key) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// displacedPage is a pool-overflow victim headed for the store.
+type displacedPage struct {
+	key  kvstore.Key
+	data []byte
+}
+
+// Zero-run codec. Format: a sequence of tokens —
+//
+//	0xFF <uvarint n>              → n zero bytes
+//	0xFE <uvarint n> <n bytes>    → n literal bytes
+//
+// Runs of zeros shorter than 8 bytes stay literal (token overhead).
+const (
+	tokZeros   = 0xFF
+	tokLiteral = 0xFE
+	minZeroRun = 8
+)
+
+// errCorruptBlob reports an undecodable compressed page.
+var errCorruptBlob = errors.New("core: corrupt compressed page")
+
+// compressPage encodes page with the zero-run codec. The result may be
+// longer than the input for incompressible data; callers compare sizes.
+func compressPage(page []byte) []byte {
+	out := make([]byte, 0, len(page)/4)
+	var scratch [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(page) {
+		// Measure the zero run starting here.
+		j := i
+		for j < len(page) && page[j] == 0 {
+			j++
+		}
+		if j-i >= minZeroRun {
+			out = append(out, tokZeros)
+			n := binary.PutUvarint(scratch[:], uint64(j-i))
+			out = append(out, scratch[:n]...)
+			i = j
+			continue
+		}
+		// Literal run: up to the next long zero run.
+		start := i
+		zeros := 0
+		for i < len(page) {
+			if page[i] == 0 {
+				zeros++
+				if zeros >= minZeroRun {
+					i -= zeros - 1
+					zeros = 0
+					break
+				}
+			} else {
+				zeros = 0
+			}
+			i++
+		}
+		lit := page[start:i]
+		out = append(out, tokLiteral)
+		n := binary.PutUvarint(scratch[:], uint64(len(lit)))
+		out = append(out, scratch[:n]...)
+		out = append(out, lit...)
+	}
+	return out
+}
+
+// decompressPage decodes a blob produced by compressPage into a full page.
+func decompressPage(blob []byte) ([]byte, error) {
+	out := make([]byte, 0, PageSize)
+	i := 0
+	for i < len(blob) {
+		tok := blob[i]
+		i++
+		n, used := binary.Uvarint(blob[i:])
+		if used <= 0 {
+			return nil, errCorruptBlob
+		}
+		i += used
+		switch tok {
+		case tokZeros:
+			if uint64(len(out))+n > PageSize {
+				return nil, errCorruptBlob
+			}
+			out = append(out, make([]byte, n)...)
+		case tokLiteral:
+			if uint64(i)+n > uint64(len(blob)) || uint64(len(out))+n > PageSize {
+				return nil, errCorruptBlob
+			}
+			out = append(out, blob[i:i+int(n)]...)
+			i += int(n)
+		default:
+			return nil, errCorruptBlob
+		}
+	}
+	if len(out) != PageSize {
+		return nil, fmt.Errorf("%w: decoded %d bytes", errCorruptBlob, len(out))
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+// Package core implements the FluidMem monitor — the user-space page-fault
+// handler that is the paper's primary contribution (§III–V). The monitor
+// watches userfaultfd events for every registered VM, resolves first-touch
+// faults with the zero page, fetches previously seen pages from a key-value
+// store, and bounds local DRAM usage with a resizable LRU list whose
+// evictions are pushed to remote memory asynchronously.
+package core
+
+import (
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/uffd"
+)
+
+// Config parametrises a Monitor.
+type Config struct {
+	// Store is the remote-memory backend (RAMCloud, Memcached, DRAM).
+	Store kvstore.Store
+	// LRUCapacity bounds resident pages across all registered VMs. The list
+	// is resizable at runtime (§III): shrinking it evicts immediately.
+	LRUCapacity int
+
+	// AsyncWrite enables asynchronous writeback (§V-B): evicted pages go to
+	// a write list flushed in batches, instead of a synchronous store write
+	// on the fault critical path.
+	AsyncWrite bool
+	// AsyncRead enables split reads (§V-B): the store read is issued first
+	// and the eviction's UFFD_REMAP runs while the network waits.
+	AsyncRead bool
+	// WriteBatchSize is the write-list flush threshold (RAMCloud multi-write
+	// batch).
+	WriteBatchSize int
+	// StealEnabled lets the fault handler resolve a fault directly from the
+	// pending write list, shortcutting two network round trips (§V-B).
+	StealEnabled bool
+	// EvictWithCopy replaces UFFD_REMAP eviction with a copy-out (ablation
+	// A3: zero-copy remap vs copy + zap).
+	EvictWithCopy bool
+	// PageTracker enables the seen-pages hash that resolves first-touch
+	// faults with UFFDIO_ZEROPAGE instead of a futile store read (§V-A).
+	PageTracker bool
+	// PrefetchPages, when positive, makes the monitor pipeline reads for
+	// the next N pages of the region after each store-read fault —
+	// sequential prefetching (extension; ablation A6). Zero disables it,
+	// matching the paper's readahead-off configuration.
+	PrefetchPages int
+	// Compress optionally enables the zswap-style compressed tier (§III's
+	// page-compression customisation): evicted pages that compress well are
+	// parked in a local pool and refault at decompression speed instead of
+	// a network round trip. Nil disables the tier.
+	Compress *CompressParams
+
+	// UFFD holds the simulated userfaultfd op costs.
+	UFFD uffd.Params
+	// MonitorOps holds the monitor's own bookkeeping costs.
+	MonitorOps MonitorOpParams
+	// Seed feeds the monitor's RNG.
+	Seed uint64
+}
+
+// MonitorOpParams are the service times of the monitor's data-structure
+// operations, calibrated to Table I.
+type MonitorOpParams struct {
+	// EventDispatch is the cost of the monitor waking from poll and reading
+	// one event from the descriptor.
+	EventDispatch clock.LatencyModel
+	// HashLookup is the seen-pages hash probe (INSERT_PAGE_HASH_NODE:
+	// 2.58 µs).
+	HashLookup clock.LatencyModel
+	// LRUInsert is INSERT_LRU_CACHE_NODE (2.87 µs).
+	LRUInsert clock.LatencyModel
+	// CacheUpdate is UPDATE_PAGE_CACHE (2.56 µs).
+	CacheUpdate clock.LatencyModel
+	// RPCOverhead is client-side CPU per synchronous remote operation
+	// (request marshalling, transport doorbell) beyond the measured
+	// READ_PAGE/WRITE_PAGE service time.
+	RPCOverhead clock.LatencyModel
+	// AsyncIssue is the cheaper top-half cost of posting an asynchronous
+	// read: the request is prepared and handed to the transport without
+	// waiting for completion processing (§V-B split reads).
+	AsyncIssue clock.LatencyModel
+	// EvictFinish is the tail of an interleaved eviction that must complete
+	// before a new page can be installed at the freed frame: the REMAP's
+	// TLB-shootdown acknowledgement plus the write-list append. It runs
+	// inside the network-wait window (§V-B).
+	EvictFinish clock.LatencyModel
+	// Resume is the cost of the faulting vCPU being rescheduled after wake.
+	Resume clock.LatencyModel
+}
+
+// DefaultMonitorOps returns Table-I-calibrated costs.
+func DefaultMonitorOps() MonitorOpParams {
+	return MonitorOpParams{
+		EventDispatch: clock.LatencyModel{Base: 4200 * time.Nanosecond, Jitter: 500 * time.Nanosecond},
+		HashLookup:    clock.LatencyModel{Base: 2580 * time.Nanosecond, Jitter: 1200 * time.Nanosecond, TailProb: 0.01, TailExtra: 5 * time.Microsecond},
+		LRUInsert:     clock.LatencyModel{Base: 2870 * time.Nanosecond, Jitter: 470 * time.Nanosecond},
+		CacheUpdate:   clock.LatencyModel{Base: 2560 * time.Nanosecond, Jitter: 250 * time.Nanosecond},
+		RPCOverhead:   clock.LatencyModel{Base: 5 * time.Microsecond, Jitter: 800 * time.Nanosecond},
+		AsyncIssue:    clock.LatencyModel{Base: 1500 * time.Nanosecond, Jitter: 250 * time.Nanosecond},
+		EvictFinish:   clock.LatencyModel{Base: 2 * time.Microsecond, Jitter: 400 * time.Nanosecond},
+		Resume:        clock.LatencyModel{Base: 3 * time.Microsecond, Jitter: 400 * time.Nanosecond},
+	}
+}
+
+// DefaultConfig returns a fully optimised monitor over the given store, as
+// deployed in the paper's headline experiments.
+func DefaultConfig(store kvstore.Store, lruCapacity int) Config {
+	return Config{
+		Store:          store,
+		LRUCapacity:    lruCapacity,
+		AsyncWrite:     true,
+		AsyncRead:      true,
+		WriteBatchSize: 32,
+		StealEnabled:   true,
+		PageTracker:    true,
+		UFFD:           uffd.DefaultParams(),
+		MonitorOps:     DefaultMonitorOps(),
+		Seed:           1,
+	}
+}
+
+// BaselineConfig returns the unoptimised ("Default" row of Table II) monitor.
+func BaselineConfig(store kvstore.Store, lruCapacity int) Config {
+	cfg := DefaultConfig(store, lruCapacity)
+	cfg.AsyncWrite = false
+	cfg.AsyncRead = false
+	cfg.StealEnabled = false
+	return cfg
+}

@@ -1,0 +1,57 @@
+package core
+
+import "container/list"
+
+// lruList is the monitor's resident-page list (§V-A). Its semantics follow
+// the paper exactly: a page enters the list when the monitor sees it (first
+// access, or re-fault after an eviction) and the internal ordering never
+// changes afterwards — the list is *not* reordered on guest accesses,
+// because resident accesses never reach the monitor. Evictions come from the
+// top (oldest entry). The paper calls out this insertion-order behaviour as
+// a limitation versus the kernel's active/inactive lists (§VI-D1).
+type lruList struct {
+	order *list.List
+	index map[uint64]*list.Element
+}
+
+func newLRUList() *lruList {
+	return &lruList{order: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+// Len reports tracked pages.
+func (l *lruList) Len() int { return len(l.index) }
+
+// Insert appends addr at the bottom (newest) position. Inserting an address
+// already present is a bug in the monitor and panics loudly.
+func (l *lruList) Insert(addr uint64) {
+	if _, ok := l.index[addr]; ok {
+		panic("core: page already in LRU list")
+	}
+	l.index[addr] = l.order.PushBack(addr)
+}
+
+// Contains reports membership.
+func (l *lruList) Contains(addr uint64) bool {
+	_, ok := l.index[addr]
+	return ok
+}
+
+// Oldest returns the eviction candidate at the top of the list.
+func (l *lruList) Oldest() (uint64, bool) {
+	front := l.order.Front()
+	if front == nil {
+		return 0, false
+	}
+	return front.Value.(uint64), true
+}
+
+// Remove deletes addr, reporting whether it was present.
+func (l *lruList) Remove(addr uint64) bool {
+	elem, ok := l.index[addr]
+	if !ok {
+		return false
+	}
+	l.order.Remove(elem)
+	delete(l.index, addr)
+	return true
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUInsertOldest(t *testing.T) {
+	l := newLRUList()
+	if _, ok := l.Oldest(); ok {
+		t.Fatal("empty list has an oldest entry")
+	}
+	l.Insert(10)
+	l.Insert(20)
+	l.Insert(30)
+	if got, _ := l.Oldest(); got != 10 {
+		t.Fatalf("Oldest = %d", got)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	l := newLRUList()
+	l.Insert(1)
+	l.Insert(2)
+	if !l.Remove(1) {
+		t.Fatal("Remove(1) = false")
+	}
+	if l.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+	if got, _ := l.Oldest(); got != 2 {
+		t.Fatalf("Oldest = %d", got)
+	}
+}
+
+func TestLRUDoubleInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	l := newLRUList()
+	l.Insert(1)
+	l.Insert(1)
+}
+
+func TestLRUContains(t *testing.T) {
+	l := newLRUList()
+	l.Insert(7)
+	if !l.Contains(7) || l.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestLRUFIFOOrderProperty(t *testing.T) {
+	// Eviction order must equal insertion order regardless of interleaved
+	// membership checks — the paper's "ordering does not change" semantics.
+	f := func(raw []uint16) bool {
+		l := newLRUList()
+		var inserted []uint64
+		seen := make(map[uint64]bool)
+		for _, r := range raw {
+			a := uint64(r)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			l.Insert(a)
+			inserted = append(inserted, a)
+		}
+		for _, want := range inserted {
+			got, ok := l.Oldest()
+			if !ok || got != want {
+				return false
+			}
+			l.Remove(got)
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,615 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/uffd"
+	"fluidmem/internal/vm"
+)
+
+// PageSize is the fault-handling granularity.
+const PageSize = uffd.PageSize
+
+// Errors.
+var (
+	// ErrUnknownPID reports fault traffic for an unregistered VM.
+	ErrUnknownPID = errors.New("core: PID has no registered partition")
+	// ErrBadConfig reports an invalid monitor configuration.
+	ErrBadConfig = errors.New("core: invalid configuration")
+)
+
+// Stats counts monitor activity.
+type Stats struct {
+	// Faults is total userfaultfd events handled.
+	Faults uint64
+	// FirstTouch counts faults resolved with the zero page.
+	FirstTouch uint64
+	// RemoteReads counts faults resolved by a store read.
+	RemoteReads uint64
+	// Steals counts faults resolved from the pending write list.
+	Steals uint64
+	// InFlightWaits counts faults that had to wait for an in-flight write.
+	InFlightWaits uint64
+	// Evictions counts pages pushed out of the LRU list.
+	Evictions uint64
+	// SyncWrites counts evictions written synchronously (AsyncWrite off).
+	SyncWrites uint64
+	// Flushes counts write-list batch flushes.
+	Flushes uint64
+	// Prefetches counts pages pulled in ahead of demand (PrefetchPages > 0).
+	Prefetches uint64
+}
+
+// Monitor is the FluidMem user-space page-fault handler. One monitor serves
+// all VMs on a hypervisor: its LRU capacity bounds their combined local
+// footprint (§V-A). It implements vm.Backing so a VM plugs into it directly.
+type Monitor struct {
+	cfg  Config
+	fd   *uffd.FD
+	rng  *clock.Rand
+	prof *Profiler
+
+	lru  *lruList
+	seen map[uint64]bool
+	wb   *writeback
+	tier *compressedTier // nil unless cfg.Compress is set
+
+	registry     kvstore.Registry
+	hypervisorID string
+	partitions   map[int]kvstore.PartitionID
+
+	// monitorFree is when the monitor thread finishes its current work;
+	// fault handling is serialised behind it (one event loop).
+	monitorFree time.Duration
+
+	// storeLocal caches whether the backend is on-hypervisor (no RPC stack).
+	storeLocal bool
+
+	epoch uint64
+	stats Stats
+	// faultLatencies optionally samples end-to-end fault costs.
+	faultLatencies func(time.Duration)
+}
+
+var (
+	_ vm.Backing          = (*Monitor)(nil)
+	_ vm.FootprintLimiter = (*Monitor)(nil)
+)
+
+// NewMonitor builds a monitor. registry may be nil, in which case a local
+// (single-hypervisor) partition registry is used.
+func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Monitor, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("%w: nil store", ErrBadConfig)
+	}
+	if cfg.LRUCapacity < 1 {
+		return nil, fmt.Errorf("%w: LRU capacity %d < 1", ErrBadConfig, cfg.LRUCapacity)
+	}
+	if registry == nil {
+		registry = kvstore.NewLocalRegistry()
+	}
+	if hypervisorID == "" {
+		hypervisorID = "hypervisor-0"
+	}
+	local := false
+	if l, ok := cfg.Store.(kvstore.Local); ok {
+		local = l.Local()
+	}
+	var tier *compressedTier
+	if cfg.Compress != nil {
+		if cfg.Compress.PoolBytes < PageSize {
+			return nil, fmt.Errorf("%w: compressed pool smaller than a page", ErrBadConfig)
+		}
+		tier = newCompressedTier(*cfg.Compress, cfg.Seed+0x7a7a)
+	}
+	return &Monitor{
+		storeLocal:   local,
+		tier:         tier,
+		cfg:          cfg,
+		fd:           uffd.New(cfg.UFFD, cfg.Seed),
+		rng:          clock.NewRand(cfg.Seed + 0x5151),
+		prof:         NewProfiler(true),
+		lru:          newLRUList(),
+		seen:         make(map[uint64]bool),
+		wb:           newWriteback(cfg.Store, cfg.WriteBatchSize),
+		registry:     registry,
+		hypervisorID: hypervisorID,
+		partitions:   make(map[int]kvstore.PartitionID),
+	}, nil
+}
+
+// RegisterRange registers [start, start+length) for fault handling on behalf
+// of the VM process pid, allocating the VM's virtual partition on first use.
+// QEMU calls this when wrapping the guest memory allocation, and again for
+// each hotplugged memory slot (§IV).
+func (m *Monitor) RegisterRange(start, length uint64, pid int) (*uffd.Region, error) {
+	if _, ok := m.partitions[pid]; !ok {
+		part, err := m.registry.Allocate(m.hypervisorID, pid)
+		if err != nil {
+			return nil, fmt.Errorf("core: allocate partition for pid %d: %w", pid, err)
+		}
+		m.partitions[pid] = part
+	}
+	region, err := m.fd.Register(start, length, pid)
+	if err != nil {
+		return nil, fmt.Errorf("core: register region: %w", err)
+	}
+	return region, nil
+}
+
+// UnregisterVM tears down all regions of pid: resident pages are dropped,
+// store contents deleted, and the partition released (VM shutdown, §V-A).
+func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error) {
+	part, ok := m.partitions[pid]
+	if !ok {
+		return now, fmt.Errorf("%w: %d", ErrUnknownPID, pid)
+	}
+	for _, region := range m.fd.Regions() {
+		if region.PID != pid {
+			continue
+		}
+		for addr := region.Start; addr < region.End(); addr += PageSize {
+			if m.lru.Remove(addr) {
+				m.fd.Drop(addr)
+				m.epoch++
+			}
+			if m.seen[addr] {
+				delete(m.seen, addr)
+				key := kvstore.MakeKey(addr, part)
+				if m.tier != nil {
+					m.tier.drop(key)
+				}
+				var err error
+				if now, err = m.cfg.Store.Delete(now, key); err != nil {
+					return now, fmt.Errorf("core: delete page %#x: %w", addr, err)
+				}
+			}
+		}
+		m.fd.Unregister(region)
+	}
+	delete(m.partitions, pid)
+	if err := m.registry.Release(part); err != nil {
+		return now, fmt.Errorf("core: release partition: %w", err)
+	}
+	return now, nil
+}
+
+// Touch implements vm.Backing: a guest access to addr. Resident pages return
+// immediately; missing pages take the full monitor fault path.
+func (m *Monitor) Touch(now time.Duration, addr uint64, write bool) ([]byte, time.Duration, error) {
+	data, done, hit, err := m.fd.Access(now, addr, write)
+	if err != nil {
+		return nil, done, err
+	}
+	if hit {
+		return data, done, nil
+	}
+	ev, ok := m.fd.NextEvent()
+	if !ok {
+		return nil, done, errors.New("core: fault raised but no event queued")
+	}
+	resolved, err := m.handleFault(done, ev)
+	if err != nil {
+		return nil, resolved, err
+	}
+	if m.faultLatencies != nil {
+		m.faultLatencies(resolved - now)
+	}
+	// The vCPU retries the instruction; the page is now resident. A write
+	// to a freshly zero-mapped page breaks COW here, exactly as in §V-A.
+	data, done, hit, err = m.fd.Access(resolved, addr, write)
+	if err != nil {
+		return nil, done, err
+	}
+	if !hit {
+		return nil, done, fmt.Errorf("core: page %#x still missing after fault resolution", addr)
+	}
+	return data, done, nil
+}
+
+// handleFault resolves one userfaultfd event, returning the virtual time at
+// which the faulting vCPU resumes.
+func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Duration, error) {
+	m.stats.Faults++
+	part, ok := m.partitions[ev.PID]
+	if !ok {
+		return eventAt, fmt.Errorf("%w: %d", ErrUnknownPID, ev.PID)
+	}
+	// The monitor is a single event loop: handling starts when it is free.
+	t := eventAt
+	if m.monitorFree > t {
+		t = m.monitorFree
+	}
+	t += m.cfg.MonitorOps.EventDispatch.Sample(m.rng)
+
+	// Seen-pages hash probe (the "pagetracker", §V-A).
+	hashCost := m.cfg.MonitorOps.HashLookup.Sample(m.rng)
+	m.prof.Record(OpInsertPageHash, hashCost)
+	t += hashCost
+
+	key := kvstore.MakeKey(ev.Addr, part)
+	if !m.seen[ev.Addr] && m.cfg.PageTracker {
+		return m.resolveFirstTouch(t, ev)
+	}
+	resumeAt, err := m.resolveFromStore(t, ev, key)
+	if err == nil && m.cfg.PrefetchPages > 0 {
+		// Read ahead while the guest is already running (off the critical
+		// path; occupies the monitor thread only).
+		m.monitorFree = m.prefetch(m.monitorFree, ev.Addr, part)
+	}
+	return resumeAt, err
+}
+
+// resolveFirstTouch maps the zero page and wakes the guest; eviction, if
+// needed, happens after the wake-up, off the critical path (Figure 2).
+func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Duration, error) {
+	m.stats.FirstTouch++
+	done, err := m.fd.ZeroPage(t, ev.Addr)
+	if err != nil {
+		return t, fmt.Errorf("core: zeropage %#x: %w", ev.Addr, err)
+	}
+	m.prof.Record(OpUffdZeroPage, done-t)
+	t = done
+	m.epoch++
+	m.seen[ev.Addr] = true
+
+	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+	m.prof.Record(OpInsertLRUCache, lruCost)
+	t += lruCost
+	m.lru.Insert(ev.Addr)
+
+	t = m.fd.Wake(t, ev.Addr)
+	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
+
+	// Asynchronous eviction (blue path in Figure 2): the monitor keeps
+	// working after the guest resumes.
+	mFree := t
+	var err2 error
+	for m.lru.Len() > m.cfg.LRUCapacity {
+		if mFree, err2 = m.evictOne(mFree, false); err2 != nil {
+			return resumeAt, err2
+		}
+	}
+	m.monitorFree = mFree
+	return resumeAt, nil
+}
+
+// resolveFromStore fetches a previously seen page: from the write list
+// (steal), after an in-flight write, or from the key-value store, evicting
+// to make room.
+func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, error) {
+	// Compressed-tier hit: decompress locally, no network round trip.
+	if m.tier != nil {
+		data, done, hit, err := m.tier.take(t, key)
+		if err != nil {
+			return t, err
+		}
+		if hit {
+			return m.installAndWake(done, ev, data, true)
+		}
+	}
+	// Steal shortcut: the page is sitting on the pending write list.
+	if m.cfg.StealEnabled && m.cfg.AsyncWrite {
+		if data, ok := m.wb.Steal(t, key); ok {
+			m.stats.Steals++
+			return m.installAndWake(t, ev, data, true)
+		}
+	} else if m.cfg.AsyncWrite && m.wb.Queued(key) {
+		// Without stealing, a queued write must be flushed and completed
+		// before the read can see the page — the two round trips the steal
+		// optimisation shortcuts (§V-B).
+		if err := m.wb.Flush(t); err != nil {
+			return t, fmt.Errorf("core: forced flush for %v: %w", key, err)
+		}
+	}
+	// A write of this page is in flight: wait for it to land, then read.
+	if doneAt, ok := m.wb.WaitFor(t, key); ok {
+		m.stats.InFlightWaits++
+		t = doneAt
+	}
+
+	m.stats.RemoteReads++
+	var (
+		data []byte
+		err  error
+	)
+	if m.cfg.AsyncRead {
+		// Top half: issue the read immediately; the eviction's REMAP and
+		// all monitor bookkeeping (LRU insert, cache update) run while the
+		// network waits (§V-B asynchronous reads). Only the copy and wake
+		// remain after the reply lands.
+		issue := t
+		if !m.storeLocal {
+			issue += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
+		}
+		pending := m.cfg.Store.StartGet(issue, key)
+		overlap := issue
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if overlap, err = m.evictOne(overlap, true); err != nil {
+				return t, err
+			}
+			overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
+		}
+		updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
+		m.prof.Record(OpUpdatePageCache, updCost)
+		overlap += updCost
+		lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+		m.prof.Record(OpInsertLRUCache, lruCost)
+		overlap += lruCost
+		m.lru.Insert(ev.Addr)
+
+		// Bottom half.
+		var readDone time.Duration
+		data, readDone, err = pending.Wait(overlap)
+		m.prof.Record(OpReadPage, pending.ReadyAt-issue)
+		if err != nil {
+			return readDone, fmt.Errorf("core: read %v: %w", key, err)
+		}
+		done, err := m.fd.Copy(readDone, ev.Addr, data)
+		if err != nil {
+			return readDone, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+		}
+		m.prof.Record(OpUffdCopy, done-readDone)
+		m.epoch++
+		t = m.fd.Wake(done, ev.Addr)
+		m.monitorFree = t
+		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), nil
+	}
+	{
+		if !m.storeLocal {
+			t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
+		}
+		var readDone time.Duration
+		data, readDone, err = m.cfg.Store.Get(t, key)
+		m.prof.Record(OpReadPage, readDone-t)
+		if err != nil {
+			return readDone, fmt.Errorf("core: read %v: %w", key, err)
+		}
+		t = readDone
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if t, err = m.evictOne(t, false); err != nil {
+				return t, err
+			}
+		}
+	}
+	return m.installAndWake(t, ev, data, false)
+}
+
+// installAndWake copies data into the faulting page, re-inserts it in the
+// LRU list, and wakes the guest. The store-read paths have already made
+// room; the steal shortcut has not, so it evicts here (needEvict).
+func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, needEvict bool) (time.Duration, error) {
+	if needEvict {
+		var err error
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if t, err = m.evictOne(t, false); err != nil {
+				return t, err
+			}
+		}
+	}
+	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
+	m.prof.Record(OpUpdatePageCache, updCost)
+	t += updCost
+
+	done, err := m.fd.Copy(t, ev.Addr, data)
+	if err != nil {
+		return t, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+	}
+	m.prof.Record(OpUffdCopy, done-t)
+	t = done
+	m.epoch++
+
+	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+	m.prof.Record(OpInsertLRUCache, lruCost)
+	t += lruCost
+	m.lru.Insert(ev.Addr)
+
+	t = m.fd.Wake(t, ev.Addr)
+	m.monitorFree = t
+	return t + m.cfg.MonitorOps.Resume.Sample(m.rng), nil
+}
+
+// evictOne pushes the oldest LRU page out of the VM and toward the store.
+func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, error) {
+	victim, ok := m.lru.Oldest()
+	if !ok {
+		return t, errors.New("core: eviction needed but LRU list empty")
+	}
+	m.lru.Remove(victim)
+	m.stats.Evictions++
+
+	var (
+		data []byte
+		err  error
+	)
+	if m.cfg.EvictWithCopy {
+		// Ablation A3: copy the page out, then zap the mapping. Costs a
+		// page copy but no TLB shootdown IPI.
+		start := t
+		var mapped []byte
+		mapped, t, _, err = m.fd.Access(t, victim, false)
+		if err != nil {
+			return t, fmt.Errorf("core: evict-copy read %#x: %w", victim, err)
+		}
+		data = append([]byte(nil), mapped...)
+		copyDone, err := copyOutCost(m, t)
+		if err != nil {
+			return t, err
+		}
+		t = copyDone
+		m.fd.Drop(victim)
+		m.prof.Record(OpUffdRemap, t-start)
+	} else {
+		var done time.Duration
+		data, done, err = m.fd.Remap(t, victim, interleaved)
+		if err != nil {
+			return t, fmt.Errorf("core: remap %#x: %w", victim, err)
+		}
+		m.prof.Record(OpUffdRemap, done-t)
+		t = done
+	}
+	m.epoch++
+
+	region := m.regionOf(victim)
+	if region == nil {
+		return t, fmt.Errorf("core: evicted page %#x has no region", victim)
+	}
+	part, ok := m.partitions[region.PID]
+	if !ok {
+		return t, fmt.Errorf("%w: %d", ErrUnknownPID, region.PID)
+	}
+	key := kvstore.MakeKey(victim, part)
+
+	if m.tier != nil {
+		done, accepted, displaced, terr := m.tier.offer(t, key, data)
+		if terr != nil {
+			return t, terr
+		}
+		t = done
+		for _, d := range displaced {
+			if t, err = m.wb.Enqueue(t, d.key, d.key.Page(), d.data); err != nil {
+				return t, err
+			}
+		}
+		if accepted {
+			return t, nil
+		}
+	}
+
+	if m.cfg.AsyncWrite {
+		flushesBefore := m.wb.flushes
+		if t, err = m.wb.Enqueue(t, key, victim, data); err != nil {
+			return t, fmt.Errorf("core: enqueue write %v: %w", key, err)
+		}
+		m.stats.Flushes += m.wb.flushes - flushesBefore
+		return t, nil
+	}
+	m.stats.SyncWrites++
+	if !m.storeLocal {
+		t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
+	}
+	done, err := m.cfg.Store.Put(t, key, data)
+	m.prof.Record(OpWritePage, done-t)
+	if err != nil {
+		return done, fmt.Errorf("core: write %v: %w", key, err)
+	}
+	return done, nil
+}
+
+// copyOutCost charges a user-space page copy (ablation A3's replacement for
+// the zero-copy remap).
+func copyOutCost(m *Monitor, t time.Duration) (time.Duration, error) {
+	return t + m.cfg.UFFD.Copy.Sample(m.rng), nil
+}
+
+// Discard implements vm.Backing: a balloon-freed page loses its contents.
+func (m *Monitor) Discard(addr uint64) {
+	addr = addr &^ uint64(PageSize-1)
+	if m.lru.Remove(addr) {
+		m.fd.Drop(addr)
+		m.epoch++
+	}
+	if m.seen[addr] {
+		delete(m.seen, addr)
+		if region := m.regionOf(addr); region != nil {
+			if part, ok := m.partitions[region.PID]; ok {
+				// Asynchronous tombstone; timing is off any critical path.
+				_, _ = m.cfg.Store.Delete(m.monitorFree, kvstore.MakeKey(addr, part))
+			}
+		}
+	}
+	if region := m.regionOf(addr); region != nil {
+		if part, ok := m.partitions[region.PID]; ok {
+			key := kvstore.MakeKey(addr, part)
+			if m.cfg.AsyncWrite {
+				m.wb.Steal(m.monitorFree, key)
+			}
+			if m.tier != nil {
+				m.tier.drop(key)
+			}
+		}
+	}
+}
+
+// Resize changes the LRU capacity at runtime (§III: "the local memory buffer
+// can be actively sized up or down"). Shrinking evicts immediately; the
+// returned time covers the eviction work. This is the mechanism behind
+// Table III's near-zero footprints.
+func (m *Monitor) Resize(now time.Duration, capacity int) (time.Duration, error) {
+	if capacity < 1 {
+		return now, fmt.Errorf("%w: LRU capacity %d < 1", ErrBadConfig, capacity)
+	}
+	m.cfg.LRUCapacity = capacity
+	t := now
+	var err error
+	for m.lru.Len() > capacity {
+		if t, err = m.evictOne(t, false); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Drain flushes the write list and waits for all in-flight writes —
+// quiescing the monitor (tests, teardown, consistent snapshots).
+func (m *Monitor) Drain(now time.Duration) (time.Duration, error) {
+	return m.wb.Drain(now)
+}
+
+// ResidentPages implements vm.Backing.
+func (m *Monitor) ResidentPages() int { return m.lru.Len() }
+
+// FootprintLimit implements vm.FootprintLimiter.
+func (m *Monitor) FootprintLimit() int { return m.cfg.LRUCapacity }
+
+// Epoch implements vm.Backing.
+func (m *Monitor) Epoch() uint64 { return m.epoch }
+
+// Stats returns a snapshot of monitor counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Profiler exposes the per-code-path latency profiler (§VI-C).
+func (m *Monitor) Profiler() *Profiler { return m.prof }
+
+// Partition reports the virtual partition assigned to pid.
+func (m *Monitor) Partition(pid int) (kvstore.PartitionID, bool) {
+	p, ok := m.partitions[pid]
+	return p, ok
+}
+
+// SetFaultLatencySink registers a callback receiving every end-to-end fault
+// latency (pmbench-style measurement hooks).
+func (m *Monitor) SetFaultLatencySink(sink func(time.Duration)) {
+	m.faultLatencies = sink
+}
+
+// WriteListLen reports pages awaiting flush (test hook).
+func (m *Monitor) WriteListLen() int { return m.wb.QueuedLen() }
+
+func (m *Monitor) regionOf(addr uint64) *uffd.Region {
+	for _, r := range m.fd.Regions() {
+		if addr >= r.Start && addr < r.End() {
+			return r
+		}
+	}
+	return nil
+}
+
+// CompressStats reports the compressed tier's counters; ok is false when the
+// tier is disabled.
+func (m *Monitor) CompressStats() (CompressStats, bool) {
+	if m.tier == nil {
+		return CompressStats{}, false
+	}
+	return m.tier.stats, true
+}
+
+// PageResident reports whether the page containing addr is currently in the
+// monitor's LRU list (operator/experiment introspection).
+func (m *Monitor) PageResident(addr uint64) bool {
+	return m.lru.Contains(addr &^ uint64(PageSize-1))
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"fluidmem/internal/kvstore"
+)
+
+// This file implements sequential prefetching, an optional monitor extension
+// in the spirit of the paper's §V-B optimisations: after resolving a store
+// read for page P, the monitor pipelines reads for the next pages of the
+// same region while the guest is already running — off the fault critical
+// path. Sequential scans then find their next pages resident; random
+// workloads pay extra store traffic for unused pages, which is why the
+// kernel's swap readahead is disabled in the paper's configuration and why
+// this stays opt-in (ablation A6 quantifies both sides).
+
+// prefetch pulls up to cfg.PrefetchPages pages following addr into the VM.
+// It runs on the monitor thread after the faulting vCPU has been woken; t is
+// the monitor-free time and the return value replaces it.
+func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionID) time.Duration {
+	region := m.regionOf(addr)
+	if region == nil {
+		return t
+	}
+	// Top halves: pipeline every eligible read first.
+	type pending struct {
+		addr uint64
+		key  kvstore.Key
+		get  *kvstore.PendingGet
+		data []byte // filled for write-list steals
+	}
+	var reads []pending
+	for i := 1; i <= m.cfg.PrefetchPages; i++ {
+		next := addr + uint64(i)*PageSize
+		if next >= region.End() {
+			break
+		}
+		if !m.seen[next] || m.lru.Contains(next) {
+			continue
+		}
+		key := kvstore.MakeKey(next, part)
+		if m.cfg.AsyncWrite {
+			if data, ok := m.wb.Steal(t, key); ok {
+				reads = append(reads, pending{addr: next, key: key, data: data})
+				continue
+			}
+			if doneAt, ok := m.wb.WaitFor(t, key); ok {
+				// In flight: not worth waiting for during a prefetch.
+				_ = doneAt
+				continue
+			}
+		}
+		if !m.storeLocal {
+			t += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
+		}
+		reads = append(reads, pending{addr: next, key: key, get: m.cfg.Store.StartGet(t, key)})
+	}
+	// Bottom halves: install in order. The demand-faulted page (addr) is
+	// protected: prefetching stops rather than evict the page the guest is
+	// about to retry — readahead must never displace demand.
+	for _, p := range reads {
+		data := p.data
+		if p.get != nil {
+			var err error
+			data, t, err = p.get.Wait(t)
+			if err != nil {
+				// A prefetch miss is harmless: the page will fault normally.
+				continue
+			}
+		}
+		if oldest, ok := m.lru.Oldest(); ok && oldest == addr && m.lru.Len() >= m.cfg.LRUCapacity {
+			break
+		}
+		var err error
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if t, err = m.evictOne(t, false); err != nil {
+				return t
+			}
+		}
+		done, err := m.fd.Copy(t, p.addr, data)
+		if err != nil {
+			continue
+		}
+		t = done
+		m.epoch++
+		m.lru.Insert(p.addr)
+		m.stats.Prefetches++
+	}
+	return t
+}

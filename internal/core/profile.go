@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fluidmem/internal/stats"
+)
+
+// Op names match the paper's Table I code paths.
+const (
+	OpUpdatePageCache = "UPDATE_PAGE_CACHE"
+	OpInsertPageHash  = "INSERT_PAGE_HASH_NODE"
+	OpInsertLRUCache  = "INSERT_LRU_CACHE_NODE"
+	OpUffdZeroPage    = "UFFD_ZEROPAGE"
+	OpUffdRemap       = "UFFD_REMAP"
+	OpUffdCopy        = "UFFD_COPY"
+	OpReadPage        = "READ_PAGE"
+	OpWritePage       = "WRITE_PAGE"
+)
+
+// profileOrder is Table I's row order.
+var profileOrder = []string{
+	OpUpdatePageCache,
+	OpInsertPageHash,
+	OpInsertLRUCache,
+	OpUffdZeroPage,
+	OpUffdRemap,
+	OpUffdCopy,
+	OpReadPage,
+	OpWritePage,
+}
+
+// Profiler records per-code-path latencies, reproducing FluidMem's built-in
+// ability to profile individual components of the fault path (§VI-C).
+type Profiler struct {
+	enabled bool
+	samples map[string]*stats.Sample
+}
+
+// NewProfiler returns a profiler; when disabled, Record is a no-op.
+func NewProfiler(enabled bool) *Profiler {
+	return &Profiler{enabled: enabled, samples: make(map[string]*stats.Sample)}
+}
+
+// Record logs one op taking d.
+func (p *Profiler) Record(op string, d time.Duration) {
+	if !p.enabled {
+		return
+	}
+	s, ok := p.samples[op]
+	if !ok {
+		s = stats.NewSample(1024)
+		p.samples[op] = s
+	}
+	s.Add(d)
+}
+
+// Sample returns the sample for op, or nil if never recorded.
+func (p *Profiler) Sample(op string) *stats.Sample { return p.samples[op] }
+
+// Table renders the Table I layout: avg / stdev / p99 per code path.
+func (p *Profiler) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %10s\n", "Code path", "Avg", "Stdev", "99th", "n")
+	rows := make([]string, 0, len(p.samples))
+	seen := make(map[string]bool)
+	for _, op := range profileOrder {
+		if p.samples[op] != nil {
+			rows = append(rows, op)
+			seen[op] = true
+		}
+	}
+	var extra []string
+	for op := range p.samples {
+		if !seen[op] {
+			extra = append(extra, op)
+		}
+	}
+	sort.Strings(extra)
+	rows = append(rows, extra...)
+	for _, op := range rows {
+		s := p.samples[op]
+		fmt.Fprintf(&b, "%-24s %8.2f %8.2f %8.2f %10d\n",
+			op, stats.Micros(s.Mean()), stats.Micros(s.Stdev()), stats.Micros(s.Percentile(99)), s.Len())
+	}
+	return b.String()
+}

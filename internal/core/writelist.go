@@ -1,0 +1,162 @@
+package core
+
+import (
+	"time"
+
+	"fluidmem/internal/kvstore"
+)
+
+// pendingWrite is one evicted page awaiting its store write.
+type pendingWrite struct {
+	key  kvstore.Key
+	addr uint64
+	data []byte
+}
+
+// writeback implements the asynchronous writeback engine (§V-B): evicted
+// pages accumulate on a write list; a flusher pushes batches to the store
+// with multi-write. The fault handler may *steal* a page back from the list
+// (or wait on one already in flight) to shortcut the remote round trips.
+type writeback struct {
+	store     kvstore.Store
+	batchSize int
+
+	// queued holds evicted pages not yet submitted to the store.
+	queued map[kvstore.Key]*pendingWrite
+	order  []kvstore.Key
+	// inflight maps keys of submitted writes to their completion time.
+	inflight map[kvstore.Key]time.Duration
+
+	flushes uint64
+	steals  uint64
+	waits   uint64
+}
+
+func newWriteback(store kvstore.Store, batchSize int) *writeback {
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	return &writeback{
+		store:     store,
+		batchSize: batchSize,
+		queued:    make(map[kvstore.Key]*pendingWrite),
+		inflight:  make(map[kvstore.Key]time.Duration),
+	}
+}
+
+// Enqueue adds an evicted page and flushes if the batch threshold is
+// reached. It returns the caller-visible completion time: enqueueing is off
+// the critical path, so this is just now (flush I/O occupies the store's
+// device asynchronously).
+func (w *writeback) Enqueue(now time.Duration, key kvstore.Key, addr uint64, data []byte) (time.Duration, error) {
+	w.gc(now)
+	if old, ok := w.queued[key]; ok {
+		// Re-eviction of a page whose previous write never flushed: replace.
+		old.data = data
+		return now, nil
+	}
+	w.queued[key] = &pendingWrite{key: key, addr: addr, data: data}
+	w.order = append(w.order, key)
+	if len(w.order) >= w.batchSize {
+		return now, w.Flush(now)
+	}
+	return now, nil
+}
+
+// Flush submits all queued writes as one multi-write. The store's device
+// model accounts the transfer; faults only wait on it via WaitFor.
+func (w *writeback) Flush(now time.Duration) error {
+	if len(w.order) == 0 {
+		return nil
+	}
+	keys := make([]kvstore.Key, 0, len(w.order))
+	pages := make([][]byte, 0, len(w.order))
+	for _, key := range w.order {
+		pw, ok := w.queued[key]
+		if !ok {
+			continue
+		}
+		keys = append(keys, key)
+		pages = append(pages, pw.data)
+	}
+	done, err := w.store.MultiPut(now, keys, pages)
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		delete(w.queued, key)
+		w.inflight[key] = done
+	}
+	w.order = w.order[:0]
+	w.flushes++
+	return nil
+}
+
+// Steal resolves a fault from the write list: if key is still queued, its
+// data is returned and the write is cancelled (the page is going right back
+// into the VM, so nothing needs storing). ok=false if the key is not queued.
+func (w *writeback) Steal(now time.Duration, key kvstore.Key) ([]byte, bool) {
+	w.gc(now)
+	pw, ok := w.queued[key]
+	if !ok {
+		return nil, false
+	}
+	delete(w.queued, key)
+	for i, k := range w.order {
+		if k == key {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	w.steals++
+	return pw.data, true
+}
+
+// WaitFor reports when an in-flight write of key completes; ok=false if no
+// write is in flight. The paper: "If a write of a page is in-flight when the
+// fault handler gets another fault for the same address, there is no other
+// choice than to wait for the write to complete."
+func (w *writeback) WaitFor(now time.Duration, key kvstore.Key) (time.Duration, bool) {
+	done, ok := w.inflight[key]
+	if !ok {
+		return now, false
+	}
+	w.waits++
+	if done < now {
+		done = now
+	}
+	return done, true
+}
+
+// Queued reports whether key is on the write list awaiting flush.
+func (w *writeback) Queued(key kvstore.Key) bool {
+	_, ok := w.queued[key]
+	return ok
+}
+
+// QueuedLen reports pages awaiting flush.
+func (w *writeback) QueuedLen() int { return len(w.order) }
+
+// Drain flushes everything and reports when the store is quiescent.
+func (w *writeback) Drain(now time.Duration) (time.Duration, error) {
+	if err := w.Flush(now); err != nil {
+		return now, err
+	}
+	latest := now
+	for _, done := range w.inflight {
+		if done > latest {
+			latest = done
+		}
+	}
+	w.inflight = make(map[kvstore.Key]time.Duration)
+	return latest, nil
+}
+
+// gc retires inflight records whose writes completed before now.
+func (w *writeback) gc(now time.Duration) {
+	for key, done := range w.inflight {
+		if done <= now {
+			delete(w.inflight, key)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/dram"
+)
+
+func page(tag byte) []byte {
+	p := make([]byte, kvstore.PageSize)
+	for i := range p {
+		p[i] = tag
+	}
+	return p
+}
+
+func TestWritebackFlushAtBatchSize(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 4)
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		var err error
+		if now, err = w.Enqueue(now, kvstore.Key(i<<12), uint64(i<<12), page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.flushes != 0 || store.Stats().Puts != 0 {
+		t.Fatal("flushed before batch threshold")
+	}
+	if _, err := w.Enqueue(now, kvstore.Key(3<<12), 3<<12, page(3)); err != nil {
+		t.Fatal(err)
+	}
+	if w.flushes != 1 {
+		t.Fatalf("flushes = %d", w.flushes)
+	}
+	if store.Stats().Puts != 4 {
+		t.Fatalf("store puts = %d", store.Stats().Puts)
+	}
+	if w.QueuedLen() != 0 {
+		t.Fatalf("queued = %d after flush", w.QueuedLen())
+	}
+}
+
+func TestWritebackStealCancelsWrite(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 100)
+	key := kvstore.Key(0x5000)
+	if _, err := w.Enqueue(0, key, 0x5000, page(0x42)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := w.Steal(0, key)
+	if !ok {
+		t.Fatal("steal failed")
+	}
+	if !bytes.Equal(data, page(0x42)) {
+		t.Fatal("stolen data wrong")
+	}
+	// The write is cancelled: flushing now stores nothing.
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Puts != 0 {
+		t.Fatal("cancelled write still hit the store")
+	}
+	if _, ok := w.Steal(0, key); ok {
+		t.Fatal("double steal succeeded")
+	}
+}
+
+func TestWritebackReEvictionReplacesData(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 100)
+	key := kvstore.Key(0x6000)
+	if _, err := w.Enqueue(0, key, 0x6000, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Enqueue(0, key, 0x6000, page(2)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := w.Steal(0, key)
+	if !bytes.Equal(data, page(2)) {
+		t.Fatal("stale data after re-eviction")
+	}
+	if w.QueuedLen() != 0 {
+		t.Fatalf("queued = %d", w.QueuedLen())
+	}
+}
+
+func TestWritebackWaitForInflight(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 1) // flush every enqueue
+	key := kvstore.Key(0x7000)
+	if _, err := w.Enqueue(0, key, 0x7000, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	done, ok := w.WaitFor(0, key)
+	if !ok {
+		t.Fatal("no in-flight record after flush")
+	}
+	if done <= 0 {
+		t.Fatal("in-flight completion not in the future")
+	}
+	// After the write lands, gc clears it.
+	if _, ok := w.WaitFor(done+time.Millisecond, key); ok {
+		w.gc(done + time.Millisecond)
+	}
+	if _, ok := w.WaitFor(done+2*time.Millisecond, key); ok {
+		t.Fatal("completed write still reported in flight")
+	}
+}
+
+func TestWritebackDrain(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 100)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Enqueue(0, kvstore.Key(i<<12), uint64(i<<12), page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := w.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("drain cost nothing")
+	}
+	if store.Stats().Puts != 5 {
+		t.Fatalf("puts = %d", store.Stats().Puts)
+	}
+	if w.QueuedLen() != 0 || len(w.inflight) != 0 {
+		t.Fatal("drain left residue")
+	}
+}
+
+func TestWritebackFlushEmptyNoop(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 4)
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().MultiPuts != 0 {
+		t.Fatal("empty flush hit the store")
+	}
+}

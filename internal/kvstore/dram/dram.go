@@ -1,0 +1,121 @@
+// Package dram implements the local-DRAM key-value backend: pages are kept
+// in hypervisor memory on the same machine, so "transport" is a memcpy. It
+// is the latency floor against which the networked backends are compared
+// (Figure 3a / Table II "FluidMem with DRAM").
+package dram
+
+import (
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/kvstore"
+)
+
+// Params configures the memcpy-scale service times.
+type Params struct {
+	// ReadLatency is the cost of fetching one page from local DRAM
+	// (lookup + copy).
+	ReadLatency clock.LatencyModel
+	// WriteLatency is the cost of storing one page.
+	WriteLatency clock.LatencyModel
+}
+
+// DefaultParams returns service times for a local in-memory store:
+// roughly a microsecond per 4 KB copy plus bookkeeping.
+func DefaultParams() Params {
+	return Params{
+		ReadLatency:  clock.LatencyModel{Base: 1200 * time.Nanosecond, Jitter: 150 * time.Nanosecond},
+		WriteLatency: clock.LatencyModel{Base: 1300 * time.Nanosecond, Jitter: 150 * time.Nanosecond},
+	}
+}
+
+// Store is the DRAM backend.
+type Store struct {
+	pages map[kvstore.Key][]byte
+	read  *clock.Device
+	write *clock.Device
+	stats kvstore.Stats
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// New returns an empty DRAM store.
+func New(p Params, seed uint64) *Store {
+	return &Store{
+		pages: make(map[kvstore.Key][]byte),
+		read:  clock.NewDevice(p.ReadLatency, seed),
+		write: clock.NewDevice(p.WriteLatency, seed+1),
+	}
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "dram" }
+
+// Local implements kvstore.Local: pages live in hypervisor DRAM.
+func (s *Store) Local() bool { return true }
+
+// Put implements kvstore.Store.
+func (s *Store) Put(now time.Duration, key kvstore.Key, page []byte) (time.Duration, error) {
+	if err := kvstore.ValidatePage(page); err != nil {
+		return now, err
+	}
+	if _, existed := s.pages[key]; !existed {
+		s.stats.BytesStored += kvstore.PageSize
+	}
+	s.pages[key] = append([]byte(nil), page...)
+	s.stats.Puts++
+	return s.write.Submit(now), nil
+}
+
+// MultiPut implements kvstore.Store.
+func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (time.Duration, error) {
+	if len(keys) != len(pages) {
+		return now, kvstore.ErrBadValue
+	}
+	for i, key := range keys {
+		if err := kvstore.ValidatePage(pages[i]); err != nil {
+			return now, err
+		}
+		if _, existed := s.pages[key]; !existed {
+			s.stats.BytesStored += kvstore.PageSize
+		}
+		s.pages[key] = append([]byte(nil), pages[i]...)
+	}
+	s.stats.MultiPuts++
+	s.stats.Puts += uint64(len(keys))
+	return s.write.SubmitN(now, len(keys)), nil
+}
+
+// Get implements kvstore.Store.
+func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
+	s.stats.Gets++
+	page, ok := s.pages[key]
+	done := s.read.Submit(now)
+	if !ok {
+		s.stats.Misses++
+		return nil, done, kvstore.ErrNotFound
+	}
+	return append([]byte(nil), page...), done, nil
+}
+
+// StartGet implements kvstore.Store.
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+	data, readyAt, err := s.Get(now, key)
+	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
+}
+
+// Delete implements kvstore.Store.
+func (s *Store) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {
+	s.stats.Deletes++
+	if _, ok := s.pages[key]; ok {
+		s.stats.BytesStored -= kvstore.PageSize
+		delete(s.pages, key)
+	}
+	return s.write.Submit(now), nil
+}
+
+// Stats implements kvstore.Store.
+func (s *Store) Stats() kvstore.Stats { return s.stats }
+
+// Len reports the number of resident pages (test hook).
+func (s *Store) Len() int { return len(s.pages) }

@@ -1,0 +1,157 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMakeKeyRoundTrip(t *testing.T) {
+	f := func(addr uint64, part uint16) bool {
+		p := PartitionID(part & 0xFFF)
+		k := MakeKey(addr, p)
+		return k.Page() == addr&^uint64(PageSize-1) && k.Partition() == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeKeyDropsPageOffset(t *testing.T) {
+	a := MakeKey(0x7f0000001000, 5)
+	b := MakeKey(0x7f0000001fff, 5)
+	if a != b {
+		t.Fatalf("keys differ for addresses in the same page: %v vs %v", a, b)
+	}
+}
+
+func TestMakeKeyPartitionMasked(t *testing.T) {
+	k := MakeKey(0x1000, PartitionID(0xFFFF))
+	if k.Partition() != 0xFFF {
+		t.Fatalf("partition = %d, want masked to 12 bits", k.Partition())
+	}
+}
+
+func TestKeysDistinctAcrossPartitions(t *testing.T) {
+	a := MakeKey(0x1000, 1)
+	b := MakeKey(0x1000, 2)
+	if a == b {
+		t.Fatal("same page in different partitions must have distinct keys")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if got := MakeKey(0x2000, 7).String(); got != "page=0x2000 part=7" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestValidatePage(t *testing.T) {
+	if err := ValidatePage(make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePage(make([]byte, 100)); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ValidatePage(nil); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("nil err = %v", err)
+	}
+}
+
+func TestPendingGetWait(t *testing.T) {
+	p := &PendingGet{Data: []byte("x"), ReadyAt: 100 * time.Microsecond}
+	// Waiting before the reply lands blocks until ReadyAt.
+	data, done, err := p.Wait(40 * time.Microsecond)
+	if err != nil || string(data) != "x" || done != 100*time.Microsecond {
+		t.Fatalf("Wait early = %v %v %v", data, done, err)
+	}
+	// Waiting after the reply landed returns immediately.
+	_, done, _ = p.Wait(150 * time.Microsecond)
+	if done != 150*time.Microsecond {
+		t.Fatalf("Wait late = %v", done)
+	}
+}
+
+func TestLocalRegistryUnique(t *testing.T) {
+	r := NewLocalRegistry()
+	seen := make(map[PartitionID]bool)
+	for i := 0; i < 100; i++ {
+		p, err := r.Allocate("hyp-a", 1000+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate partition %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestLocalRegistrySamePIDDistinct(t *testing.T) {
+	// Even identical (hypervisor, pid) pairs must get distinct partitions:
+	// the nonce disambiguates.
+	r := NewLocalRegistry()
+	a, err := r.Allocate("h", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Allocate("h", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("both allocations returned %d", a)
+	}
+}
+
+func TestLocalRegistryRelease(t *testing.T) {
+	r := NewLocalRegistry()
+	p, err := r.Allocate("h", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release(p); err == nil {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestLocalRegistryExhaustion(t *testing.T) {
+	r := NewLocalRegistry()
+	allocated := 0
+	for i := 0; ; i++ {
+		_, err := r.Allocate("h", i)
+		if err != nil {
+			if !errors.Is(err, ErrNoPartitions) {
+				t.Fatalf("err = %v", err)
+			}
+			break
+		}
+		allocated++
+		if allocated > MaxPartitions {
+			t.Fatal("allocated more partitions than exist")
+		}
+	}
+	// The hash probe sequence is bounded, so exhaustion can strike before
+	// literally all 4096 are used, but the registry must fill most of them.
+	if allocated < MaxPartitions/2 {
+		t.Fatalf("only %d partitions allocated before exhaustion", allocated)
+	}
+}
+
+func TestPartitionHashDeterministic(t *testing.T) {
+	a := partitionHash("h", 1, 2)
+	b := partitionHash("h", 1, 2)
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if partitionHash("h", 1, 3) == a && partitionHash("h", 2, 2) == a {
+		t.Fatal("hash ignores inputs")
+	}
+	if a >= MaxPartitions {
+		t.Fatalf("hash %d out of 12-bit range", a)
+	}
+}

@@ -1,0 +1,282 @@
+// Package ramcloud implements a RAMCloud-flavoured key-value backend: a
+// log-structured in-memory store (append-only segments, a hash index, and a
+// cleaner that compacts cold segments) fronted by a low-latency network
+// transport with native multi-write, mirroring the backend the paper pairs
+// FluidMem with (§IV, §VI-A).
+package ramcloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/kvstore"
+)
+
+// ErrOutOfMemory reports that the log is full and cleaning cannot reclaim
+// enough space for the write.
+var ErrOutOfMemory = errors.New("ramcloud: log full")
+
+// segmentSize is the size of one append-only log segment (RAMCloud's 8 MB).
+const segmentSize = 8 << 20
+
+// entrySize is the stored footprint of one page object: 4 KB of data plus a
+// small header (key + length), rounded for simplicity.
+const entrySize = kvstore.PageSize + 64
+
+const entriesPerSegment = segmentSize / entrySize
+
+// Params configures the store.
+type Params struct {
+	// CapacityBytes bounds total log memory (the paper gives RAMCloud 25 GB).
+	CapacityBytes uint64
+	// ReadLatency models one GET round trip over the InfiniBand transport.
+	// The paper measures READ_PAGE at 15.62 µs average.
+	ReadLatency clock.LatencyModel
+	// WriteLatency models one PUT round trip (WRITE_PAGE: 14.70 µs average).
+	WriteLatency clock.LatencyModel
+	// CleanerThreshold is the live-data fraction below which a segment is
+	// worth compacting.
+	CleanerThreshold float64
+	// AsyncReadDiscount is how much cheaper the split (top/bottom-half)
+	// read API is than the synchronous Get: RAMCloud's polling async path
+	// skips the dispatch-thread handoff the sync RPC pays (§V-B).
+	AsyncReadDiscount time.Duration
+}
+
+// DefaultParams returns parameters calibrated to the paper's Table I.
+func DefaultParams() Params {
+	return Params{
+		CapacityBytes:     25 << 30,
+		ReadLatency:       clock.LatencyModel{Base: 14300 * time.Nanosecond, Jitter: 1500 * time.Nanosecond, TailProb: 0.004, TailExtra: 400 * time.Microsecond},
+		WriteLatency:      clock.LatencyModel{Base: 14700 * time.Nanosecond, Jitter: 1500 * time.Nanosecond},
+		CleanerThreshold:  0.5,
+		AsyncReadDiscount: 4300 * time.Nanosecond,
+	}
+}
+
+// entryRef locates a live object inside the log.
+type entryRef struct {
+	segment *segment
+	slot    int
+}
+
+// segment is one append-only unit of the log.
+type segment struct {
+	id      uint64
+	entries []logEntry
+	live    int
+	sealed  bool
+}
+
+type logEntry struct {
+	key  kvstore.Key
+	data []byte
+	dead bool
+}
+
+// Store is the RAMCloud backend.
+type Store struct {
+	params Params
+
+	head     *segment
+	segments []*segment
+	index    map[kvstore.Key]entryRef
+	nextSeg  uint64
+
+	// Reads and writes travel as independent outstanding RPCs (RAMCloud
+	// allows multiple RPCs in flight), so they queue separately.
+	readChan  *clock.Device
+	writeChan *clock.Device
+	stats     kvstore.Stats
+	cleanings uint64
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// New returns an empty store.
+func New(p Params, seed uint64) *Store {
+	if p.CapacityBytes == 0 {
+		p.CapacityBytes = DefaultParams().CapacityBytes
+	}
+	if p.CleanerThreshold == 0 {
+		p.CleanerThreshold = 0.5
+	}
+	s := &Store{
+		params:    p,
+		index:     make(map[kvstore.Key]entryRef),
+		readChan:  clock.NewDevice(p.ReadLatency, seed),
+		writeChan: clock.NewDevice(p.WriteLatency, seed+1),
+	}
+	s.rollHead()
+	return s
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "ramcloud" }
+
+// Put implements kvstore.Store.
+func (s *Store) Put(now time.Duration, key kvstore.Key, page []byte) (time.Duration, error) {
+	if err := kvstore.ValidatePage(page); err != nil {
+		return now, err
+	}
+	if err := s.appendObject(key, page); err != nil {
+		return now, err
+	}
+	s.stats.Puts++
+	return s.writeChan.Submit(now), nil
+}
+
+// MultiPut implements kvstore.Store. RAMCloud's multi-write amortises the
+// round trip across the batch; the marginal per-page cost is small.
+func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (time.Duration, error) {
+	if len(keys) != len(pages) {
+		return now, kvstore.ErrBadValue
+	}
+	for i, key := range keys {
+		if err := kvstore.ValidatePage(pages[i]); err != nil {
+			return now, err
+		}
+		if err := s.appendObject(key, pages[i]); err != nil {
+			return now, err
+		}
+	}
+	s.stats.MultiPuts++
+	s.stats.Puts += uint64(len(keys))
+	return s.writeChan.SubmitN(now, len(keys)), nil
+}
+
+// Get implements kvstore.Store.
+func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
+	s.stats.Gets++
+	done := s.readChan.Submit(now)
+	ref, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, done, kvstore.ErrNotFound
+	}
+	data := ref.segment.entries[ref.slot].data
+	return append([]byte(nil), data...), done, nil
+}
+
+// StartGet implements kvstore.Store: the request goes on the wire now and the
+// reply lands at ReadyAt, letting the caller overlap eviction work (§V-B).
+// The polling async client skips the sync path's dispatch-thread handoff,
+// so the wait is AsyncReadDiscount shorter than a synchronous Get.
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+	data, readyAt, err := s.Get(now, key)
+	if discounted := readyAt - s.params.AsyncReadDiscount; discounted > now {
+		readyAt = discounted
+	}
+	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
+}
+
+// Delete implements kvstore.Store.
+func (s *Store) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {
+	s.stats.Deletes++
+	if ref, ok := s.index[key]; ok {
+		s.killEntry(ref)
+		delete(s.index, key)
+	}
+	return s.writeChan.Submit(now), nil
+}
+
+// Stats implements kvstore.Store.
+func (s *Store) Stats() kvstore.Stats { return s.stats }
+
+// Cleanings reports how many segments the cleaner has compacted.
+func (s *Store) Cleanings() uint64 { return s.cleanings }
+
+// SegmentCount reports the number of log segments (test hook).
+func (s *Store) SegmentCount() int { return len(s.segments) }
+
+// Utilization reports the live fraction of log space in sealed segments.
+func (s *Store) Utilization() float64 {
+	total, live := 0, 0
+	for _, seg := range s.segments {
+		if !seg.sealed {
+			continue
+		}
+		total += len(seg.entries)
+		live += seg.live
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(live) / float64(total)
+}
+
+// appendObject writes (key, data) at the log head, killing any prior version.
+func (s *Store) appendObject(key kvstore.Key, data []byte) error {
+	if len(s.head.entries) >= entriesPerSegment {
+		s.head.sealed = true
+		if s.logBytes()+segmentSize > s.params.CapacityBytes {
+			s.clean()
+			if s.logBytes()+segmentSize > s.params.CapacityBytes {
+				return fmt.Errorf("%w: %d bytes in use", ErrOutOfMemory, s.logBytes())
+			}
+		}
+		s.rollHead()
+	}
+	if old, ok := s.index[key]; ok {
+		s.killEntry(old) // decrements BytesStored; restored just below
+	}
+	s.stats.BytesStored += kvstore.PageSize
+	s.head.entries = append(s.head.entries, logEntry{key: key, data: append([]byte(nil), data...)})
+	s.head.live++
+	s.index[key] = entryRef{segment: s.head, slot: len(s.head.entries) - 1}
+	return nil
+}
+
+func (s *Store) killEntry(ref entryRef) {
+	e := &ref.segment.entries[ref.slot]
+	if !e.dead {
+		e.dead = true
+		e.data = nil
+		ref.segment.live--
+		s.stats.BytesStored -= kvstore.PageSize
+	}
+}
+
+// clean relocates live entries out of low-utilisation sealed segments and
+// frees them, LFS-style.
+func (s *Store) clean() {
+	kept := s.segments[:0]
+	var victims []*segment
+	for _, seg := range s.segments {
+		if seg.sealed && seg != s.head && float64(seg.live)/float64(entriesPerSegment) < s.params.CleanerThreshold {
+			victims = append(victims, seg)
+		} else {
+			kept = append(kept, seg)
+		}
+	}
+	s.segments = kept
+	for _, seg := range victims {
+		s.cleanings++
+		for slot := range seg.entries {
+			e := &seg.entries[slot]
+			if e.dead {
+				continue
+			}
+			// Relocate without double-counting BytesStored.
+			if len(s.head.entries) >= entriesPerSegment {
+				s.head.sealed = true
+				s.rollHead()
+			}
+			s.head.entries = append(s.head.entries, logEntry{key: e.key, data: e.data})
+			s.head.live++
+			s.index[e.key] = entryRef{segment: s.head, slot: len(s.head.entries) - 1}
+		}
+	}
+}
+
+func (s *Store) rollHead() {
+	s.nextSeg++
+	s.head = &segment{id: s.nextSeg, entries: make([]logEntry, 0, entriesPerSegment)}
+	s.segments = append(s.segments, s.head)
+}
+
+func (s *Store) logBytes() uint64 {
+	return uint64(len(s.segments)) * segmentSize
+}

@@ -1,0 +1,164 @@
+package ramcloud
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func() kvstore.Store {
+		return New(DefaultParams(), 1)
+	})
+}
+
+func TestReadLatencyNearTableI(t *testing.T) {
+	s := New(DefaultParams(), 2)
+	key := kvstore.MakeKey(0x1000, 1)
+	if _, err := s.Put(0, key, storetest.Page(1)); err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 2000
+	now := time.Duration(0)
+	for i := 0; i < n; i++ {
+		now += time.Millisecond // idle gap so queueing never builds up
+		_, done, err := s.Get(now, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += done - now
+		now = done
+	}
+	avg := total / n
+	// Paper Table I: READ_PAGE 15.62 µs average.
+	if avg < 13*time.Microsecond || avg > 19*time.Microsecond {
+		t.Fatalf("avg read latency = %v, want ≈15.6µs", avg)
+	}
+}
+
+func TestLogRollsSegments(t *testing.T) {
+	p := DefaultParams()
+	s := New(p, 3)
+	// Write more pages than fit in one segment.
+	n := entriesPerSegment + 10
+	for i := 0; i < n; i++ {
+		key := kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1)
+		if _, err := s.Put(0, key, storetest.Page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SegmentCount() < 2 {
+		t.Fatalf("SegmentCount = %d, want ≥2", s.SegmentCount())
+	}
+	// All pages still readable.
+	for i := 0; i < n; i += 97 {
+		key := kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1)
+		got, _, err := s.Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, storetest.Page(byte(i))) {
+			t.Fatalf("page %d corrupted", i)
+		}
+	}
+}
+
+func TestOverwritesCreateDeadEntriesAndCleanerReclaims(t *testing.T) {
+	p := DefaultParams()
+	// Small capacity: 4 segments.
+	p.CapacityBytes = 4 * segmentSize
+	s := New(p, 4)
+	key := func(i int) kvstore.Key { return kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1) }
+
+	// Fill ~1.5 segments with live pages, then overwrite them repeatedly so
+	// old segments become mostly dead. Without the cleaner this would exceed
+	// capacity; with it, the store keeps accepting writes.
+	liveSet := entriesPerSegment / 2
+	for round := 0; round < 12; round++ {
+		for i := 0; i < liveSet; i++ {
+			if _, err := s.Put(0, key(i), storetest.Page(byte(round))); err != nil {
+				t.Fatalf("round %d page %d: %v", round, i, err)
+			}
+		}
+	}
+	if s.Cleanings() == 0 {
+		t.Fatal("cleaner never ran despite heavy overwrite churn")
+	}
+	// Data integrity after cleaning.
+	for i := 0; i < liveSet; i++ {
+		got, _, err := s.Get(0, key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, storetest.Page(11)) {
+			t.Fatalf("page %d lost its last write after cleaning", i)
+		}
+	}
+}
+
+func TestOutOfMemoryOnLiveData(t *testing.T) {
+	p := DefaultParams()
+	p.CapacityBytes = 2 * segmentSize
+	s := New(p, 5)
+	// All-live data (unique keys) cannot be cleaned away.
+	var sawOOM bool
+	for i := 0; i < 3*entriesPerSegment; i++ {
+		_, err := s.Put(0, kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1), storetest.Page(1))
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("err = %v", err)
+			}
+			sawOOM = true
+			break
+		}
+	}
+	if !sawOOM {
+		t.Fatal("store accepted more live data than its capacity")
+	}
+}
+
+func TestUtilizationDropsWithChurn(t *testing.T) {
+	s := New(DefaultParams(), 6)
+	// Seal a segment full of pages, then kill most of them by overwriting.
+	for i := 0; i < entriesPerSegment+1; i++ {
+		if _, err := s.Put(0, kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1), storetest.Page(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Utilization()
+	for i := 0; i < entriesPerSegment; i++ {
+		if _, err := s.Put(0, kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1), storetest.Page(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.Utilization()
+	if after >= before {
+		t.Fatalf("utilization %v → %v, want a drop after overwrites", before, after)
+	}
+}
+
+func TestMultiPutFasterThanSerialWrites(t *testing.T) {
+	// The async-writeback optimisation depends on multi-write amortisation
+	// (§V-B); quantify it.
+	const n = 64
+	s := New(DefaultParams(), 7)
+	var keys []kvstore.Key
+	var pages [][]byte
+	for i := 0; i < n; i++ {
+		keys = append(keys, kvstore.MakeKey(uint64(i)*kvstore.PageSize, 1))
+		pages = append(pages, storetest.Page(byte(i)))
+	}
+	batchDone, err := s.MultiPut(0, keys, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := batchDone / n
+	if perPage > 6*time.Microsecond {
+		t.Fatalf("amortised write cost %v/page, want well under one RTT", perPage)
+	}
+}

@@ -1,0 +1,166 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"fluidmem/internal/zookeeper"
+)
+
+// Registry allocates globally unique virtual partition indexes. The paper
+// builds the index from the QEMU process PID, a hypervisor ID, and a nonce,
+// with global uniqueness ensured by a replicated table in ZooKeeper (§IV).
+type Registry interface {
+	// Allocate reserves a partition for the VM identified by
+	// (hypervisorID, pid) and returns its index.
+	Allocate(hypervisorID string, pid int) (PartitionID, error)
+	// Release frees a previously allocated partition.
+	Release(part PartitionID) error
+	// Adopt records ownership of an already-allocated partition, used when
+	// a VM migrates between hypervisors: the partition's pages are live in
+	// the store and ownership moves with the VM.
+	Adopt(part PartitionID) error
+}
+
+// partitionRecord is the table payload describing an allocation.
+type partitionRecord struct {
+	HypervisorID string `json:"hypervisorId"`
+	PID          int    `json:"pid"`
+	Nonce        uint64 `json:"nonce"`
+}
+
+// ZKRegistry is the ZooKeeper-backed registry: candidate indexes are derived
+// from hash(hypervisorID, pid, nonce) and claimed with a create-if-absent on
+// the replicated table, so two hypervisors can never mint the same index.
+type ZKRegistry struct {
+	zk     *zookeeper.Cluster
+	prefix string
+}
+
+var _ Registry = (*ZKRegistry)(nil)
+
+// NewZKRegistry returns a registry storing claims under /fluidmem/partitions.
+func NewZKRegistry(zk *zookeeper.Cluster) *ZKRegistry {
+	return &ZKRegistry{zk: zk, prefix: "/fluidmem/partitions/"}
+}
+
+// Allocate claims a free partition index, retrying with a fresh nonce on
+// collision. With 4096 slots, collisions are resolved in a handful of tries
+// until the space is nearly full.
+func (r *ZKRegistry) Allocate(hypervisorID string, pid int) (PartitionID, error) {
+	for nonce := uint64(0); nonce < MaxPartitions*2; nonce++ {
+		candidate := partitionHash(hypervisorID, pid, nonce)
+		data, err := json.Marshal(partitionRecord{HypervisorID: hypervisorID, PID: pid, Nonce: nonce})
+		if err != nil {
+			return 0, fmt.Errorf("registry: marshal record: %w", err)
+		}
+		err = r.zk.Create(r.path(candidate), data)
+		if err == nil {
+			return candidate, nil
+		}
+		if errors.Is(err, zookeeper.ErrNodeExists) {
+			continue // occupied: bump the nonce and retry
+		}
+		return 0, fmt.Errorf("registry: claim partition: %w", err)
+	}
+	return 0, ErrNoPartitions
+}
+
+// Adopt takes ownership of a migrated VM's partition. The table entry was
+// created by the source hypervisor and stays; adoption is idempotent.
+func (r *ZKRegistry) Adopt(part PartitionID) error {
+	_, _, err := r.zk.Get(r.path(part))
+	if errors.Is(err, zookeeper.ErrNoNode) {
+		return fmt.Errorf("registry: adopt partition %d: no such allocation", part)
+	}
+	if err != nil {
+		return fmt.Errorf("registry: adopt partition %d: %w", part, err)
+	}
+	return nil
+}
+
+// Release frees the partition's table entry.
+func (r *ZKRegistry) Release(part PartitionID) error {
+	if err := r.zk.Delete(r.path(part), 0); err != nil {
+		return fmt.Errorf("registry: release partition %d: %w", part, err)
+	}
+	return nil
+}
+
+// Owner reports the record stored for a partition, for operator inspection.
+func (r *ZKRegistry) Owner(part PartitionID) (hypervisorID string, pid int, err error) {
+	data, _, err := r.zk.Get(r.path(part))
+	if err != nil {
+		return "", 0, fmt.Errorf("registry: lookup partition %d: %w", part, err)
+	}
+	var rec partitionRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return "", 0, fmt.Errorf("registry: decode partition %d: %w", part, err)
+	}
+	return rec.HypervisorID, rec.PID, nil
+}
+
+func (r *ZKRegistry) path(part PartitionID) string {
+	return fmt.Sprintf("%s%04d", r.prefix, part)
+}
+
+// LocalRegistry is a single-hypervisor, in-memory registry used when no
+// ZooKeeper ensemble is configured (e.g. unit tests and single-machine
+// simulations). It hands out the same hash-derived indexes as ZKRegistry.
+type LocalRegistry struct {
+	used map[PartitionID]bool
+}
+
+var _ Registry = (*LocalRegistry)(nil)
+
+// NewLocalRegistry returns an empty local registry.
+func NewLocalRegistry() *LocalRegistry {
+	return &LocalRegistry{used: make(map[PartitionID]bool)}
+}
+
+// Allocate reserves a partition index unique within this registry.
+func (r *LocalRegistry) Allocate(hypervisorID string, pid int) (PartitionID, error) {
+	for nonce := uint64(0); nonce < MaxPartitions*2; nonce++ {
+		candidate := partitionHash(hypervisorID, pid, nonce)
+		if !r.used[candidate] {
+			r.used[candidate] = true
+			return candidate, nil
+		}
+	}
+	return 0, ErrNoPartitions
+}
+
+// Adopt records ownership of a migrated partition. With a shared local
+// registry the slot is already marked used by the source's allocation;
+// adoption simply asserts it stays reserved.
+func (r *LocalRegistry) Adopt(part PartitionID) error {
+	r.used[part] = true
+	return nil
+}
+
+// Release frees the index.
+func (r *LocalRegistry) Release(part PartitionID) error {
+	if !r.used[part] {
+		return fmt.Errorf("registry: partition %d not allocated", part)
+	}
+	delete(r.used, part)
+	return nil
+}
+
+// partitionHash maps (hypervisorID, pid, nonce) to a 12-bit index (FNV-1a).
+func partitionHash(hypervisorID string, pid int, nonce uint64) PartitionID {
+	var h uint64 = 14695981039346656037
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(hypervisorID); i++ {
+		mix(hypervisorID[i])
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(pid >> (8 * i)))
+		mix(byte(nonce >> (8 * i)))
+	}
+	return PartitionID(h & 0xFFF)
+}

@@ -1,0 +1,227 @@
+// Package replicated implements page replication across remote servers, one
+// of the provider customisations the paper calls out as a benefit of
+// handling paging in user space (§III: "Some examples are page compression
+// or replication across remote servers").
+//
+// A replicated store fans every write out to N member stores. Writes
+// complete when the slowest member acknowledges (the monitor's writeback is
+// asynchronous, so this rarely touches the fault critical path, matching the
+// paper's note that RAMCloud replication "only impacts key-value writes").
+// Reads go to the fastest healthy member and fail over transparently when a
+// member is down, so a remote-memory server crash no longer kills every VM
+// with pages on it.
+package replicated
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/kvstore"
+)
+
+// Errors.
+var (
+	// ErrNoReplicas reports construction without member stores.
+	ErrNoReplicas = errors.New("replicated: need at least one member store")
+	// ErrAllReplicasDown reports a read with every member failed.
+	ErrAllReplicasDown = errors.New("replicated: all replicas down")
+)
+
+// Store is the replication wrapper.
+type Store struct {
+	members []kvstore.Store
+	down    []bool
+	// primary is the preferred read replica.
+	primary int
+
+	stats     kvstore.Stats
+	failovers uint64
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// New wraps the member stores. members[0] is the initial read primary.
+func New(members ...kvstore.Store) (*Store, error) {
+	if len(members) == 0 {
+		return nil, ErrNoReplicas
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("replicated: member %d is nil", i)
+		}
+	}
+	return &Store{members: members, down: make([]bool, len(members))}, nil
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string {
+	return fmt.Sprintf("replicated(%s×%d)", s.members[0].Name(), len(s.members))
+}
+
+// Fail marks member i crashed: reads fail over, writes skip it. Fail and
+// Recover are the fault-injection surface for tests and demos.
+func (s *Store) Fail(i int) error {
+	if i < 0 || i >= len(s.members) {
+		return fmt.Errorf("replicated: no member %d", i)
+	}
+	s.down[i] = true
+	return nil
+}
+
+// Recover brings member i back. Pages written while it was down are missing
+// there; reads of those keys fail over to members that have them.
+func (s *Store) Recover(i int) error {
+	if i < 0 || i >= len(s.members) {
+		return fmt.Errorf("replicated: no member %d", i)
+	}
+	s.down[i] = false
+	return nil
+}
+
+// Failovers reports how many reads were served by a non-primary member.
+func (s *Store) Failovers() uint64 { return s.failovers }
+
+// Put implements kvstore.Store: write to every healthy member, complete with
+// the slowest.
+func (s *Store) Put(now time.Duration, key kvstore.Key, page []byte) (time.Duration, error) {
+	s.stats.Puts++
+	latest := now
+	wrote := false
+	for i, m := range s.members {
+		if s.down[i] {
+			continue
+		}
+		done, err := m.Put(now, key, page)
+		if err != nil {
+			return done, fmt.Errorf("replicated: member %d: %w", i, err)
+		}
+		wrote = true
+		if done > latest {
+			latest = done
+		}
+	}
+	if !wrote {
+		return now, ErrAllReplicasDown
+	}
+	s.stats.BytesStored = s.healthyBytes()
+	return latest, nil
+}
+
+// MultiPut implements kvstore.Store.
+func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (time.Duration, error) {
+	if len(keys) != len(pages) {
+		return now, kvstore.ErrBadValue
+	}
+	s.stats.MultiPuts++
+	s.stats.Puts += uint64(len(keys))
+	latest := now
+	wrote := false
+	for i, m := range s.members {
+		if s.down[i] {
+			continue
+		}
+		done, err := m.MultiPut(now, keys, pages)
+		if err != nil {
+			return done, fmt.Errorf("replicated: member %d: %w", i, err)
+		}
+		wrote = true
+		if done > latest {
+			latest = done
+		}
+	}
+	if !wrote {
+		return now, ErrAllReplicasDown
+	}
+	s.stats.BytesStored = s.healthyBytes()
+	return latest, nil
+}
+
+// Get implements kvstore.Store: read from the primary, failing over member
+// by member on crash or miss.
+func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
+	s.stats.Gets++
+	t := now
+	tried := 0
+	for off := 0; off < len(s.members); off++ {
+		i := (s.primary + off) % len(s.members)
+		if s.down[i] {
+			continue
+		}
+		tried++
+		data, done, err := s.members[i].Get(t, key)
+		if err == nil {
+			if off != 0 {
+				s.failovers++
+			}
+			return data, done, nil
+		}
+		if !errors.Is(err, kvstore.ErrNotFound) {
+			return nil, done, fmt.Errorf("replicated: member %d: %w", i, err)
+		}
+		t = done // the failed attempt's round trip is paid
+	}
+	if tried == 0 {
+		return nil, now, ErrAllReplicasDown
+	}
+	s.stats.Misses++
+	return nil, t, kvstore.ErrNotFound
+}
+
+// StartGet implements kvstore.Store. The split read goes to the primary;
+// a failover path falls back to a synchronous sweep inside Wait's budget.
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+	for off := 0; off < len(s.members); off++ {
+		i := (s.primary + off) % len(s.members)
+		if s.down[i] {
+			continue
+		}
+		s.stats.Gets++
+		p := s.members[i].StartGet(now, key)
+		if p.Err == nil {
+			if off != 0 {
+				s.failovers++
+			}
+			return p
+		}
+		if !errors.Is(p.Err, kvstore.ErrNotFound) {
+			return p
+		}
+		now = p.ReadyAt
+	}
+	s.stats.Misses++
+	return &kvstore.PendingGet{Key: key, ReadyAt: now, Err: kvstore.ErrNotFound}
+}
+
+// Delete implements kvstore.Store.
+func (s *Store) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {
+	s.stats.Deletes++
+	latest := now
+	for i, m := range s.members {
+		if s.down[i] {
+			continue
+		}
+		done, err := m.Delete(now, key)
+		if err != nil {
+			return done, fmt.Errorf("replicated: member %d: %w", i, err)
+		}
+		if done > latest {
+			latest = done
+		}
+	}
+	s.stats.BytesStored = s.healthyBytes()
+	return latest, nil
+}
+
+// Stats implements kvstore.Store. BytesStored reports the primary healthy
+// member's payload (logical bytes, not total replicated bytes).
+func (s *Store) Stats() kvstore.Stats { return s.stats }
+
+func (s *Store) healthyBytes() uint64 {
+	for i, m := range s.members {
+		if !s.down[i] {
+			return m.Stats().BytesStored
+		}
+	}
+	return 0
+}

@@ -1,0 +1,252 @@
+package replicated
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/kvstore/storetest"
+)
+
+func threeWay(t *testing.T) (*Store, []kvstore.Store) {
+	t.Helper()
+	members := []kvstore.Store{
+		ramcloud.New(ramcloud.DefaultParams(), 1),
+		ramcloud.New(ramcloud.DefaultParams(), 2),
+		ramcloud.New(ramcloud.DefaultParams(), 3),
+	}
+	s, err := New(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, members
+}
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func() kvstore.Store {
+		s, err := New(
+			dram.New(dram.DefaultParams(), 1),
+			dram.New(dram.DefaultParams(), 2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil member accepted")
+	}
+}
+
+func TestWritesReachAllMembers(t *testing.T) {
+	s, members := threeWay(t)
+	key := kvstore.MakeKey(0x1000, 1)
+	if _, err := s.Put(0, key, storetest.Page(5)); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		data, _, err := m.Get(0, key)
+		if err != nil {
+			t.Fatalf("member %d missing the page: %v", i, err)
+		}
+		if !bytes.Equal(data, storetest.Page(5)) {
+			t.Fatalf("member %d corrupted", i)
+		}
+	}
+}
+
+func TestWriteCompletionIsSlowestMember(t *testing.T) {
+	fast := dram.New(dram.DefaultParams(), 1)
+	slow := ramcloud.New(ramcloud.DefaultParams(), 2)
+	s, err := New(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Put(0, kvstore.MakeKey(0x1000, 1), storetest.Page(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < 10*time.Microsecond {
+		t.Fatalf("completion %v ignores the slow member", done)
+	}
+}
+
+func TestReadFailover(t *testing.T) {
+	s, _ := threeWay(t)
+	key := kvstore.MakeKey(0x2000, 1)
+	if _, err := s.Put(0, key, storetest.Page(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.Get(0, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, storetest.Page(9)) {
+		t.Fatal("failover read corrupted")
+	}
+	if s.Failovers() == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestSurvivesTwoOfThreeCrashes(t *testing.T) {
+	s, _ := threeWay(t)
+	key := kvstore.MakeKey(0x3000, 1)
+	if _, err := s.Put(0, key, storetest.Page(3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Fail(0)
+	s.Fail(1)
+	if _, _, err := s.Get(0, key); err != nil {
+		t.Fatalf("read with one survivor: %v", err)
+	}
+	// Writes keep working on the survivor.
+	if _, err := s.Put(0, kvstore.MakeKey(0x4000, 1), storetest.Page(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllDown(t *testing.T) {
+	s, _ := threeWay(t)
+	key := kvstore.MakeKey(0x5000, 1)
+	s.Put(0, key, storetest.Page(1))
+	for i := 0; i < 3; i++ {
+		s.Fail(i)
+	}
+	if _, _, err := s.Get(0, key); !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("read err = %v", err)
+	}
+	if _, err := s.Put(0, key, storetest.Page(1)); !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("write err = %v", err)
+	}
+}
+
+func TestRecoveredMemberMissesFailOver(t *testing.T) {
+	s, _ := threeWay(t)
+	s.Fail(0)
+	key := kvstore.MakeKey(0x6000, 1)
+	// Written while member 0 is down: only members 1 and 2 have it.
+	if _, err := s.Put(0, key, storetest.Page(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.Recover(0)
+	// Primary (0) misses; the read must fail over and still succeed.
+	data, _, err := s.Get(0, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, storetest.Page(7)) {
+		t.Fatal("failover-after-recovery corrupted")
+	}
+}
+
+func TestFailValidation(t *testing.T) {
+	s, _ := threeWay(t)
+	if err := s.Fail(9); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := s.Recover(-1); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestStartGetFailover(t *testing.T) {
+	s, _ := threeWay(t)
+	key := kvstore.MakeKey(0x7000, 1)
+	s.Put(0, key, storetest.Page(2))
+	s.Fail(0)
+	p := s.StartGet(0, key)
+	data, _, err := p.Wait(p.ReadyAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, storetest.Page(2)) {
+		t.Fatal("async failover corrupted")
+	}
+}
+
+func TestMonitorRunsOnReplicatedStore(t *testing.T) {
+	// End-to-end: FluidMem over a 2-way replicated RAMCloud survives a
+	// member crash mid-workload with no page loss.
+	s, err := New(
+		ramcloud.New(ramcloud.DefaultParams(), 1),
+		ramcloud.New(ramcloud.DefaultParams(), 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMonitorWorkload(t, s)
+}
+
+// runMonitorWorkload exercises a monitor over the given store and crashes
+// replica 0 halfway through.
+func runMonitorWorkload(t *testing.T, s *Store) {
+	t.Helper()
+	mon := newTestMonitor(t, s)
+	const base = 0x7f00_0000_0000
+	now := time.Duration(0)
+	write := func(i int, tag byte) {
+		data, done, err := mon.Touch(now, base+uint64(i)*kvstore.PageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+		data[0] = tag
+	}
+	check := func(i int, tag byte) {
+		data, done, err := mon.Touch(now, base+uint64(i)*kvstore.PageSize, false)
+		if err != nil {
+			t.Fatalf("page %d after crash: %v", i, err)
+		}
+		now = done
+		if data[0] != tag {
+			t.Fatalf("page %d corrupted", i)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		write(i, byte(i+1))
+	}
+	// Push everything to the store so the reads below must go remote.
+	done, err := mon.Drain(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = done
+	if err := s.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		check(i, byte(i+1))
+	}
+	if s.Failovers() == 0 {
+		t.Fatal("crash produced no failovers; test not exercising replication")
+	}
+}
+
+// newTestMonitor wires a FluidMem monitor over the store with a small LRU
+// and one registered range at 0x7f00_0000_0000.
+func newTestMonitor(t *testing.T, s kvstore.Store) *core.Monitor {
+	t.Helper()
+	mon, err := core.NewMonitor(core.DefaultConfig(s, 8), nil, "hyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.RegisterRange(0x7f00_0000_0000, 64*kvstore.PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}

@@ -1,0 +1,230 @@
+// Package storetest provides a conformance suite run against every kvstore
+// backend, so the Store contract is enforced once rather than re-tested per
+// implementation.
+package storetest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"fluidmem/internal/kvstore"
+)
+
+// Factory builds a fresh, empty store for one subtest.
+type Factory func() kvstore.Store
+
+// Page builds a deterministic 4 KB page whose contents encode tag.
+func Page(tag byte) []byte {
+	p := make([]byte, kvstore.PageSize)
+	for i := range p {
+		p[i] = tag ^ byte(i)
+	}
+	return p
+}
+
+// Run exercises the full Store contract against the factory's stores.
+func Run(t *testing.T, factory Factory) {
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x10000, 1)
+		want := Page(7)
+		if _, err := s.Put(0, key, want); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Get(time.Microsecond, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("page corrupted in round trip")
+		}
+	})
+
+	t.Run("GetMissing", func(t *testing.T) {
+		s := factory()
+		if _, _, err := s.Get(0, kvstore.MakeKey(0x999000, 1)); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("PutRejectsBadSize", func(t *testing.T) {
+		s := factory()
+		if _, err := s.Put(0, kvstore.MakeKey(0x1000, 1), []byte("short")); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("err = %v, want ErrBadValue", err)
+		}
+	})
+
+	t.Run("Overwrite", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x20000, 2)
+		if _, err := s.Put(0, key, Page(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put(0, key, Page(2)); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Get(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, Page(2)) {
+			t.Fatal("overwrite did not take effect")
+		}
+	})
+
+	t.Run("Delete", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x30000, 3)
+		if _, err := s.Put(0, key, Page(3)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Delete(0, key); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Get(0, key); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("err after delete = %v", err)
+		}
+		// Deleting a missing key is not an error (idempotent teardown).
+		if _, err := s.Delete(0, key); err != nil {
+			t.Fatalf("double delete: %v", err)
+		}
+	})
+
+	t.Run("MultiPut", func(t *testing.T) {
+		s := factory()
+		var keys []kvstore.Key
+		var pages [][]byte
+		for i := 0; i < 16; i++ {
+			keys = append(keys, kvstore.MakeKey(uint64(0x100000+i*kvstore.PageSize), 4))
+			pages = append(pages, Page(byte(i)))
+		}
+		done, err := s.MultiPut(0, keys, pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done <= 0 {
+			t.Fatal("MultiPut reported no elapsed time")
+		}
+		for i, key := range keys {
+			got, _, err := s.Get(done, key)
+			if err != nil {
+				t.Fatalf("key %d: %v", i, err)
+			}
+			if !bytes.Equal(got, pages[i]) {
+				t.Fatalf("key %d corrupted", i)
+			}
+		}
+	})
+
+	t.Run("MultiPutMismatchedLengths", func(t *testing.T) {
+		s := factory()
+		_, err := s.MultiPut(0, []kvstore.Key{1}, nil)
+		if !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("MultiPutAmortised", func(t *testing.T) {
+		const n = 32
+		serial := factory()
+		var serialDone time.Duration
+		for i := 0; i < n; i++ {
+			var err error
+			serialDone, err = serial.Put(serialDone, kvstore.MakeKey(uint64(i*kvstore.PageSize), 1), Page(byte(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		batched := factory()
+		var keys []kvstore.Key
+		var pages [][]byte
+		for i := 0; i < n; i++ {
+			keys = append(keys, kvstore.MakeKey(uint64(i*kvstore.PageSize), 1))
+			pages = append(pages, Page(byte(i)))
+		}
+		batchDone, err := batched.MultiPut(0, keys, pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batchDone >= serialDone {
+			t.Fatalf("MultiPut (%v) should beat %d serial Puts (%v)", batchDone, n, serialDone)
+		}
+	})
+
+	t.Run("StartGetSplitRead", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x40000, 5)
+		if _, err := s.Put(0, key, Page(9)); err != nil {
+			t.Fatal(err)
+		}
+		p := s.StartGet(time.Millisecond, key)
+		if p.ReadyAt <= time.Millisecond {
+			t.Fatalf("ReadyAt = %v, want after issue time", p.ReadyAt)
+		}
+		data, done, err := p.Wait(time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done < p.ReadyAt {
+			t.Fatalf("Wait returned %v before ReadyAt %v", done, p.ReadyAt)
+		}
+		if !bytes.Equal(data, Page(9)) {
+			t.Fatal("split read corrupted page")
+		}
+	})
+
+	t.Run("VirtualTimeMonotone", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x50000, 6)
+		now := time.Duration(0)
+		for i := 0; i < 20; i++ {
+			done, err := s.Put(now, key, Page(byte(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done < now {
+				t.Fatalf("completion %v before submission %v", done, now)
+			}
+			now = done
+		}
+	})
+
+	t.Run("StatsCount", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x60000, 7)
+		if _, err := s.Put(0, key, Page(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Get(0, key); err != nil {
+			t.Fatal(err)
+		}
+		s.Get(0, kvstore.MakeKey(0x61000, 7)) // miss
+		st := s.Stats()
+		if st.Puts != 1 || st.Gets != 2 || st.Misses != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.BytesStored != kvstore.PageSize {
+			t.Fatalf("BytesStored = %d", st.BytesStored)
+		}
+	})
+
+	t.Run("PartitionIsolation", func(t *testing.T) {
+		s := factory()
+		// The same page address in two partitions must be independent.
+		a := kvstore.MakeKey(0x70000, 1)
+		b := kvstore.MakeKey(0x70000, 2)
+		if _, err := s.Put(0, a, Page(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put(0, b, Page(2)); err != nil {
+			t.Fatal(err)
+		}
+		ga, _, _ := s.Get(0, a)
+		gb, _, _ := s.Get(0, b)
+		if !bytes.Equal(ga, Page(1)) || !bytes.Equal(gb, Page(2)) {
+			t.Fatal("partitions interfere")
+		}
+	})
+}

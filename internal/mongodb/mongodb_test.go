@@ -1,0 +1,201 @@
+package mongodb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fluidmem/internal/blockdev"
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/vm"
+	"fluidmem/internal/workload/ycsb"
+)
+
+// newGuest builds a FluidMem DRAM-backed guest.
+func newGuest(t *testing.T, localPages int, guestBytes uint64) *vm.VM {
+	t.Helper()
+	cfg := core.DefaultConfig(dram.New(dram.DefaultParams(), 5), localPages)
+	mon, err := core.NewMonitor(cfg, nil, "hyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x7f00_0000_0000)
+	if _, err := mon.RegisterRange(base, guestBytes, 1); err != nil {
+		t.Fatal(err)
+	}
+	guest, err := vm.New(vm.Config{Name: "g", MemBytes: guestBytes, PID: 1, Base: base}, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return guest
+}
+
+func newDisk(t *testing.T) *blockdev.Device {
+	t.Helper()
+	d, err := blockdev.New(blockdev.SSDParams(1<<30), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func openStore(t *testing.T, records int, cacheBytes uint64) (*Store, time.Duration) {
+	t.Helper()
+	guest := newGuest(t, 65536, 1<<30)
+	s, now, err := Open(0, guest, newDisk(t), DefaultConfig(records, cacheBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, now
+}
+
+func TestOpenValidation(t *testing.T) {
+	guest := newGuest(t, 1024, 64<<20)
+	disk := newDisk(t)
+	if _, _, err := Open(0, guest, disk, DefaultConfig(0, 1<<20)); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	if _, _, err := Open(0, guest, disk, DefaultConfig(100, 100)); err == nil {
+		t.Fatal("tiny cache accepted")
+	}
+	if _, _, err := Open(0, guest, nil, DefaultConfig(100, 1<<20)); err == nil {
+		t.Fatal("nil disk accepted")
+	}
+}
+
+func TestReadRecordVerifiesIntegrity(t *testing.T) {
+	s, now := openStore(t, 1000, 1<<20)
+	for id := 0; id < 1000; id += 97 {
+		done, err := s.ReadRecord(now, id)
+		if err != nil {
+			t.Fatalf("record %d: %v", id, err)
+		}
+		now = done
+	}
+	if s.Stats().DiskReads == 0 {
+		t.Fatal("cold reads never hit the disk")
+	}
+}
+
+func TestReadRecordOutOfRange(t *testing.T) {
+	s, now := openStore(t, 100, 1<<20)
+	if _, err := s.ReadRecord(now, 100); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.ReadRecord(now, -1); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCacheHitsFasterThanMisses(t *testing.T) {
+	s, now := openStore(t, 1000, 4<<20) // cache holds all 1000 records
+	// First read: miss; second: hit.
+	start := now
+	now, err := s.ReadRecord(now, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missLat := now - start
+	start = now
+	now, err = s.ReadRecord(now, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitLat := now - start
+	if hitLat >= missLat {
+		t.Fatalf("hit %v not faster than miss %v", hitLat, missLat)
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictsLRUWhenFull(t *testing.T) {
+	// Cache of one page = 4 records; reading 8 records evicts the first 4.
+	s, now := openStore(t, 100, vm.PageSize)
+	if s.CacheSlots() != 4 {
+		t.Fatalf("slots = %d", s.CacheSlots())
+	}
+	var err error
+	for id := 0; id < 8; id++ {
+		if now, err = s.ReadRecord(now, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Evictions != 4 {
+		t.Fatalf("evictions = %d", s.Stats().Evictions)
+	}
+	// Record 0 is evicted: reading it is a miss again.
+	misses := s.Stats().CacheMisses
+	if now, err = s.ReadRecord(now, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CacheMisses != misses+1 {
+		t.Fatal("evicted record served from cache")
+	}
+}
+
+func TestEngineLRUKeepsHotRecord(t *testing.T) {
+	s, now := openStore(t, 100, vm.PageSize) // 4 slots
+	var err error
+	if now, err = s.ReadRecord(now, 0); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < 12; id++ {
+		// Re-touch record 0 before each new insert.
+		if now, err = s.ReadRecord(now, 0); err != nil {
+			t.Fatal(err)
+		}
+		if now, err = s.ReadRecord(now, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses := s.Stats().CacheMisses
+	if now, err = s.ReadRecord(now, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CacheMisses != misses {
+		t.Fatal("hot record evicted by engine LRU")
+	}
+	_ = now
+}
+
+func TestYCSBIntegration(t *testing.T) {
+	s, now := openStore(t, 2000, 1<<20)
+	cfg := ycsb.DefaultConfig(2000, 1500)
+	res, _, err := ycsb.Run(now, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations != 1500 {
+		t.Fatalf("ops = %d", res.Operations)
+	}
+	st := s.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("zipfian workload produced no cache hits")
+	}
+	if st.CacheMisses == 0 {
+		t.Fatal("no cache misses despite cold start")
+	}
+	if res.Latencies.Mean() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestLargerCacheLowersLatency(t *testing.T) {
+	run := func(cacheBytes uint64) time.Duration {
+		s, now := openStore(t, 4000, cacheBytes)
+		res, _, err := ycsb.Run(now, s, ycsb.DefaultConfig(4000, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latencies.Mean()
+	}
+	small := run(256 << 10) // 256 KB: 256 records of 4000
+	large := run(8 << 20)   // 8 MB: all records fit
+	if large >= small {
+		t.Fatalf("bigger cache (%v) not faster than small (%v)", large, small)
+	}
+}

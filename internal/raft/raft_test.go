@@ -1,0 +1,311 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/simnet"
+)
+
+// cluster is a test harness around N nodes on one network.
+type cluster struct {
+	net     *simnet.Network
+	nodes   map[string]*Node
+	applied map[string][]any
+}
+
+func newCluster(t *testing.T, n int, seed uint64) *cluster {
+	t.Helper()
+	net := simnet.New(clock.LatencyModel{Base: 5 * time.Millisecond, Jitter: time.Millisecond}, seed)
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("n%d", i)
+	}
+	c := &cluster{net: net, nodes: make(map[string]*Node, n), applied: make(map[string][]any, n)}
+	for _, id := range peers {
+		id := id
+		c.nodes[id] = NewNode(Config{ID: id, Peers: peers, Seed: seed}, net, func(index uint64, cmd any) {
+			c.applied[id] = append(c.applied[id], cmd)
+		})
+	}
+	return c
+}
+
+func (c *cluster) leader() *Node {
+	var lead *Node
+	for _, n := range c.nodes {
+		if !n.stopped && n.Role() == Leader {
+			if lead == nil || n.Term() > lead.Term() {
+				lead = n
+			}
+		}
+	}
+	return lead
+}
+
+// waitLeader runs the network until exactly one live leader exists at the
+// highest term, or the deadline passes.
+func (c *cluster) waitLeader(t *testing.T, d time.Duration) *Node {
+	t.Helper()
+	deadline := c.net.Clock.Now() + d
+	for c.net.Clock.Now() < deadline {
+		c.net.RunFor(10 * time.Millisecond)
+		if l := c.leader(); l != nil {
+			return l
+		}
+	}
+	t.Fatalf("no leader elected within %v", d)
+	return nil
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	lead := c.waitLeader(t, 5*time.Second)
+	// Run longer; leadership should be stable with no competing leader.
+	c.net.RunFor(2 * time.Second)
+	leaders := 0
+	for _, n := range c.nodes {
+		if n.Role() == Leader && n.Term() == lead.Term() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("found %d leaders in term %d", leaders, lead.Term())
+	}
+}
+
+func TestSingleNodeClusterSelfElects(t *testing.T) {
+	c := newCluster(t, 1, 2)
+	lead := c.waitLeader(t, 2*time.Second)
+	if lead.cfg.ID != "n0" {
+		t.Fatalf("leader = %s", lead.cfg.ID)
+	}
+}
+
+func TestReplicatesAndCommits(t *testing.T) {
+	c := newCluster(t, 3, 3)
+	lead := c.waitLeader(t, 5*time.Second)
+	for i := 0; i < 5; i++ {
+		if _, _, ok := lead.Propose(fmt.Sprintf("cmd%d", i)); !ok {
+			t.Fatal("propose on leader failed")
+		}
+	}
+	c.net.RunFor(2 * time.Second)
+	for id, got := range c.applied {
+		if len(got) != 5 {
+			t.Fatalf("%s applied %d entries, want 5", id, len(got))
+		}
+		for i, cmd := range got {
+			if cmd != fmt.Sprintf("cmd%d", i) {
+				t.Fatalf("%s applied %v at %d", id, cmd, i)
+			}
+		}
+	}
+}
+
+func TestProposeOnFollowerRejected(t *testing.T) {
+	c := newCluster(t, 3, 4)
+	lead := c.waitLeader(t, 5*time.Second)
+	for id, n := range c.nodes {
+		if id != lead.cfg.ID {
+			if _, _, ok := n.Propose("x"); ok {
+				t.Fatalf("follower %s accepted a proposal", id)
+			}
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newCluster(t, 3, 5)
+	lead := c.waitLeader(t, 5*time.Second)
+	lead.Propose("before-crash")
+	c.net.RunFor(time.Second)
+
+	lead.Stop()
+	c.net.Partition(lead.cfg.ID)
+	newLead := c.waitLeader(t, 10*time.Second)
+	if newLead.cfg.ID == lead.cfg.ID {
+		t.Fatal("crashed node still considered leader")
+	}
+	if newLead.Term() <= lead.Term() {
+		t.Fatalf("new leader term %d not greater than old %d", newLead.Term(), lead.Term())
+	}
+	newLead.Propose("after-crash")
+	c.net.RunFor(2 * time.Second)
+	for id, n := range c.nodes {
+		if n.stopped {
+			continue
+		}
+		got := c.applied[id]
+		if len(got) != 2 || got[0] != "before-crash" || got[1] != "after-crash" {
+			t.Fatalf("%s applied %v", id, got)
+		}
+	}
+}
+
+func TestPartitionedLeaderStepsDown(t *testing.T) {
+	c := newCluster(t, 5, 6)
+	lead := c.waitLeader(t, 5*time.Second)
+	c.net.Partition(lead.cfg.ID)
+	// Majority side elects a new leader.
+	var newLead *Node
+	deadline := c.net.Clock.Now() + 10*time.Second
+	for c.net.Clock.Now() < deadline {
+		c.net.RunFor(10 * time.Millisecond)
+		if l := c.leader(); l != nil && l.cfg.ID != lead.cfg.ID {
+			newLead = l
+			break
+		}
+	}
+	if newLead == nil {
+		t.Fatal("majority never elected a replacement leader")
+	}
+	// Heal: old leader must step down on seeing the higher term.
+	c.net.Heal(lead.cfg.ID)
+	c.net.RunFor(2 * time.Second)
+	if lead.Role() == Leader && lead.Term() < newLead.Term() {
+		t.Fatal("stale leader did not step down after heal")
+	}
+}
+
+func TestCommitRequiresMajority(t *testing.T) {
+	c := newCluster(t, 3, 7)
+	lead := c.waitLeader(t, 5*time.Second)
+	// Isolate both followers: nothing can commit.
+	for id := range c.nodes {
+		if id != lead.cfg.ID {
+			c.net.Partition(id)
+		}
+	}
+	lead.Propose("lonely")
+	c.net.RunFor(2 * time.Second)
+	if got := len(c.applied[lead.cfg.ID]); got != 0 {
+		t.Fatalf("entry committed without majority (applied %d)", got)
+	}
+	// Heal one follower: majority restored, entry commits.
+	for id := range c.nodes {
+		if id != lead.cfg.ID {
+			c.net.Heal(id)
+			break
+		}
+	}
+	c.net.RunFor(3 * time.Second)
+	if got := len(c.applied[lead.cfg.ID]); got != 1 {
+		t.Fatalf("applied %d entries after heal, want 1", got)
+	}
+}
+
+func TestRestartRejoinsAndCatchesUp(t *testing.T) {
+	c := newCluster(t, 3, 8)
+	lead := c.waitLeader(t, 5*time.Second)
+
+	var crashed *Node
+	for id, n := range c.nodes {
+		if id != lead.cfg.ID {
+			crashed = n
+			break
+		}
+	}
+	crashed.Stop()
+	c.net.Partition(crashed.cfg.ID)
+
+	for i := 0; i < 3; i++ {
+		lead.Propose(i)
+	}
+	c.net.RunFor(2 * time.Second)
+
+	crashed.Restart()
+	c.net.Heal(crashed.cfg.ID)
+	c.net.RunFor(3 * time.Second)
+
+	if got := len(c.applied[crashed.cfg.ID]); got != 3 {
+		t.Fatalf("restarted node applied %d entries, want 3", got)
+	}
+}
+
+func TestMessageLossTolerated(t *testing.T) {
+	c := newCluster(t, 3, 9)
+	c.net.SetLossRate(0.2)
+	lead := c.waitLeader(t, 30*time.Second)
+	for i := 0; i < 3; i++ {
+		lead.Propose(i)
+		c.net.RunFor(time.Second)
+		// Leadership can churn under loss; re-acquire the leader.
+		if l := c.leader(); l != nil {
+			lead = l
+		}
+	}
+	c.net.RunFor(10 * time.Second)
+	// At least the current leader must have applied everything it committed,
+	// and all live nodes must agree on a prefix.
+	ref := c.applied[c.waitLeader(t, 30*time.Second).cfg.ID]
+	for id, got := range c.applied {
+		limit := len(got)
+		if len(ref) < limit {
+			limit = len(ref)
+		}
+		for i := 0; i < limit; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("%s diverges from leader at %d: %v vs %v", id, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestTermsMonotonic(t *testing.T) {
+	c := newCluster(t, 3, 10)
+	last := make(map[string]uint64)
+	for i := 0; i < 50; i++ {
+		c.net.RunFor(100 * time.Millisecond)
+		for id, n := range c.nodes {
+			if n.Term() < last[id] {
+				t.Fatalf("%s term went backwards: %d -> %d", id, last[id], n.Term())
+			}
+			last[id] = n.Term()
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Fatal("role strings wrong")
+	}
+	if Role(42).String() != "role(42)" {
+		t.Fatal("unknown role string wrong")
+	}
+}
+
+func TestAppliedInOrderUnderChurn(t *testing.T) {
+	c := newCluster(t, 5, 11)
+	var proposed int
+	for round := 0; round < 5; round++ {
+		lead := c.waitLeader(t, 30*time.Second)
+		for i := 0; i < 4; i++ {
+			if _, _, ok := lead.Propose(proposed); ok {
+				proposed++
+			}
+			c.net.RunFor(200 * time.Millisecond)
+		}
+		// Crash the leader every other round.
+		if round%2 == 0 {
+			lead.Stop()
+			c.net.Partition(lead.cfg.ID)
+		}
+	}
+	c.net.RunFor(5 * time.Second)
+	// Every live node's applied sequence must be a monotone sequence of the
+	// proposed integers (gaps impossible: log order).
+	for id, n := range c.nodes {
+		if n.stopped {
+			continue
+		}
+		got := c.applied[id]
+		for i := 1; i < len(got); i++ {
+			if got[i].(int) <= got[i-1].(int) {
+				t.Fatalf("%s applied out of order: %v", id, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package simnet is an in-process, discrete-event message fabric. Nodes
+// exchange messages over links with configurable latency, loss, and
+// partitions, all on a shared virtual clock. It is the substrate under the
+// Raft-backed partition registry and the networked key-value transports.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+)
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From    string
+	To      string
+	Payload any
+}
+
+// Handler consumes a message delivered to a node at virtual time now.
+type Handler func(now time.Duration, msg Message)
+
+// event is a scheduled occurrence: either a message delivery or a timer.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-break so ordering is deterministic
+	fire func(now time.Duration)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Network is the fabric. It owns the virtual clock shared by everything
+// attached to it. Not safe for concurrent use (single-threaded DES).
+type Network struct {
+	Clock *clock.Clock
+
+	defaultLink clock.LatencyModel
+	links       map[string]clock.LatencyModel // "from->to"
+	handlers    map[string]Handler
+	partitioned map[string]bool // node isolation
+	lossRate    float64
+	rng         *clock.Rand
+	queue       eventQueue
+	seq         uint64
+	delivered   uint64
+	dropped     uint64
+}
+
+// New creates a network whose links default to the given latency model.
+func New(defaultLink clock.LatencyModel, seed uint64) *Network {
+	return &Network{
+		Clock:       clock.New(),
+		defaultLink: defaultLink,
+		links:       make(map[string]clock.LatencyModel),
+		handlers:    make(map[string]Handler),
+		partitioned: make(map[string]bool),
+		rng:         clock.NewRand(seed),
+	}
+}
+
+// Register attaches a node with a message handler. Re-registering a name
+// replaces its handler (used when a node restarts).
+func (n *Network) Register(name string, h Handler) {
+	n.handlers[name] = h
+}
+
+// SetLink overrides the latency model for the directed link from->to.
+func (n *Network) SetLink(from, to string, m clock.LatencyModel) {
+	n.links[linkKey(from, to)] = m
+}
+
+// SetLossRate drops each message independently with probability p.
+func (n *Network) SetLossRate(p float64) {
+	n.lossRate = p
+}
+
+// Partition isolates a node: messages to and from it are dropped.
+func (n *Network) Partition(name string) {
+	n.partitioned[name] = true
+}
+
+// Heal reconnects a previously partitioned node.
+func (n *Network) Heal(name string) {
+	delete(n.partitioned, name)
+}
+
+// Send schedules delivery of payload from->to after the link latency.
+// Messages on the same link are delivered in send order (FIFO links).
+func (n *Network) Send(from, to string, payload any) {
+	if n.partitioned[from] || n.partitioned[to] {
+		n.dropped++
+		return
+	}
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		n.dropped++
+		return
+	}
+	model := n.defaultLink
+	if m, ok := n.links[linkKey(from, to)]; ok {
+		model = m
+	}
+	at := n.Clock.Now() + model.Sample(n.rng)
+	msg := Message{From: from, To: to, Payload: payload}
+	n.schedule(at, func(now time.Duration) {
+		if n.partitioned[msg.To] {
+			n.dropped++
+			return
+		}
+		h, ok := n.handlers[msg.To]
+		if !ok {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		h(now, msg)
+	})
+}
+
+// After schedules fn to run after d elapses on the virtual clock.
+func (n *Network) After(d time.Duration, fn func(now time.Duration)) {
+	if d < 0 {
+		d = 0
+	}
+	n.schedule(n.Clock.Now()+d, fn)
+}
+
+// Step delivers the next pending event, advancing the clock to it. It
+// reports whether an event was processed.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&n.queue).(*event)
+	n.Clock.AdvanceTo(ev.at)
+	ev.fire(n.Clock.Now())
+	return true
+}
+
+// RunUntil processes events until the virtual clock reaches deadline or the
+// queue drains, whichever comes first.
+func (n *Network) RunUntil(deadline time.Duration) {
+	for len(n.queue) > 0 && n.queue[0].at <= deadline {
+		n.Step()
+	}
+	n.Clock.AdvanceTo(deadline)
+}
+
+// RunFor processes events for d of virtual time from now.
+func (n *Network) RunFor(d time.Duration) {
+	n.RunUntil(n.Clock.Now() + d)
+}
+
+// Drain runs events until the queue is empty or maxEvents have fired,
+// returning the number of events processed. The cap guards against runaway
+// timer loops in tests.
+func (n *Network) Drain(maxEvents int) int {
+	count := 0
+	for count < maxEvents && n.Step() {
+		count++
+	}
+	return count
+}
+
+// Pending reports the number of scheduled events.
+func (n *Network) Pending() int { return len(n.queue) }
+
+// Stats reports delivered and dropped message counts.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	return n.delivered, n.dropped
+}
+
+func (n *Network) schedule(at time.Duration, fire func(now time.Duration)) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fire: fire})
+}
+
+func linkKey(from, to string) string {
+	return fmt.Sprintf("%s->%s", from, to)
+}

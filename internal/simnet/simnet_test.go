@@ -1,0 +1,212 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"fluidmem/internal/clock"
+)
+
+func fixedNet(latency time.Duration) *Network {
+	return New(clock.Fixed(latency), 1)
+}
+
+func TestSendDelivers(t *testing.T) {
+	n := fixedNet(10 * time.Microsecond)
+	var got []Message
+	n.Register("b", func(now time.Duration, m Message) { got = append(got, m) })
+	n.Send("a", "b", "hello")
+	n.Drain(100)
+	if len(got) != 1 || got[0].Payload != "hello" || got[0].From != "a" {
+		t.Fatalf("got %+v", got)
+	}
+	if n.Clock.Now() != 10*time.Microsecond {
+		t.Fatalf("clock = %v, want 10µs", n.Clock.Now())
+	}
+}
+
+func TestSendToUnknownNodeDropped(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	n.Send("a", "nobody", 1)
+	n.Drain(10)
+	if d, drop := n.Stats(); d != 0 || drop != 1 {
+		t.Fatalf("delivered=%d dropped=%d", d, drop)
+	}
+}
+
+func TestFIFOOrderingPerLink(t *testing.T) {
+	n := fixedNet(5 * time.Microsecond)
+	var order []int
+	n.Register("b", func(now time.Duration, m Message) { order = append(order, m.Payload.(int)) })
+	for i := 0; i < 10; i++ {
+		n.Send("a", "b", i)
+	}
+	n.Drain(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	n := fixedNet(100 * time.Microsecond)
+	n.SetLink("a", "b", clock.Fixed(time.Microsecond))
+	var at time.Duration
+	n.Register("b", func(now time.Duration, m Message) { at = now })
+	n.Send("a", "b", 1)
+	n.Drain(10)
+	if at != time.Microsecond {
+		t.Fatalf("delivered at %v, want 1µs", at)
+	}
+}
+
+func TestPartitionDrops(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	recv := 0
+	n.Register("b", func(now time.Duration, m Message) { recv++ })
+	n.Partition("b")
+	n.Send("a", "b", 1)
+	n.Drain(10)
+	if recv != 0 {
+		t.Fatal("partitioned node received a message")
+	}
+	n.Heal("b")
+	n.Send("a", "b", 2)
+	n.Drain(10)
+	if recv != 1 {
+		t.Fatal("healed node did not receive")
+	}
+}
+
+func TestPartitionAppliedAtDelivery(t *testing.T) {
+	// A message already in flight when the partition starts is dropped.
+	n := fixedNet(10 * time.Microsecond)
+	recv := 0
+	n.Register("b", func(now time.Duration, m Message) { recv++ })
+	n.Send("a", "b", 1)
+	n.Partition("b")
+	n.Drain(10)
+	if recv != 0 {
+		t.Fatal("in-flight message delivered through partition")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	n.SetLossRate(0.5)
+	recv := 0
+	n.Register("b", func(now time.Duration, m Message) { recv++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send("a", "b", i)
+	}
+	n.Drain(total + 10)
+	frac := float64(recv) / total
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("received fraction %v with 50%% loss", frac)
+	}
+}
+
+func TestAfterTimer(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	fired := time.Duration(-1)
+	n.After(42*time.Microsecond, func(now time.Duration) { fired = now })
+	n.Drain(10)
+	if fired != 42*time.Microsecond {
+		t.Fatalf("timer fired at %v", fired)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	fired := false
+	n.After(-5, func(now time.Duration) { fired = true })
+	n.Drain(10)
+	if !fired {
+		t.Fatal("negative timer never fired")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	fired := 0
+	n.After(10*time.Microsecond, func(now time.Duration) { fired++ })
+	n.After(100*time.Microsecond, func(now time.Duration) { fired++ })
+	n.RunUntil(50 * time.Microsecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if n.Clock.Now() != 50*time.Microsecond {
+		t.Fatalf("clock = %v, want 50µs", n.Clock.Now())
+	}
+	if n.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", n.Pending())
+	}
+}
+
+func TestRunForRelative(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	n.RunFor(30 * time.Microsecond)
+	n.RunFor(30 * time.Microsecond)
+	if n.Clock.Now() != 60*time.Microsecond {
+		t.Fatalf("clock = %v, want 60µs", n.Clock.Now())
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	run := func() []int {
+		n := fixedNet(time.Microsecond)
+		var order []int
+		n.Register("x", func(now time.Duration, m Message) { order = append(order, m.Payload.(int)) })
+		// All three arrive at the same instant; seq must break the tie.
+		n.Send("a", "x", 1)
+		n.Send("b", "x", 2)
+		n.Send("c", "x", 3)
+		n.Drain(10)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 3 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHandlerMaySendMore(t *testing.T) {
+	// Ping-pong: handlers sending from within handlers must work (Raft RPCs).
+	n := fixedNet(time.Microsecond)
+	hops := 0
+	n.Register("a", func(now time.Duration, m Message) {
+		hops++
+		if hops < 10 {
+			n.Send("a", "b", nil)
+		}
+	})
+	n.Register("b", func(now time.Duration, m Message) {
+		hops++
+		if hops < 10 {
+			n.Send("b", "a", nil)
+		}
+	})
+	n.Send("start", "a", nil)
+	n.Drain(100)
+	if hops != 10 {
+		t.Fatalf("hops = %d, want 10", hops)
+	}
+}
+
+func TestDrainRespectsCap(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	// Self-perpetuating timer.
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) { n.After(time.Microsecond, tick) }
+	n.After(time.Microsecond, tick)
+	if got := n.Drain(25); got != 25 {
+		t.Fatalf("Drain = %d, want 25", got)
+	}
+}

@@ -1,0 +1,339 @@
+package uffd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newFD(t *testing.T) (*FD, *Region) {
+	t.Helper()
+	f := New(DefaultParams(), 1)
+	r, err := f.Register(0x100000, 64*PageSize, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, r
+}
+
+func filled(tag byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = tag
+	}
+	return p
+}
+
+func TestRegisterValidation(t *testing.T) {
+	f := New(DefaultParams(), 1)
+	if _, err := f.Register(0x1001, PageSize, 1); err == nil {
+		t.Fatal("unaligned start accepted")
+	}
+	if _, err := f.Register(0x1000, 100, 1); err == nil {
+		t.Fatal("unaligned length accepted")
+	}
+	if _, err := f.Register(0x1000, 0, 1); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestRegisterOverlapRejected(t *testing.T) {
+	f := New(DefaultParams(), 1)
+	if _, err := f.Register(0x10000, 16*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Register(0x10000+8*PageSize, 16*PageSize, 2); err == nil {
+		t.Fatal("overlapping region accepted")
+	}
+	// Adjacent is fine.
+	if _, err := f.Register(0x10000+16*PageSize, 16*PageSize, 2); err != nil {
+		t.Fatalf("adjacent region rejected: %v", err)
+	}
+}
+
+func TestFirstAccessFaults(t *testing.T) {
+	f, r := newFD(t)
+	data, eventAt, hit, err := f.Access(0, r.Start, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	if data != nil {
+		t.Fatal("missed access returned data")
+	}
+	if eventAt <= 0 {
+		t.Fatal("fault trap cost missing")
+	}
+	ev, ok := f.NextEvent()
+	if !ok {
+		t.Fatal("no fault event queued")
+	}
+	if ev.Addr != r.Start || ev.PID != 1234 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !f.Waiting(r.Start) {
+		t.Fatal("vCPU not recorded as blocked")
+	}
+}
+
+func TestEventAddrPageAligned(t *testing.T) {
+	f, r := newFD(t)
+	if _, _, _, err := f.Access(0, r.Start+123, true); err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := f.NextEvent()
+	if ev.Addr != r.Start {
+		t.Fatalf("event addr %#x not aligned to %#x", ev.Addr, r.Start)
+	}
+	if !ev.Write {
+		t.Fatal("write flag lost")
+	}
+}
+
+func TestAccessOutsideRegions(t *testing.T) {
+	f, _ := newFD(t)
+	if _, _, _, err := f.Access(0, 0xdead0000, false); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestZeroPageResolvesRead(t *testing.T) {
+	f, r := newFD(t)
+	f.Access(0, r.Start, false)
+	f.NextEvent()
+	if _, err := f.ZeroPage(0, r.Start); err != nil {
+		t.Fatal(err)
+	}
+	f.Wake(0, r.Start)
+	if f.Waiting(r.Start) {
+		t.Fatal("still waiting after wake")
+	}
+	data, _, hit, err := f.Access(0, r.Start, false)
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(data, make([]byte, PageSize)) {
+		t.Fatal("zero page is not zero")
+	}
+	if r.State(r.Start) != PageZeroCOW {
+		t.Fatalf("state = %v, want zero-COW", r.State(r.Start))
+	}
+}
+
+func TestZeroCOWBreaksOnWrite(t *testing.T) {
+	f, r := newFD(t)
+	f.Access(0, r.Start, false)
+	f.NextEvent()
+	f.ZeroPage(0, r.Start)
+	// Write: kernel-internal COW break, no new uffd event.
+	data, done, hit, err := f.Access(0, r.Start, true)
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if done <= 0 {
+		t.Fatal("COW break cost missing")
+	}
+	if f.PendingEvents() != 0 {
+		t.Fatal("COW break raised a uffd event")
+	}
+	if r.State(r.Start) != PagePresent {
+		t.Fatal("page not private after COW break")
+	}
+	// The returned frame is writable guest memory.
+	data[0] = 0x5A
+	again, _, _, _ := f.Access(0, r.Start, false)
+	if again[0] != 0x5A {
+		t.Fatal("write to private page lost")
+	}
+}
+
+func TestCopyResolvesWithData(t *testing.T) {
+	f, r := newFD(t)
+	addr := r.Start + 4*PageSize
+	f.Access(0, addr, false)
+	f.NextEvent()
+	if _, err := f.Copy(0, addr, filled(0x7F)); err != nil {
+		t.Fatal(err)
+	}
+	data, _, hit, err := f.Access(0, addr, false)
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(data, filled(0x7F)) {
+		t.Fatal("copied data corrupted")
+	}
+}
+
+func TestCopyValidation(t *testing.T) {
+	f, r := newFD(t)
+	if _, err := f.Copy(0, r.Start, []byte("short")); err == nil {
+		t.Fatal("short copy accepted")
+	}
+	if _, err := f.Copy(0, 0xdead0000, filled(1)); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.Copy(0, r.Start, filled(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Copy(0, r.Start, filled(2)); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("double copy err = %v", err)
+	}
+}
+
+func TestZeroPageOnMappedFails(t *testing.T) {
+	f, r := newFD(t)
+	f.Copy(0, r.Start, filled(1))
+	if _, err := f.ZeroPage(0, r.Start); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemapEvictsZeroCopy(t *testing.T) {
+	f, r := newFD(t)
+	f.Copy(0, r.Start, filled(0x42))
+	data, done, err := f.Remap(0, r.Start, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, filled(0x42)) {
+		t.Fatal("remapped contents wrong")
+	}
+	if done <= 0 {
+		t.Fatal("remap cost missing")
+	}
+	if r.State(r.Start) != PageMissing {
+		t.Fatal("page still mapped after remap")
+	}
+	// Next access faults again.
+	_, _, hit, err := f.Access(0, r.Start, false)
+	if err != nil || hit {
+		t.Fatalf("hit=%v err=%v after eviction", hit, err)
+	}
+}
+
+func TestRemapZeroCOWMaterialisesZeroes(t *testing.T) {
+	f, r := newFD(t)
+	f.ZeroPage(0, r.Start)
+	data, _, err := f.Remap(0, r.Start, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, make([]byte, PageSize)) {
+		t.Fatal("evicted zero-COW page not zero")
+	}
+}
+
+func TestRemapMissingFails(t *testing.T) {
+	f, r := newFD(t)
+	if _, _, err := f.Remap(0, r.Start, false); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemapInterleavedRemovesShootdownTail(t *testing.T) {
+	// Table I gives synchronous UFFD_REMAP a 1.65 µs average but an 18 µs
+	// p99 (TLB-shootdown IPIs); §V-B reports the interleaved call returns in
+	// a flat ~2 µs. The win of interleaving is tail removal and overlap, not
+	// a lower mean, so assert on worst-case behaviour.
+	f, r := newFD(t)
+	var syncWorst, interWorst time.Duration
+	const n = 3000
+	for i := 0; i < n; i++ {
+		addr := r.Start
+		f.Copy(0, addr, filled(1))
+		_, done, err := f.Remap(0, addr, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done > syncWorst {
+			syncWorst = done
+		}
+		f.Copy(0, addr, filled(1))
+		_, done, err = f.Remap(0, addr, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done > interWorst {
+			interWorst = done
+		}
+	}
+	if interWorst > 4*time.Microsecond {
+		t.Fatalf("interleaved worst case %v, want flat ~2µs", interWorst)
+	}
+	if syncWorst < 2*interWorst {
+		t.Fatalf("sync worst %v vs interleaved worst %v: shootdown tail missing", syncWorst, interWorst)
+	}
+}
+
+func TestRemapSyncHasShootdownTail(t *testing.T) {
+	f, r := newFD(t)
+	worst := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		f.Copy(0, r.Start, filled(1))
+		_, done, err := f.Remap(0, r.Start, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done > worst {
+			worst = done
+		}
+	}
+	if worst < 10*time.Microsecond {
+		t.Fatalf("worst sync remap %v, want a TLB-shootdown tail ≥10µs", worst)
+	}
+}
+
+func TestMappedPagesCountsFootprint(t *testing.T) {
+	f, r := newFD(t)
+	for i := 0; i < 10; i++ {
+		f.Copy(0, r.Start+uint64(i)*PageSize, filled(byte(i)))
+	}
+	if r.MappedPages() != 10 {
+		t.Fatalf("MappedPages = %d", r.MappedPages())
+	}
+	f.Remap(0, r.Start, false)
+	if r.MappedPages() != 9 {
+		t.Fatalf("MappedPages after evict = %d", r.MappedPages())
+	}
+}
+
+func TestUnregisterDropsRegionAndEvents(t *testing.T) {
+	f := New(DefaultParams(), 1)
+	r1, _ := f.Register(0x100000, 16*PageSize, 1)
+	r2, _ := f.Register(0x200000, 16*PageSize, 2)
+	f.Access(0, r1.Start, false)
+	f.Access(0, r2.Start, false)
+	f.Unregister(r1)
+	if len(f.Regions()) != 1 {
+		t.Fatalf("regions = %d", len(f.Regions()))
+	}
+	if f.PendingEvents() != 1 {
+		t.Fatalf("pending = %d, want only r2's event", f.PendingEvents())
+	}
+	ev, _ := f.NextEvent()
+	if ev.Addr != r2.Start {
+		t.Fatalf("surviving event = %+v", ev)
+	}
+	if _, _, _, err := f.Access(0, r1.Start, false); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("access to dead region: %v", err)
+	}
+}
+
+func TestEventsFIFO(t *testing.T) {
+	f, r := newFD(t)
+	for i := 0; i < 5; i++ {
+		f.Access(time.Duration(i), r.Start+uint64(i)*PageSize, false)
+	}
+	for i := 0; i < 5; i++ {
+		ev, ok := f.NextEvent()
+		if !ok || ev.Addr != r.Start+uint64(i)*PageSize {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if _, ok := f.NextEvent(); ok {
+		t.Fatal("queue should be empty")
+	}
+}

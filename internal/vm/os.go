@@ -1,0 +1,163 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+)
+
+// OSProfile parametrises the guest operating system's memory footprint. The
+// paper measures ~317 MB (81042 pages) resident after booting to a prompt
+// (Table III), roughly a third of the 1 GB test VMs' DRAM; the defaults
+// reproduce that mix and the profile scales down proportionally for smaller
+// simulated machines.
+type OSProfile struct {
+	// KernelPages is unevictable kernel memory (text, slabs, page tables).
+	KernelPages int
+	// FilePages is file-backed memory: binaries, shared libraries, page
+	// cache warmed during boot.
+	FilePages int
+	// AnonPages is anonymous memory of boot-time daemons.
+	AnonPages int
+	// MlockedPages is pinned memory (e.g. auditd, crypto daemons).
+	MlockedPages int
+	// HotFraction is the fraction of OS pages in the kernel's steady-state
+	// working set; the rest is touched at boot and then goes cold — exactly
+	// the memory FluidMem pushes to remote and swap cannot (§VI-D1).
+	HotFraction float64
+}
+
+// DefaultOSProfile reproduces the paper's 81042-page boot footprint
+// (81042 = 19800 kernel + 36500 file + 24062 anon + 680 mlocked), with the
+// unevictable portion (kernel + mlocked) matching the 20480-page floor the
+// balloon driver bottoms out at in Table III.
+func DefaultOSProfile() OSProfile {
+	return OSProfile{
+		KernelPages:  19800,
+		FilePages:    36500,
+		AnonPages:    24062,
+		MlockedPages: 680,
+		HotFraction:  0.12,
+	}
+}
+
+// ScaledOSProfile shrinks the default profile to totalPages while preserving
+// the class mix, for reduced-scale experiments (DESIGN.md §5).
+func ScaledOSProfile(totalPages int) OSProfile {
+	def := DefaultOSProfile()
+	defTotal := def.TotalPages()
+	scale := func(n int) int {
+		v := n * totalPages / defTotal
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return OSProfile{
+		KernelPages:  scale(def.KernelPages),
+		FilePages:    scale(def.FilePages),
+		AnonPages:    scale(def.AnonPages),
+		MlockedPages: scale(def.MlockedPages),
+		HotFraction:  def.HotFraction,
+	}
+}
+
+// TotalPages is the boot-time resident footprint.
+func (p OSProfile) TotalPages() int {
+	return p.KernelPages + p.FilePages + p.AnonPages + p.MlockedPages
+}
+
+// GuestOS models the booted operating system inside a VM: its segments, its
+// hot working set, and the background activity that keeps that set warm.
+type GuestOS struct {
+	vm      *VM
+	profile OSProfile
+
+	kernel, file, anon, mlocked *Segment
+
+	// hot is the set of page addresses in the OS working set.
+	hot []uint64
+	rng *clock.Rand
+}
+
+// BootOS boots the guest: it allocates the OS segments with their page
+// classes and touches every page once (the first-touch faults that populate
+// a fresh VM, §V-A), returning the booted OS and the completion time.
+func BootOS(now time.Duration, v *VM, profile OSProfile, seed uint64) (*GuestOS, time.Duration, error) {
+	os := &GuestOS{vm: v, profile: profile, rng: clock.NewRand(seed)}
+	var err error
+	type alloc struct {
+		name  string
+		pages int
+		class PageClass
+		dst   **Segment
+	}
+	for _, a := range []alloc{
+		{"os.kernel", profile.KernelPages, ClassKernel, &os.kernel},
+		{"os.file", profile.FilePages, ClassFile, &os.file},
+		{"os.anon", profile.AnonPages, ClassAnon, &os.anon},
+		{"os.mlocked", profile.MlockedPages, ClassMlocked, &os.mlocked},
+	} {
+		if a.pages == 0 {
+			continue
+		}
+		*a.dst, err = v.Alloc(a.name, uint64(a.pages)*PageSize, a.class)
+		if err != nil {
+			return nil, now, fmt.Errorf("boot: %w", err)
+		}
+		for i := 0; i < a.pages; i++ {
+			if _, now, err = v.Touch(now, (*a.dst).Addr(uint64(i)*PageSize), true); err != nil {
+				return nil, now, fmt.Errorf("boot: touch %s page %d: %w", a.name, i, err)
+			}
+		}
+	}
+	os.buildHotSet()
+	return os, now, nil
+}
+
+// buildHotSet picks the steady-state OS working set: kernel pages are the
+// hottest (interrupts, scheduler), plus slices of file and anon memory.
+func (g *GuestOS) buildHotSet() {
+	add := func(seg *Segment, fraction float64) {
+		if seg == nil {
+			return
+		}
+		n := int(float64(seg.Pages()) * fraction)
+		for i := 0; i < n; i++ {
+			g.hot = append(g.hot, seg.Addr(uint64(i)*PageSize))
+		}
+	}
+	// Kernel working set is proportionally larger than user-space's.
+	add(g.kernel, g.profile.HotFraction*2)
+	add(g.file, g.profile.HotFraction)
+	add(g.anon, g.profile.HotFraction)
+	add(g.mlocked, 1.0) // pinned pages are pinned because they are hot
+}
+
+// HotPages reports the size of the OS working set.
+func (g *GuestOS) HotPages() int { return len(g.hot) }
+
+// Tick simulates background OS activity: timer interrupts, daemon wakeups,
+// and kernel housekeeping touch a random sample of the hot set. Workloads
+// interleave Tick with their own accesses so OS pages compete for residency
+// exactly as they do on a real guest.
+func (g *GuestOS) Tick(now time.Duration, touches int) (time.Duration, error) {
+	if len(g.hot) == 0 {
+		return now, nil
+	}
+	var err error
+	for i := 0; i < touches; i++ {
+		addr := g.hot[g.rng.Intn(len(g.hot))]
+		if _, now, err = g.vm.Touch(now, addr, i%4 == 0); err != nil {
+			return now, fmt.Errorf("os tick: %w", err)
+		}
+	}
+	return now, nil
+}
+
+// Segments returns the OS's memory segments (kernel, file, anon, mlocked in
+// that order; nil entries were zero-sized in the profile).
+func (g *GuestOS) Segments() []*Segment {
+	return []*Segment{g.kernel, g.file, g.anon, g.mlocked}
+}

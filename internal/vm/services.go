@@ -1,0 +1,140 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file models the responsiveness experiments of Table III: whether a VM
+// whose footprint has been squeezed to a given page count can still complete
+// an SSH login or answer an ICMP echo before the client times out.
+//
+// The pass/fail structure is a documented rule-based model (DESIGN.md §6):
+// a service completes within its timeout iff the VM can hold the service's
+// simultaneous working window resident; below that the guest livelocks —
+// every fault evicts a page the fault path itself still needs. Additionally,
+// KVM's hardware-assisted fault handling deadlocks below a critical
+// footprint because resolving a fault triggers recursive faults (§VI-E),
+// while full virtualisation survives at even a single resident page.
+
+// Service describes one responsiveness probe.
+type Service struct {
+	// Name identifies the service.
+	Name string
+	// TotalPages is how many distinct pages the operation touches end to
+	// end (binary, libraries, kernel path — "even part of the ssh binary
+	// will have to be stored in FluidMem").
+	TotalPages int
+	// WindowPages is the working set that must be simultaneously resident
+	// for the operation to make forward progress.
+	WindowPages int
+	// Passes is how many times the operation sweeps its working set.
+	Passes int
+	// Timeout is the client-side deadline.
+	Timeout time.Duration
+}
+
+// SSHService models accepting an SSH login: authentication walks sshd, PAM,
+// libc, and kernel crypto — a few hundred distinct pages with a working
+// window in the low hundreds. The paper finds logins still succeed at a
+// 180-page footprint and fail at 80.
+func SSHService() Service {
+	return Service{
+		Name:        "ssh",
+		TotalPages:  400,
+		WindowPages: 150,
+		Passes:      3,
+		Timeout:     10 * time.Second,
+	}
+}
+
+// ICMPService models answering one ICMP echo within its 1 s interval: the
+// interrupt path, the network stack, and the reply — a few dozen pages. The
+// paper finds replies still flow at an 80-page footprint.
+func ICMPService() Service {
+	return Service{
+		Name:        "icmp",
+		TotalPages:  72,
+		WindowPages: 60,
+		Passes:      1,
+		Timeout:     time.Second,
+	}
+}
+
+// KVMDeadlockFootprint is the resident-page floor below which KVM
+// hardware-assisted fault handling deadlocks (resolving a page fault
+// triggers further faults that can never all be resident). The paper could
+// only reach a 1-page footprint under full virtualisation.
+const KVMDeadlockFootprint = 24
+
+// ProbeResult reports one service attempt.
+type ProbeResult struct {
+	Service string
+	// Responded reports whether the service completed within its timeout.
+	Responded bool
+	// Deadlocked reports a KVM fault-handling deadlock: the VM is wedged
+	// (not just slow) until its footprint is raised.
+	Deadlocked bool
+	// Elapsed is the virtual time the attempt took (meaningful when it
+	// responded).
+	Elapsed time.Duration
+	// FootprintPages is the resident footprint capacity during the probe.
+	FootprintPages int
+}
+
+// FootprintLimiter is implemented by backings whose resident footprint is
+// capped (the FluidMem monitor's resizable LRU list). Probe uses it to learn
+// the capacity the VM is squeezed to.
+type FootprintLimiter interface {
+	FootprintLimit() int
+}
+
+// Probe attempts the service against the VM at virtual time now. The
+// service's pages are drawn from seg, which must hold at least
+// Service.TotalPages pages (in Table III runs this is the OS file segment —
+// the ssh binary and libraries live there).
+func Probe(now time.Duration, v *VM, seg *Segment, svc Service) (ProbeResult, time.Duration, error) {
+	if seg.Pages() < svc.TotalPages {
+		return ProbeResult{}, now, fmt.Errorf("vm: segment %q has %d pages, service %q needs %d",
+			seg.Name, seg.Pages(), svc.Name, svc.TotalPages)
+	}
+	capacity := v.ResidentPages()
+	if lim, ok := v.Backing().(FootprintLimiter); ok {
+		capacity = lim.FootprintLimit()
+	}
+	res := ProbeResult{Service: svc.Name, FootprintPages: capacity}
+
+	// KVM deadlock rule: below the critical footprint, fault handling
+	// recurses into itself and wedges the vCPU.
+	if v.cfg.Virt == VirtKVM && capacity < KVMDeadlockFootprint {
+		res.Deadlocked = true
+		return res, now, nil
+	}
+
+	// Livelock rule: without room for the working window, each fault evicts
+	// a page the same operation still needs and the client times out.
+	if capacity < svc.WindowPages {
+		return res, now + svc.Timeout, nil
+	}
+
+	// The footprint can hold the window: measure the real fault cost of
+	// streaming the service's pages through the squeezed VM.
+	start := now
+	var err error
+	for pass := 0; pass < svc.Passes; pass++ {
+		stride := svc.TotalPages / svc.WindowPages
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < svc.TotalPages; i++ {
+			// Interleave distant pages so the sweep exercises the window.
+			page := (i*stride + i/svc.WindowPages) % svc.TotalPages
+			if _, now, err = v.Touch(now, seg.Addr(uint64(page)*PageSize), false); err != nil {
+				return res, now, fmt.Errorf("vm: probe %s: %w", svc.Name, err)
+			}
+		}
+	}
+	res.Elapsed = now - start
+	res.Responded = res.Elapsed <= svc.Timeout
+	return res, now, nil
+}

@@ -1,0 +1,136 @@
+// Package pmbench reimplements the paging micro-benchmark the paper uses for
+// its latency measurements (§VI-B): after a warm-up pass that touches every
+// page of the working set once, it issues uniformly random 4 KB accesses at
+// a configurable read/write ratio for a fixed (virtual) duration, recording
+// the latency distribution of each access.
+package pmbench
+
+import (
+	"fmt"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/vm"
+)
+
+// Config parametrises a run.
+type Config struct {
+	// WSSBytes is the working set size (the paper uses a 4 GB allocation).
+	WSSBytes uint64
+	// Duration is how long (virtual time) to issue accesses after warm-up
+	// (the paper runs 100 s).
+	Duration time.Duration
+	// MaxAccesses optionally caps the access count regardless of Duration
+	// (0 = no cap); useful to bound simulation work.
+	MaxAccesses int
+	// ReadRatio is the fraction of reads (the paper uses 0.5).
+	ReadRatio float64
+	// FillDensity is the fraction of non-zero bytes written to each page
+	// during warm-up. 0 leaves pages zero-filled (fresh-VM behaviour);
+	// higher densities model populated application heaps — relevant to
+	// compression studies.
+	FillDensity float64
+	// Seed drives the access pattern.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's pmbench invocation, scaled by wssBytes.
+func DefaultConfig(wssBytes uint64) Config {
+	return Config{
+		WSSBytes:  wssBytes,
+		Duration:  100 * time.Second,
+		ReadRatio: 0.5,
+		Seed:      1,
+	}
+}
+
+// Result summarises a run.
+type Result struct {
+	// Latencies is the per-access latency sample (reads and writes).
+	Latencies *stats.Sample
+	// ReadLatencies and WriteLatencies split the sample by operation.
+	ReadLatencies  *stats.Sample
+	WriteLatencies *stats.Sample
+	// Accesses is the number of timed accesses.
+	Accesses int
+	// WarmupTime is the virtual time spent warming the working set.
+	WarmupTime time.Duration
+	// RunTime is the virtual time spent in the timed phase.
+	RunTime time.Duration
+}
+
+// Run executes pmbench against the VM, allocating its working set from guest
+// memory. It returns the result and the machine time at completion.
+func Run(now time.Duration, v *vm.VM, cfg Config) (*Result, time.Duration, error) {
+	if cfg.WSSBytes < vm.PageSize {
+		return nil, now, fmt.Errorf("pmbench: working set %d too small", cfg.WSSBytes)
+	}
+	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
+		return nil, now, fmt.Errorf("pmbench: read ratio %v out of [0,1]", cfg.ReadRatio)
+	}
+	seg, err := v.Alloc("pmbench.wss", cfg.WSSBytes, vm.ClassAnon)
+	if err != nil {
+		return nil, now, fmt.Errorf("pmbench: %w", err)
+	}
+	rng := clock.NewRand(cfg.Seed)
+	pages := seg.Pages()
+
+	if cfg.FillDensity < 0 || cfg.FillDensity > 1 {
+		return nil, now, fmt.Errorf("pmbench: fill density %v out of [0,1]", cfg.FillDensity)
+	}
+	// Warm-up: touch every page once, as pmbench does before timing.
+	warmStart := now
+	for i := 0; i < pages; i++ {
+		var data []byte
+		if data, now, err = v.Touch(now, seg.Addr(uint64(i)*vm.PageSize), true); err != nil {
+			return nil, now, fmt.Errorf("pmbench warm-up: %w", err)
+		}
+		if cfg.FillDensity > 0 {
+			// Fill a contiguous prefix: real heaps hold packed objects with
+			// zero tails, not byte-interleaved noise.
+			fill := int(cfg.FillDensity * float64(len(data)))
+			for off := 0; off < fill; off++ {
+				data[off] = byte(rng.Uint64()) | 1
+			}
+		}
+	}
+	res := &Result{
+		Latencies:      stats.NewSample(1 << 16),
+		ReadLatencies:  stats.NewSample(1 << 15),
+		WriteLatencies: stats.NewSample(1 << 15),
+		WarmupTime:     now - warmStart,
+	}
+
+	// Timed phase: uniform random 4 KB accesses.
+	deadline := now + cfg.Duration
+	runStart := now
+	for now < deadline {
+		if cfg.MaxAccesses > 0 && res.Accesses >= cfg.MaxAccesses {
+			break
+		}
+		page := rng.Intn(pages)
+		offset := uint64(rng.Intn(vm.PageSize/8)) * 8
+		addr := seg.Addr(uint64(page)*vm.PageSize + offset)
+		write := rng.Float64() >= cfg.ReadRatio
+		start := now
+		if write {
+			now, err = v.Write64(now, addr, rng.Uint64())
+		} else {
+			_, now, err = v.Read64(now, addr)
+		}
+		if err != nil {
+			return nil, now, fmt.Errorf("pmbench access: %w", err)
+		}
+		lat := now - start
+		res.Latencies.Add(lat)
+		if write {
+			res.WriteLatencies.Add(lat)
+		} else {
+			res.ReadLatencies.Add(lat)
+		}
+		res.Accesses++
+	}
+	res.RunTime = now - runStart
+	return res, now, nil
+}

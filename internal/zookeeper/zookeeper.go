@@ -1,0 +1,297 @@
+// Package zookeeper provides a small replicated, globally-consistent table
+// service in the spirit of Apache ZooKeeper, backed by the raft package. The
+// paper (§IV) uses ZooKeeper to guarantee global uniqueness of the virtual
+// partition index built from (PID, hypervisor ID, nonce); this package offers
+// the znode-table subset FluidMem needs: versioned create/get/set/delete,
+// prefix listing, and sequential nodes for unique nonce allocation.
+package zookeeper
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/raft"
+	"fluidmem/internal/simnet"
+)
+
+// Errors returned by table operations, matching ZooKeeper's error vocabulary.
+var (
+	ErrNodeExists = errors.New("zookeeper: node already exists")
+	ErrNoNode     = errors.New("zookeeper: node does not exist")
+	ErrBadVersion = errors.New("zookeeper: version mismatch")
+	ErrTimeout    = errors.New("zookeeper: operation timed out")
+)
+
+// op kinds.
+const (
+	opCreate    = "create"
+	opCreateSeq = "create-seq"
+	opGet       = "get"
+	opSet       = "set"
+	opDelete    = "delete"
+	opList      = "list"
+)
+
+// command is one replicated table operation. Every operation, including
+// reads, goes through the log, which makes all operations linearizable.
+type command struct {
+	ID      uint64
+	Kind    string
+	Path    string
+	Data    []byte
+	Version uint64
+}
+
+// result is the outcome of an applied command.
+type result struct {
+	Err     error
+	Data    []byte
+	Version uint64
+	Path    string
+	Names   []string
+}
+
+type znode struct {
+	data    []byte
+	version uint64
+}
+
+// table is the deterministic state machine replicated by raft.
+type table struct {
+	nodes   map[string]*znode
+	seq     map[string]uint64
+	results map[uint64]result // opID → result, for exactly-once retries
+}
+
+func newTable() *table {
+	return &table{
+		nodes:   make(map[string]*znode),
+		seq:     make(map[string]uint64),
+		results: make(map[uint64]result),
+	}
+}
+
+func (t *table) apply(cmd command) result {
+	if r, done := t.results[cmd.ID]; done {
+		return r // duplicate delivery of a retried proposal
+	}
+	var r result
+	switch cmd.Kind {
+	case opCreate:
+		if _, exists := t.nodes[cmd.Path]; exists {
+			r.Err = ErrNodeExists
+			break
+		}
+		t.nodes[cmd.Path] = &znode{data: append([]byte(nil), cmd.Data...), version: 1}
+		r.Path = cmd.Path
+		r.Version = 1
+	case opCreateSeq:
+		t.seq[cmd.Path]++
+		path := fmt.Sprintf("%s%010d", cmd.Path, t.seq[cmd.Path])
+		t.nodes[path] = &znode{data: append([]byte(nil), cmd.Data...), version: 1}
+		r.Path = path
+		r.Version = 1
+	case opGet:
+		n, exists := t.nodes[cmd.Path]
+		if !exists {
+			r.Err = ErrNoNode
+			break
+		}
+		r.Data = append([]byte(nil), n.data...)
+		r.Version = n.version
+	case opSet:
+		n, exists := t.nodes[cmd.Path]
+		if !exists {
+			r.Err = ErrNoNode
+			break
+		}
+		if cmd.Version != 0 && cmd.Version != n.version {
+			r.Err = ErrBadVersion
+			break
+		}
+		n.data = append([]byte(nil), cmd.Data...)
+		n.version++
+		r.Version = n.version
+	case opDelete:
+		n, exists := t.nodes[cmd.Path]
+		if !exists {
+			r.Err = ErrNoNode
+			break
+		}
+		if cmd.Version != 0 && cmd.Version != n.version {
+			r.Err = ErrBadVersion
+			break
+		}
+		delete(t.nodes, cmd.Path)
+	case opList:
+		for path := range t.nodes {
+			if strings.HasPrefix(path, cmd.Path) {
+				r.Names = append(r.Names, path)
+			}
+		}
+		sort.Strings(r.Names)
+	default:
+		r.Err = fmt.Errorf("zookeeper: unknown op %q", cmd.Kind)
+	}
+	t.results[cmd.ID] = r
+	return r
+}
+
+// Cluster is an ensemble of raft-replicated tables with a synchronous client
+// API. Client calls drive the shared simnet event loop until the operation
+// commits, so from the caller's perspective operations are simple blocking
+// calls on the virtual timeline.
+type Cluster struct {
+	net    *simnet.Network
+	nodes  []*raft.Node
+	tables []*table
+	done   map[uint64]result // results observed via apply on node 0..n
+	nextID uint64
+	// OpTimeout bounds how long (virtual time) one attempt may take.
+	OpTimeout time.Duration
+}
+
+// NewCluster builds an n-replica ensemble on a private network. Odd n
+// recommended. The returned cluster has already elected a leader.
+func NewCluster(n int, seed uint64) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("zookeeper: cluster size %d < 1", n)
+	}
+	net := simnet.New(clock.LatencyModel{Base: 2 * time.Millisecond, Jitter: 500 * time.Microsecond}, seed)
+	c := &Cluster{
+		net:       net,
+		done:      make(map[uint64]result),
+		OpTimeout: 30 * time.Second,
+	}
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("zk%d", i)
+	}
+	for i, id := range peers {
+		tbl := newTable()
+		c.tables = append(c.tables, tbl)
+		node := raft.NewNode(raft.Config{ID: id, Peers: peers, Seed: seed + uint64(i)}, net, func(index uint64, cmd any) {
+			// Every replica computes the identical result (deterministic
+			// state machine), so recording from any of them is safe and
+			// keeps the client responsive even if some replica is down.
+			c.done[cmd.(command).ID] = tbl.apply(cmd.(command))
+		})
+		c.nodes = append(c.nodes, node)
+	}
+	// Elect an initial leader.
+	deadline := net.Clock.Now() + time.Minute
+	for c.leader() == nil && net.Clock.Now() < deadline {
+		net.RunFor(10 * time.Millisecond)
+	}
+	if c.leader() == nil {
+		return nil, errors.New("zookeeper: initial leader election failed")
+	}
+	return c, nil
+}
+
+// Network exposes the underlying fabric for fault-injection in tests.
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Create makes a new znode. It fails with ErrNodeExists if path is taken.
+func (c *Cluster) Create(path string, data []byte) error {
+	r, err := c.do(command{Kind: opCreate, Path: path, Data: data})
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// CreateSequential creates a znode at prefix + a cluster-unique, monotonic
+// 10-digit sequence number, returning the full path. This is the primitive
+// the partition registry uses to mint globally unique nonces.
+func (c *Cluster) CreateSequential(prefix string, data []byte) (string, error) {
+	r, err := c.do(command{Kind: opCreateSeq, Path: prefix, Data: data})
+	if err != nil {
+		return "", err
+	}
+	return r.Path, r.Err
+}
+
+// Get returns a znode's data and version.
+func (c *Cluster) Get(path string) ([]byte, uint64, error) {
+	r, err := c.do(command{Kind: opGet, Path: path})
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Data, r.Version, r.Err
+}
+
+// Set replaces a znode's data. version 0 means unconditional; otherwise the
+// write succeeds only if the current version matches (compare-and-set).
+func (c *Cluster) Set(path string, data []byte, version uint64) (uint64, error) {
+	r, err := c.do(command{Kind: opSet, Path: path, Data: data, Version: version})
+	if err != nil {
+		return 0, err
+	}
+	return r.Version, r.Err
+}
+
+// Delete removes a znode, with the same version semantics as Set.
+func (c *Cluster) Delete(path string, version uint64) error {
+	r, err := c.do(command{Kind: opDelete, Path: path, Version: version})
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// List returns the sorted paths with the given prefix.
+func (c *Cluster) List(prefix string) ([]string, error) {
+	r, err := c.do(command{Kind: opList, Path: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return r.Names, r.Err
+}
+
+func (c *Cluster) leader() *raft.Node {
+	var lead *raft.Node
+	for _, n := range c.nodes {
+		if n.Role() == raft.Leader {
+			if lead == nil || n.Term() > lead.Term() {
+				lead = n
+			}
+		}
+	}
+	return lead
+}
+
+// do proposes cmd through the current leader and pumps the event loop until
+// node 0 applies it, retrying across leader changes. Proposals are
+// deduplicated by ID inside the state machine, so retries are exactly-once.
+func (c *Cluster) do(cmd command) (result, error) {
+	c.nextID++
+	cmd.ID = c.nextID
+	overall := c.net.Clock.Now() + c.OpTimeout
+	for c.net.Clock.Now() < overall {
+		lead := c.leader()
+		if lead == nil {
+			c.net.RunFor(20 * time.Millisecond)
+			continue
+		}
+		if _, _, ok := lead.Propose(cmd); !ok {
+			c.net.RunFor(20 * time.Millisecond)
+			continue
+		}
+		attempt := c.net.Clock.Now() + 2*time.Second
+		for c.net.Clock.Now() < attempt {
+			if r, ok := c.done[cmd.ID]; ok {
+				return r, nil
+			}
+			c.net.RunFor(5 * time.Millisecond)
+		}
+	}
+	if r, ok := c.done[cmd.ID]; ok {
+		return r, nil
+	}
+	return result{}, ErrTimeout
+}

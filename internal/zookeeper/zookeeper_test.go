@@ -1,0 +1,223 @@
+package zookeeper
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fluidmem/internal/raft"
+)
+
+func newTestCluster(t *testing.T, n int, seed uint64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCreateGet(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	if err := c.Create("/fluidmem/partitions/p1", []byte("vm-a")); err != nil {
+		t.Fatal(err)
+	}
+	data, version, err := c.Get("/fluidmem/partitions/p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "vm-a" || version != 1 {
+		t.Fatalf("got %q v%d", data, version)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	if err := c.Create("/x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/x", []byte("2")); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("err = %v, want ErrNodeExists", err)
+	}
+	// Original data intact.
+	data, _, err := c.Get("/x")
+	if err != nil || string(data) != "1" {
+		t.Fatalf("data = %q, err = %v", data, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newTestCluster(t, 3, 3)
+	if _, _, err := c.Get("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err = %v, want ErrNoNode", err)
+	}
+}
+
+func TestSetVersionedCAS(t *testing.T) {
+	c := newTestCluster(t, 3, 4)
+	if err := c.Create("/cas", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.Set("/cas", []byte("v2"), 1)
+	if err != nil || v2 != 2 {
+		t.Fatalf("Set = v%d, %v", v2, err)
+	}
+	// Stale version must fail.
+	if _, err := c.Set("/cas", []byte("v3"), 1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+	// Unconditional set (version 0) succeeds.
+	v3, err := c.Set("/cas", []byte("v3"), 0)
+	if err != nil || v3 != 3 {
+		t.Fatalf("Set = v%d, %v", v3, err)
+	}
+}
+
+func TestSetMissing(t *testing.T) {
+	c := newTestCluster(t, 1, 5)
+	if _, err := c.Set("/missing", nil, 0); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCluster(t, 3, 6)
+	if err := c.Create("/d", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("/d"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err after delete = %v", err)
+	}
+	if err := c.Delete("/d", 0); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestDeleteBadVersion(t *testing.T) {
+	c := newTestCluster(t, 1, 7)
+	if err := c.Create("/d", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/d", 42); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateSequentialUnique(t *testing.T) {
+	c := newTestCluster(t, 3, 8)
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		path, err := c.CreateSequential("/partitions/nonce-", []byte(fmt.Sprintf("vm%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(path, "/partitions/nonce-") {
+			t.Fatalf("path = %q", path)
+		}
+		if seen[path] {
+			t.Fatalf("duplicate sequential path %q", path)
+		}
+		seen[path] = true
+	}
+}
+
+func TestCreateSequentialMonotonic(t *testing.T) {
+	c := newTestCluster(t, 1, 9)
+	var prev string
+	for i := 0; i < 5; i++ {
+		path, err := c.CreateSequential("/seq-", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != "" && path <= prev {
+			t.Fatalf("sequence not monotonic: %q then %q", prev, path)
+		}
+		prev = path
+	}
+}
+
+func TestList(t *testing.T) {
+	c := newTestCluster(t, 3, 10)
+	for _, p := range []string{"/a/1", "/a/2", "/b/1"} {
+		if err := c.Create(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := c.List("/a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "/a/1" || names[1] != "/a/2" {
+		t.Fatalf("List = %v", names)
+	}
+	all, err := c.List("/")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List(/) = %v, %v", all, err)
+	}
+}
+
+func TestSingleReplicaCluster(t *testing.T) {
+	c := newTestCluster(t, 1, 11)
+	if err := c.Create("/solo", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Get("/solo")
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("%q, %v", data, err)
+	}
+}
+
+func TestClusterSizeValidation(t *testing.T) {
+	if _, err := NewCluster(0, 1); err == nil {
+		t.Fatal("want error for size 0")
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	c := newTestCluster(t, 3, 12)
+	for i := 0; i < 5; i++ {
+		if err := c.Create(fmt.Sprintf("/n%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let replication settle, then compare all state machines directly.
+	c.Network().RunFor(3 * time.Second)
+	ref := c.tables[0].nodes
+	if len(ref) != 5 {
+		t.Fatalf("table 0 has %d nodes", len(ref))
+	}
+	for i, tbl := range c.tables[1:] {
+		if len(tbl.nodes) != len(ref) {
+			t.Fatalf("replica %d has %d nodes, want %d", i+1, len(tbl.nodes), len(ref))
+		}
+		for path, n := range ref {
+			other, ok := tbl.nodes[path]
+			if !ok || string(other.data) != string(n.data) || other.version != n.version {
+				t.Fatalf("replica %d diverges at %q", i+1, path)
+			}
+		}
+	}
+}
+
+func TestSurvivesFollowerPartition(t *testing.T) {
+	c := newTestCluster(t, 3, 13)
+	// Partition one follower; the remaining quorum keeps serving.
+	for i, n := range c.nodes {
+		if n.Role() == raft.Follower {
+			c.Network().Partition(fmt.Sprintf("zk%d", i))
+			break
+		}
+	}
+	if err := c.Create("/during-partition", []byte("x")); err != nil {
+		t.Fatalf("write during follower partition failed: %v", err)
+	}
+	data, _, err := c.Get("/during-partition")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+}

@@ -1,0 +1,440 @@
+package fluidmem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/blockdev"
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/kvstore/memcached"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/swap"
+	"fluidmem/internal/vm"
+)
+
+// PageSize is the system page size.
+const PageSize = vm.PageSize
+
+// Mode selects the disaggregation mechanism.
+type Mode int
+
+// Modes.
+const (
+	// ModeFluidMem uses the FluidMem monitor (full disaggregation).
+	ModeFluidMem Mode = iota + 1
+	// ModeSwap uses the guest kernel swap path (partial disaggregation),
+	// the paper's comparison baseline.
+	ModeSwap
+)
+
+// Backend selects the remote key-value store for ModeFluidMem.
+type Backend string
+
+// Backends, matching the paper's evaluation (§VI-A).
+const (
+	// BackendDRAM keeps pages in local hypervisor DRAM (latency floor).
+	BackendDRAM Backend = "dram"
+	// BackendRAMCloud stores pages in a RAMCloud-style log-structured store
+	// over an InfiniBand-class transport.
+	BackendRAMCloud Backend = "ramcloud"
+	// BackendMemcached stores pages in a Memcached-style slab store over a
+	// TCP (IP-over-IB) transport.
+	BackendMemcached Backend = "memcached"
+)
+
+// SwapDevice selects the block device backing swap in ModeSwap.
+type SwapDevice string
+
+// Swap devices, matching the paper's swap baselines.
+const (
+	// SwapDRAM is remote DRAM exposed as /dev/pmem0.
+	SwapDRAM SwapDevice = "dram"
+	// SwapNVMeoF is an NVMe-over-Fabrics target over FDR InfiniBand.
+	SwapNVMeoF SwapDevice = "nvmeof"
+	// SwapSSD is a local SSD partition.
+	SwapSSD SwapDevice = "ssd"
+)
+
+// MachineConfig assembles one simulated hypervisor + guest.
+type MachineConfig struct {
+	// Mode picks FluidMem or the swap baseline. Default ModeFluidMem.
+	Mode Mode
+	// Backend picks the key-value store (ModeFluidMem). Default RAMCloud.
+	Backend Backend
+	// SwapDev picks the swap block device (ModeSwap). Default NVMeoF.
+	SwapDev SwapDevice
+	// LocalMemory is the guest's local DRAM budget in bytes: the FluidMem
+	// LRU list size, or the swap guest's physical frame count.
+	LocalMemory uint64
+	// GuestMemory is the guest-addressable memory in bytes (physical for
+	// FluidMem after hotplug; physical+swap for the baseline).
+	GuestMemory uint64
+	// SwapBytes is the swap device size (ModeSwap). Default 4×GuestMemory.
+	SwapBytes uint64
+	// StoreCapacity is the key-value store capacity (ModeFluidMem).
+	// Default 25 GB as in the paper's RAMCloud deployment.
+	StoreCapacity uint64
+	// VCPUs for the guest. Default 2 (the Graph500 configuration).
+	VCPUs int
+	// Virt is the virtualisation mode. Default KVM.
+	Virt vm.VirtMode
+	// BootOS boots a guest OS before returning, populating the OS footprint.
+	BootOS bool
+	// OSProfile overrides the OS footprint model; zero value selects a
+	// profile scaled to LocalMemory (≈30% of local DRAM at boot, matching
+	// the paper's 317 MB on 1 GB guests).
+	OSProfile vm.OSProfile
+	// Monitor optionally overrides the FluidMem monitor configuration
+	// (optimisation toggles for ablations). Store and LRUCapacity fields
+	// are filled in by NewMachine. Nil selects the fully optimised default.
+	Monitor *core.Config
+	// CompressPool, when non-zero, enables the zswap-style compressed tier
+	// with the given pool budget in bytes (§III's page-compression
+	// customisation). Ignored when Monitor is set (configure it there).
+	CompressPool uint64
+	// PrefetchPages, when positive, enables sequential prefetching of the
+	// next N pages after each remote-read fault (extension; helps scans,
+	// hurts random access). Ignored when Monitor is set.
+	PrefetchPages int
+	// SwapParams optionally overrides the swap subsystem tuning.
+	SwapParams *swap.Params
+	// SharedStore optionally supplies an existing key-value store shared
+	// with other hypervisors — the setting Migrate requires, and the way
+	// multiple machines pool one RAMCloud cluster (§IV).
+	SharedStore kvstore.Store
+	// Registry optionally supplies a shared partition registry (e.g. the
+	// ZooKeeper-backed one) for multi-hypervisor deployments.
+	Registry kvstore.Registry
+	// HypervisorID identifies this hypervisor in the partition registry.
+	HypervisorID string
+	// Seed drives all randomness. Same seed, same run.
+	Seed uint64
+}
+
+// Machine is one simulated hypervisor running one guest.
+type Machine struct {
+	cfg MachineConfig
+	now time.Duration
+
+	vm      *vm.VM
+	os      *vm.GuestOS
+	monitor *core.Monitor
+	swap    *swap.Subsystem
+	store   kvstore.Store
+	balloon *vm.Balloon
+}
+
+// NewMachine builds and wires a machine; with BootOS set it also boots the
+// guest, charging boot time to the virtual clock.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	applyMachineDefaults(&cfg)
+	if cfg.LocalMemory < PageSize {
+		return nil, errors.New("fluidmem: LocalMemory must be at least one page")
+	}
+	if cfg.GuestMemory < cfg.LocalMemory {
+		return nil, errors.New("fluidmem: GuestMemory smaller than LocalMemory")
+	}
+
+	m := &Machine{cfg: cfg}
+	pid := 1000 + int(cfg.Seed%9000)
+	vmCfg := vm.Config{
+		Name:     "guest0",
+		MemBytes: cfg.GuestMemory,
+		VCPUs:    cfg.VCPUs,
+		PID:      pid,
+		Virt:     cfg.Virt,
+	}
+
+	var backing vm.Backing
+	switch cfg.Mode {
+	case ModeFluidMem:
+		store := cfg.SharedStore
+		if store == nil {
+			var err error
+			if store, err = newStore(cfg); err != nil {
+				return nil, err
+			}
+		}
+		m.store = store
+		mcfg := core.DefaultConfig(store, int(cfg.LocalMemory/PageSize))
+		if cfg.CompressPool > 0 {
+			params := core.DefaultCompressParams(cfg.CompressPool)
+			mcfg.Compress = &params
+		}
+		mcfg.PrefetchPages = cfg.PrefetchPages
+		if cfg.Monitor != nil {
+			mcfg = *cfg.Monitor
+			mcfg.Store = store
+			if mcfg.LRUCapacity == 0 {
+				mcfg.LRUCapacity = int(cfg.LocalMemory / PageSize)
+			}
+		}
+		mcfg.Seed = cfg.Seed + 11
+		monitor, err := core.NewMonitor(mcfg, cfg.Registry, cfg.HypervisorID)
+		if err != nil {
+			return nil, err
+		}
+		base := uint64(0x7f00_0000_0000)
+		if _, err := monitor.RegisterRange(base, cfg.GuestMemory, pid); err != nil {
+			return nil, err
+		}
+		vmCfg.Base = base
+		m.monitor = monitor
+		backing = monitor
+	case ModeSwap:
+		sub, err := newSwapSubsystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.swap = sub
+		backing = sub
+	default:
+		return nil, fmt.Errorf("fluidmem: unknown mode %d", cfg.Mode)
+	}
+
+	guest, err := vm.New(vmCfg, backing)
+	if err != nil {
+		return nil, err
+	}
+	m.vm = guest
+	m.balloon = vm.NewBalloon(guest)
+
+	if cfg.BootOS {
+		profile := cfg.OSProfile
+		if profile.TotalPages() == 0 {
+			profile = vm.ScaledOSProfile(int(cfg.LocalMemory / PageSize * 3 / 10))
+		}
+		os, now, err := vm.BootOS(m.now, guest, profile, cfg.Seed+23)
+		if err != nil {
+			return nil, fmt.Errorf("fluidmem: boot: %w", err)
+		}
+		m.os = os
+		m.now = now
+	}
+	return m, nil
+}
+
+func applyMachineDefaults(cfg *MachineConfig) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeFluidMem
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = BackendRAMCloud
+	}
+	if cfg.SwapDev == "" {
+		cfg.SwapDev = SwapNVMeoF
+	}
+	if cfg.SwapBytes == 0 {
+		cfg.SwapBytes = 4 * cfg.GuestMemory
+	}
+	if cfg.StoreCapacity == 0 {
+		cfg.StoreCapacity = 25 << 30
+	}
+	if cfg.VCPUs == 0 {
+		cfg.VCPUs = 2
+	}
+	if cfg.Virt == 0 {
+		cfg.Virt = vm.VirtKVM
+	}
+	if cfg.HypervisorID == "" {
+		cfg.HypervisorID = "hypervisor-0"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+func newStore(cfg MachineConfig) (kvstore.Store, error) {
+	switch cfg.Backend {
+	case BackendDRAM:
+		return dram.New(dram.DefaultParams(), cfg.Seed+101), nil
+	case BackendRAMCloud:
+		p := ramcloud.DefaultParams()
+		p.CapacityBytes = cfg.StoreCapacity
+		return ramcloud.New(p, cfg.Seed+102), nil
+	case BackendMemcached:
+		p := memcached.DefaultParams()
+		p.CapacityBytes = cfg.StoreCapacity
+		return memcached.New(p, cfg.Seed+103), nil
+	default:
+		return nil, fmt.Errorf("fluidmem: unknown backend %q", cfg.Backend)
+	}
+}
+
+func newSwapSubsystem(cfg MachineConfig) (*swap.Subsystem, error) {
+	var devParams blockdev.Params
+	switch cfg.SwapDev {
+	case SwapDRAM:
+		devParams = blockdev.PmemParams(cfg.SwapBytes)
+	case SwapNVMeoF:
+		devParams = blockdev.NVMeoFParams(cfg.SwapBytes)
+	case SwapSSD:
+		devParams = blockdev.SSDParams(cfg.SwapBytes)
+	default:
+		return nil, fmt.Errorf("fluidmem: unknown swap device %q", cfg.SwapDev)
+	}
+	swapDev, err := blockdev.New(devParams, cfg.Seed+201)
+	if err != nil {
+		return nil, err
+	}
+	// The guest filesystem lives on a local SSD in all configurations.
+	fsDev, err := blockdev.New(blockdev.SSDParams(max64(4*cfg.GuestMemory, 1<<30)), cfg.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+	params := swap.DefaultParams(int(cfg.LocalMemory / PageSize))
+	if cfg.SwapParams != nil {
+		params = *cfg.SwapParams
+		if params.FramePages == 0 {
+			params.FramePages = int(cfg.LocalMemory / PageSize)
+		}
+	}
+	return swap.New(params, swapDev, fsDev, cfg.Seed+203)
+}
+
+// Now reports the machine's virtual clock.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Elapsed is an alias for Now: total virtual time since machine creation.
+func (m *Machine) Elapsed() time.Duration { return m.now }
+
+// AdvanceCPU charges pure compute time (workload think time) to the clock.
+func (m *Machine) AdvanceCPU(d time.Duration) {
+	if d > 0 {
+		m.now += d
+	}
+}
+
+// VM exposes the guest.
+func (m *Machine) VM() *vm.VM { return m.vm }
+
+// OS exposes the booted guest OS (nil unless BootOS was set).
+func (m *Machine) OS() *vm.GuestOS { return m.os }
+
+// Monitor exposes the FluidMem monitor (nil in ModeSwap).
+func (m *Machine) Monitor() *core.Monitor { return m.monitor }
+
+// Swap exposes the swap subsystem (nil in ModeFluidMem).
+func (m *Machine) Swap() *swap.Subsystem { return m.swap }
+
+// Store exposes the key-value backend (nil in ModeSwap).
+func (m *Machine) Store() kvstore.Store { return m.store }
+
+// Balloon exposes the guest balloon driver.
+func (m *Machine) Balloon() *vm.Balloon { return m.balloon }
+
+// Alloc reserves anonymous guest memory for a workload.
+func (m *Machine) Alloc(name string, bytes uint64) (*vm.Segment, error) {
+	return m.vm.Alloc(name, bytes, vm.ClassAnon)
+}
+
+// AllocClass reserves guest memory with an explicit page class (mmap'd
+// files, mlocked buffers).
+func (m *Machine) AllocClass(name string, bytes uint64, class vm.PageClass) (*vm.Segment, error) {
+	return m.vm.Alloc(name, bytes, class)
+}
+
+// Touch accesses the page at addr, advancing the virtual clock by the access
+// cost, and returns the page frame.
+func (m *Machine) Touch(addr uint64, write bool) ([]byte, error) {
+	data, now, err := m.vm.Touch(m.now, addr, write)
+	m.now = now
+	return data, err
+}
+
+// Read64 reads the word at addr, advancing the clock.
+func (m *Machine) Read64(addr uint64) (uint64, error) {
+	v, now, err := m.vm.Read64(m.now, addr)
+	m.now = now
+	return v, err
+}
+
+// Write64 writes the word at addr, advancing the clock.
+func (m *Machine) Write64(addr uint64, value uint64) error {
+	now, err := m.vm.Write64(m.now, addr, value)
+	m.now = now
+	return err
+}
+
+// OSTick runs background guest-OS activity (touches of the OS working set).
+func (m *Machine) OSTick(touches int) error {
+	if m.os == nil {
+		return nil
+	}
+	now, err := m.os.Tick(m.now, touches)
+	m.now = now
+	return err
+}
+
+// ResidentPages reports the guest's local-DRAM footprint.
+func (m *Machine) ResidentPages() int { return m.vm.ResidentPages() }
+
+// ResizeFootprint changes the local memory budget at runtime. For FluidMem
+// this resizes the monitor's LRU list (§III), evicting immediately when
+// shrinking — the full-disaggregation capability Table III demonstrates.
+// ModeSwap cannot do this without guest cooperation and returns an error,
+// exactly the limitation the paper describes (§II).
+func (m *Machine) ResizeFootprint(pages int) error {
+	if m.monitor == nil {
+		return errors.New("fluidmem: swap-based machines cannot resize the footprint without guest cooperation (use the balloon)")
+	}
+	now, err := m.monitor.Resize(m.now, pages)
+	m.now = now
+	return err
+}
+
+// Hotplug adds guest memory at runtime (QEMU memory hotplug, §III). In
+// FluidMem mode the new range is registered with the monitor.
+func (m *Machine) Hotplug(bytes uint64) error {
+	start := m.vm.Config().Base + m.vm.MemBytes()
+	if err := m.vm.Hotplug(bytes); err != nil {
+		return err
+	}
+	if m.monitor != nil {
+		if _, err := m.monitor.RegisterRange(start, bytes, m.vm.Config().PID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Probe tests service responsiveness at the current footprint (Table III).
+// The probe runs against the OS file segment; the machine must be booted.
+func (m *Machine) Probe(svc vm.Service) (vm.ProbeResult, error) {
+	if m.os == nil {
+		return vm.ProbeResult{}, errors.New("fluidmem: Probe requires a booted OS")
+	}
+	var fileSeg *vm.Segment
+	for _, seg := range m.os.Segments() {
+		if seg != nil && seg.Class == vm.ClassFile {
+			fileSeg = seg
+			break
+		}
+	}
+	if fileSeg == nil {
+		return vm.ProbeResult{}, errors.New("fluidmem: no OS file segment")
+	}
+	res, now, err := vm.Probe(m.now, m.vm, fileSeg, svc)
+	m.now = now
+	return res, err
+}
+
+// Drain quiesces asynchronous writeback (FluidMem mode); a no-op for swap.
+func (m *Machine) Drain() error {
+	if m.monitor == nil {
+		return nil
+	}
+	now, err := m.monitor.Drain(m.now)
+	m.now = now
+	return err
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

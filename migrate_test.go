@@ -1,0 +1,173 @@
+package fluidmem
+
+import (
+	"testing"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/vm"
+)
+
+// migrationPair builds source and destination machines over a shared
+// RAMCloud store and registry.
+func migrationPair(t *testing.T) (*Machine, *Machine) {
+	t.Helper()
+	store := ramcloud.New(ramcloud.DefaultParams(), 99)
+	registry := kvstore.NewLocalRegistry()
+	src, err := NewMachine(MachineConfig{
+		Mode:         ModeFluidMem,
+		LocalMemory:  16 << 20,
+		GuestMemory:  64 << 20,
+		BootOS:       true,
+		SharedStore:  store,
+		Registry:     registry,
+		HypervisorID: "hyp-a",
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewMachine(MachineConfig{
+		Mode:         ModeFluidMem,
+		LocalMemory:  16 << 20,
+		GuestMemory:  64 << 20,
+		SharedStore:  store,
+		Registry:     registry,
+		HypervisorID: "hyp-b",
+		Seed:         2, // distinct seed → distinct PID
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst
+}
+
+func TestMigratePreservesGuestState(t *testing.T) {
+	src, dst := migrationPair(t)
+	heap, err := src.Alloc("heap", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < heap.Pages(); i++ {
+		if err := src.Write64(heap.Addr(uint64(i)*PageSize), uint64(i)^0xABCD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcResident := src.ResidentPages()
+	if srcResident == 0 {
+		t.Fatal("setup: nothing resident")
+	}
+
+	if err := Migrate(src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// The destination starts near-empty (post-copy) and pages fault in.
+	if dst.ResidentPages() >= srcResident {
+		t.Fatalf("destination resident %d pages immediately; post-copy should lazy-load", dst.ResidentPages())
+	}
+	for i := 0; i < heap.Pages(); i++ {
+		v, err := dst.Read64(heap.Addr(uint64(i) * PageSize))
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if v != uint64(i)^0xABCD {
+			t.Fatalf("page %d corrupted: %#x", i, v)
+		}
+	}
+	// The migrated guest can keep allocating and the OS probes still work.
+	if _, err := dst.Alloc("post-migration", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dst.Probe(vm.SSHService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Responded {
+		t.Fatal("migrated VM does not answer SSH")
+	}
+}
+
+func TestMigrateClockMonotonic(t *testing.T) {
+	src, dst := migrationPair(t)
+	seg, _ := src.Alloc("x", 1<<20)
+	for i := 0; i < seg.Pages(); i++ {
+		if err := src.Write64(seg.Addr(uint64(i)*PageSize), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := src.Now()
+	if err := Migrate(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Now() <= before {
+		t.Fatalf("destination clock %v not after source %v", dst.Now(), before)
+	}
+}
+
+func TestMigrateRequiresSharedStore(t *testing.T) {
+	src, _ := migrationPair(t)
+	other, err := NewMachine(MachineConfig{
+		Mode:        ModeFluidMem,
+		LocalMemory: 4 << 20,
+		GuestMemory: 32 << 20,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Migrate(src, other); err == nil {
+		t.Fatal("migration accepted without a shared store")
+	}
+}
+
+func TestMigrateRequiresFluidMem(t *testing.T) {
+	src, _ := migrationPair(t)
+	swapDst, err := NewMachine(MachineConfig{
+		Mode:        ModeSwap,
+		LocalMemory: 4 << 20,
+		GuestMemory: 32 << 20,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Migrate(src, swapDst); err == nil {
+		t.Fatal("migration to a swap machine accepted")
+	}
+}
+
+func TestMigrateRequiresFreshDestination(t *testing.T) {
+	src, dst := migrationPair(t)
+	// Dirty the destination.
+	seg, _ := dst.Alloc("dirt", 1<<20)
+	if err := dst.Write64(seg.Addr(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Migrate(src, dst); err == nil {
+		t.Fatal("migration into a used machine accepted")
+	}
+}
+
+func TestMigrateRejectsSamePID(t *testing.T) {
+	store := ramcloud.New(ramcloud.DefaultParams(), 1)
+	registry := kvstore.NewLocalRegistry()
+	mk := func(hyp string) *Machine {
+		m, err := NewMachine(MachineConfig{
+			Mode:         ModeFluidMem,
+			LocalMemory:  4 << 20,
+			GuestMemory:  16 << 20,
+			SharedStore:  store,
+			Registry:     registry,
+			HypervisorID: hyp,
+			Seed:         7, // same seed → same PID
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if err := Migrate(mk("a"), mk("b")); err == nil {
+		t.Fatal("same-PID migration accepted")
+	}
+}
