@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-quick
+
+# The full gate: what CI (and the chaos PR's acceptance criteria) require.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-quick:
+	$(GO) run ./cmd/fluidmem-bench -quick

@@ -37,6 +37,7 @@ func experiments() []experiment {
 		{"ablation-compress", "A5: compressed-tier pool size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationCompress(o) }},
 		{"ablation-prefetch", "A6: sequential prefetching on/off × pattern", func(o bench.Options) (renderable, error) { return bench.RunAblationPrefetch(o) }},
 		{"density", "multi-VM density: idle guests drain, active guest grows (§VI-E)", func(o bench.Options) (renderable, error) { return bench.RunDensity(o) }},
+		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
 	}
 }
 

@@ -11,8 +11,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fluidmem"
+	"fluidmem/internal/core"
+	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/kvstore/faulty"
+	"fluidmem/internal/kvstore/memcached"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/kvstore/replicated"
 	"fluidmem/internal/vm"
 )
 
@@ -30,20 +39,34 @@ func run(args []string) error {
 		localMB = fs.Int("local", 64, "local DRAM budget in MB")
 		guestMB = fs.Int("guest", 256, "guest memory in MB")
 		script  = fs.String("script", "status;resize 180;probe;resize 80;probe;resize 32768;probe;status",
-			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n>")
-		seed = fs.Uint64("seed", 1, "simulation seed")
+			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n> | health")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		replicas = fs.Int("replicas", 1, "replication factor across backend members")
+		chaos    = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := fluidmem.NewMachine(fluidmem.MachineConfig{
+	mcfg := fluidmem.MachineConfig{
 		Mode:        fluidmem.ModeFluidMem,
 		Backend:     fluidmem.Backend(*backend),
 		LocalMemory: uint64(*localMB) << 20,
 		GuestMemory: uint64(*guestMB) << 20,
 		BootOS:      true,
 		Seed:        *seed,
-	})
+	}
+	if *replicas > 1 || *chaos > 0 {
+		store, err := buildStore(*backend, *replicas, *chaos, *seed)
+		if err != nil {
+			return err
+		}
+		mon := core.DefaultConfig(nil, int(mcfg.LocalMemory/fluidmem.PageSize))
+		policy := resilience.DefaultPolicy()
+		mon.Resilience = &policy
+		mcfg.SharedStore = store
+		mcfg.Monitor = &mon
+	}
+	m, err := fluidmem.NewMachine(mcfg)
 	if err != nil {
 		return err
 	}
@@ -61,6 +84,39 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// buildStore assembles the replicated/chaos store stack for the daemon: N
+// backend members, each optionally wrapped in a seeded fault injector, then
+// (when replicas > 1) a replication wrapper on top. One member with chaos
+// exercises the retry/degraded path alone; replicas add failover masking.
+func buildStore(backend string, replicas int, chaos float64, seed uint64) (kvstore.Store, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("replicas must be >= 1, got %d", replicas)
+	}
+	members := make([]kvstore.Store, replicas)
+	for i := range members {
+		var inner kvstore.Store
+		memberSeed := seed + 200 + uint64(i)
+		switch backend {
+		case "dram":
+			inner = dram.New(dram.DefaultParams(), memberSeed)
+		case "ramcloud":
+			inner = ramcloud.New(ramcloud.DefaultParams(), memberSeed)
+		case "memcached":
+			inner = memcached.New(memcached.DefaultParams(), memberSeed)
+		default:
+			return nil, fmt.Errorf("unknown backend %q", backend)
+		}
+		if chaos > 0 {
+			inner = faulty.Wrap(inner, faulty.Uniform(chaos, chaos), seed+300+uint64(i))
+		}
+		members[i] = inner
+	}
+	if replicas == 1 {
+		return members[0], nil
+	}
+	return replicated.New(members...)
 }
 
 func execute(m *fluidmem.Machine, fields []string) error {
@@ -109,6 +165,27 @@ func execute(m *fluidmem.Machine, fields []string) error {
 				verdict = fmt.Sprintf("OK in %v", res.Elapsed)
 			}
 			fmt.Printf("  %s @ %d pages: %s\n", svc.Name, res.FootprintPages, verdict)
+		}
+	case "health":
+		h, ok := m.Monitor().StoreHealth()
+		if !ok {
+			fmt.Println("  resilience policy disabled (run with -chaos or -replicas > 1)")
+			break
+		}
+		fmt.Printf("  backend %s: consecutive-failures=%d stall=%v",
+			h.State, h.ConsecutiveFailures, h.StallTime.Round(time.Microsecond))
+		if h.LastError != nil {
+			fmt.Printf(" last-error=%q", h.LastError)
+		}
+		fmt.Println()
+		if c := m.Monitor().ResilienceCounters(); c != nil {
+			for _, name := range c.Names() {
+				fmt.Printf("  resilience.%s=%d\n", name, c.Get(name))
+			}
+		}
+		if rep, ok := m.Store().(*replicated.Store); ok {
+			fmt.Printf("  replication: members=%d primary=%d failovers=%d member-errors=%d read-repairs=%d partial-puts=%d\n",
+				rep.Members(), rep.Primary(), rep.Failovers(), rep.MemberErrors(), rep.ReadRepairs(), rep.PartialPuts())
 		}
 	case "tick":
 		if len(fields) != 2 {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fluidmem/internal/clock"
+	"fluidmem/internal/core/resilience"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/uffd"
 )
@@ -51,6 +52,13 @@ type Config struct {
 	// parked in a local pool and refault at decompression speed instead of
 	// a network round trip. Nil disables the tier.
 	Compress *CompressParams
+	// Resilience optionally routes every store operation (fault reads,
+	// writeback, teardown deletes) through the fault-handling policy layer:
+	// bounded retry with backoff, per-op deadlines, replica failover, and a
+	// degraded mode that turns sustained backend failure into stall time
+	// plus a health signal instead of a hard error. Nil disables the layer
+	// (a backend error aborts the fault, the seed behaviour).
+	Resilience *resilience.Policy
 
 	// UFFD holds the simulated userfaultfd op costs.
 	UFFD uffd.Params

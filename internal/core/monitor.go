@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"fluidmem/internal/clock"
+	"fluidmem/internal/core/resilience"
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/stats"
 	"fluidmem/internal/uffd"
 	"fluidmem/internal/vm"
 )
@@ -68,6 +70,9 @@ type Monitor struct {
 
 	// storeLocal caches whether the backend is on-hypervisor (no RPC stack).
 	storeLocal bool
+	// resilient is non-nil when cfg.Resilience routed the store through the
+	// fault-handling policy layer; it exposes health and counters.
+	resilient *resilience.Store
 
 	epoch uint64
 	stats Stats
@@ -95,6 +100,14 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 	if hypervisorID == "" {
 		hypervisorID = "hypervisor-0"
 	}
+	// The resilience layer wraps the store before anything else captures it,
+	// so the fault path, the writeback engine, and teardown deletes all
+	// route through the policy.
+	var res *resilience.Store
+	if cfg.Resilience != nil {
+		res = resilience.Wrap(cfg.Store, *cfg.Resilience, cfg.Seed+0x7e57)
+		cfg.Store = res
+	}
 	local := false
 	if l, ok := cfg.Store.(kvstore.Local); ok {
 		local = l.Local()
@@ -108,6 +121,7 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 	}
 	return &Monitor{
 		storeLocal:   local,
+		resilient:    res,
 		tier:         tier,
 		cfg:          cfg,
 		fd:           uffd.New(cfg.UFFD, cfg.Seed),
@@ -143,11 +157,16 @@ func (m *Monitor) RegisterRange(start, length uint64, pid int) (*uffd.Region, er
 
 // UnregisterVM tears down all regions of pid: resident pages are dropped,
 // store contents deleted, and the partition released (VM shutdown, §V-A).
+// Teardown is best-effort under backend failure: a failed delete (a leaked
+// page in a crashed member) is remembered but does not abort the teardown —
+// the partition is still unregistered and released, and the first delete
+// error is reported at the end.
 func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error) {
 	part, ok := m.partitions[pid]
 	if !ok {
 		return now, fmt.Errorf("%w: %d", ErrUnknownPID, pid)
 	}
+	var firstErr error
 	for _, region := range m.fd.Regions() {
 		if region.PID != pid {
 			continue
@@ -164,18 +183,18 @@ func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error
 					m.tier.drop(key)
 				}
 				var err error
-				if now, err = m.cfg.Store.Delete(now, key); err != nil {
-					return now, fmt.Errorf("core: delete page %#x: %w", addr, err)
+				if now, err = m.cfg.Store.Delete(now, key); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: delete page %#x: %w", addr, err)
 				}
 			}
 		}
 		m.fd.Unregister(region)
 	}
 	delete(m.partitions, pid)
-	if err := m.registry.Release(part); err != nil {
-		return now, fmt.Errorf("core: release partition: %w", err)
+	if err := m.registry.Release(part); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("core: release partition: %w", err)
 	}
-	return now, nil
+	return now, firstErr
 }
 
 // Touch implements vm.Backing: a guest access to addr. Resident pages return
@@ -597,6 +616,34 @@ func (m *Monitor) regionOf(addr uint64) *uffd.Region {
 		}
 	}
 	return nil
+}
+
+// StoreHealth reports the resilience layer's backend health signal; ok is
+// false when the layer is disabled (cfg.Resilience == nil).
+func (m *Monitor) StoreHealth() (resilience.Health, bool) {
+	if m.resilient == nil {
+		return resilience.Health{}, false
+	}
+	return m.resilient.Health(), true
+}
+
+// ResilienceStats reports the policy layer's intervention counters; ok is
+// false when the layer is disabled.
+func (m *Monitor) ResilienceStats() (resilience.Stats, bool) {
+	if m.resilient == nil {
+		return resilience.Stats{}, false
+	}
+	return m.resilient.ResilienceStats(), true
+}
+
+// ResilienceCounters exports the policy layer's counters as a named set
+// (nil when the layer is disabled) — the surface fluidmemd and the chaos
+// harness render.
+func (m *Monitor) ResilienceCounters() *stats.Counters {
+	if m.resilient == nil {
+		return nil
+	}
+	return m.resilient.ResilienceStats().Counters()
 }
 
 // CompressStats reports the compressed tier's counters; ok is false when the

@@ -1,0 +1,269 @@
+package resilience_test
+
+// End-to-end chaos tests: the full FluidMem monitor over a 3-way replicated
+// store whose members crash on schedule and drop 1% of requests, per the
+// acceptance criteria — zero lost or corrupted pages, no hard error for any
+// fault a healthy replica could serve, bounded tail latency, and bit-for-bit
+// repeatability from the seed.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/faulty"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/kvstore/replicated"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/workload/ycsb"
+)
+
+const chaosBase = 0x7f00_0000_0000
+
+// chaosRig is the assembled stack: faulty(ramcloud)×3 → replicated →
+// resilience (inside the monitor).
+type chaosRig struct {
+	mon     *core.Monitor
+	rep     *replicated.Store
+	members []*faulty.Store
+}
+
+// newChaosRig builds the stack. Each member sees 1% transient errors and 1%
+// latency spikes on every op, plus a staggered 2 ms crash window (at least
+// two replicas up) AND a shared 1 ms total blackout — the only fault class
+// replication alone cannot mask, so it must surface as degraded-mode stall
+// inside the resilience layer, never as a monitor error.
+func newChaosRig(t *testing.T, seed uint64, pages int) *chaosRig {
+	t.Helper()
+	var members []*faulty.Store
+	var asStores []kvstore.Store
+	for i := 0; i < 3; i++ {
+		p := faulty.Uniform(0.01, 0.01)
+		from := time.Duration(1+3*i) * time.Millisecond
+		p.Crashes = []faulty.Window{
+			{From: from, To: from + 2*time.Millisecond},
+			{From: 12 * time.Millisecond, To: 13 * time.Millisecond},
+		}
+		f := faulty.Wrap(ramcloud.New(ramcloud.DefaultParams(), seed+uint64(i)), p, seed+100+uint64(i))
+		members = append(members, f)
+		asStores = append(asStores, f)
+	}
+	rep, err := replicated.New(asStores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(rep, 8)
+	cfg.Seed = seed
+	policy := resilience.DefaultPolicy()
+	cfg.Resilience = &policy
+	mon, err := core.NewMonitor(cfg, nil, "chaos-hyp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.RegisterRange(chaosBase, uint64(pages)*kvstore.PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	return &chaosRig{mon: mon, rep: rep, members: members}
+}
+
+// chaosOutcome captures everything two same-seed runs must agree on.
+type chaosOutcome struct {
+	finalTime time.Duration
+	faults    uint64
+	injected  [3][]faulty.Injection
+	counters  *stats.Counters
+}
+
+// runChaosWorkload drives a zipfian read/write mix across the crash
+// schedule, verifying every page's content on every read. It fails the test
+// on any hard fault error — by construction some replica can always serve.
+// With requireFaults the run also asserts the chaos actually intersected the
+// workload (injections fired, retries and a degraded transit happened);
+// whether it does is seed-dependent, so runs used only as a determinism
+// discriminator pass false.
+func runChaosWorkload(t *testing.T, seed uint64, requireFaults bool) chaosOutcome {
+	t.Helper()
+	const pages = 64
+	const ops = 4000
+	rig := newChaosRig(t, seed, pages)
+
+	lat := stats.NewSample(ops)
+	rig.mon.SetFaultLatencySink(lat.Add)
+
+	// Flat-ish zipfian over 8× the LRU capacity keeps the remote-read rate
+	// high enough that the 1% injection rates fire hundreds of times.
+	zipf, err := ycsb.NewZipfian(pages, 0.6, seed+7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make(map[int]byte)
+	now := time.Duration(0)
+	for i := 0; i < ops; i++ {
+		page := zipf.Next()
+		if i%4 == 3 {
+			// A sequential scan rides along: pure zipfian traffic is served
+			// almost entirely by the LRU and the steal path, never reaching
+			// the store; scans force real evictions and remote reads.
+			page = i % pages
+		}
+		write := i%3 == 0 // 2:1 read:write mix, YCSB-A-flavoured
+		addr := chaosBase + uint64(page)*kvstore.PageSize
+		data, done, err := rig.mon.Touch(now, addr, write)
+		if err != nil {
+			t.Fatalf("op %d (page %d at %v): monitor surfaced a hard error: %v", i, page, now, err)
+		}
+		if tag, seen := tags[page]; seen && data[0] != tag {
+			t.Fatalf("op %d: page %d corrupted: got tag %d want %d", i, page, data[0], tag)
+		}
+		if write {
+			tag := byte(i%250 + 1)
+			data[0] = tag
+			tags[page] = tag
+		}
+		now = done + 2*time.Microsecond // think time keeps ops inside windows
+	}
+	// Flush and verify every page end-state after the last crash window.
+	done, err := rig.mon.Drain(now)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	now = done
+	for page := 0; page < pages; page++ {
+		tag, seen := tags[page]
+		if !seen {
+			continue
+		}
+		data, done, err := rig.mon.Touch(now, chaosBase+uint64(page)*kvstore.PageSize, false)
+		if err != nil {
+			t.Fatalf("final read of page %d: %v", page, err)
+		}
+		if data[0] != tag {
+			t.Fatalf("page %d lost/corrupted at end: got %d want %d", page, data[0], tag)
+		}
+		now = done
+	}
+
+	rst, ok := rig.mon.ResilienceStats()
+	if !ok {
+		t.Fatal("monitor not reporting resilience stats")
+	}
+	if rst.StallExhausted != 0 {
+		t.Fatalf("%d ops exhausted the stall budget in a survivable schedule", rst.StallExhausted)
+	}
+	if requireFaults {
+		// The chaos must actually have fired, or the test is vacuous.
+		var inj faulty.InjectStats
+		for _, m := range rig.members {
+			s := m.InjectStats()
+			inj.TransientErrors += s.TransientErrors
+			inj.CrashRejects += s.CrashRejects
+			inj.Spikes += s.Spikes
+		}
+		if inj.TransientErrors == 0 {
+			t.Fatal("no transient errors injected")
+		}
+		if inj.CrashRejects == 0 {
+			t.Fatal("no crash windows hit")
+		}
+		if rst.Retries == 0 {
+			t.Fatal("resilience layer never retried despite injected errors")
+		}
+		if rst.DegradedEntries == 0 || rst.DegradedExits != rst.DegradedEntries {
+			t.Fatalf("blackout did not transit degraded mode cleanly: %+v", rst)
+		}
+		if h, ok := rig.mon.StoreHealth(); !ok || h.State != resilience.Healthy {
+			t.Fatalf("health did not recover after the chaos schedule: %+v", h)
+		}
+	}
+
+	// Bounded tail: p99 within the policy's worst-case masked latency. With
+	// a 400µs op deadline plus degraded probing this stays well under 5ms
+	// unless masking is broken.
+	if p99 := lat.Percentile(99); p99 > 5*time.Millisecond {
+		t.Fatalf("p99 fault latency %v, want bounded under chaos", p99)
+	}
+
+	out := chaosOutcome{finalTime: now, faults: uint64(lat.Len()), counters: stats.NewCounters()}
+	out.counters.Merge(rig.mon.ResilienceCounters())
+	for i, m := range rig.members {
+		out.injected[i] = m.Log()
+		c := m.InjectStats().Counters()
+		for _, name := range c.Names() {
+			out.counters.Set(fmt.Sprintf("m%d_%s", i, name), c.Get(name))
+		}
+	}
+	return out
+}
+
+func TestChaosWorkloadNoLostPages(t *testing.T) {
+	runChaosWorkload(t, 1, true)
+}
+
+func TestChaosRepeatability(t *testing.T) {
+	// Same seed ⇒ identical fault sequence and identical virtual-time
+	// results, the determinism property the whole injection design carries.
+	a := runChaosWorkload(t, 42, true)
+	b := runChaosWorkload(t, 42, true)
+	if a.finalTime != b.finalTime {
+		t.Fatalf("final virtual time diverged: %v vs %v", a.finalTime, b.finalTime)
+	}
+	if a.faults != b.faults {
+		t.Fatalf("fault counts diverged: %d vs %d", a.faults, b.faults)
+	}
+	if !a.counters.Equal(b.counters) {
+		t.Fatalf("counter sets diverged:\n%s\nvs\n%s", a.counters.Render(), b.counters.Render())
+	}
+	for i := range a.injected {
+		if len(a.injected[i]) != len(b.injected[i]) {
+			t.Fatalf("member %d injection logs diverged in length: %d vs %d", i, len(a.injected[i]), len(b.injected[i]))
+		}
+		for j := range a.injected[i] {
+			if a.injected[i][j] != b.injected[i][j] {
+				t.Fatalf("member %d injection %d diverged: %v vs %v", i, j, a.injected[i][j], b.injected[i][j])
+			}
+		}
+	}
+	// Different seed ⇒ a different fault schedule (sanity check that the
+	// repeatability assertion can actually discriminate).
+	c := runChaosWorkload(t, 43, false)
+	if c.counters.Equal(a.counters) && c.finalTime == a.finalTime {
+		t.Fatal("different seeds produced identical runs; determinism test is vacuous")
+	}
+}
+
+func TestChaosTeardownBestEffort(t *testing.T) {
+	// UnregisterVM during a full outage must still tear down local state:
+	// deletes are best-effort, the partition is released, and only the first
+	// error surfaces.
+	rig := newChaosRig(t, 9, 16)
+	now := time.Duration(0)
+	for i := 0; i < 16; i++ {
+		_, done, err := rig.mon.Touch(now, chaosBase+uint64(i)*kvstore.PageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if _, err := rig.mon.Drain(now); err != nil {
+		t.Fatal(err)
+	}
+	// Crash everything via the replication layer's own switch, so even
+	// failover cannot serve deletes.
+	for i := 0; i < 3; i++ {
+		rig.rep.Fail(i)
+	}
+	done, err := rig.mon.UnregisterVM(20*time.Millisecond, 1)
+	if err == nil {
+		t.Fatal("teardown under total outage should surface the delete failure")
+	}
+	if done < 20*time.Millisecond {
+		t.Fatalf("teardown completed at %v, before it started", done)
+	}
+	// The VM is gone regardless: re-registering its pid succeeds.
+	if _, err := rig.mon.RegisterRange(chaosBase, 16*kvstore.PageSize, 1); err != nil {
+		t.Fatalf("pid not released by best-effort teardown: %v", err)
+	}
+}

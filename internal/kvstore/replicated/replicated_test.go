@@ -133,6 +133,9 @@ func TestAllDown(t *testing.T) {
 	if _, err := s.Put(0, key, storetest.Page(1)); !errors.Is(err, ErrAllReplicasDown) {
 		t.Fatalf("write err = %v", err)
 	}
+	if _, err := s.Delete(0, key); !errors.Is(err, ErrAllReplicasDown) {
+		t.Fatalf("delete err = %v", err)
+	}
 }
 
 func TestRecoveredMemberMissesFailOver(t *testing.T) {
@@ -151,6 +154,215 @@ func TestRecoveredMemberMissesFailOver(t *testing.T) {
 	}
 	if !bytes.Equal(data, storetest.Page(7)) {
 		t.Fatal("failover-after-recovery corrupted")
+	}
+}
+
+func TestReadRepairThenPrimaryCrashLosesNothing(t *testing.T) {
+	// The recovery-gap scenario ISSUE calls out: a member crashes, misses
+	// writes, recovers, and later the members that DID see the writes crash.
+	// Without repair the recovered member serves nothing and the pages are
+	// gone; with read-repair the heal phase back-fills it.
+	s, members := threeWay(t)
+	s.Fail(0)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(0, kvstore.MakeKey(uint64(0x10000+i*kvstore.PageSize), 1), storetest.Page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Recover(0)
+	// Heal phase: every read finds the primary (0) missing the key, fails
+	// over, and back-fills the copy.
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Get(0, kvstore.MakeKey(uint64(0x10000+i*kvstore.PageSize), 1)); err != nil {
+			t.Fatalf("heal read %d: %v", i, err)
+		}
+	}
+	if got := s.ReadRepairs(); got != n {
+		t.Fatalf("ReadRepairs = %d, want %d", got, n)
+	}
+	// Member 0 must now hold real copies, not rely on the others.
+	for i := 0; i < n; i++ {
+		data, _, err := members[0].Get(0, kvstore.MakeKey(uint64(0x10000+i*kvstore.PageSize), 1))
+		if err != nil {
+			t.Fatalf("member 0 not back-filled for key %d: %v", i, err)
+		}
+		if !bytes.Equal(data, storetest.Page(byte(i))) {
+			t.Fatalf("repair corrupted key %d", i)
+		}
+	}
+	// Now the only members that originally saw the writes crash.
+	s.Fail(1)
+	s.Fail(2)
+	for i := 0; i < n; i++ {
+		data, _, err := s.Get(0, kvstore.MakeKey(uint64(0x10000+i*kvstore.PageSize), 1))
+		if err != nil {
+			t.Fatalf("page %d lost after heal-then-crash: %v", i, err)
+		}
+		if !bytes.Equal(data, storetest.Page(byte(i))) {
+			t.Fatalf("page %d corrupted after heal-then-crash", i)
+		}
+	}
+}
+
+func TestResyncBackfillsRecoveredMember(t *testing.T) {
+	s, members := threeWay(t)
+	s.Fail(0)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(0, kvstore.MakeKey(uint64(0x20000+i*kvstore.PageSize), 1), storetest.Page(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Recover(0)
+	done, repaired, err := s.Resync(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != n {
+		t.Fatalf("repaired = %d, want %d", repaired, n)
+	}
+	if done <= time.Millisecond {
+		t.Fatal("Resync charged no virtual time")
+	}
+	// One sweep converges: the recovered member can serve alone.
+	s.Fail(1)
+	s.Fail(2)
+	for i := 0; i < n; i++ {
+		data, _, err := s.Get(done, kvstore.MakeKey(uint64(0x20000+i*kvstore.PageSize), 1))
+		if err != nil {
+			t.Fatalf("page %d not resynced: %v", i, err)
+		}
+		if !bytes.Equal(data, storetest.Page(byte(i))) {
+			t.Fatalf("page %d corrupted by resync", i)
+		}
+	}
+	_ = members
+	// A second sweep finds nothing to do.
+	if _, repaired, _ := s.Resync(done); repaired != 0 {
+		t.Fatalf("idempotent resync repaired %d copies", repaired)
+	}
+}
+
+func TestDeleteNotResurrected(t *testing.T) {
+	// A member that was down during a Delete keeps a stale copy; neither
+	// reads nor Resync may resurrect the key.
+	s, members := threeWay(t)
+	key := kvstore.MakeKey(0x30000, 1)
+	if _, err := s.Put(0, key, storetest.Page(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Fail(0) // member 0 sleeps through the delete
+	if _, err := s.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	s.Recover(0)
+	// Member 0 still physically holds the page…
+	if _, _, err := members[0].Get(0, key); err != nil {
+		t.Fatalf("test setup: stale copy should exist: %v", err)
+	}
+	// …but the wrapper must say gone.
+	if _, _, err := s.Get(0, key); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("deleted key resurrected: %v", err)
+	}
+	if _, repaired, _ := s.Resync(0); repaired != 0 {
+		t.Fatalf("resync resurrected a deleted key (%d repairs)", repaired)
+	}
+	if _, _, err := s.Get(0, key); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("deleted key resurrected after resync: %v", err)
+	}
+}
+
+func TestUnavailableIsNotNotFound(t *testing.T) {
+	// A live key whose holders are all down is transient (ErrUnavailable),
+	// not ErrNotFound: the resilience layer retries the former and gives up
+	// on the latter, so conflating them would turn an outage into data loss.
+	s, _ := threeWay(t)
+	s.Fail(0)
+	key := kvstore.MakeKey(0x40000, 1)
+	if _, err := s.Put(0, key, storetest.Page(8)); err != nil {
+		t.Fatal(err)
+	}
+	s.Recover(0) // member 0 is up but missed the write
+	s.Fail(1)
+	s.Fail(2)
+	_, _, err := s.Get(0, key)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatal("ErrUnavailable must not satisfy ErrNotFound")
+	}
+	// Recovery makes the same read succeed — and back-fill member 0.
+	s.Recover(1)
+	data, _, err := s.Get(0, key)
+	if err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+	if !bytes.Equal(data, storetest.Page(8)) {
+		t.Fatal("recovered read corrupted")
+	}
+	if s.ReadRepairs() == 0 {
+		t.Fatal("recovery read did not repair the gap member")
+	}
+}
+
+func TestMemberErrorFailsOver(t *testing.T) {
+	// An erroring (not crashed) primary must be skipped, not surfaced: the
+	// wrapper masks any failure some healthy replica can serve.
+	s, members := threeWay(t)
+	key := kvstore.MakeKey(0x50000, 1)
+	if _, err := s.Put(0, key, storetest.Page(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the primary with one that always errors.
+	s.members[0] = erroringStore{inner: members[0]}
+	data, _, err := s.Get(0, key)
+	if err != nil {
+		t.Fatalf("read with erroring primary: %v", err)
+	}
+	if !bytes.Equal(data, storetest.Page(6)) {
+		t.Fatal("failover read corrupted")
+	}
+	if s.MemberErrors() == 0 {
+		t.Fatal("member error not counted")
+	}
+}
+
+// erroringStore fails every op with a transient error.
+type erroringStore struct{ inner kvstore.Store }
+
+var errBroken = errors.New("erroring: transient")
+
+func (e erroringStore) Name() string { return "erroring" }
+func (e erroringStore) Put(now time.Duration, key kvstore.Key, page []byte) (time.Duration, error) {
+	return now, errBroken
+}
+func (e erroringStore) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (time.Duration, error) {
+	return now, errBroken
+}
+func (e erroringStore) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
+	return nil, now, errBroken
+}
+func (e erroringStore) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+	return &kvstore.PendingGet{Key: key, ReadyAt: now, Err: errBroken}
+}
+func (e erroringStore) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {
+	return now, errBroken
+}
+func (e erroringStore) Stats() kvstore.Stats { return e.inner.Stats() }
+
+func TestRotatePrimarySkipsDownMembers(t *testing.T) {
+	s, _ := threeWay(t)
+	if s.Primary() != 0 {
+		t.Fatalf("initial primary = %d", s.Primary())
+	}
+	s.Fail(1)
+	if got := s.RotatePrimary(); got != 2 {
+		t.Fatalf("RotatePrimary = %d, want 2 (skipping down member 1)", got)
+	}
+	if got := s.RotatePrimary(); got != 0 {
+		t.Fatalf("RotatePrimary = %d, want 0", got)
 	}
 }
 

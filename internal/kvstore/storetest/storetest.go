@@ -210,6 +210,10 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 
+	// The error-path contract rides along with the happy-path suite so no
+	// backend can pass conformance while mishandling failures.
+	RunErrorPaths(t, factory)
+
 	t.Run("PartitionIsolation", func(t *testing.T) {
 		s := factory()
 		// The same page address in two partitions must be independent.
@@ -225,6 +229,81 @@ func Run(t *testing.T, factory Factory) {
 		gb, _, _ := s.Get(0, b)
 		if !bytes.Equal(ga, Page(1)) || !bytes.Equal(gb, Page(2)) {
 			t.Fatal("partitions interfere")
+		}
+	})
+}
+
+// RunErrorPaths exercises the failure half of the Store contract: exactly
+// which sentinel error each misuse must surface, and that a failed operation
+// leaves no partial state behind. The fault-handling layer keys its
+// retry/permanent decision off these sentinels, so a backend wrapping a
+// transient error in ErrNotFound (or vice versa) silently breaks resilience.
+func RunErrorPaths(t *testing.T, factory Factory) {
+	t.Run("GetAfterDeleteNotFound", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x80000, 1)
+		if _, err := s.Put(0, key, Page(4)); err != nil {
+			t.Fatal(err)
+		}
+		done, err := s.Delete(time.Microsecond, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Get(done, key); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
+		}
+		// Split reads must agree with synchronous reads on missing keys.
+		if _, _, err := s.StartGet(done, key).Wait(done); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("StartGet after Delete: err = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("ShortPageRejected", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x81000, 1)
+		if _, err := s.Put(0, key, make([]byte, kvstore.PageSize-1)); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("short page: err = %v, want ErrBadValue", err)
+		}
+		if _, _, err := s.Get(0, key); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("rejected Put left state behind: %v", err)
+		}
+	})
+
+	t.Run("OversizedPageRejected", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x82000, 1)
+		if _, err := s.Put(0, key, make([]byte, kvstore.PageSize+1)); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("oversized page: err = %v, want ErrBadValue", err)
+		}
+		if _, _, err := s.Get(0, key); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("rejected Put left state behind: %v", err)
+		}
+	})
+
+	t.Run("NilPageRejected", func(t *testing.T) {
+		s := factory()
+		if _, err := s.Put(0, kvstore.MakeKey(0x83000, 1), nil); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("nil page: err = %v, want ErrBadValue", err)
+		}
+	})
+
+	t.Run("MultiPutLengthMismatch", func(t *testing.T) {
+		s := factory()
+		keys := []kvstore.Key{kvstore.MakeKey(0x84000, 1), kvstore.MakeKey(0x85000, 1)}
+		if _, err := s.MultiPut(0, keys, [][]byte{Page(1)}); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("mismatched lengths: err = %v, want ErrBadValue", err)
+		}
+		if _, err := s.MultiPut(0, nil, [][]byte{Page(1)}); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("nil keys: err = %v, want ErrBadValue", err)
+		}
+	})
+
+	t.Run("MultiPutBadPage", func(t *testing.T) {
+		s := factory()
+		keys := []kvstore.Key{kvstore.MakeKey(0x86000, 1), kvstore.MakeKey(0x87000, 1)}
+		pages := [][]byte{Page(1), []byte("short")}
+		if _, err := s.MultiPut(0, keys, pages); !errors.Is(err, kvstore.ErrBadValue) {
+			t.Fatalf("bad page in batch: err = %v, want ErrBadValue", err)
 		}
 	})
 }

@@ -59,11 +59,17 @@ type Network struct {
 	handlers    map[string]Handler
 	partitioned map[string]bool // node isolation
 	lossRate    float64
+	dupRate     float64
 	rng         *clock.Rand
 	queue       eventQueue
 	seq         uint64
 	delivered   uint64
 	dropped     uint64
+	duplicated  uint64
+	// droppedNoHandler counts messages to names with no registered handler —
+	// misconfiguration (or a stopped node), counted separately from injected
+	// chaos so tests can tell the two apart.
+	droppedNoHandler uint64
 }
 
 // New creates a network whose links default to the given latency model.
@@ -94,6 +100,14 @@ func (n *Network) SetLossRate(p float64) {
 	n.lossRate = p
 }
 
+// SetDuplicateRate delivers each message a second time with probability p
+// (independent latency draw, so the copy may arrive before or after the
+// original). At-least-once transports do exactly this on retransmit; clients
+// that are not idempotent mis-apply the copy.
+func (n *Network) SetDuplicateRate(p float64) {
+	n.dupRate = p
+}
+
 // Partition isolates a node: messages to and from it are dropped.
 func (n *Network) Partition(name string) {
 	n.partitioned[name] = true
@@ -119,16 +133,26 @@ func (n *Network) Send(from, to string, payload any) {
 	if m, ok := n.links[linkKey(from, to)]; ok {
 		model = m
 	}
-	at := n.Clock.Now() + model.Sample(n.rng)
 	msg := Message{From: from, To: to, Payload: payload}
-	n.schedule(at, func(now time.Duration) {
+	n.deliverAfter(model.Sample(n.rng), msg)
+	// Duplication draws happen only when enabled so that existing seeds
+	// reproduce the exact pre-duplication event sequences.
+	if n.dupRate > 0 && n.rng.Float64() < n.dupRate {
+		n.duplicated++
+		n.deliverAfter(model.Sample(n.rng), msg)
+	}
+}
+
+// deliverAfter schedules one delivery attempt of msg after delay.
+func (n *Network) deliverAfter(delay time.Duration, msg Message) {
+	n.schedule(n.Clock.Now()+delay, func(now time.Duration) {
 		if n.partitioned[msg.To] {
 			n.dropped++
 			return
 		}
 		h, ok := n.handlers[msg.To]
 		if !ok {
-			n.dropped++
+			n.droppedNoHandler++
 			return
 		}
 		n.delivered++
@@ -184,10 +208,19 @@ func (n *Network) Drain(maxEvents int) int {
 // Pending reports the number of scheduled events.
 func (n *Network) Pending() int { return len(n.queue) }
 
-// Stats reports delivered and dropped message counts.
+// Stats reports delivered and dropped message counts. Dropped covers
+// injected chaos (loss, partitions); silent drops at unregistered handlers
+// are reported by DroppedNoHandler.
 func (n *Network) Stats() (delivered, dropped uint64) {
 	return n.delivered, n.dropped
 }
+
+// DroppedNoHandler reports messages dropped because their destination had
+// no registered handler — misconfiguration, not injected chaos.
+func (n *Network) DroppedNoHandler() uint64 { return n.droppedNoHandler }
+
+// Duplicated reports messages that were injected a second delivery.
+func (n *Network) Duplicated() uint64 { return n.duplicated }
 
 func (n *Network) schedule(at time.Duration, fire func(now time.Duration)) {
 	n.seq++

@@ -29,8 +29,59 @@ func TestSendToUnknownNodeDropped(t *testing.T) {
 	n := fixedNet(time.Microsecond)
 	n.Send("a", "nobody", 1)
 	n.Drain(10)
-	if d, drop := n.Stats(); d != 0 || drop != 1 {
-		t.Fatalf("delivered=%d dropped=%d", d, drop)
+	// A missing handler is misconfiguration, not injected chaos: it must not
+	// hide inside the chaos drop counter.
+	if d, drop := n.Stats(); d != 0 || drop != 0 {
+		t.Fatalf("delivered=%d dropped=%d, want 0/0", d, drop)
+	}
+	if got := n.DroppedNoHandler(); got != 1 {
+		t.Fatalf("droppedNoHandler = %d, want 1", got)
+	}
+}
+
+func TestDuplicateRate(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	n.SetDuplicateRate(0.5)
+	recv := 0
+	n.Register("b", func(now time.Duration, m Message) { recv++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send("a", "b", i)
+	}
+	n.Drain(3 * total)
+	extra := float64(recv-total) / total
+	if extra < 0.4 || extra > 0.6 {
+		t.Fatalf("duplicate fraction %v with 50%% duplication", extra)
+	}
+	if n.Duplicated() != uint64(recv-total) {
+		t.Fatalf("Duplicated() = %d, deliveries beyond originals = %d", n.Duplicated(), recv-total)
+	}
+}
+
+func TestDuplicateRateZeroPreservesRNGSequence(t *testing.T) {
+	// Enabling the feature with rate 0 must not consume RNG draws: existing
+	// seeded tests depend on the exact pre-duplication event sequence.
+	deliveries := func(dup bool) []time.Duration {
+		n := New(clock.LatencyModel{Base: 5 * time.Microsecond, Jitter: 2 * time.Microsecond}, 7)
+		if dup {
+			n.SetDuplicateRate(0)
+		}
+		var at []time.Duration
+		n.Register("b", func(now time.Duration, m Message) { at = append(at, now) })
+		for i := 0; i < 50; i++ {
+			n.Send("a", "b", i)
+		}
+		n.Drain(200)
+		return at
+	}
+	a, b := deliveries(false), deliveries(true)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d diverged: %v vs %v", i, a[i], b[i])
+		}
 	}
 }
 
