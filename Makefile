@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-quick
+.PHONY: check build vet test race check-race bench-quick
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
-check: vet build test race
+check: vet build test check-race
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race gate for the sharded fault pipeline: two counted runs defeat the test
+# cache so the per-worker stats cells and shard structures are re-exercised
+# under the race detector every time.
+check-race:
+	$(GO) test -race -count=2 ./...
 
 bench-quick:
 	$(GO) run ./cmd/fluidmem-bench -quick

@@ -43,6 +43,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		replicas = fs.Int("replicas", 1, "replication factor across backend members")
 		chaos    = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
+		workers  = fs.Int("workers", 1, "fault-pipeline width: page-address-sharded workers in the monitor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,14 +56,17 @@ func run(args []string) error {
 		BootOS:      true,
 		Seed:        *seed,
 	}
-	if *replicas > 1 || *chaos > 0 {
+	if *replicas > 1 || *chaos > 0 || *workers > 1 {
 		store, err := buildStore(*backend, *replicas, *chaos, *seed)
 		if err != nil {
 			return err
 		}
 		mon := core.DefaultConfig(nil, int(mcfg.LocalMemory/fluidmem.PageSize))
-		policy := resilience.DefaultPolicy()
-		mon.Resilience = &policy
+		mon.Workers = *workers
+		if *replicas > 1 || *chaos > 0 {
+			policy := resilience.DefaultPolicy()
+			mon.Resilience = &policy
+		}
 		mcfg.SharedStore = store
 		mcfg.Monitor = &mon
 	}

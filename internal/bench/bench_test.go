@@ -333,3 +333,42 @@ func TestDensityFluidMemWins(t *testing.T) {
 		t.Error("render missing header")
 	}
 }
+
+func TestWorkersThroughputMonotone(t *testing.T) {
+	res, err := RunWorkers(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(WorkerCounts()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The headline claim: fault throughput rises monotonically from 1 to 4
+	// workers. Beyond that the shared store read channel is the floor, so 8
+	// workers only needs to hold the level (small tolerance for jitter).
+	for i := 1; i < len(res.Rows); i++ {
+		prev, cur := res.Rows[i-1], res.Rows[i]
+		if cur.Workers <= 4 && cur.Throughput <= prev.Throughput {
+			t.Errorf("throughput not increasing %d→%d workers: %.0f vs %.0f",
+				prev.Workers, cur.Workers, prev.Throughput, cur.Throughput)
+		}
+		if cur.Workers > 4 && cur.Throughput < prev.Throughput*0.95 {
+			t.Errorf("throughput regressed %d→%d workers: %.0f vs %.0f",
+				prev.Workers, cur.Workers, prev.Throughput, cur.Throughput)
+		}
+	}
+	// Going 1→2 workers must be a big step, not noise: the serial monitor
+	// is the bottleneck at width 1.
+	if res.Rows[1].Throughput < res.Rows[0].Throughput*1.5 {
+		t.Errorf("2 workers only %.0f vs %.0f at 1: pipeline not the bottleneck",
+			res.Rows[1].Throughput, res.Rows[0].Throughput)
+	}
+	// Batching must actually batch: every demand fault is one MultiGet
+	// carrying itself plus its readahead window.
+	last := res.Rows[len(res.Rows)-1]
+	if last.MultiGets == 0 || last.BatchedGets < last.MultiGets*4 {
+		t.Errorf("MultiGet batching missing: %d batches, %d keys", last.MultiGets, last.BatchedGets)
+	}
+	if !strings.Contains(res.Render(), "Worker scaling") {
+		t.Error("render missing header")
+	}
+}

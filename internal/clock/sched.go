@@ -1,0 +1,110 @@
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a deterministic discrete-event queue: events are popped in
+// (time, insertion-sequence) order, so two events scheduled for the same
+// virtual instant always run in the order they were scheduled, independent
+// of heap internals or map iteration. It is the replay substrate for the
+// multi-worker fault pipeline — N concurrent streams of work interleave
+// through one Scheduler, and because ties break on the sequence number the
+// interleaving is bit-for-bit identical on every run with the same seed.
+//
+// Scheduler is not safe for concurrent use: like Clock, it belongs to one
+// single-threaded simulation loop (DESIGN.md §5, §9).
+type Scheduler struct {
+	events eventHeap
+	nextID uint64
+	now    time.Duration
+}
+
+// Event is one scheduled callback, as delivered by Next.
+type Event struct {
+	// At is the virtual time the event fires.
+	At time.Duration
+	// Stream identifies the logical source (a vCPU, a worker); the
+	// scheduler treats it as opaque.
+	Stream int
+	// Run is the event body. It may schedule further events.
+	Run func(now time.Duration)
+
+	seq uint64
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewScheduler returns an empty queue at virtual time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the fire time of the most recently popped event (the current
+// virtual time of the event loop).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.events) }
+
+// Schedule enqueues fn to run at virtual time at. Scheduling into the past
+// is a programming error (virtual time is monotonic) and panics.
+func (s *Scheduler) Schedule(at time.Duration, stream int, fn func(now time.Duration)) {
+	if at < s.now {
+		panic(fmt.Sprintf("clock: scheduling event at %v, before current time %v", at, s.now))
+	}
+	s.nextID++
+	heap.Push(&s.events, Event{At: at, Stream: stream, Run: fn, seq: s.nextID})
+}
+
+// Step pops and runs the earliest event, returning false when the queue is
+// empty. The event's fire time becomes the scheduler's current time.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(Event)
+	s.now = e.At
+	e.Run(e.At)
+	return true
+}
+
+// RunUntil drains events with fire times <= deadline (events an event
+// schedules are included if they land inside the window) and returns the
+// number executed.
+func (s *Scheduler) RunUntil(deadline time.Duration) int {
+	ran := 0
+	for len(s.events) > 0 && s.events[0].At <= deadline {
+		s.Step()
+		ran++
+	}
+	return ran
+}
+
+// Run drains the queue completely and returns the number of events executed.
+func (s *Scheduler) Run() int {
+	ran := 0
+	for s.Step() {
+		ran++
+	}
+	return ran
+}

@@ -1,0 +1,81 @@
+package clock
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdersByTimeThenSeq(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	rec := func(id int) func(time.Duration) {
+		return func(time.Duration) { got = append(got, id) }
+	}
+	// Three events at t=10 scheduled out of order relative to their IDs, one
+	// earlier, one later: ties must resolve in scheduling order.
+	s.Schedule(10, 0, rec(1))
+	s.Schedule(5, 0, rec(0))
+	s.Schedule(10, 1, rec(2))
+	s.Schedule(20, 0, rec(4))
+	s.Schedule(10, 2, rec(3))
+	if n := s.Run(); n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+	if want := []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("execution order %v, want %v", got, want)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("final time %v, want 20ns", s.Now())
+	}
+}
+
+func TestSchedulerEventsScheduleEvents(t *testing.T) {
+	s := NewScheduler()
+	var fires []time.Duration
+	var chain func(now time.Duration)
+	chain = func(now time.Duration) {
+		fires = append(fires, now)
+		if len(fires) < 4 {
+			s.Schedule(now+3, 0, chain)
+		}
+	}
+	s.Schedule(1, 0, chain)
+	s.Run()
+	if want := []time.Duration{1, 4, 7, 10}; !reflect.DeepEqual(fires, want) {
+		t.Fatalf("chain fired at %v, want %v", fires, want)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	for _, at := range []time.Duration{1, 5, 9, 13} {
+		s.Schedule(at, 0, func(time.Duration) { ran++ })
+	}
+	if n := s.RunUntil(9); n != 3 || ran != 3 {
+		t.Fatalf("RunUntil(9) ran %d/%d, want 3", n, ran)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("%d events left, want 1", s.Len())
+	}
+	// An event scheduled inside the window by a drained event also runs.
+	s.Schedule(14, 0, func(now time.Duration) {
+		s.Schedule(now+1, 0, func(time.Duration) { ran++ })
+	})
+	if n := s.RunUntil(20); n != 3 || ran != 5 {
+		t.Fatalf("second RunUntil ran %d (total %d), want 3 (total 5)", n, ran)
+	}
+}
+
+func TestSchedulerRejectsPastEvents(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(10, 0, func(time.Duration) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	s.Schedule(5, 0, func(time.Duration) {})
+}

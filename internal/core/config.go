@@ -47,6 +47,22 @@ type Config struct {
 	// sequential prefetching (extension; ablation A6). Zero disables it,
 	// matching the paper's readahead-off configuration.
 	PrefetchPages int
+	// Workers is the number of fault-handling workers the monitor's
+	// pipeline is partitioned across (the paper's multi-threaded handler,
+	// §V-B). Faults are sharded by page address: each worker owns an LRU
+	// segment and a write-list queue, and a fault waits only for its own
+	// worker to be free. Parallelism is timing-only by construction — the
+	// logical operation sequence (eviction victims, flush batches, store
+	// traffic) is identical for every worker count, which the shardtest
+	// oracle harness asserts — so more workers raise fault throughput
+	// without changing behaviour. 0 or 1 is the serial monitor.
+	Workers int
+	// BatchReads folds the demand-fault read and its prefetch reads (when
+	// PrefetchPages > 0) into one amortised MultiGet round trip instead of
+	// a pipeline of per-page split reads — batched remote reads, the
+	// standard cure for per-page RTT overhead in the disaggregation
+	// literature.
+	BatchReads bool
 	// Compress optionally enables the zswap-style compressed tier (§III's
 	// page-compression customisation): evicted pages that compress well are
 	// parked in a local pool and refault at decompression speed instead of

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCompressRoundTrip hammers the zero-run codec with arbitrary page
+// contents: every page must survive compress → decompress byte-for-byte,
+// and decompressPage must never panic or accept a blob that does not decode
+// to exactly one page.
+func FuzzCompressRoundTrip(f *testing.F) {
+	zero := make([]byte, PageSize)
+	f.Add(zero)
+	mixed := make([]byte, PageSize)
+	for i := 0; i < PageSize; i += 97 {
+		mixed[i] = byte(i)
+	}
+	f.Add(mixed)
+	full := bytes.Repeat([]byte{0xAB}, PageSize)
+	f.Add(full)
+	runs := make([]byte, PageSize)
+	copy(runs[100:], bytes.Repeat([]byte{7}, 5)) // literal shorter than minZeroRun
+	copy(runs[2048:], bytes.Repeat([]byte{9}, 300))
+	f.Add(runs)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Shape arbitrary input into a page: truncate or zero-pad.
+		page := make([]byte, PageSize)
+		copy(page, raw)
+		blob := compressPage(page)
+		got, err := decompressPage(blob)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !bytes.Equal(got, page) {
+			t.Fatal("round trip lost data")
+		}
+	})
+}
+
+// FuzzDecompressArbitrary feeds decompressPage raw attacker-controlled
+// blobs: it must return an error or a full page, never panic, over-read, or
+// return a short slice.
+func FuzzDecompressArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{tokZeros, 0x80, 0x20}) // uvarint 4096: a full zero page
+	f.Add([]byte{tokLiteral, 3, 'a', 'b', 'c'})
+	f.Add([]byte{tokZeros})   // truncated varint
+	f.Add([]byte{0x00, 0x01}) // unknown token
+	f.Add(compressPage(make([]byte, PageSize)))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		out, err := decompressPage(blob)
+		if err == nil && len(out) != PageSize {
+			t.Fatalf("accepted blob decoding to %d bytes", len(out))
+		}
+	})
+}

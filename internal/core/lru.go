@@ -2,32 +2,69 @@ package core
 
 import "container/list"
 
-// lruList is the monitor's resident-page list (§V-A). Its semantics follow
-// the paper exactly: a page enters the list when the monitor sees it (first
-// access, or re-fault after an eviction) and the internal ordering never
-// changes afterwards — the list is *not* reordered on guest accesses,
-// because resident accesses never reach the monitor. Evictions come from the
-// top (oldest entry). The paper calls out this insertion-order behaviour as
-// a limitation versus the kernel's active/inactive lists (§VI-D1).
+// lruList is the monitor's resident-page list (§V-A), partitioned into
+// per-shard segments for the multi-worker fault pipeline. Its semantics
+// follow the paper exactly: a page enters the list when the monitor sees it
+// (first access, or re-fault after an eviction) and the internal ordering
+// never changes afterwards — the list is *not* reordered on guest accesses,
+// because resident accesses never reach the monitor. Evictions come from
+// the top (globally oldest entry). The paper calls out this insertion-order
+// behaviour as a limitation versus the kernel's active/inactive lists
+// (§VI-D1).
+//
+// Sharding is a lock-striping structure, not a policy change: each worker's
+// pages live in their own segment (one lock domain in a real monitor), but
+// every insert is stamped with a global sequence number and Oldest selects
+// the minimum across segment heads. Segment heads are each their segment's
+// oldest entry, so the global minimum over heads IS the globally oldest
+// page — eviction order is bit-for-bit identical to the single-segment list
+// for ANY shard count, and the capacity budget the monitor enforces with
+// Len stays global. The property tests in lru_test.go assert both.
 type lruList struct {
-	order *list.List
-	index map[uint64]*list.Element
+	shards  []*list.List // each element holds an lruEntry
+	index   map[uint64]*list.Element
+	nextSeq uint64
 }
 
-func newLRUList() *lruList {
-	return &lruList{order: list.New(), index: make(map[uint64]*list.Element)}
+// lruEntry is one resident page plus its global insertion stamp.
+type lruEntry struct {
+	addr uint64
+	seq  uint64
 }
 
-// Len reports tracked pages.
+// newShardedLRU returns an empty list split into the given number of
+// segments (minimum one), sharded by page number.
+func newShardedLRU(shards int) *lruList {
+	if shards < 1 {
+		shards = 1
+	}
+	l := &lruList{index: make(map[uint64]*list.Element)}
+	for i := 0; i < shards; i++ {
+		l.shards = append(l.shards, list.New())
+	}
+	return l
+}
+
+// newLRUList returns the single-segment (serial monitor) list.
+func newLRUList() *lruList { return newShardedLRU(1) }
+
+// shardOf maps a page address to its segment.
+func (l *lruList) shardOf(addr uint64) *list.List {
+	return l.shards[(addr/PageSize)%uint64(len(l.shards))]
+}
+
+// Len reports tracked pages across all segments.
 func (l *lruList) Len() int { return len(l.index) }
 
-// Insert appends addr at the bottom (newest) position. Inserting an address
-// already present is a bug in the monitor and panics loudly.
+// Insert appends addr at the bottom (newest) position of its segment.
+// Inserting an address already present is a bug in the monitor and panics
+// loudly.
 func (l *lruList) Insert(addr uint64) {
 	if _, ok := l.index[addr]; ok {
 		panic("core: page already in LRU list")
 	}
-	l.index[addr] = l.order.PushBack(addr)
+	l.nextSeq++
+	l.index[addr] = l.shardOf(addr).PushBack(lruEntry{addr: addr, seq: l.nextSeq})
 }
 
 // Contains reports membership.
@@ -36,13 +73,23 @@ func (l *lruList) Contains(addr uint64) bool {
 	return ok
 }
 
-// Oldest returns the eviction candidate at the top of the list.
+// Oldest returns the eviction candidate: the entry with the globally
+// minimum insertion stamp, found among the segment heads.
 func (l *lruList) Oldest() (uint64, bool) {
-	front := l.order.Front()
-	if front == nil {
-		return 0, false
+	var best lruEntry
+	found := false
+	for _, shard := range l.shards {
+		front := shard.Front()
+		if front == nil {
+			continue
+		}
+		e := front.Value.(lruEntry)
+		if !found || e.seq < best.seq {
+			best = e
+			found = true
+		}
 	}
-	return front.Value.(uint64), true
+	return best.addr, found
 }
 
 // Remove deletes addr, reporting whether it was present.
@@ -51,7 +98,7 @@ func (l *lruList) Remove(addr uint64) bool {
 	if !ok {
 		return false
 	}
-	l.order.Remove(elem)
+	l.shardOf(addr).Remove(elem)
 	delete(l.index, addr)
 	return true
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestLRUInsertOldest(t *testing.T) {
@@ -52,6 +53,139 @@ func TestLRUContains(t *testing.T) {
 	l.Insert(7)
 	if !l.Contains(7) || l.Contains(8) {
 		t.Fatal("Contains wrong")
+	}
+}
+
+// lruModel is the reference implementation the sharded list must match: a
+// plain FIFO slice plus a membership map.
+type lruModel struct {
+	order []uint64
+	in    map[uint64]bool
+}
+
+func newLRUModel() *lruModel { return &lruModel{in: make(map[uint64]bool)} }
+
+func (m *lruModel) Insert(a uint64) {
+	m.order = append(m.order, a)
+	m.in[a] = true
+}
+
+func (m *lruModel) Remove(a uint64) bool {
+	if !m.in[a] {
+		return false
+	}
+	delete(m.in, a)
+	for i, v := range m.order {
+		if v == a {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func (m *lruModel) Oldest() (uint64, bool) {
+	if len(m.order) == 0 {
+		return 0, false
+	}
+	return m.order[0], true
+}
+
+// TestLRUShardCountEquivalenceProperty drives random insert/remove/evict
+// sequences through sharded lists of every width and a map-based model:
+// Oldest, Len, and Contains must agree at every step — the structural half
+// of the multi-worker pipeline's timing-only guarantee.
+func TestLRUShardCountEquivalenceProperty(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 4, 8}
+	f := func(raw []uint16) bool {
+		model := newLRUModel()
+		lists := make([]*lruList, len(shardCounts))
+		for i, n := range shardCounts {
+			lists[i] = newShardedLRU(n)
+		}
+		for _, r := range raw {
+			// Addresses are page-aligned so sharding (addr/PageSize % n)
+			// actually spreads entries; op chosen by the low bits.
+			a := uint64(r>>2) * PageSize
+			switch r & 3 {
+			case 0, 1: // insert (if absent)
+				if !model.in[a] {
+					model.Insert(a)
+					for _, l := range lists {
+						l.Insert(a)
+					}
+				}
+			case 2: // remove
+				want := model.Remove(a)
+				for _, l := range lists {
+					if l.Remove(a) != want {
+						return false
+					}
+				}
+			case 3: // evict oldest
+				want, wantOK := model.Oldest()
+				if wantOK {
+					model.Remove(want)
+				}
+				for _, l := range lists {
+					got, ok := l.Oldest()
+					if ok != wantOK || (ok && got != want) {
+						return false
+					}
+					if ok {
+						l.Remove(got)
+					}
+				}
+			}
+			for _, l := range lists {
+				if l.Len() != len(model.order) || l.Contains(a) != model.in[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorFootprintInvariantProperty drives random Touch/Discard/Resize
+// mixes through monitors of every worker count: the capacity budget is
+// global, so ResidentPages() must never exceed FootprintLimit() no matter
+// how the per-worker LRU segments fill.
+func TestMonitorFootprintInvariantProperty(t *testing.T) {
+	f := func(raw []uint16, workerPick uint8) bool {
+		cfg := dramCfg(8)
+		cfg.Workers = []int{1, 2, 3, 4, 8}[int(workerPick)%5]
+		m := newMonitor(t, cfg, 64)
+		now := time.Duration(0)
+		for i, r := range raw {
+			a := addr(int(r>>3) % 64)
+			switch {
+			case r&7 == 6:
+				m.Discard(a)
+			case r&7 == 7:
+				capacity := int(r>>3)%12 + 1
+				var err error
+				if now, err = m.Resize(now, capacity); err != nil {
+					return false
+				}
+			default:
+				_, done, err := m.Touch(now, a, i%2 == 0)
+				if err != nil {
+					return false
+				}
+				now = done
+			}
+			if m.ResidentPages() > m.FootprintLimit() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }
 

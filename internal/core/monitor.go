@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"fluidmem/internal/clock"
@@ -25,6 +26,19 @@ var (
 )
 
 // Stats counts monitor activity.
+//
+// Concurrency/memory model: with cfg.Workers > 1 the monitor keeps one
+// Stats cell per worker and each worker increments ONLY its own cell — the
+// per-CPU counter discipline a real multi-threaded fault handler uses, so
+// counter updates need no atomics, share no cache lines, and cannot race.
+// Readers never observe a cell directly: Monitor.Stats() merges every cell
+// into one snapshot, which is the single synchronisation point (in a real
+// monitor the merge would read each cell with a relaxed atomic load; in
+// this single-threaded simulation the discipline is structural). Increments
+// are attributed by the page address that caused them, so merged totals are
+// identical for every worker count — except InFlightWaits, which counts a
+// virtual-time race (a fault arriving while its page's write is still in
+// flight) and is therefore legitimately timing-dependent.
 type Stats struct {
 	// Faults is total userfaultfd events handled.
 	Faults uint64
@@ -64,9 +78,13 @@ type Monitor struct {
 	hypervisorID string
 	partitions   map[int]kvstore.PartitionID
 
-	// monitorFree is when the monitor thread finishes its current work;
-	// fault handling is serialised behind it (one event loop).
-	monitorFree time.Duration
+	// workers is the fault-pipeline width (>= 1); faults shard across
+	// workers by page address. workerFree[w] is when worker w finishes its
+	// current work; a fault is serialised only behind its own worker, so
+	// faults in different shards overlap in virtual time. With one worker
+	// this degenerates to the serial monitor's single event loop.
+	workers    int
+	workerFree []time.Duration
 
 	// storeLocal caches whether the backend is on-hypervisor (no RPC stack).
 	storeLocal bool
@@ -75,7 +93,10 @@ type Monitor struct {
 	resilient *resilience.Store
 
 	epoch uint64
-	stats Stats
+	// statsCells holds one counter cell per worker; see the Stats comment
+	// for the memory model. Use cell(addr) to pick the owning cell and
+	// Stats() to merge.
+	statsCells []Stats
 	// faultLatencies optionally samples end-to-end fault costs.
 	faultLatencies func(time.Duration)
 }
@@ -119,6 +140,10 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 		}
 		tier = newCompressedTier(*cfg.Compress, cfg.Seed+0x7a7a)
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	return &Monitor{
 		storeLocal:   local,
 		resilient:    res,
@@ -127,13 +152,30 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 		fd:           uffd.New(cfg.UFFD, cfg.Seed),
 		rng:          clock.NewRand(cfg.Seed + 0x5151),
 		prof:         NewProfiler(true),
-		lru:          newLRUList(),
+		workers:      workers,
+		workerFree:   make([]time.Duration, workers),
+		statsCells:   make([]Stats, workers),
+		lru:          newShardedLRU(workers),
 		seen:         make(map[uint64]bool),
-		wb:           newWriteback(cfg.Store, cfg.WriteBatchSize),
+		wb:           newShardedWriteback(cfg.Store, cfg.WriteBatchSize, workers),
 		registry:     registry,
 		hypervisorID: hypervisorID,
 		partitions:   make(map[int]kvstore.PartitionID),
 	}, nil
+}
+
+// workerOf shards a page address onto a fault-pipeline worker. The same
+// function shards the LRU segments and write-list queues, so a worker only
+// ever touches its own structures on the fault path (evictions, which pick
+// the globally oldest page, are the one deliberate cross-shard operation).
+func (m *Monitor) workerOf(addr uint64) int {
+	return int((addr / PageSize) % uint64(m.workers))
+}
+
+// cell returns the Stats cell owned by addr's worker; see Stats for the
+// memory model.
+func (m *Monitor) cell(addr uint64) *Stats {
+	return &m.statsCells[m.workerOf(addr)]
 }
 
 // RegisterRange registers [start, start+length) for fault handling on behalf
@@ -233,15 +275,17 @@ func (m *Monitor) Touch(now time.Duration, addr uint64, write bool) ([]byte, tim
 // handleFault resolves one userfaultfd event, returning the virtual time at
 // which the faulting vCPU resumes.
 func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Duration, error) {
-	m.stats.Faults++
+	m.cell(ev.Addr).Faults++
 	part, ok := m.partitions[ev.PID]
 	if !ok {
 		return eventAt, fmt.Errorf("%w: %d", ErrUnknownPID, ev.PID)
 	}
-	// The monitor is a single event loop: handling starts when it is free.
+	// Handling starts when the fault's worker is free: the pipeline shards
+	// by page address, so a fault queues only behind its own worker.
+	w := m.workerOf(ev.Addr)
 	t := eventAt
-	if m.monitorFree > t {
-		t = m.monitorFree
+	if m.workerFree[w] > t {
+		t = m.workerFree[w]
 	}
 	t += m.cfg.MonitorOps.EventDispatch.Sample(m.rng)
 
@@ -254,11 +298,12 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 	if !m.seen[ev.Addr] && m.cfg.PageTracker {
 		return m.resolveFirstTouch(t, ev)
 	}
-	resumeAt, err := m.resolveFromStore(t, ev, key)
-	if err == nil && m.cfg.PrefetchPages > 0 {
+	resumeAt, batched, err := m.resolveFromStore(t, ev, key)
+	if err == nil && m.cfg.PrefetchPages > 0 && !batched {
 		// Read ahead while the guest is already running (off the critical
-		// path; occupies the monitor thread only).
-		m.monitorFree = m.prefetch(m.monitorFree, ev.Addr, part)
+		// path; occupies only the fault's worker). The batched-read path
+		// has already folded the prefetch into its MultiGet.
+		m.workerFree[w] = m.prefetch(m.workerFree[w], ev.Addr, part)
 	}
 	return resumeAt, err
 }
@@ -266,7 +311,7 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 // resolveFirstTouch maps the zero page and wakes the guest; eviction, if
 // needed, happens after the wake-up, off the critical path (Figure 2).
 func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Duration, error) {
-	m.stats.FirstTouch++
+	m.cell(ev.Addr).FirstTouch++
 	done, err := m.fd.ZeroPage(t, ev.Addr)
 	if err != nil {
 		return t, fmt.Errorf("core: zeropage %#x: %w", ev.Addr, err)
@@ -293,45 +338,52 @@ func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Durati
 			return resumeAt, err2
 		}
 	}
-	m.monitorFree = mFree
+	m.workerFree[m.workerOf(ev.Addr)] = mFree
 	return resumeAt, nil
 }
 
 // resolveFromStore fetches a previously seen page: from the write list
 // (steal), after an in-flight write, or from the key-value store, evicting
-// to make room.
-func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, error) {
+// to make room. The batched return flag reports that the read already folded
+// the prefetch window into its MultiGet, so the caller must not prefetch
+// again.
+func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, bool, error) {
 	// Compressed-tier hit: decompress locally, no network round trip.
 	if m.tier != nil {
 		data, done, hit, err := m.tier.take(t, key)
 		if err != nil {
-			return t, err
+			return t, false, err
 		}
 		if hit {
-			return m.installAndWake(done, ev, data, true)
+			rt, err := m.installAndWake(done, ev, data, true)
+			return rt, false, err
 		}
 	}
 	// Steal shortcut: the page is sitting on the pending write list.
 	if m.cfg.StealEnabled && m.cfg.AsyncWrite {
 		if data, ok := m.wb.Steal(t, key); ok {
-			m.stats.Steals++
-			return m.installAndWake(t, ev, data, true)
+			m.cell(ev.Addr).Steals++
+			rt, err := m.installAndWake(t, ev, data, true)
+			return rt, false, err
 		}
 	} else if m.cfg.AsyncWrite && m.wb.Queued(key) {
 		// Without stealing, a queued write must be flushed and completed
 		// before the read can see the page — the two round trips the steal
 		// optimisation shortcuts (§V-B).
 		if err := m.wb.Flush(t); err != nil {
-			return t, fmt.Errorf("core: forced flush for %v: %w", key, err)
+			return t, false, fmt.Errorf("core: forced flush for %v: %w", key, err)
 		}
 	}
 	// A write of this page is in flight: wait for it to land, then read.
 	if doneAt, ok := m.wb.WaitFor(t, key); ok {
-		m.stats.InFlightWaits++
+		m.cell(ev.Addr).InFlightWaits++
 		t = doneAt
 	}
 
-	m.stats.RemoteReads++
+	m.cell(ev.Addr).RemoteReads++
+	if m.cfg.AsyncRead && m.cfg.BatchReads && m.cfg.PrefetchPages > 0 {
+		return m.resolveBatchedRead(t, ev, key)
+	}
 	var (
 		data []byte
 		err  error
@@ -349,7 +401,7 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 		overlap := issue
 		for m.lru.Len() >= m.cfg.LRUCapacity {
 			if overlap, err = m.evictOne(overlap, true); err != nil {
-				return t, err
+				return t, false, err
 			}
 			overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
 		}
@@ -366,17 +418,17 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 		data, readDone, err = pending.Wait(overlap)
 		m.prof.Record(OpReadPage, pending.ReadyAt-issue)
 		if err != nil {
-			return readDone, fmt.Errorf("core: read %v: %w", key, err)
+			return readDone, false, fmt.Errorf("core: read %v: %w", key, err)
 		}
 		done, err := m.fd.Copy(readDone, ev.Addr, data)
 		if err != nil {
-			return readDone, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+			return readDone, false, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
 		}
 		m.prof.Record(OpUffdCopy, done-readDone)
 		m.epoch++
 		t = m.fd.Wake(done, ev.Addr)
-		m.monitorFree = t
-		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), nil
+		m.workerFree[m.workerOf(ev.Addr)] = t
+		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), false, nil
 	}
 	{
 		if !m.storeLocal {
@@ -386,16 +438,97 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 		data, readDone, err = m.cfg.Store.Get(t, key)
 		m.prof.Record(OpReadPage, readDone-t)
 		if err != nil {
-			return readDone, fmt.Errorf("core: read %v: %w", key, err)
+			return readDone, false, fmt.Errorf("core: read %v: %w", key, err)
 		}
 		t = readDone
 		for m.lru.Len() >= m.cfg.LRUCapacity {
 			if t, err = m.evictOne(t, false); err != nil {
-				return t, err
+				return t, false, err
 			}
 		}
 	}
-	return m.installAndWake(t, ev, data, false)
+	rt, err := m.installAndWake(t, ev, data, false)
+	return rt, false, err
+}
+
+// resolveBatchedRead resolves a demand fault and its readahead window with a
+// single amortised MultiGet (cfg.BatchReads): the demand key and every
+// prefetch candidate travel in one round trip instead of a pipeline of
+// per-page split reads. The eviction's REMAP and monitor bookkeeping still
+// overlap the network wait as in the split-read path, and the readahead
+// pages are installed after the guest wakes, off the critical path.
+func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, bool, error) {
+	w := m.workerOf(ev.Addr)
+	cands := m.gatherPrefetch(t, ev.Addr, key.Partition())
+	issue := t
+	if !m.storeLocal {
+		issue += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
+	}
+	keys := make([]kvstore.Key, 1, 1+len(cands))
+	keys[0] = key
+	idx := make([]int, 0, len(cands)) // candidate index for each extra key
+	for i, c := range cands {
+		if c.data == nil {
+			keys = append(keys, c.key)
+			idx = append(idx, i)
+		}
+	}
+	pages, readDone, err := m.cfg.Store.MultiGet(issue, keys)
+	if err != nil {
+		return t, true, fmt.Errorf("core: batched read %v: %w", key, err)
+	}
+	if pages[0] == nil {
+		return t, true, fmt.Errorf("core: read %v: %w", key, kvstore.ErrNotFound)
+	}
+	for j, ci := range idx {
+		cands[ci].data = pages[1+j] // nil stays nil on a store miss
+	}
+	// Eviction and bookkeeping overlap the network wait (§V-B).
+	overlap := issue
+	for m.lru.Len() >= m.cfg.LRUCapacity {
+		if overlap, err = m.evictOne(overlap, true); err != nil {
+			return t, true, err
+		}
+		overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
+	}
+	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
+	m.prof.Record(OpUpdatePageCache, updCost)
+	overlap += updCost
+	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+	m.prof.Record(OpInsertLRUCache, lruCost)
+	overlap += lruCost
+	m.lru.Insert(ev.Addr)
+	m.prof.Record(OpReadPage, readDone-issue)
+
+	// Bottom half: the copy and wake run once both the reply has landed and
+	// the overlapped bookkeeping is done.
+	t = overlap
+	if readDone > t {
+		t = readDone
+	}
+	done, err := m.fd.Copy(t, ev.Addr, pages[0])
+	if err != nil {
+		return t, true, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+	}
+	m.prof.Record(OpUffdCopy, done-t)
+	m.epoch++
+	t = m.fd.Wake(done, ev.Addr)
+	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
+
+	// Install the readahead pages while the guest is already running.
+	mFree := t
+	for _, c := range cands {
+		if c.data == nil {
+			continue // store miss: the page will fault normally
+		}
+		var stop bool
+		mFree, stop = m.installPrefetched(mFree, ev.Addr, c.addr, c.data)
+		if stop {
+			break
+		}
+	}
+	m.workerFree[w] = mFree
+	return resumeAt, true, nil
 }
 
 // installAndWake copies data into the faulting page, re-inserts it in the
@@ -428,18 +561,21 @@ func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, ne
 	m.lru.Insert(ev.Addr)
 
 	t = m.fd.Wake(t, ev.Addr)
-	m.monitorFree = t
+	m.workerFree[m.workerOf(ev.Addr)] = t
 	return t + m.cfg.MonitorOps.Resume.Sample(m.rng), nil
 }
 
 // evictOne pushes the oldest LRU page out of the VM and toward the store.
+// Eviction is the one deliberate cross-shard operation: the victim is the
+// globally oldest page, so its counters are attributed to the victim's own
+// cell (see Stats) to keep merged totals worker-count-independent.
 func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, error) {
 	victim, ok := m.lru.Oldest()
 	if !ok {
 		return t, errors.New("core: eviction needed but LRU list empty")
 	}
 	m.lru.Remove(victim)
-	m.stats.Evictions++
+	m.cell(victim).Evictions++
 
 	var (
 		data []byte
@@ -504,10 +640,10 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		if t, err = m.wb.Enqueue(t, key, victim, data); err != nil {
 			return t, fmt.Errorf("core: enqueue write %v: %w", key, err)
 		}
-		m.stats.Flushes += m.wb.flushes - flushesBefore
+		m.cell(victim).Flushes += m.wb.flushes - flushesBefore
 		return t, nil
 	}
-	m.stats.SyncWrites++
+	m.cell(victim).SyncWrites++
 	if !m.storeLocal {
 		t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
 	}
@@ -537,7 +673,7 @@ func (m *Monitor) Discard(addr uint64) {
 		if region := m.regionOf(addr); region != nil {
 			if part, ok := m.partitions[region.PID]; ok {
 				// Asynchronous tombstone; timing is off any critical path.
-				_, _ = m.cfg.Store.Delete(m.monitorFree, kvstore.MakeKey(addr, part))
+				_, _ = m.cfg.Store.Delete(m.workerFree[m.workerOf(addr)], kvstore.MakeKey(addr, part))
 			}
 		}
 	}
@@ -545,7 +681,7 @@ func (m *Monitor) Discard(addr uint64) {
 		if part, ok := m.partitions[region.PID]; ok {
 			key := kvstore.MakeKey(addr, part)
 			if m.cfg.AsyncWrite {
-				m.wb.Steal(m.monitorFree, key)
+				m.wb.Steal(m.workerFree[m.workerOf(addr)], key)
 			}
 			if m.tier != nil {
 				m.tier.drop(key)
@@ -588,8 +724,40 @@ func (m *Monitor) FootprintLimit() int { return m.cfg.LRUCapacity }
 // Epoch implements vm.Backing.
 func (m *Monitor) Epoch() uint64 { return m.epoch }
 
-// Stats returns a snapshot of monitor counters.
-func (m *Monitor) Stats() Stats { return m.stats }
+// Stats returns a snapshot of monitor counters, merged field-wise across
+// every worker's cell — the read-side synchronisation point of the
+// per-worker counter discipline (see Stats).
+func (m *Monitor) Stats() Stats {
+	var total Stats
+	for i := range m.statsCells {
+		c := &m.statsCells[i]
+		total.Faults += c.Faults
+		total.FirstTouch += c.FirstTouch
+		total.RemoteReads += c.RemoteReads
+		total.Steals += c.Steals
+		total.InFlightWaits += c.InFlightWaits
+		total.Evictions += c.Evictions
+		total.SyncWrites += c.SyncWrites
+		total.Flushes += c.Flushes
+		total.Prefetches += c.Prefetches
+	}
+	return total
+}
+
+// Workers reports the fault-pipeline width (>= 1).
+func (m *Monitor) Workers() int { return m.workers }
+
+// ResidentAddrs returns the sorted addresses of all currently resident
+// pages — a stable snapshot for equivalence harnesses (shardtest): two
+// monitors are resident-set-equal iff these slices are equal.
+func (m *Monitor) ResidentAddrs() []uint64 {
+	addrs := make([]uint64, 0, len(m.lru.index))
+	for addr := range m.lru.index {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
 
 // Profiler exposes the per-code-path latency profiler (§VI-C).
 func (m *Monitor) Profiler() *Profiler { return m.prof }

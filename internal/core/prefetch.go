@@ -15,22 +15,27 @@ import (
 // kernel's swap readahead is disabled in the paper's configuration and why
 // this stays opt-in (ablation A6 quantifies both sides).
 
-// prefetch pulls up to cfg.PrefetchPages pages following addr into the VM.
-// It runs on the monitor thread after the faulting vCPU has been woken; t is
-// the monitor-free time and the return value replaces it.
-func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionID) time.Duration {
+// prefetchCandidate is one readahead page picked by gatherPrefetch.
+type prefetchCandidate struct {
+	addr uint64
+	key  kvstore.Key
+	data []byte // non-nil when resolved from the write list (steal)
+}
+
+// gatherPrefetch selects up to cfg.PrefetchPages pages following addr that
+// are previously seen but not resident; candidates sitting on the pending
+// write list are stolen immediately. Selection depends only on logical
+// monitor state (seen set, LRU membership, write-list contents) — never on
+// virtual time — so the candidate set, and therefore the store traffic it
+// triggers, is identical for every worker count. In particular a page whose
+// write is merely in flight is still read: the store's contents were updated
+// when the flush was submitted, so the read observes fresh data.
+func (m *Monitor) gatherPrefetch(now time.Duration, addr uint64, part kvstore.PartitionID) []prefetchCandidate {
 	region := m.regionOf(addr)
 	if region == nil {
-		return t
+		return nil
 	}
-	// Top halves: pipeline every eligible read first.
-	type pending struct {
-		addr uint64
-		key  kvstore.Key
-		get  *kvstore.PendingGet
-		data []byte // filled for write-list steals
-	}
-	var reads []pending
+	var cands []prefetchCandidate
 	for i := 1; i <= m.cfg.PrefetchPages; i++ {
 		next := addr + uint64(i)*PageSize
 		if next >= region.End() {
@@ -39,53 +44,79 @@ func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionI
 		if !m.seen[next] || m.lru.Contains(next) {
 			continue
 		}
-		key := kvstore.MakeKey(next, part)
+		c := prefetchCandidate{addr: next, key: kvstore.MakeKey(next, part)}
 		if m.cfg.AsyncWrite {
-			if data, ok := m.wb.Steal(t, key); ok {
-				reads = append(reads, pending{addr: next, key: key, data: data})
-				continue
+			if data, ok := m.wb.Steal(now, c.key); ok {
+				c.data = data
 			}
-			if doneAt, ok := m.wb.WaitFor(t, key); ok {
-				// In flight: not worth waiting for during a prefetch.
-				_ = doneAt
-				continue
-			}
+		}
+		cands = append(cands, c)
+	}
+	return cands
+}
+
+// installPrefetched installs one readahead page, evicting to make room but
+// never displacing the demand page the guest is about to retry — readahead
+// must never displace demand, so stop=true tells the caller to cease
+// prefetching when the demand page is the eviction candidate.
+func (m *Monitor) installPrefetched(t time.Duration, demand, addr uint64, data []byte) (time.Duration, bool) {
+	if oldest, ok := m.lru.Oldest(); ok && oldest == demand && m.lru.Len() >= m.cfg.LRUCapacity {
+		return t, true
+	}
+	var err error
+	for m.lru.Len() >= m.cfg.LRUCapacity {
+		if t, err = m.evictOne(t, false); err != nil {
+			return t, true
+		}
+	}
+	done, err := m.fd.Copy(t, addr, data)
+	if err != nil {
+		return t, false // skip this page; it will fault normally
+	}
+	t = done
+	m.epoch++
+	m.lru.Insert(addr)
+	m.cell(addr).Prefetches++
+	return t, false
+}
+
+// prefetch pulls up to cfg.PrefetchPages pages following addr into the VM
+// with pipelined per-page split reads. It runs on the fault's worker after
+// the faulting vCPU has been woken; t is the worker-free time and the return
+// value replaces it. (With cfg.BatchReads the monitor instead folds the same
+// candidate set into the demand fault's MultiGet — see resolveBatchedRead.)
+func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionID) time.Duration {
+	cands := m.gatherPrefetch(t, addr, part)
+	if len(cands) == 0 {
+		return t
+	}
+	// Top halves: pipeline every read first.
+	gets := make([]*kvstore.PendingGet, len(cands))
+	for i, c := range cands {
+		if c.data != nil {
+			continue // stolen from the write list; no store read needed
 		}
 		if !m.storeLocal {
 			t += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
 		}
-		reads = append(reads, pending{addr: next, key: key, get: m.cfg.Store.StartGet(t, key)})
+		gets[i] = m.cfg.Store.StartGet(t, c.key)
 	}
-	// Bottom halves: install in order. The demand-faulted page (addr) is
-	// protected: prefetching stops rather than evict the page the guest is
-	// about to retry — readahead must never displace demand.
-	for _, p := range reads {
-		data := p.data
-		if p.get != nil {
+	// Bottom halves: install in order.
+	for i, c := range cands {
+		data := c.data
+		if gets[i] != nil {
 			var err error
-			data, t, err = p.get.Wait(t)
+			data, t, err = gets[i].Wait(t)
 			if err != nil {
 				// A prefetch miss is harmless: the page will fault normally.
 				continue
 			}
 		}
-		if oldest, ok := m.lru.Oldest(); ok && oldest == addr && m.lru.Len() >= m.cfg.LRUCapacity {
+		var stop bool
+		t, stop = m.installPrefetched(t, addr, c.addr, data)
+		if stop {
 			break
 		}
-		var err error
-		for m.lru.Len() >= m.cfg.LRUCapacity {
-			if t, err = m.evictOne(t, false); err != nil {
-				return t
-			}
-		}
-		done, err := m.fd.Copy(t, p.addr, data)
-		if err != nil {
-			continue
-		}
-		t = done
-		m.epoch++
-		m.lru.Insert(p.addr)
-		m.stats.Prefetches++
 	}
 	return t
 }

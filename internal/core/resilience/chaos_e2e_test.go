@@ -36,7 +36,7 @@ type chaosRig struct {
 // two replicas up) AND a shared 1 ms total blackout — the only fault class
 // replication alone cannot mask, so it must surface as degraded-mode stall
 // inside the resilience layer, never as a monitor error.
-func newChaosRig(t *testing.T, seed uint64, pages int) *chaosRig {
+func newChaosRig(t *testing.T, seed uint64, pages, workers int) *chaosRig {
 	t.Helper()
 	var members []*faulty.Store
 	var asStores []kvstore.Store
@@ -57,6 +57,7 @@ func newChaosRig(t *testing.T, seed uint64, pages int) *chaosRig {
 	}
 	cfg := core.DefaultConfig(rep, 8)
 	cfg.Seed = seed
+	cfg.Workers = workers
 	policy := resilience.DefaultPolicy()
 	cfg.Resilience = &policy
 	mon, err := core.NewMonitor(cfg, nil, "chaos-hyp")
@@ -84,11 +85,11 @@ type chaosOutcome struct {
 // workload (injections fired, retries and a degraded transit happened);
 // whether it does is seed-dependent, so runs used only as a determinism
 // discriminator pass false.
-func runChaosWorkload(t *testing.T, seed uint64, requireFaults bool) chaosOutcome {
+func runChaosWorkload(t *testing.T, seed uint64, requireFaults bool, workers int) chaosOutcome {
 	t.Helper()
 	const pages = 64
 	const ops = 4000
-	rig := newChaosRig(t, seed, pages)
+	rig := newChaosRig(t, seed, pages, workers)
 
 	lat := stats.NewSample(ops)
 	rig.mon.SetFaultLatencySink(lat.Add)
@@ -199,14 +200,14 @@ func runChaosWorkload(t *testing.T, seed uint64, requireFaults bool) chaosOutcom
 }
 
 func TestChaosWorkloadNoLostPages(t *testing.T) {
-	runChaosWorkload(t, 1, true)
+	runChaosWorkload(t, 1, true, 1)
 }
 
-func TestChaosRepeatability(t *testing.T) {
-	// Same seed ⇒ identical fault sequence and identical virtual-time
-	// results, the determinism property the whole injection design carries.
-	a := runChaosWorkload(t, 42, true)
-	b := runChaosWorkload(t, 42, true)
+// assertChaosBitwiseEqual asserts two runs agree on everything the
+// determinism contract covers: virtual timings, fault counts, the full
+// per-member injection logs, and every resilience/injection counter.
+func assertChaosBitwiseEqual(t *testing.T, a, b chaosOutcome) {
+	t.Helper()
 	if a.finalTime != b.finalTime {
 		t.Fatalf("final virtual time diverged: %v vs %v", a.finalTime, b.finalTime)
 	}
@@ -226,11 +227,37 @@ func TestChaosRepeatability(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestChaosRepeatability(t *testing.T) {
+	// Same seed ⇒ identical fault sequence and identical virtual-time
+	// results, the determinism property the whole injection design carries.
+	a := runChaosWorkload(t, 42, true, 1)
+	b := runChaosWorkload(t, 42, true, 1)
+	assertChaosBitwiseEqual(t, a, b)
 	// Different seed ⇒ a different fault schedule (sanity check that the
 	// repeatability assertion can actually discriminate).
-	c := runChaosWorkload(t, 43, false)
+	c := runChaosWorkload(t, 43, false, 1)
 	if c.counters.Equal(a.counters) && c.finalTime == a.finalTime {
 		t.Fatal("different seeds produced identical runs; determinism test is vacuous")
+	}
+}
+
+// TestChaosRepeatabilityWorkerSweep extends the determinism contract to the
+// multi-worker pipeline: for workers ∈ {1, 2, 8} × three seeds, two runs of
+// the same (seed, workers) pair must be bitwise stable — same virtual
+// timings and identical injection logs — even though different worker counts
+// time-shift every store op relative to the chaos windows.
+func TestChaosRepeatabilityWorkerSweep(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			workers, seed := workers, seed
+			t.Run(fmt.Sprintf("w%d_seed%d", workers, seed), func(t *testing.T) {
+				a := runChaosWorkload(t, seed, false, workers)
+				b := runChaosWorkload(t, seed, false, workers)
+				assertChaosBitwiseEqual(t, a, b)
+			})
+		}
 	}
 }
 
@@ -238,7 +265,7 @@ func TestChaosTeardownBestEffort(t *testing.T) {
 	// UnregisterVM during a full outage must still tear down local state:
 	// deletes are best-effort, the partition is released, and only the first
 	// error surfaces.
-	rig := newChaosRig(t, 9, 16)
+	rig := newChaosRig(t, 9, 16, 2)
 	now := time.Duration(0)
 	for i := 0; i < 16; i++ {
 		_, done, err := rig.mon.Touch(now, chaosBase+uint64(i)*kvstore.PageSize, true)

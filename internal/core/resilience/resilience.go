@@ -394,6 +394,23 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 	return data, done, nil
 }
 
+// MultiGet implements kvstore.Store. A batch read retries, fails over, and
+// parks as one unit: per-key misses are nil entries (not errors), so only
+// store-level failures enter the policy loop.
+func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	var pages [][]byte
+	done, err := s.do(now, func(t time.Duration) (time.Duration, error) {
+		var d time.Duration
+		var e error
+		pages, d, e = s.inner.MultiGet(t, keys)
+		return d, e
+	})
+	if err != nil {
+		return nil, done, err
+	}
+	return pages, done, nil
+}
+
 // StartGet implements kvstore.Store. The clean path keeps the inner store's
 // true split read (the §V-B overlap). A failed top half falls back to the
 // synchronous resilient Get, whose completion time becomes the ReadyAt the

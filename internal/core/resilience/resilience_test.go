@@ -78,6 +78,20 @@ func (f *fakeStore) Get(now time.Duration, key kvstore.Key) ([]byte, time.Durati
 	return p, done, nil
 }
 
+func (f *fakeStore) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	done, err := f.attempt(now)
+	if err != nil {
+		return nil, done, err
+	}
+	pages := make([][]byte, len(keys))
+	for i, k := range keys {
+		if p, ok := f.data[k]; ok {
+			pages[i] = p
+		}
+	}
+	return pages, done, nil
+}
+
 func (f *fakeStore) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
 	data, done, err := f.Get(now, key)
 	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}

@@ -1,0 +1,201 @@
+// Package shardtest is the oracle harness for the monitor's multi-worker
+// fault pipeline. It replays an identical, seed-driven workload against
+// monitors configured with different worker counts and captures everything a
+// guest or an operator can observe logically: the bytes returned by every
+// Touch, the final resident set, the monitor's logical epoch, the merged
+// monitor counters, and the backend's per-op traffic counters.
+//
+// The pipeline's design contract is that worker parallelism is timing-only —
+// sharding the LRU list, the write queues, and the stats cells by page
+// address must change WHEN work happens in virtual time, never WHAT work
+// happens. The oracle enforces the contract bit-for-bit: any divergence in
+// eviction order, flush batching, prefetch traffic, or store op counts
+// between a 1-worker and an N-worker monitor shows up as a mismatched
+// Outcome. Two fields are deliberately excluded from equivalence: FinalTime
+// (more workers SHOULD finish sooner) and Stats.InFlightWaits (it counts a
+// virtual-time race — a fault landing while its page's write is still in
+// flight — and is therefore legitimately timing-dependent).
+package shardtest
+
+import (
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore"
+)
+
+// Base is the guest physical base address the harness registers.
+const Base = 0x7c00_0000_0000
+
+const pid = 77
+
+// Workload is one replayable guest behaviour.
+type Workload struct {
+	Name string
+	// Pages is the registered range size; Steps is the op count.
+	Pages int
+	Steps int
+	// NewConfig builds a fresh config over a fresh store. The harness
+	// overrides Workers and Seed.
+	NewConfig func(seed uint64) core.Config
+	// Discard mixes in balloon-style discards; Resize mixes in runtime
+	// LRU-capacity changes.
+	Discard bool
+	Resize  bool
+}
+
+// Outcome is everything logically observable from one replay.
+type Outcome struct {
+	// TouchHash folds the full byte contents returned by every Touch (and
+	// the final verification sweep), in order, through FNV-1a.
+	TouchHash uint64
+	// Resident is the sorted resident set after the final sweep.
+	Resident []uint64
+	// Epoch is the monitor's logical mutation counter.
+	Epoch uint64
+	// Stats is the merged monitor counter snapshot.
+	Stats core.Stats
+	// Store is the backend's traffic counter snapshot.
+	Store kvstore.Stats
+	// FinalTime is the virtual completion time. It is NOT part of the
+	// equivalence contract: more workers should finish sooner.
+	FinalTime time.Duration
+}
+
+// Replay runs wl against a fresh monitor with the given worker count and
+// returns the observable outcome. The op sequence is driven entirely by the
+// seed — never by virtual time — so two Replays with the same (wl, seed)
+// present identical guest behaviour regardless of workers. It also asserts
+// the capacity invariant ResidentPages() <= FootprintLimit() after every op.
+func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
+	tb.Helper()
+	cfg := wl.NewConfig(seed)
+	cfg.Workers = workers
+	cfg.Seed = seed
+	store := cfg.Store
+	m, err := core.NewMonitor(cfg, nil, "shardtest")
+	if err != nil {
+		tb.Fatalf("%s/w%d: new monitor: %v", wl.Name, workers, err)
+	}
+	if _, err := m.RegisterRange(Base, uint64(wl.Pages)*core.PageSize, pid); err != nil {
+		tb.Fatalf("%s/w%d: register: %v", wl.Name, workers, err)
+	}
+
+	rng := clock.NewRand(seed ^ 0xd1ce_0f_ca11)
+	h := fnv.New64a()
+	tags := make(map[int]byte)
+	scan := 0
+	now := time.Duration(0)
+	for i := 0; i < wl.Steps; i++ {
+		if wl.Resize && rng.Float64() < 0.01 {
+			// Toggle between full and half capacity (§III active sizing).
+			capacity := cfg.LRUCapacity
+			if rng.Intn(2) == 0 {
+				capacity = capacity/2 + 1
+			}
+			if now, err = m.Resize(now, capacity); err != nil {
+				tb.Fatalf("%s/w%d op %d: resize: %v", wl.Name, workers, i, err)
+			}
+			continue
+		}
+		var page int
+		if rng.Float64() < 0.25 {
+			// A sequential scan rides along, forcing evictions, remote
+			// reads, and (when configured) prefetch windows.
+			page = scan % wl.Pages
+			scan++
+		} else {
+			page = rng.Intn(wl.Pages)
+		}
+		addr := Base + uint64(page)*core.PageSize
+		if wl.Discard && rng.Float64() < 0.02 {
+			m.Discard(addr)
+			delete(tags, page)
+			continue
+		}
+		write := rng.Intn(3) == 0
+		data, done, err := m.Touch(now, addr, write)
+		if err != nil {
+			tb.Fatalf("%s/w%d op %d (page %d): %v", wl.Name, workers, i, page, err)
+		}
+		if tag, seen := tags[page]; seen && data[0] != tag {
+			tb.Fatalf("%s/w%d op %d: page %d corrupted: got %d want %d",
+				wl.Name, workers, i, page, data[0], tag)
+		}
+		h.Write(data)
+		if write {
+			tag := byte(i%250 + 1)
+			data[0] = tag
+			tags[page] = tag
+		}
+		if m.ResidentPages() > m.FootprintLimit() {
+			tb.Fatalf("%s/w%d op %d: resident %d exceeds limit %d",
+				wl.Name, workers, i, m.ResidentPages(), m.FootprintLimit())
+		}
+		now = done + time.Microsecond
+	}
+
+	// Quiesce, then verify and fold in every page's end state.
+	if now, err = m.Drain(now); err != nil {
+		tb.Fatalf("%s/w%d: drain: %v", wl.Name, workers, err)
+	}
+	for page := 0; page < wl.Pages; page++ {
+		tag, seen := tags[page]
+		if !seen {
+			continue
+		}
+		data, done, err := m.Touch(now, Base+uint64(page)*core.PageSize, false)
+		if err != nil {
+			tb.Fatalf("%s/w%d: final read of page %d: %v", wl.Name, workers, page, err)
+		}
+		if data[0] != tag {
+			tb.Fatalf("%s/w%d: page %d lost at end: got %d want %d",
+				wl.Name, workers, page, data[0], tag)
+		}
+		h.Write(data)
+		now = done
+	}
+
+	return Outcome{
+		TouchHash: h.Sum64(),
+		Resident:  m.ResidentAddrs(),
+		Epoch:     m.Epoch(),
+		Stats:     m.Stats(),
+		Store:     store.Stats(),
+		FinalTime: now,
+	}
+}
+
+// Equal asserts that got matches the reference outcome in every field of the
+// equivalence contract, reporting each divergence separately. FinalTime and
+// Stats.InFlightWaits are excluded (timing-dependent by design).
+func Equal(tb testing.TB, label string, ref, got Outcome) {
+	tb.Helper()
+	if ref.TouchHash != got.TouchHash {
+		tb.Errorf("%s: touch data hash diverged: %#x vs %#x", label, ref.TouchHash, got.TouchHash)
+	}
+	if len(ref.Resident) != len(got.Resident) {
+		tb.Errorf("%s: resident set size diverged: %d vs %d", label, len(ref.Resident), len(got.Resident))
+	} else {
+		for i := range ref.Resident {
+			if ref.Resident[i] != got.Resident[i] {
+				tb.Errorf("%s: resident[%d] diverged: %#x vs %#x", label, i, ref.Resident[i], got.Resident[i])
+				break
+			}
+		}
+	}
+	if ref.Epoch != got.Epoch {
+		tb.Errorf("%s: epoch diverged: %d vs %d", label, ref.Epoch, got.Epoch)
+	}
+	refStats, gotStats := ref.Stats, got.Stats
+	refStats.InFlightWaits, gotStats.InFlightWaits = 0, 0
+	if refStats != gotStats {
+		tb.Errorf("%s: monitor stats diverged:\n  ref %+v\n  got %+v", label, refStats, gotStats)
+	}
+	if ref.Store != got.Store {
+		tb.Errorf("%s: store op counts diverged:\n  ref %+v\n  got %+v", label, ref.Store, got.Store)
+	}
+}

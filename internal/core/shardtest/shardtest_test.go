@@ -1,0 +1,122 @@
+package shardtest
+
+import (
+	"testing"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/kvstore/memcached"
+	"fluidmem/internal/kvstore/ramcloud"
+)
+
+// workloads spans the monitor's major configuration axes: remote vs local
+// backend, async vs sync write paths, pipelined vs batched prefetching, and
+// churn (discard + resize). Each is a distinct way worker sharding could
+// leak into logical behaviour.
+func workloads() []Workload {
+	return []Workload{
+		{
+			// The headline deployment: RAMCloud backend, all §V-B
+			// optimisations, mixed random + scan traffic.
+			Name:  "ramcloud-async",
+			Pages: 96, Steps: 1200,
+			NewConfig: func(seed uint64) core.Config {
+				return core.DefaultConfig(ramcloud.New(ramcloud.DefaultParams(), seed+11), 24)
+			},
+		},
+		{
+			// Batched reads: every demand fault folds its readahead window
+			// into one MultiGet, the tentpole's amortised-round-trip path.
+			Name:  "ramcloud-batched-prefetch",
+			Pages: 96, Steps: 1200,
+			NewConfig: func(seed uint64) core.Config {
+				cfg := core.DefaultConfig(ramcloud.New(ramcloud.DefaultParams(), seed+13), 24)
+				cfg.PrefetchPages = 4
+				cfg.BatchReads = true
+				return cfg
+			},
+		},
+		{
+			// Unoptimised monitor over a local store: synchronous writes on
+			// the critical path, no steals, no split reads.
+			Name:  "dram-sync-baseline",
+			Pages: 64, Steps: 800,
+			NewConfig: func(seed uint64) core.Config {
+				return core.BaselineConfig(dram.New(dram.DefaultParams(), seed+17), 16)
+			},
+		},
+		{
+			// Pipelined (non-batched) prefetch over memcached, with balloon
+			// discards and runtime resizes churning the resident set.
+			Name:  "memcached-prefetch-churn",
+			Pages: 80, Steps: 1000,
+			NewConfig: func(seed uint64) core.Config {
+				cfg := core.DefaultConfig(memcached.New(memcached.DefaultParams(), seed+19), 20)
+				cfg.PrefetchPages = 4
+				return cfg
+			},
+			Discard: true,
+			Resize:  true,
+		},
+	}
+}
+
+// TestWorkerCountEquivalence is the oracle: for every workload, monitors
+// with 2, 4, and 8 workers must produce byte-identical Touch results, the
+// same final resident set, the same logical epoch, and the same monitor and
+// store op counts as the serial 1-worker monitor. Only virtual-time
+// attribution may differ.
+func TestWorkerCountEquivalence(t *testing.T) {
+	for _, wl := range workloads() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			const seed = 42
+			ref := Replay(t, wl, 1, seed)
+			for _, workers := range []int{2, 4, 8} {
+				got := Replay(t, wl, workers, seed)
+				Equal(t, wl.Name, ref, got)
+				// Sharding must never slow the pipeline down on these
+				// workloads: a fault waits only for its own worker.
+				if got.FinalTime > ref.FinalTime {
+					t.Errorf("%s: %d workers finished later than 1 worker: %v > %v",
+						wl.Name, workers, got.FinalTime, ref.FinalTime)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayIsBitwiseRepeatable pins full determinism per (seed, workers):
+// two replays of the same configuration must agree on every field INCLUDING
+// virtual time — the property the equivalence test builds on.
+func TestReplayIsBitwiseRepeatable(t *testing.T) {
+	for _, wl := range workloads()[:2] {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				a := Replay(t, wl, workers, 7)
+				b := Replay(t, wl, workers, 7)
+				Equal(t, wl.Name, a, b)
+				if a.FinalTime != b.FinalTime {
+					t.Errorf("%s/w%d: replay not time-repeatable: %v vs %v",
+						wl.Name, workers, a.FinalTime, b.FinalTime)
+				}
+				if a.Stats.InFlightWaits != b.Stats.InFlightWaits {
+					t.Errorf("%s/w%d: replay InFlightWaits differ: %d vs %d",
+						wl.Name, workers, a.Stats.InFlightWaits, b.Stats.InFlightWaits)
+				}
+			}
+		})
+	}
+}
+
+// TestSeedsDiverge guards the oracle against vacuity: different seeds must
+// produce different outcomes, or the hash compares nothing.
+func TestSeedsDiverge(t *testing.T) {
+	wl := workloads()[0]
+	a := Replay(t, wl, 1, 1)
+	b := Replay(t, wl, 1, 2)
+	if a.TouchHash == b.TouchHash && a.FinalTime == b.FinalTime {
+		t.Fatal("different seeds produced identical outcomes; oracle is vacuous")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"fluidmem/internal/kvstore"
@@ -11,20 +12,35 @@ type pendingWrite struct {
 	key  kvstore.Key
 	addr uint64
 	data []byte
+	// seq is the global enqueue stamp; flushes gather across shards in seq
+	// order so batches are identical to the single-list engine's.
+	seq uint64
 }
 
 // writeback implements the asynchronous writeback engine (§V-B): evicted
 // pages accumulate on a write list; a flusher pushes batches to the store
 // with multi-write. The fault handler may *steal* a page back from the list
 // (or wait on one already in flight) to shortcut the remote round trips.
+//
+// For the multi-worker pipeline the list is partitioned into per-shard
+// queues (one lock domain per worker in a real monitor, so enqueues and
+// steals from different workers never contend). The batching policy stays
+// global: entries carry a global enqueue stamp, the flush threshold counts
+// queued pages across all shards, and Flush gathers them in stamp order —
+// so the MultiPut batches a store observes are bit-for-bit identical for
+// any shard count.
 type writeback struct {
 	store     kvstore.Store
 	batchSize int
 
-	// queued holds evicted pages not yet submitted to the store.
-	queued map[kvstore.Key]*pendingWrite
-	order  []kvstore.Key
-	// inflight maps keys of submitted writes to their completion time.
+	// shards holds the per-worker queues of evicted pages not yet submitted.
+	shards  []map[kvstore.Key]*pendingWrite
+	queued  int // total across shards
+	nextSeq uint64
+
+	// inflight maps keys of submitted writes to their completion time. A
+	// flush is one store-level MultiPut regardless of which shards fed it,
+	// so completion tracking stays global.
 	inflight map[kvstore.Key]time.Duration
 
 	flushes uint64
@@ -33,61 +49,83 @@ type writeback struct {
 }
 
 func newWriteback(store kvstore.Store, batchSize int) *writeback {
+	return newShardedWriteback(store, batchSize, 1)
+}
+
+func newShardedWriteback(store kvstore.Store, batchSize, shards int) *writeback {
 	if batchSize <= 0 {
 		batchSize = 32
 	}
-	return &writeback{
+	if shards < 1 {
+		shards = 1
+	}
+	w := &writeback{
 		store:     store,
 		batchSize: batchSize,
-		queued:    make(map[kvstore.Key]*pendingWrite),
 		inflight:  make(map[kvstore.Key]time.Duration),
 	}
+	for i := 0; i < shards; i++ {
+		w.shards = append(w.shards, make(map[kvstore.Key]*pendingWrite))
+	}
+	return w
 }
 
-// Enqueue adds an evicted page and flushes if the batch threshold is
+// shardOf maps a key to its queue.
+func (w *writeback) shardOf(key kvstore.Key) map[kvstore.Key]*pendingWrite {
+	return w.shards[(key.Page()/kvstore.PageSize)%uint64(len(w.shards))]
+}
+
+// Enqueue adds an evicted page and flushes if the global batch threshold is
 // reached. It returns the caller-visible completion time: enqueueing is off
 // the critical path, so this is just now (flush I/O occupies the store's
 // device asynchronously).
 func (w *writeback) Enqueue(now time.Duration, key kvstore.Key, addr uint64, data []byte) (time.Duration, error) {
 	w.gc(now)
-	if old, ok := w.queued[key]; ok {
-		// Re-eviction of a page whose previous write never flushed: replace.
+	shard := w.shardOf(key)
+	if old, ok := shard[key]; ok {
+		// Re-eviction of a page whose previous write never flushed: replace
+		// the data in place, keeping the original queue position.
 		old.data = data
 		return now, nil
 	}
-	w.queued[key] = &pendingWrite{key: key, addr: addr, data: data}
-	w.order = append(w.order, key)
-	if len(w.order) >= w.batchSize {
+	w.nextSeq++
+	shard[key] = &pendingWrite{key: key, addr: addr, data: data, seq: w.nextSeq}
+	w.queued++
+	if w.queued >= w.batchSize {
 		return now, w.Flush(now)
 	}
 	return now, nil
 }
 
-// Flush submits all queued writes as one multi-write. The store's device
-// model accounts the transfer; faults only wait on it via WaitFor.
+// Flush submits all queued writes, across every shard in global enqueue
+// order, as one multi-write. The store's device model accounts the
+// transfer; faults only wait on it via WaitFor.
 func (w *writeback) Flush(now time.Duration) error {
-	if len(w.order) == 0 {
+	if w.queued == 0 {
 		return nil
 	}
-	keys := make([]kvstore.Key, 0, len(w.order))
-	pages := make([][]byte, 0, len(w.order))
-	for _, key := range w.order {
-		pw, ok := w.queued[key]
-		if !ok {
-			continue
+	batch := make([]*pendingWrite, 0, w.queued)
+	for _, shard := range w.shards {
+		for _, pw := range shard {
+			batch = append(batch, pw)
 		}
-		keys = append(keys, key)
-		pages = append(pages, pw.data)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	keys := make([]kvstore.Key, len(batch))
+	pages := make([][]byte, len(batch))
+	for i, pw := range batch {
+		keys[i] = pw.key
+		pages[i] = pw.data
 	}
 	done, err := w.store.MultiPut(now, keys, pages)
 	if err != nil {
 		return err
 	}
-	for _, key := range keys {
-		delete(w.queued, key)
-		w.inflight[key] = done
+	for _, pw := range batch {
+		delete(w.shardOf(pw.key), pw.key)
+		w.inflight[pw.key] = done
 	}
-	w.order = w.order[:0]
+	w.queued = 0
 	w.flushes++
 	return nil
 }
@@ -97,17 +135,13 @@ func (w *writeback) Flush(now time.Duration) error {
 // into the VM, so nothing needs storing). ok=false if the key is not queued.
 func (w *writeback) Steal(now time.Duration, key kvstore.Key) ([]byte, bool) {
 	w.gc(now)
-	pw, ok := w.queued[key]
+	shard := w.shardOf(key)
+	pw, ok := shard[key]
 	if !ok {
 		return nil, false
 	}
-	delete(w.queued, key)
-	for i, k := range w.order {
-		if k == key {
-			w.order = append(w.order[:i], w.order[i+1:]...)
-			break
-		}
-	}
+	delete(shard, key)
+	w.queued--
 	w.steals++
 	return pw.data, true
 }
@@ -130,12 +164,12 @@ func (w *writeback) WaitFor(now time.Duration, key kvstore.Key) (time.Duration, 
 
 // Queued reports whether key is on the write list awaiting flush.
 func (w *writeback) Queued(key kvstore.Key) bool {
-	_, ok := w.queued[key]
+	_, ok := w.shardOf(key)[key]
 	return ok
 }
 
-// QueuedLen reports pages awaiting flush.
-func (w *writeback) QueuedLen() int { return len(w.order) }
+// QueuedLen reports pages awaiting flush across all shards.
+func (w *writeback) QueuedLen() int { return w.queued }
 
 // Drain flushes everything and reports when the store is quiescent.
 func (w *writeback) Drain(now time.Duration) (time.Duration, error) {

@@ -98,6 +98,25 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 	return append([]byte(nil), page...), done, nil
 }
 
+// MultiGet implements kvstore.Store: one batched lookup pass, with the
+// copies amortised onto the read device like MultiPut's writes.
+func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	s.stats.MultiGets++
+	s.stats.Gets += uint64(len(keys))
+	pages := make([][]byte, len(keys))
+	for i, key := range keys {
+		if page, ok := s.pages[key]; ok {
+			pages[i] = append([]byte(nil), page...)
+		} else {
+			s.stats.Misses++
+		}
+	}
+	if len(keys) == 0 {
+		return pages, now, nil
+	}
+	return pages, s.read.SubmitN(now, len(keys)), nil
+}
+
 // StartGet implements kvstore.Store.
 func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
 	data, readyAt, err := s.Get(now, key)

@@ -46,6 +46,7 @@ const (
 	OpPut
 	OpMultiPut
 	OpDelete
+	OpMultiGet
 	opCount
 )
 
@@ -59,6 +60,8 @@ func (o Op) String() string {
 		return "multiput"
 	case OpDelete:
 		return "delete"
+	case OpMultiGet:
+		return "multiget"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -91,7 +94,7 @@ func (w Window) contains(t time.Duration) bool {
 // Params configures a wrapper.
 type Params struct {
 	// PerOp holds the fault rates per operation class, indexed by Op.
-	PerOp [4]OpFaults
+	PerOp [opCount]OpFaults
 	// Crashes are windows during which every operation fails with
 	// ErrCrashed. The member "recovers" when the window closes; whatever it
 	// missed during downtime is the recovery gap the replication layer must
@@ -296,6 +299,16 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 		return nil, failAt, err
 	}
 	return s.inner.Get(issue, key)
+}
+
+// MultiGet implements kvstore.Store. Like MultiPut, the batch is one wire
+// operation: it fails, spikes, or stalls as a unit.
+func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	issue, failAt, err := s.inject(OpMultiGet, now)
+	if err != nil {
+		return nil, failAt, err
+	}
+	return s.inner.MultiGet(issue, keys)
 }
 
 // StartGet implements kvstore.Store. Injection happens at issue time; a

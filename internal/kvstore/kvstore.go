@@ -78,6 +78,7 @@ type Stats struct {
 	Gets      uint64
 	Puts      uint64
 	MultiPuts uint64
+	MultiGets uint64
 	Deletes   uint64
 	Misses    uint64
 	// Evictions counts values the store itself discarded (capacity pressure
@@ -101,6 +102,14 @@ type Store interface {
 	MultiPut(now time.Duration, keys []Key, pages [][]byte) (time.Duration, error)
 	// Get retrieves one page synchronously.
 	Get(now time.Duration, key Key) ([]byte, time.Duration, error)
+	// MultiGet retrieves a batch of pages in one amortised round trip
+	// (RAMCloud multi-read; a pipelined loop elsewhere). The result is
+	// aligned with keys: entry i holds the page for keys[i], or nil when
+	// that key is absent — a per-key miss is NOT an error, so a batch
+	// mixing hits and misses succeeds. The error return is reserved for
+	// store-level failures (transport loss, crash, injected faults), in
+	// which case no entry of the result may be used.
+	MultiGet(now time.Duration, keys []Key) ([][]byte, time.Duration, error)
 	// StartGet issues the top half of a split read (§V-B async reads);
 	// the caller overlaps other work and then calls Wait on the result.
 	StartGet(now time.Duration, key Key) *PendingGet

@@ -134,6 +134,28 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 	return append([]byte(nil), it.data...), done, nil
 }
 
+// MultiGet implements kvstore.Store: memcached's native multi-key get —
+// one request carrying every key, one response streaming the hits back, so
+// the TCP round trip is paid once for the whole batch.
+func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	s.stats.MultiGets++
+	s.stats.Gets += uint64(len(keys))
+	pages := make([][]byte, len(keys))
+	for i, key := range keys {
+		it, ok := s.items[key]
+		if !ok {
+			s.stats.Misses++
+			continue
+		}
+		s.classes[it.class].lru.MoveToBack(it.elem)
+		pages[i] = append([]byte(nil), it.data...)
+	}
+	if len(keys) == 0 {
+		return pages, now, nil
+	}
+	return pages, s.readChan.SubmitN(now, len(keys)), nil
+}
+
 // StartGet implements kvstore.Store.
 func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
 	data, readyAt, err := s.Get(now, key)

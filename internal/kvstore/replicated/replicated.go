@@ -317,6 +317,93 @@ func (s *Store) repair(now time.Duration, key kvstore.Key, data []byte, mask uin
 	}
 }
 
+// MultiGet implements kvstore.Store. Each live key is assigned to its
+// preferred serving member (primary first, then the failover order), and
+// every member serves its whole group in one amortised member MultiGet.
+// Keys the batch path cannot serve — a member that errored, or one the
+// index demoted mid-read — fall back to the per-key failover sweep, so the
+// batch keeps the same masking guarantees as Get. A key absent from the
+// index yields a nil entry; any failure no member could mask fails the
+// whole batch, never silently turning an existing page into a miss.
+func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	s.stats.MultiGets++
+	s.stats.Gets += uint64(len(keys))
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out, now, nil
+	}
+	groups := make(map[int][]int)
+	var order []int    // members in first-use order, deterministic
+	var fallback []int // key indexes routed to the per-key sweep
+	for idx, key := range keys {
+		mask, live := s.keys[key]
+		if !live {
+			s.stats.Misses++
+			continue
+		}
+		serving := -1
+		for off := 0; off < len(s.members); off++ {
+			i := (s.primary + off) % len(s.members)
+			if s.down[i] || mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			serving = i
+			break
+		}
+		if serving < 0 {
+			fallback = append(fallback, idx)
+			continue
+		}
+		if _, seen := groups[serving]; !seen {
+			order = append(order, serving)
+		}
+		groups[serving] = append(groups[serving], idx)
+	}
+	latest := now
+	for _, m := range order {
+		idxs := groups[m]
+		sub := make([]kvstore.Key, len(idxs))
+		for j, idx := range idxs {
+			sub[j] = keys[idx]
+		}
+		pages, done, err := s.members[m].MultiGet(now, sub)
+		if done > latest {
+			latest = done
+		}
+		if err != nil {
+			s.memberErrors++
+			fallback = append(fallback, idxs...)
+			continue
+		}
+		if m != s.primary {
+			s.failovers++
+		}
+		for j, idx := range idxs {
+			key := keys[idx]
+			if pages[j] == nil {
+				// The index says current but the member lost it; demote the
+				// copy and let the sweep (and repair) restore it.
+				s.keys[key] &^= 1 << uint(m)
+				fallback = append(fallback, idx)
+				continue
+			}
+			out[idx] = pages[j]
+			s.repair(done, key, pages[j], s.keys[key])
+		}
+	}
+	for _, idx := range fallback {
+		data, done, err := s.Get(latest, keys[idx])
+		if done > latest {
+			latest = done
+		}
+		if err != nil {
+			return nil, latest, fmt.Errorf("replicated: multiget key %v: %w", keys[idx], err)
+		}
+		out[idx] = data
+	}
+	return out, latest, nil
+}
+
 // StartGet implements kvstore.Store. The split read goes to the primary when
 // it holds the current version; otherwise (or on failure) the bottom half
 // falls back to the synchronous failover sweep, so the caller sees one

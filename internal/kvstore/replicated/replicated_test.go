@@ -344,6 +344,9 @@ func (e erroringStore) MultiPut(now time.Duration, keys []kvstore.Key, pages [][
 func (e erroringStore) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
 	return nil, now, errBroken
 }
+func (e erroringStore) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
+	return nil, now, errBroken
+}
 func (e erroringStore) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
 	return &kvstore.PendingGet{Key: key, ReadyAt: now, Err: errBroken}
 }

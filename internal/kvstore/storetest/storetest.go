@@ -210,6 +210,119 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 
+	t.Run("MultiGetOrderingAndPartialMiss", func(t *testing.T) {
+		s := factory()
+		// Store the even-indexed keys only; the batch interleaves hits and
+		// misses in an order unrelated to insertion order.
+		var keys []kvstore.Key
+		for i := 0; i < 6; i++ {
+			key := kvstore.MakeKey(uint64(0x200000+i*kvstore.PageSize), 4)
+			keys = append(keys, key)
+			if i%2 == 0 {
+				if _, err := s.Put(0, key, Page(byte(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		batch := []kvstore.Key{keys[5], keys[0], keys[3], keys[4], keys[1], keys[2], keys[0]}
+		pages, done, err := s.MultiGet(time.Microsecond, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done < time.Microsecond {
+			t.Fatalf("completion %v before submission", done)
+		}
+		if len(pages) != len(batch) {
+			t.Fatalf("result length %d, want %d (aligned with keys)", len(pages), len(batch))
+		}
+		wantTag := map[kvstore.Key]byte{keys[0]: 0, keys[2]: 2, keys[4]: 4}
+		for i, key := range batch {
+			tag, hit := wantTag[key]
+			if !hit {
+				if pages[i] != nil {
+					t.Fatalf("entry %d: missing key returned %d bytes, want nil", i, len(pages[i]))
+				}
+				continue
+			}
+			if pages[i] == nil {
+				t.Fatalf("entry %d: stored key returned nil", i)
+			}
+			if len(pages[i]) != kvstore.PageSize {
+				t.Fatalf("entry %d: short page (%d bytes)", i, len(pages[i]))
+			}
+			if !bytes.Equal(pages[i], Page(tag)) {
+				t.Fatalf("entry %d: page corrupted or misaligned", i)
+			}
+		}
+	})
+
+	t.Run("MultiGetEmpty", func(t *testing.T) {
+		s := factory()
+		pages, done, err := s.MultiGet(5*time.Microsecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pages) != 0 {
+			t.Fatalf("empty batch returned %d entries", len(pages))
+		}
+		if done < 5*time.Microsecond {
+			t.Fatalf("completion %v before submission", done)
+		}
+	})
+
+	t.Run("MultiGetAmortised", func(t *testing.T) {
+		const n = 32
+		populate := func(s kvstore.Store) []kvstore.Key {
+			var keys []kvstore.Key
+			for i := 0; i < n; i++ {
+				key := kvstore.MakeKey(uint64(0x300000+i*kvstore.PageSize), 1)
+				keys = append(keys, key)
+				if _, err := s.Put(0, key, Page(byte(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return keys
+		}
+		serial := factory()
+		keys := populate(serial)
+		var serialDone time.Duration
+		for _, key := range keys {
+			_, done, err := serial.Get(serialDone, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialDone = done
+		}
+		batched := factory()
+		keys = populate(batched)
+		_, batchDone, err := batched.MultiGet(0, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batchDone >= serialDone {
+			t.Fatalf("MultiGet (%v) should beat %d serial Gets (%v)", batchDone, n, serialDone)
+		}
+	})
+
+	t.Run("MultiGetStats", func(t *testing.T) {
+		s := factory()
+		a := kvstore.MakeKey(0x400000, 2)
+		b := kvstore.MakeKey(0x401000, 2)
+		missing := kvstore.MakeKey(0x402000, 2)
+		for _, key := range []kvstore.Key{a, b} {
+			if _, err := s.Put(0, key, Page(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := s.MultiGet(0, []kvstore.Key{a, missing, b}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.MultiGets != 1 || st.Gets != 3 || st.Misses != 1 {
+			t.Fatalf("stats after MultiGet = %+v, want MultiGets=1 Gets=3 Misses=1", st)
+		}
+	})
+
 	// The error-path contract rides along with the happy-path suite so no
 	// backend can pass conformance while mishandling failures.
 	RunErrorPaths(t, factory)
@@ -295,6 +408,53 @@ func RunErrorPaths(t *testing.T, factory Factory) {
 		}
 		if _, err := s.MultiPut(0, nil, [][]byte{Page(1)}); !errors.Is(err, kvstore.ErrBadValue) {
 			t.Fatalf("nil keys: err = %v, want ErrBadValue", err)
+		}
+	})
+
+	t.Run("MultiGetMissIsNotAnError", func(t *testing.T) {
+		// A batch of entirely absent keys succeeds with all-nil entries;
+		// ErrNotFound is a per-key Get sentinel, never a batch failure. A
+		// wrapper turning misses into batch errors would make the monitor's
+		// batched demand+prefetch read fail on cold pages.
+		s := factory()
+		batch := []kvstore.Key{kvstore.MakeKey(0x88000, 1), kvstore.MakeKey(0x89000, 1)}
+		pages, _, err := s.MultiGet(0, batch)
+		if err != nil {
+			t.Fatalf("all-miss batch: err = %v, want nil", err)
+		}
+		for i, p := range pages {
+			if p != nil {
+				t.Fatalf("entry %d: got %d bytes for a key Get reports ErrNotFound for", i, len(p))
+			}
+		}
+		// And the per-key view must agree.
+		if _, _, err := s.Get(0, batch[0]); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Fatalf("Get of missing key: err = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("MultiGetAgreesWithGetAfterDelete", func(t *testing.T) {
+		s := factory()
+		kept := kvstore.MakeKey(0x8a000, 1)
+		dropped := kvstore.MakeKey(0x8b000, 1)
+		for _, key := range []kvstore.Key{kept, dropped} {
+			if _, err := s.Put(0, key, Page(5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := s.Delete(0, dropped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages, _, err := s.MultiGet(done, []kvstore.Key{dropped, kept})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pages[0] != nil {
+			t.Fatal("deleted key resurfaced in MultiGet")
+		}
+		if !bytes.Equal(pages[1], Page(5)) {
+			t.Fatal("surviving key corrupted or misaligned after delete")
 		}
 	})
 
