@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick
+.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
-check: vet build test check-race
+# shard-oracle re-proves worker-count determinism on the write-back workloads
+# and fuzz-short gives the coalescing model checker a short adversarial pass.
+check: vet build test check-race shard-oracle fuzz-short
 
 build:
 	$(GO) build ./...
@@ -25,3 +27,17 @@ check-race:
 
 bench-quick:
 	$(GO) run ./cmd/fluidmem-bench -quick
+
+# Regenerate the machine-readable write-back crossover artifact
+# (BENCH_writeback.json) at full scale.
+bench-json:
+	$(GO) run ./cmd/fluidmem-bench -run writeback -json
+
+# The write-back determinism oracle: N-worker monitors must be logically
+# identical to the serial monitor on the write-heavy / zero-heavy workloads.
+shard-oracle:
+	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestWorkerCountEquivalence/.*writeback.*'
+
+# Short fuzz pass over the coalescing write-back engine's flat-model checker.
+fuzz-short:
+	$(GO) test ./internal/core/ -run FuzzWriteCoalesce -fuzz FuzzWriteCoalesce -fuzztime=5s

@@ -15,6 +15,10 @@ import (
 // renderable is any experiment result.
 type renderable interface{ Render() string }
 
+// jsonable marks results that can also be emitted as a machine-readable
+// BENCH_<name>.json artifact (the -json flag).
+type jsonable interface{ JSON() ([]byte, error) }
+
 // experiment couples a name to its runner.
 type experiment struct {
 	name string
@@ -39,6 +43,7 @@ func experiments() []experiment {
 		{"density", "multi-VM density: idle guests drain, active guest grows (§VI-E)", func(o bench.Options) (renderable, error) { return bench.RunDensity(o) }},
 		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
 		{"workers", "fault throughput vs pipeline width, batched MultiGet readahead", func(o bench.Options) (renderable, error) { return bench.RunWorkers(o) }},
+		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
 	}
 }
 
@@ -56,6 +61,7 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "run reduced-scale variants")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonOut  = fs.Bool("json", false, "also write BENCH_<name>.json for experiments that support it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +92,21 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Println(res.Render())
+		if *jsonOut {
+			j, ok := res.(jsonable)
+			if !ok {
+				continue
+			}
+			data, err := j.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: json: %w", e.name, err)
+			}
+			artifact := "BENCH_" + e.name + ".json"
+			if err := os.WriteFile(artifact, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			fmt.Printf("wrote %s\n", artifact)
+		}
 	}
 	if matched == 0 {
 		return fmt.Errorf("no experiment matches %q (use -list)", *runNames)

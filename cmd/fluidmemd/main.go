@@ -40,10 +40,12 @@ func run(args []string) error {
 		guestMB = fs.Int("guest", 256, "guest memory in MB")
 		script  = fs.String("script", "status;resize 180;probe;resize 80;probe;resize 32768;probe;status",
 			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n> | health")
-		seed     = fs.Uint64("seed", 1, "simulation seed")
-		replicas = fs.Int("replicas", 1, "replication factor across backend members")
-		chaos    = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
-		workers  = fs.Int("workers", 1, "fault-pipeline width: page-address-sharded workers in the monitor")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		replicas  = fs.Int("replicas", 1, "replication factor across backend members")
+		chaos     = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
+		workers   = fs.Int("workers", 1, "fault-pipeline width: page-address-sharded workers in the monitor")
+		elideZero = fs.Bool("elide-zero", false, "elide all-zero evicted pages into the zero bitmap (re-faults resolve with UFFDIO_ZEROPAGE, no store traffic)")
+		cleanDrop = fs.Bool("clean-drop", false, "write-protect store-backed installs and drop still-clean eviction victims without a store write")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,13 +58,15 @@ func run(args []string) error {
 		BootOS:      true,
 		Seed:        *seed,
 	}
-	if *replicas > 1 || *chaos > 0 || *workers > 1 {
+	if *replicas > 1 || *chaos > 0 || *workers > 1 || *elideZero || *cleanDrop {
 		store, err := buildStore(*backend, *replicas, *chaos, *seed)
 		if err != nil {
 			return err
 		}
 		mon := core.DefaultConfig(nil, int(mcfg.LocalMemory/fluidmem.PageSize))
 		mon.Workers = *workers
+		mon.ElideZeroPages = *elideZero
+		mon.CleanPageDrop = *cleanDrop
 		if *replicas > 1 || *chaos > 0 {
 			policy := resilience.DefaultPolicy()
 			mon.Resilience = &policy
@@ -130,6 +134,10 @@ func execute(m *fluidmem.Machine, fields []string) error {
 		fmt.Printf("  t=%v resident=%d pages (%.3f MB) limit=%d faults=%d first-touch=%d remote-reads=%d steals=%d evictions=%d\n",
 			m.Now(), m.ResidentPages(), float64(m.ResidentPages())*4/1024,
 			m.Monitor().FootprintLimit(), st.Faults, st.FirstTouch, st.RemoteReads, st.Steals, st.Evictions)
+		if st.ZeroElided > 0 || st.CleanDropped > 0 || st.ZeroRefills > 0 {
+			fmt.Printf("  writeback: zero-elided=%d clean-dropped=%d zero-refills=%d wp-faults=%d\n",
+				st.ZeroElided, st.CleanDropped, st.ZeroRefills, m.Monitor().WPFaults())
+		}
 		fmt.Printf("  store: %+v\n", m.Store().Stats())
 	case "resize":
 		if len(fields) != 2 {

@@ -63,6 +63,22 @@ type Config struct {
 	// standard cure for per-page RTT overhead in the disaggregation
 	// literature.
 	BatchReads bool
+	// ElideZeroPages enables the write-path zero-page optimisation: an
+	// evicted page whose contents are all zeroes is recorded in a zero
+	// bitmap instead of being written to the store, and a later re-fault is
+	// resolved with UFFDIO_ZEROPAGE instead of a store read — zero traffic
+	// in both directions for zero pages (the paper's zero-page optimisation
+	// applied to the eviction side). Elision decisions depend only on page
+	// contents, so worker-count determinism is preserved.
+	ElideZeroPages bool
+	// CleanPageDrop enables dirty tracking via simulated write-protect
+	// faults: a page installed from a durable store copy is write-protected;
+	// the first guest write trips a WP fault that clears the protection. A
+	// victim still protected at eviction was never written — its store copy
+	// is current, so it is dropped with no store write at all. Pages whose
+	// bytes the store does not durably hold (steals, compressed-tier hits,
+	// zero refills) are never protected, so the drop is always safe.
+	CleanPageDrop bool
 	// Compress optionally enables the zswap-style compressed tier (§III's
 	// page-compression customisation): evicted pages that compress well are
 	// parked in a local pool and refault at decompression speed instead of
@@ -110,6 +126,10 @@ type MonitorOpParams struct {
 	// TLB-shootdown acknowledgement plus the write-list append. It runs
 	// inside the network-wait window (§V-B).
 	EvictFinish clock.LatencyModel
+	// ZeroScan is the cost of scanning a victim page for all-zero contents
+	// (a 4 KiB compare against the zero page) on the eviction path, charged
+	// only when ElideZeroPages is on.
+	ZeroScan clock.LatencyModel
 	// Resume is the cost of the faulting vCPU being rescheduled after wake.
 	Resume clock.LatencyModel
 }
@@ -124,6 +144,7 @@ func DefaultMonitorOps() MonitorOpParams {
 		RPCOverhead:   clock.LatencyModel{Base: 5 * time.Microsecond, Jitter: 800 * time.Nanosecond},
 		AsyncIssue:    clock.LatencyModel{Base: 1500 * time.Nanosecond, Jitter: 250 * time.Nanosecond},
 		EvictFinish:   clock.LatencyModel{Base: 2 * time.Microsecond, Jitter: 400 * time.Nanosecond},
+		ZeroScan:      clock.LatencyModel{Base: 400 * time.Nanosecond, Jitter: 80 * time.Nanosecond},
 		Resume:        clock.LatencyModel{Base: 3 * time.Microsecond, Jitter: 400 * time.Nanosecond},
 	}
 }

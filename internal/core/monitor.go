@@ -58,6 +58,17 @@ type Stats struct {
 	Flushes uint64
 	// Prefetches counts pages pulled in ahead of demand (PrefetchPages > 0).
 	Prefetches uint64
+	// ZeroElided counts evictions elided into the zero bitmap instead of a
+	// store write (ElideZeroPages). Deliberately separate from SyncWrites
+	// and Flushes: an elided eviction causes no store traffic at all.
+	ZeroElided uint64
+	// CleanDropped counts evictions dropped because the victim was never
+	// written since its store-backed install (CleanPageDrop) — the store
+	// copy is current, so no write is needed.
+	CleanDropped uint64
+	// ZeroRefills counts re-faults of zero-elided pages resolved with
+	// UFFDIO_ZEROPAGE instead of a store read.
+	ZeroRefills uint64
 }
 
 // Monitor is the FluidMem user-space page-fault handler. One monitor serves
@@ -224,6 +235,10 @@ func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error
 				if m.tier != nil {
 					m.tier.drop(key)
 				}
+				// Cancel pending engine state so a later flush cannot
+				// resurrect a deleted page in the store.
+				m.wb.DiscardQueued(key)
+				m.wb.DropZero(key)
 				var err error
 				if now, err = m.cfg.Store.Delete(now, key); err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("core: delete page %#x: %w", addr, err)
@@ -298,6 +313,14 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 	if !m.seen[ev.Addr] && m.cfg.PageTracker {
 		return m.resolveFirstTouch(t, ev)
 	}
+	// Zero-bitmap hit: the page's latest eviction was elided, so any store
+	// copy is stale — restore it with UFFDIO_ZEROPAGE, no store traffic.
+	// Checked unconditionally (not gated on cfg.ElideZeroPages): a standing
+	// mark means the store was never updated, so reading it would be wrong
+	// even if the feature has since been toggled off.
+	if m.wb.TakeZero(key) {
+		return m.resolveZeroRefill(t, ev)
+	}
 	resumeAt, batched, err := m.resolveFromStore(t, ev, key)
 	if err == nil && m.cfg.PrefetchPages > 0 && !batched {
 		// Read ahead while the guest is already running (off the critical
@@ -312,6 +335,22 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 // needed, happens after the wake-up, off the critical path (Figure 2).
 func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Duration, error) {
 	m.cell(ev.Addr).FirstTouch++
+	m.seen[ev.Addr] = true
+	return m.zeroFill(t, ev)
+}
+
+// resolveZeroRefill resolves a re-fault of a zero-elided page: the eviction
+// recorded the page's all-zero contents in the zero bitmap instead of
+// writing the store, so the refill is a local UFFDIO_ZEROPAGE — the same
+// fast path as first touch, counted separately.
+func (m *Monitor) resolveZeroRefill(t time.Duration, ev uffd.Event) (time.Duration, error) {
+	m.cell(ev.Addr).ZeroRefills++
+	return m.zeroFill(t, ev)
+}
+
+// zeroFill installs the zero page, wakes the guest, and runs asynchronous
+// eviction afterwards — shared tail of first-touch and zero-refill faults.
+func (m *Monitor) zeroFill(t time.Duration, ev uffd.Event) (time.Duration, error) {
 	done, err := m.fd.ZeroPage(t, ev.Addr)
 	if err != nil {
 		return t, fmt.Errorf("core: zeropage %#x: %w", ev.Addr, err)
@@ -319,7 +358,6 @@ func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Durati
 	m.prof.Record(OpUffdZeroPage, done-t)
 	t = done
 	m.epoch++
-	m.seen[ev.Addr] = true
 
 	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
 	m.prof.Record(OpInsertLRUCache, lruCost)
@@ -355,7 +393,8 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 			return t, false, err
 		}
 		if hit {
-			rt, err := m.installAndWake(done, ev, data, true)
+			// Not store-backed: the tier held the only current copy.
+			rt, err := m.installAndWake(done, ev, data, false, true)
 			return rt, false, err
 		}
 	}
@@ -363,7 +402,8 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 	if m.cfg.StealEnabled && m.cfg.AsyncWrite {
 		if data, ok := m.wb.Steal(t, key); ok {
 			m.cell(ev.Addr).Steals++
-			rt, err := m.installAndWake(t, ev, data, true)
+			// Not store-backed: the stolen write never reached the store.
+			rt, err := m.installAndWake(t, ev, data, false, true)
 			return rt, false, err
 		}
 	} else if m.cfg.AsyncWrite && m.wb.Queued(key) {
@@ -426,6 +466,9 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 		}
 		m.prof.Record(OpUffdCopy, done-readDone)
 		m.epoch++
+		if done, err = m.markClean(done, ev.Addr); err != nil {
+			return done, false, err
+		}
 		t = m.fd.Wake(done, ev.Addr)
 		m.workerFree[m.workerOf(ev.Addr)] = t
 		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), false, nil
@@ -447,7 +490,7 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 			}
 		}
 	}
-	rt, err := m.installAndWake(t, ev, data, false)
+	rt, err := m.installAndWake(t, ev, data, true, false)
 	return rt, false, err
 }
 
@@ -512,6 +555,9 @@ func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore
 	}
 	m.prof.Record(OpUffdCopy, done-t)
 	m.epoch++
+	if done, err = m.markClean(done, ev.Addr); err != nil {
+		return done, true, err
+	}
 	t = m.fd.Wake(done, ev.Addr)
 	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
 
@@ -522,7 +568,7 @@ func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore
 			continue // store miss: the page will fault normally
 		}
 		var stop bool
-		mFree, stop = m.installPrefetched(mFree, ev.Addr, c.addr, c.data)
+		mFree, stop = m.installPrefetched(mFree, ev.Addr, c.addr, c.data, !c.stolen)
 		if stop {
 			break
 		}
@@ -532,9 +578,12 @@ func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore
 }
 
 // installAndWake copies data into the faulting page, re-inserts it in the
-// LRU list, and wakes the guest. The store-read paths have already made
-// room; the steal shortcut has not, so it evicts here (needEvict).
-func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, needEvict bool) (time.Duration, error) {
+// LRU list, and wakes the guest. storeBacked says the bytes match a durable
+// store copy, arming clean tracking; steals and tier hits install data the
+// store does not hold, so they must pass false. The store-read paths have
+// already made room; the steal shortcut has not, so it evicts here
+// (needEvict).
+func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, storeBacked, needEvict bool) (time.Duration, error) {
 	if needEvict {
 		var err error
 		for m.lru.Len() >= m.cfg.LRUCapacity {
@@ -554,6 +603,11 @@ func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, ne
 	m.prof.Record(OpUffdCopy, done-t)
 	t = done
 	m.epoch++
+	if storeBacked {
+		if t, err = m.markClean(t, ev.Addr); err != nil {
+			return t, err
+		}
+	}
 
 	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
 	m.prof.Record(OpInsertLRUCache, lruCost)
@@ -576,6 +630,11 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 	}
 	m.lru.Remove(victim)
 	m.cell(victim).Evictions++
+
+	// Dirty check (must precede the remap, which destroys the mapping): a
+	// page still write-protected since its store-backed install was never
+	// written, so the store copy is current and no write is needed.
+	clean := m.cfg.CleanPageDrop && m.fd.PageClean(victim)
 
 	var (
 		data []byte
@@ -609,6 +668,14 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 	}
 	m.epoch++
 
+	if clean {
+		// Clean drop: the store copy is current, the local frame is already
+		// freed — the eviction is done, with no write, no tier offer, no
+		// list traffic.
+		m.cell(victim).CleanDropped++
+		return t, nil
+	}
+
 	region := m.regionOf(victim)
 	if region == nil {
 		return t, fmt.Errorf("core: evicted page %#x has no region", victim)
@@ -618,6 +685,19 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		return t, fmt.Errorf("%w: %d", ErrUnknownPID, region.PID)
 	}
 	key := kvstore.MakeKey(victim, part)
+
+	if m.cfg.ElideZeroPages {
+		scanCost := m.cfg.MonitorOps.ZeroScan.Sample(m.rng)
+		m.prof.Record(OpZeroScan, scanCost)
+		t += scanCost
+		if allZero(data) {
+			// Zero elision: record the mark instead of shipping 4 KiB of
+			// zeroes; the re-fault resolves with UFFDIO_ZEROPAGE.
+			m.wb.NoteZero(key)
+			m.cell(victim).ZeroElided++
+			return t, nil
+		}
+	}
 
 	if m.tier != nil {
 		done, accepted, displaced, terr := m.tier.offer(t, key, data)
@@ -661,6 +741,34 @@ func copyOutCost(m *Monitor, t time.Duration) (time.Duration, error) {
 	return t + m.cfg.UFFD.Copy.Sample(m.rng), nil
 }
 
+// markClean write-protects a freshly installed page whose bytes match the
+// durable store copy, arming the clean-drop eviction path: the first guest
+// write trips a (simulated) WP fault that clears the protection, so a page
+// still protected at eviction time is provably unwritten. No-op unless
+// cfg.CleanPageDrop is on, so feature-off runs draw the exact same RNG
+// sequence as before.
+func (m *Monitor) markClean(t time.Duration, addr uint64) (time.Duration, error) {
+	if !m.cfg.CleanPageDrop {
+		return t, nil
+	}
+	done, err := m.fd.SetWriteProtect(t, addr)
+	if err != nil {
+		return t, fmt.Errorf("core: write-protect %#x: %w", addr, err)
+	}
+	m.prof.Record(OpUffdWriteProtect, done-t)
+	return done, nil
+}
+
+// allZero reports whether a page is entirely zero bytes.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Discard implements vm.Backing: a balloon-freed page loses its contents.
 func (m *Monitor) Discard(addr uint64) {
 	addr = addr &^ uint64(PageSize-1)
@@ -680,9 +788,10 @@ func (m *Monitor) Discard(addr uint64) {
 	if region := m.regionOf(addr); region != nil {
 		if part, ok := m.partitions[region.PID]; ok {
 			key := kvstore.MakeKey(addr, part)
-			if m.cfg.AsyncWrite {
-				m.wb.Steal(m.workerFree[m.workerOf(addr)], key)
-			}
+			// A balloon-freed page's bytes must never reach the store:
+			// cancel any queued write and drop any zero mark or tier copy.
+			m.wb.DiscardQueued(key)
+			m.wb.DropZero(key)
 			if m.tier != nil {
 				m.tier.drop(key)
 			}
@@ -740,6 +849,9 @@ func (m *Monitor) Stats() Stats {
 		total.SyncWrites += c.SyncWrites
 		total.Flushes += c.Flushes
 		total.Prefetches += c.Prefetches
+		total.ZeroElided += c.ZeroElided
+		total.CleanDropped += c.CleanDropped
+		total.ZeroRefills += c.ZeroRefills
 	}
 	return total
 }
@@ -776,6 +888,14 @@ func (m *Monitor) SetFaultLatencySink(sink func(time.Duration)) {
 
 // WriteListLen reports pages awaiting flush (test hook).
 func (m *Monitor) WriteListLen() int { return m.wb.QueuedLen() }
+
+// WritebackStats reports the write-back engine's counters: flush batch
+// sizes, coalesced re-evictions, zero-bitmap activity.
+func (m *Monitor) WritebackStats() WritebackStats { return m.wb.Snapshot() }
+
+// WPFaults reports guest writes that tripped the clean-tracking write
+// protection (CleanPageDrop).
+func (m *Monitor) WPFaults() uint64 { return m.fd.WPFaults() }
 
 func (m *Monitor) regionOf(addr uint64) *uffd.Region {
 	for _, r := range m.fd.Regions() {

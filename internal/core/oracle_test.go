@@ -34,6 +34,26 @@ func TestMonitorAgainstOracle(t *testing.T) {
 			cfg.PrefetchPages = 4
 			return cfg
 		},
+		"writeback": func() Config {
+			cfg := DefaultConfig(ramcloud.New(ramcloud.DefaultParams(), 5), 24)
+			cfg.ElideZeroPages = true
+			cfg.CleanPageDrop = true
+			return cfg
+		},
+		"writeback-batched": func() Config {
+			cfg := DefaultConfig(ramcloud.New(ramcloud.DefaultParams(), 5), 24)
+			cfg.ElideZeroPages = true
+			cfg.CleanPageDrop = true
+			cfg.PrefetchPages = 4
+			cfg.BatchReads = true
+			return cfg
+		},
+		"writeback-sync": func() Config {
+			cfg := BaselineConfig(ramcloud.New(ramcloud.DefaultParams(), 5), 24)
+			cfg.ElideZeroPages = true
+			cfg.CleanPageDrop = true
+			return cfg
+		},
 	}
 	for name, mkCfg := range backends {
 		name, mkCfg := name, mkCfg

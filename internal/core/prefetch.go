@@ -20,6 +20,10 @@ type prefetchCandidate struct {
 	addr uint64
 	key  kvstore.Key
 	data []byte // non-nil when resolved from the write list (steal)
+	// stolen marks data that came from the write list rather than the
+	// store: the store never saw those bytes, so the install must not be
+	// treated as store-backed (clean tracking would drop dirty data).
+	stolen bool
 }
 
 // gatherPrefetch selects up to cfg.PrefetchPages pages following addr that
@@ -45,9 +49,16 @@ func (m *Monitor) gatherPrefetch(now time.Duration, addr uint64, part kvstore.Pa
 			continue
 		}
 		c := prefetchCandidate{addr: next, key: kvstore.MakeKey(next, part)}
+		// A zero-elided page's store copy is stale (the zero bitmap is
+		// authoritative); prefetching it would install dead data. Skip it —
+		// its own demand fault resolves via UFFDIO_ZEROPAGE.
+		if m.wb.HasZero(c.key) {
+			continue
+		}
 		if m.cfg.AsyncWrite {
 			if data, ok := m.wb.Steal(now, c.key); ok {
 				c.data = data
+				c.stolen = true
 			}
 		}
 		cands = append(cands, c)
@@ -58,8 +69,10 @@ func (m *Monitor) gatherPrefetch(now time.Duration, addr uint64, part kvstore.Pa
 // installPrefetched installs one readahead page, evicting to make room but
 // never displacing the demand page the guest is about to retry — readahead
 // must never displace demand, so stop=true tells the caller to cease
-// prefetching when the demand page is the eviction candidate.
-func (m *Monitor) installPrefetched(t time.Duration, demand, addr uint64, data []byte) (time.Duration, bool) {
+// prefetching when the demand page is the eviction candidate. storeBacked
+// arms clean tracking for pages whose bytes came from the store (not from a
+// write-list steal).
+func (m *Monitor) installPrefetched(t time.Duration, demand, addr uint64, data []byte, storeBacked bool) (time.Duration, bool) {
 	if oldest, ok := m.lru.Oldest(); ok && oldest == demand && m.lru.Len() >= m.cfg.LRUCapacity {
 		return t, true
 	}
@@ -75,6 +88,11 @@ func (m *Monitor) installPrefetched(t time.Duration, demand, addr uint64, data [
 	}
 	t = done
 	m.epoch++
+	if storeBacked {
+		if t, err = m.markClean(t, addr); err != nil {
+			return t, false
+		}
+	}
 	m.lru.Insert(addr)
 	m.cell(addr).Prefetches++
 	return t, false
@@ -113,7 +131,7 @@ func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionI
 			}
 		}
 		var stop bool
-		t, stop = m.installPrefetched(t, addr, c.addr, data)
+		t, stop = m.installPrefetched(t, addr, c.addr, data, !c.stolen)
 		if stop {
 			break
 		}

@@ -19,6 +19,10 @@ const (
 	OpUffdCopy        = "UFFD_COPY"
 	OpReadPage        = "READ_PAGE"
 	OpWritePage       = "WRITE_PAGE"
+	// Write-back engine extensions (not Table I rows): the eviction-path
+	// zero scan and the clean-tracking write-protect ioctl.
+	OpZeroScan         = "ZERO_SCAN"
+	OpUffdWriteProtect = "UFFD_WRITEPROTECT"
 )
 
 // profileOrder is Table I's row order.
@@ -31,6 +35,8 @@ var profileOrder = []string{
 	OpUffdCopy,
 	OpReadPage,
 	OpWritePage,
+	OpZeroScan,
+	OpUffdWriteProtect,
 }
 
 // Profiler records per-code-path latencies, reproducing FluidMem's built-in

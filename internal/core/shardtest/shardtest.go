@@ -45,6 +45,15 @@ type Workload struct {
 	// LRU-capacity changes.
 	Discard bool
 	Resize  bool
+	// WriteProb shapes the read/write mix: 0 keeps the default one-third
+	// write ratio, a positive value is the exact write probability
+	// (write-heavy workloads), and a negative value makes the workload
+	// read-only (no write ever, so clean-drop can elide every re-eviction).
+	WriteProb float64
+	// ZeroWrites makes half the writes store a zero byte instead of a tag.
+	// The harness only ever writes data[0], so a zero write returns the
+	// whole page to all-zero contents — the case zero elision targets.
+	ZeroWrites bool
 }
 
 // Outcome is everything logically observable from one replay.
@@ -116,7 +125,15 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 			delete(tags, page)
 			continue
 		}
-		write := rng.Intn(3) == 0
+		var write bool
+		switch {
+		case wl.WriteProb < 0:
+			write = false
+		case wl.WriteProb > 0:
+			write = rng.Float64() < wl.WriteProb
+		default:
+			write = rng.Intn(3) == 0
+		}
 		data, done, err := m.Touch(now, addr, write)
 		if err != nil {
 			tb.Fatalf("%s/w%d op %d (page %d): %v", wl.Name, workers, i, page, err)
@@ -128,6 +145,9 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 		h.Write(data)
 		if write {
 			tag := byte(i%250 + 1)
+			if wl.ZeroWrites && rng.Intn(2) == 0 {
+				tag = 0 // restores the page to all-zero contents
+			}
 			data[0] = tag
 			tags[page] = tag
 		}

@@ -58,6 +58,67 @@ func workloads() []Workload {
 			Discard: true,
 			Resize:  true,
 		},
+		{
+			// Write-heavy traffic through the coalescing write-back engine:
+			// most faults dirty their page, so eviction pressure exercises
+			// coalescing, group flushes, and clean/zero decisions at once.
+			Name:  "ramcloud-writeback-writeheavy",
+			Pages: 96, Steps: 1200,
+			NewConfig: func(seed uint64) core.Config {
+				cfg := core.DefaultConfig(ramcloud.New(ramcloud.DefaultParams(), seed+23), 24)
+				cfg.ElideZeroPages = true
+				cfg.CleanPageDrop = true
+				return cfg
+			},
+			WriteProb: 0.8,
+		},
+		{
+			// Zero-heavy traffic: half the writes return pages to all-zero
+			// contents, so the zero bitmap and UFFDIO_ZEROPAGE refills carry
+			// much of the load — the elision determinism case.
+			Name:  "ramcloud-writeback-zeroheavy",
+			Pages: 96, Steps: 1200,
+			NewConfig: func(seed uint64) core.Config {
+				cfg := core.DefaultConfig(ramcloud.New(ramcloud.DefaultParams(), seed+29), 24)
+				cfg.ElideZeroPages = true
+				cfg.CleanPageDrop = true
+				return cfg
+			},
+			WriteProb:  0.5,
+			ZeroWrites: true,
+		},
+		{
+			// Read-only traffic with the engine on: every page stays clean
+			// (or zero), so evictions produce no store writes at all and the
+			// whole write path must still replay identically.
+			Name:  "dram-writeback-readonly",
+			Pages: 64, Steps: 800,
+			NewConfig: func(seed uint64) core.Config {
+				cfg := core.DefaultConfig(dram.New(dram.DefaultParams(), seed+31), 16)
+				cfg.ElideZeroPages = true
+				cfg.CleanPageDrop = true
+				return cfg
+			},
+			WriteProb: -1,
+		},
+		{
+			// Everything on: elision + clean drop + batched readahead +
+			// discard/resize churn. The widest surface for a sharding leak.
+			Name:  "memcached-writeback-batched-churn",
+			Pages: 80, Steps: 1000,
+			NewConfig: func(seed uint64) core.Config {
+				cfg := core.DefaultConfig(memcached.New(memcached.DefaultParams(), seed+37), 20)
+				cfg.ElideZeroPages = true
+				cfg.CleanPageDrop = true
+				cfg.PrefetchPages = 4
+				cfg.BatchReads = true
+				return cfg
+			},
+			WriteProb:  0.6,
+			ZeroWrites: true,
+			Discard:    true,
+			Resize:     true,
+		},
 	}
 }
 
@@ -107,6 +168,45 @@ func TestReplayIsBitwiseRepeatable(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWritebackWorkloadsExerciseEngine guards the write-back oracle against
+// vacuity: the workloads that claim to prove elision/clean-drop determinism
+// must actually trigger those paths, and the zero/clean workloads must avoid
+// a meaningful share of store writes.
+func TestWritebackWorkloadsExerciseEngine(t *testing.T) {
+	byName := map[string]Workload{}
+	for _, wl := range workloads() {
+		byName[wl.Name] = wl
+	}
+
+	heavy := Replay(t, byName["ramcloud-writeback-writeheavy"], 4, 42)
+	if heavy.Stats.CleanDropped == 0 {
+		t.Errorf("write-heavy workload never clean-dropped: %+v", heavy.Stats)
+	}
+	if heavy.Store.MultiPuts == 0 {
+		t.Errorf("write-heavy workload never flushed a batch: %+v", heavy.Store)
+	}
+
+	zero := Replay(t, byName["ramcloud-writeback-zeroheavy"], 4, 42)
+	if zero.Stats.ZeroElided == 0 || zero.Stats.ZeroRefills == 0 {
+		t.Errorf("zero-heavy workload never elided/refilled: %+v", zero.Stats)
+	}
+	// Elision + clean drop must remove a meaningful share of store writes:
+	// writes shipped vs evictions that could have shipped.
+	avoided := zero.Stats.ZeroElided + zero.Stats.CleanDropped
+	if zero.Stats.Evictions > 0 && avoided*10 < zero.Stats.Evictions {
+		t.Errorf("zero-heavy workload avoided only %d of %d eviction writes",
+			avoided, zero.Stats.Evictions)
+	}
+
+	ro := Replay(t, byName["dram-writeback-readonly"], 4, 42)
+	if ro.Store.Puts != 0 {
+		t.Errorf("read-only workload wrote %d pages to the store", ro.Store.Puts)
+	}
+	if ro.Stats.Evictions == 0 {
+		t.Errorf("read-only workload never evicted (capacity too large?): %+v", ro.Stats)
 	}
 }
 

@@ -17,10 +17,23 @@ type pendingWrite struct {
 	seq uint64
 }
 
-// writeback implements the asynchronous writeback engine (§V-B): evicted
-// pages accumulate on a write list; a flusher pushes batches to the store
-// with multi-write. The fault handler may *steal* a page back from the list
-// (or wait on one already in flight) to shortcut the remote round trips.
+// writeback implements the coalescing asynchronous write-back engine (§V-B
+// plus the zero-page optimisation): evicted pages accumulate on a write
+// list; a flusher pushes batches to the store with one amortised multi-write
+// per flush. The fault handler may *steal* a page back from the list (or
+// wait on one already in flight) to shortcut the remote round trips.
+//
+// Three redundancies are removed before any byte hits the wire:
+//
+//   - Coalescing: a re-eviction of a key still queued replaces the pending
+//     data in place (last version wins, original queue position kept), so a
+//     hot page flushes once per batch no matter how often it bounces.
+//   - Zero elision: an all-zero victim is recorded in the zero bitmap
+//     instead of being queued; a re-fault restores it with UFFDIO_ZEROPAGE,
+//     no store traffic in either direction. A stale store copy may remain —
+//     the bitmap overrides it until fresh non-zero data supersedes the mark.
+//   - Clean drop (decided by the monitor, see evictOne): a victim whose
+//     store copy is still current is dropped without touching the engine.
 //
 // For the multi-worker pipeline the list is partitioned into per-shard
 // queues (one lock domain per worker in a real monitor, so enqueues and
@@ -28,7 +41,9 @@ type pendingWrite struct {
 // global: entries carry a global enqueue stamp, the flush threshold counts
 // queued pages across all shards, and Flush gathers them in stamp order —
 // so the MultiPut batches a store observes are bit-for-bit identical for
-// any shard count.
+// any shard count. Every elision decision depends only on page contents and
+// logical state, never on virtual time, so the batches stay identical for
+// any worker count with elision on too.
 type writeback struct {
 	store     kvstore.Store
 	batchSize int
@@ -38,14 +53,40 @@ type writeback struct {
 	queued  int // total across shards
 	nextSeq uint64
 
+	// zero is the zero bitmap: keys whose latest evicted contents were all
+	// zeroes and were therefore never written to the store. Membership is
+	// authoritative over the store — re-faults consult it first.
+	zero map[kvstore.Key]bool
+
 	// inflight maps keys of submitted writes to their completion time. A
 	// flush is one store-level MultiPut regardless of which shards fed it,
 	// so completion tracking stays global.
 	inflight map[kvstore.Key]time.Duration
 
-	flushes uint64
-	steals  uint64
-	waits   uint64
+	flushes      uint64
+	flushedPages uint64
+	steals       uint64
+	waits        uint64
+	coalesced    uint64
+	zeroMarks    uint64
+	// flushSizes histograms MultiPut batch sizes (batch size -> count).
+	flushSizes map[int]uint64
+}
+
+// WritebackStats is the engine's counter snapshot (operator/bench surface).
+type WritebackStats struct {
+	// Flushes is MultiPut round trips; FlushedPages is pages they carried.
+	Flushes, FlushedPages uint64
+	// Steals and Waits are fault-path interactions with pending writes.
+	Steals, Waits uint64
+	// Coalesced counts re-evictions absorbed into a queued entry.
+	Coalesced uint64
+	// ZeroMarks counts zero-bitmap insertions (elided store writes).
+	ZeroMarks uint64
+	// ZeroBitmap is the current bitmap population.
+	ZeroBitmap int
+	// FlushSizes maps MultiPut batch size to occurrence count.
+	FlushSizes map[int]uint64
 }
 
 func newWriteback(store kvstore.Store, batchSize int) *writeback {
@@ -60,9 +101,11 @@ func newShardedWriteback(store kvstore.Store, batchSize, shards int) *writeback 
 		shards = 1
 	}
 	w := &writeback{
-		store:     store,
-		batchSize: batchSize,
-		inflight:  make(map[kvstore.Key]time.Duration),
+		store:      store,
+		batchSize:  batchSize,
+		zero:       make(map[kvstore.Key]bool),
+		inflight:   make(map[kvstore.Key]time.Duration),
+		flushSizes: make(map[int]uint64),
 	}
 	for i := 0; i < shards; i++ {
 		w.shards = append(w.shards, make(map[kvstore.Key]*pendingWrite))
@@ -81,11 +124,15 @@ func (w *writeback) shardOf(key kvstore.Key) map[kvstore.Key]*pendingWrite {
 // device asynchronously).
 func (w *writeback) Enqueue(now time.Duration, key kvstore.Key, addr uint64, data []byte) (time.Duration, error) {
 	w.gc(now)
+	// Fresh data supersedes any zero marker for this key: once the write
+	// flushes, the store copy is current again.
+	delete(w.zero, key)
 	shard := w.shardOf(key)
 	if old, ok := shard[key]; ok {
 		// Re-eviction of a page whose previous write never flushed: replace
 		// the data in place, keeping the original queue position.
 		old.data = data
+		w.coalesced++
 		return now, nil
 	}
 	w.nextSeq++
@@ -127,7 +174,72 @@ func (w *writeback) Flush(now time.Duration) error {
 	}
 	w.queued = 0
 	w.flushes++
+	w.flushedPages += uint64(len(batch))
+	w.flushSizes[len(batch)]++
 	return nil
+}
+
+// NoteZero records that key's latest evicted contents are all zeroes: any
+// queued write for it is cancelled (its data is obsolete) and the key enters
+// the zero bitmap, so the eviction costs no store traffic at all.
+func (w *writeback) NoteZero(key kvstore.Key) {
+	if shard := w.shardOf(key); shard[key] != nil {
+		delete(shard, key)
+		w.queued--
+	}
+	w.zero[key] = true
+	w.zeroMarks++
+}
+
+// TakeZero consumes a zero-bitmap entry: true means the page's current
+// contents are all zeroes and any store copy is stale — the fault must be
+// resolved with UFFDIO_ZEROPAGE, not a store read. The mark is cleared
+// because the page becomes resident again.
+func (w *writeback) TakeZero(key kvstore.Key) bool {
+	if !w.zero[key] {
+		return false
+	}
+	delete(w.zero, key)
+	return true
+}
+
+// HasZero reports zero-bitmap membership without consuming the mark (used by
+// prefetch to skip keys whose store copy is stale).
+func (w *writeback) HasZero(key kvstore.Key) bool { return w.zero[key] }
+
+// DropZero discards a zero mark (page released entirely, e.g. Discard or VM
+// teardown).
+func (w *writeback) DropZero(key kvstore.Key) { delete(w.zero, key) }
+
+// DiscardQueued cancels any pending (unflushed) write for key, returning
+// whether one was queued. Used on page release so a dead page's bytes never
+// hit the store.
+func (w *writeback) DiscardQueued(key kvstore.Key) bool {
+	shard := w.shardOf(key)
+	if shard[key] == nil {
+		return false
+	}
+	delete(shard, key)
+	w.queued--
+	return true
+}
+
+// Snapshot returns the engine's counters. FlushSizes is a copy.
+func (w *writeback) Snapshot() WritebackStats {
+	sizes := make(map[int]uint64, len(w.flushSizes))
+	for k, v := range w.flushSizes {
+		sizes[k] = v
+	}
+	return WritebackStats{
+		Flushes:      w.flushes,
+		FlushedPages: w.flushedPages,
+		Steals:       w.steals,
+		Waits:        w.waits,
+		Coalesced:    w.coalesced,
+		ZeroMarks:    w.zeroMarks,
+		ZeroBitmap:   len(w.zero),
+		FlushSizes:   sizes,
+	}
 }
 
 // Steal resolves a fault from the write list: if key is still queued, its

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/dram"
+)
+
+// FuzzWriteCoalesce model-checks the coalescing write-back engine against a
+// flat model: an arbitrary interleaving of enqueue / coalesce / zero-mark /
+// steal / discard / flush / drain ops over a small key space must leave the
+// engine's queue, zero bitmap, and the backing store in exactly the state
+// the flat model predicts. The first input byte picks the shard count, so
+// the fuzzer also re-proves that sharding never changes what the store
+// observes.
+func FuzzWriteCoalesce(f *testing.F) {
+	f.Add([]byte{0})
+	// enqueue k0, coalesce k0, flush, steal-miss k0.
+	f.Add([]byte{1, 0x00, 0, 0x00, 0, 0x04, 0, 0x03, 0})
+	// zero-mark a queued key, take it, re-enqueue, drain.
+	f.Add([]byte{2, 0x00, 1, 0x01, 1, 0x02, 1, 0x00, 1, 0x07, 0})
+	// fill past the batch threshold to force an auto-flush, then discard.
+	f.Add([]byte{3, 0x00, 0, 0x00, 1, 0x00, 2, 0x00, 3, 0x00, 4, 0x05, 4})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		const batchSize = 4
+		const keySpace = 8
+		shards := int(raw[0]%4) + 1
+		store := dram.New(dram.DefaultParams(), 1)
+		w := newShardedWriteback(store, batchSize, shards)
+
+		// Flat model: pending data (tag per key), zero marks, and the tag
+		// the store must durably hold for each flushed key.
+		pending := make(map[kvstore.Key]byte)
+		zero := make(map[kvstore.Key]bool)
+		durable := make(map[kvstore.Key]byte)
+		modelFlush := func() {
+			for k, tag := range pending {
+				durable[k] = tag
+			}
+			for k := range pending {
+				delete(pending, k)
+			}
+		}
+
+		keyOf := func(arg byte) kvstore.Key {
+			return kvstore.MakeKey(uint64(arg%keySpace)*kvstore.PageSize, 1)
+		}
+		pageOf := func(tag byte) []byte {
+			p := make([]byte, kvstore.PageSize)
+			p[0] = tag
+			return p
+		}
+
+		now := time.Duration(0)
+		ops := raw[1:]
+		for step := 0; step+1 < len(ops); step += 2 {
+			op, arg := ops[step], ops[step+1]
+			key := keyOf(arg)
+			now += time.Microsecond
+			switch op % 8 {
+			case 0: // enqueue (fresh or coalescing)
+				tag := byte(step%250) + 1
+				if _, err := w.Enqueue(now, key, key.Page(), pageOf(tag)); err != nil {
+					t.Fatalf("step %d: enqueue: %v", step, err)
+				}
+				delete(zero, key)
+				if _, queued := pending[key]; queued {
+					pending[key] = tag // coalesced in place
+				} else {
+					pending[key] = tag
+					if len(pending) >= batchSize {
+						modelFlush()
+					}
+				}
+			case 1: // zero-mark (cancels any queued write)
+				w.NoteZero(key)
+				delete(pending, key)
+				zero[key] = true
+			case 2: // take the zero mark
+				if got, want := w.TakeZero(key), zero[key]; got != want {
+					t.Fatalf("step %d: TakeZero = %v, model %v", step, got, want)
+				}
+				delete(zero, key)
+			case 3: // steal
+				data, ok := w.Steal(now, key)
+				tag, want := pending[key]
+				if ok != want {
+					t.Fatalf("step %d: Steal ok = %v, model %v", step, ok, want)
+				}
+				if ok && data[0] != tag {
+					t.Fatalf("step %d: stolen tag %d, model %d", step, data[0], tag)
+				}
+				delete(pending, key)
+			case 4: // explicit flush
+				if err := w.Flush(now); err != nil {
+					t.Fatalf("step %d: flush: %v", step, err)
+				}
+				modelFlush()
+			case 5: // discard a queued write
+				_, want := pending[key]
+				if got := w.DiscardQueued(key); got != want {
+					t.Fatalf("step %d: DiscardQueued = %v, model %v", step, got, want)
+				}
+				delete(pending, key)
+			case 6: // pure queries
+				if got, want := w.HasZero(key), zero[key]; got != want {
+					t.Fatalf("step %d: HasZero = %v, model %v", step, got, want)
+				}
+				if _, want := pending[key]; w.Queued(key) != want {
+					t.Fatalf("step %d: Queued = %v, model %v", step, w.Queued(key), want)
+				}
+			case 7: // drain
+				done, err := w.Drain(now)
+				if err != nil {
+					t.Fatalf("step %d: drain: %v", step, err)
+				}
+				if done < now {
+					t.Fatalf("step %d: drain completed at %v before %v", step, done, now)
+				}
+				modelFlush()
+			}
+			if got, want := w.QueuedLen(), len(pending); got != want {
+				t.Fatalf("step %d (op %d): QueuedLen = %d, model %d", step, op%8, got, want)
+			}
+		}
+
+		// Quiesce and compare end states: queue empty, zero bitmap exact,
+		// store holding exactly the model's durable tags.
+		if _, err := w.Drain(now + time.Second); err != nil {
+			t.Fatalf("final drain: %v", err)
+		}
+		modelFlush()
+		if w.QueuedLen() != 0 {
+			t.Fatalf("final QueuedLen = %d", w.QueuedLen())
+		}
+		if got, want := w.Snapshot().ZeroBitmap, len(zero); got != want {
+			t.Fatalf("final zero bitmap %d entries, model %d", got, want)
+		}
+		late := now + time.Minute
+		for k := 0; k < keySpace; k++ {
+			key := keyOf(byte(k))
+			data, _, err := store.Get(late, key)
+			tag, stored := durable[key]
+			if !stored {
+				if !errors.Is(err, kvstore.ErrNotFound) {
+					t.Fatalf("key %d: store holds a page the model never flushed (err=%v)", k, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("key %d: %v", k, err)
+			}
+			if data[0] != tag {
+				t.Fatalf("key %d: store tag %d, model %d", k, data[0], tag)
+			}
+		}
+	})
+}

@@ -145,3 +145,128 @@ func TestWritebackFlushEmptyNoop(t *testing.T) {
 		t.Fatal("empty flush hit the store")
 	}
 }
+
+func TestWritebackZeroMarkLifecycle(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 100)
+	key := kvstore.Key(0x8000)
+
+	// Marking a key queued for write-back cancels the pending write.
+	if _, err := w.Enqueue(0, key, 0x8000, page(9)); err != nil {
+		t.Fatal(err)
+	}
+	w.NoteZero(key)
+	if w.QueuedLen() != 0 {
+		t.Fatalf("queued = %d after NoteZero", w.QueuedLen())
+	}
+	if !w.HasZero(key) {
+		t.Fatal("zero mark missing")
+	}
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Puts != 0 {
+		t.Fatal("zero-elided write hit the store")
+	}
+
+	// TakeZero consumes the mark exactly once.
+	if !w.TakeZero(key) {
+		t.Fatal("TakeZero missed the mark")
+	}
+	if w.TakeZero(key) || w.HasZero(key) {
+		t.Fatal("zero mark survived TakeZero")
+	}
+
+	// A fresh non-zero eviction supersedes a standing mark.
+	w.NoteZero(key)
+	if _, err := w.Enqueue(0, key, 0x8000, page(7)); err != nil {
+		t.Fatal(err)
+	}
+	if w.HasZero(key) {
+		t.Fatal("zero mark survived fresh enqueue")
+	}
+	data, ok := w.Steal(0, key)
+	if !ok || !bytes.Equal(data, page(7)) {
+		t.Fatal("queued data wrong after zero supersede")
+	}
+
+	// DropZero just discards.
+	w.NoteZero(key)
+	w.DropZero(key)
+	if w.HasZero(key) {
+		t.Fatal("zero mark survived DropZero")
+	}
+
+	st := w.Snapshot()
+	if st.ZeroMarks != 3 {
+		t.Fatalf("ZeroMarks = %d, want 3", st.ZeroMarks)
+	}
+	if st.ZeroBitmap != 0 {
+		t.Fatalf("ZeroBitmap = %d, want 0", st.ZeroBitmap)
+	}
+}
+
+func TestWritebackCoalesceCounterAndHistogram(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 100)
+	key := kvstore.Key(0x9000)
+	if _, err := w.Enqueue(0, key, 0x9000, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Enqueue(0, key, 0x9000, page(byte(2+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Enqueue(0, kvstore.Key(0xa000), 0xa000, page(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Enqueue(0, kvstore.Key(0xb000), 0xb000, page(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+
+	st := w.Snapshot()
+	if st.Coalesced != 3 {
+		t.Fatalf("Coalesced = %d, want 3", st.Coalesced)
+	}
+	if st.Flushes != 2 || st.FlushedPages != 3 {
+		t.Fatalf("Flushes = %d FlushedPages = %d, want 2/3", st.Flushes, st.FlushedPages)
+	}
+	if st.FlushSizes[2] != 1 || st.FlushSizes[1] != 1 {
+		t.Fatalf("FlushSizes = %v, want {2:1, 1:1}", st.FlushSizes)
+	}
+	// The four same-key enqueues collapsed to one store write.
+	if store.Stats().Puts != 3 {
+		t.Fatalf("store puts = %d, want 3", store.Stats().Puts)
+	}
+}
+
+func TestWritebackDiscardQueued(t *testing.T) {
+	store := dram.New(dram.DefaultParams(), 1)
+	w := newWriteback(store, 100)
+	key := kvstore.Key(0xc000)
+	if _, err := w.Enqueue(0, key, 0xc000, page(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !w.DiscardQueued(key) {
+		t.Fatal("DiscardQueued missed a queued write")
+	}
+	if w.DiscardQueued(key) {
+		t.Fatal("double discard succeeded")
+	}
+	if w.QueuedLen() != 0 {
+		t.Fatalf("queued = %d", w.QueuedLen())
+	}
+	if err := w.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Puts != 0 {
+		t.Fatal("discarded write hit the store")
+	}
+}

@@ -72,10 +72,14 @@ func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) 
 	if len(keys) != len(pages) {
 		return now, kvstore.ErrBadValue
 	}
-	for i, key := range keys {
-		if err := kvstore.ValidatePage(pages[i]); err != nil {
+	// Validate the whole batch before writing anything: a rejected batch
+	// must leave no partial state (atomic batch visibility).
+	for _, page := range pages {
+		if err := kvstore.ValidatePage(page); err != nil {
 			return now, err
 		}
+	}
+	for i, key := range keys {
 		if _, existed := s.pages[key]; !existed {
 			s.stats.BytesStored += kvstore.PageSize
 		}

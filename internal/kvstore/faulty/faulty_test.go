@@ -256,3 +256,61 @@ func TestNamePassthrough(t *testing.T) {
 		t.Fatal("Inner is nil")
 	}
 }
+
+func TestMultiPutFailsAsAUnit(t *testing.T) {
+	// A MultiPut rejected by injection — crash window or transient error —
+	// must leave the inner store completely untouched: the batch is one wire
+	// operation, so the write-back engine may safely treat the whole flush
+	// as not-flushed and retry it later.
+	inner := dram.New(dram.DefaultParams(), 1)
+	p := Params{
+		Crashes:            []Window{{From: 0, To: time.Millisecond}},
+		CrashRejectLatency: 2 * time.Microsecond,
+	}
+	s := Wrap(inner, p, 11)
+
+	keys := []kvstore.Key{kvstore.MakeKey(0x1000, 1), kvstore.MakeKey(0x2000, 1)}
+	pages := [][]byte{storetest.Page(1), storetest.Page(2)}
+
+	done, err := s.MultiPut(500*time.Microsecond, keys, pages)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed inside the window", err)
+	}
+	if done != 502*time.Microsecond {
+		t.Fatalf("crash reject at %v, want issue+reject latency", done)
+	}
+	if st := inner.Stats(); st.Puts != 0 || st.MultiPuts != 0 || st.BytesStored != 0 {
+		t.Fatalf("crashed MultiPut reached the inner store: %+v", st)
+	}
+
+	// After the member recovers, the same batch succeeds atomically.
+	done, err = s.MultiPut(2*time.Millisecond, keys, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range keys {
+		got, _, err := inner.Get(done, key)
+		if err != nil {
+			t.Fatalf("key %d after recovery: %v", i, err)
+		}
+		if got[0] != pages[i][0] {
+			t.Fatalf("key %d corrupted after recovery", i)
+		}
+	}
+	if got := s.InjectStats().CrashRejects; got != 1 {
+		t.Fatalf("CrashRejects = %d, want 1", got)
+	}
+}
+
+func TestMultiPutTransientErrorLeavesInnerUntouched(t *testing.T) {
+	inner := dram.New(dram.DefaultParams(), 1)
+	p := Uniform(1.0, 0) // every op fails before reaching the inner store
+	s := Wrap(inner, p, 13)
+	keys := []kvstore.Key{kvstore.MakeKey(0x3000, 1)}
+	if _, err := s.MultiPut(0, keys, [][]byte{storetest.Page(3)}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if st := inner.Stats(); st.Puts != 0 || st.MultiPuts != 0 {
+		t.Fatalf("failed MultiPut reached the inner store: %+v", st)
+	}
+}

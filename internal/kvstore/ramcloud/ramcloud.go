@@ -134,10 +134,16 @@ func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) 
 	if len(keys) != len(pages) {
 		return now, kvstore.ErrBadValue
 	}
-	for i, key := range keys {
-		if err := kvstore.ValidatePage(pages[i]); err != nil {
+	// Validate the whole batch before touching the log: a rejected batch
+	// must leave no partial state (atomic batch visibility). Mid-batch
+	// ErrOutOfMemory can still surface partial appends — resource
+	// exhaustion, not validation, and the caller sees the error.
+	for _, page := range pages {
+		if err := kvstore.ValidatePage(page); err != nil {
 			return now, err
 		}
+	}
+	for i, key := range keys {
 		if err := s.appendObject(key, pages[i]); err != nil {
 			return now, err
 		}

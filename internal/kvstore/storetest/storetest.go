@@ -153,6 +153,56 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 
+	t.Run("MultiPutEmpty", func(t *testing.T) {
+		s := factory()
+		done, err := s.MultiPut(3*time.Microsecond, nil, nil)
+		if err != nil {
+			t.Fatalf("empty batch: %v", err)
+		}
+		if done < 3*time.Microsecond {
+			t.Fatalf("completion %v before submission", done)
+		}
+		if st := s.Stats(); st.Puts != 0 || st.BytesStored != 0 {
+			t.Fatalf("empty batch wrote state: %+v", st)
+		}
+	})
+
+	t.Run("MultiPutOverwriteAccounting", func(t *testing.T) {
+		s := factory()
+		key := kvstore.MakeKey(0x90000, 3)
+		if _, err := s.Put(0, key, Page(1)); err != nil {
+			t.Fatal(err)
+		}
+		// Overwriting via MultiPut must replace the value without
+		// double-counting stored bytes.
+		done, err := s.MultiPut(0, []kvstore.Key{key}, [][]byte{Page(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Get(done, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, Page(2)) {
+			t.Fatal("MultiPut overwrite did not take effect")
+		}
+		if st := s.Stats(); st.BytesStored != kvstore.PageSize {
+			t.Fatalf("BytesStored = %d after overwrite, want %d", st.BytesStored, kvstore.PageSize)
+		}
+	})
+
+	t.Run("MultiPutStats", func(t *testing.T) {
+		s := factory()
+		keys := []kvstore.Key{kvstore.MakeKey(0x91000, 3), kvstore.MakeKey(0x92000, 3)}
+		if _, err := s.MultiPut(0, keys, [][]byte{Page(1), Page(2)}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.MultiPuts != 1 || st.Puts != 2 {
+			t.Fatalf("stats after MultiPut = %+v, want MultiPuts=1 Puts=2", st)
+		}
+	})
+
 	t.Run("StartGetSplitRead", func(t *testing.T) {
 		s := factory()
 		key := kvstore.MakeKey(0x40000, 5)
@@ -459,11 +509,23 @@ func RunErrorPaths(t *testing.T, factory Factory) {
 	})
 
 	t.Run("MultiPutBadPage", func(t *testing.T) {
+		// A batch rejected for validation must be atomic: even entries
+		// preceding the bad page must not become visible (the write-back
+		// engine treats a failed flush as not-flushed and may retry or
+		// steal; partially applied batches would fork the two copies).
 		s := factory()
 		keys := []kvstore.Key{kvstore.MakeKey(0x86000, 1), kvstore.MakeKey(0x87000, 1)}
 		pages := [][]byte{Page(1), []byte("short")}
 		if _, err := s.MultiPut(0, keys, pages); !errors.Is(err, kvstore.ErrBadValue) {
 			t.Fatalf("bad page in batch: err = %v, want ErrBadValue", err)
+		}
+		for i, key := range keys {
+			if _, _, err := s.Get(0, key); !errors.Is(err, kvstore.ErrNotFound) {
+				t.Fatalf("entry %d of rejected batch became visible (err = %v)", i, err)
+			}
+		}
+		if st := s.Stats(); st.MultiPuts != 0 || st.BytesStored != 0 {
+			t.Fatalf("rejected batch counted/stored: %+v", st)
 		}
 	})
 }

@@ -67,6 +67,15 @@ type Params struct {
 	COWBreak clock.LatencyModel
 	// Wake is the cost of waking the blocked vCPU thread.
 	Wake clock.LatencyModel
+	// WriteProtect is UFFDIO_WRITEPROTECT: mark a freshly installed page
+	// read-only so the first guest write after install is observed — the
+	// dirty-tracking hook the clean-page-drop eviction optimisation needs.
+	WriteProtect clock.LatencyModel
+	// WPFault is the write-protect fault taken on the first write to a
+	// protected page: the protection is cleared, the page is recorded dirty,
+	// and the write retries. Resolved kernel-side like COWBreak, with no
+	// monitor round trip.
+	WPFault clock.LatencyModel
 }
 
 // DefaultParams returns Table-I-calibrated service times.
@@ -79,6 +88,8 @@ func DefaultParams() Params {
 		RemapInterleaved: clock.LatencyModel{Base: 2 * time.Microsecond, Jitter: 300 * time.Nanosecond},
 		COWBreak:         clock.LatencyModel{Base: 1200 * time.Nanosecond, Jitter: 200 * time.Nanosecond},
 		Wake:             clock.LatencyModel{Base: 900 * time.Nanosecond, Jitter: 150 * time.Nanosecond},
+		WriteProtect:     clock.LatencyModel{Base: 1790 * time.Nanosecond, Jitter: 330 * time.Nanosecond},
+		WPFault:          clock.LatencyModel{Base: 2340 * time.Nanosecond, Jitter: 410 * time.Nanosecond},
 	}
 }
 
@@ -99,6 +110,10 @@ type Event struct {
 type page struct {
 	state PageState
 	data  []byte
+	// wp marks the page write-protected: it was installed from a durable
+	// store copy and has not been written since. The first write clears it
+	// via a kernel-internal WP fault.
+	wp bool
 }
 
 // Region is one registered memory range belonging to one process.
@@ -142,6 +157,8 @@ type FD struct {
 
 	// waiting tracks faulted addresses whose vCPU is blocked until Wake.
 	waiting map[uint64]bool
+	// wpFaults counts write-protect faults taken (dirty-tracking traffic).
+	wpFaults uint64
 }
 
 // New returns a descriptor with the given service-time parameters.
@@ -229,6 +246,14 @@ func (f *FD) Access(now time.Duration, addr uint64, write bool) (data []byte, ev
 		p.data = make([]byte, PageSize)
 		return p.data, now + f.params.COWBreak.Sample(f.rng), true, nil
 	case PagePresent:
+		if write && p.wp {
+			// Write-protect fault: clear the protection and charge the
+			// kernel-internal fix-up before the write retries. The page is
+			// dirty from here on.
+			p.wp = false
+			f.wpFaults++
+			return p.data, now + f.params.WPFault.Sample(f.rng), true, nil
+		}
 		return p.data, now, true, nil
 	default:
 		return nil, now, false, fmt.Errorf("uffd: page %#x in invalid state %d", aligned, p.state)
@@ -283,6 +308,45 @@ func (f *FD) Copy(now time.Duration, addr uint64, data []byte) (time.Duration, e
 	region.pages[aligned] = &page{state: PagePresent, data: append([]byte(nil), data...)}
 	return now + f.params.Copy.Sample(f.rng), nil
 }
+
+// SetWriteProtect marks the present page at addr write-protected
+// (UFFDIO_WRITEPROTECT): the monitor calls it right after installing a page
+// whose contents the store durably holds, so a later eviction can tell a
+// still-clean page (drop, no store write) from a dirtied one. Only private
+// present pages can be protected; zero-COW pages are already covered by the
+// shared zero mapping.
+func (f *FD) SetWriteProtect(now time.Duration, addr uint64) (time.Duration, error) {
+	region := f.regionFor(addr)
+	if region == nil {
+		return now, fmt.Errorf("%w: %#x", ErrNotRegistered, addr)
+	}
+	aligned := align(addr)
+	p, ok := region.pages[aligned]
+	if !ok {
+		return now, fmt.Errorf("%w: %#x", ErrNotMapped, aligned)
+	}
+	if p.state != PagePresent {
+		return now, fmt.Errorf("uffd: write-protect of non-private page %#x", aligned)
+	}
+	p.wp = true
+	return now + f.params.WriteProtect.Sample(f.rng), nil
+}
+
+// PageClean reports whether the page at addr is present, write-protected,
+// and unwritten since protection — i.e. its store copy is still current and
+// eviction may drop it without a write. Missing and zero-COW pages report
+// false (a zero-COW page has no store copy; zero-page elision covers it).
+func (f *FD) PageClean(addr uint64) bool {
+	region := f.regionFor(addr)
+	if region == nil {
+		return false
+	}
+	p, ok := region.pages[align(addr)]
+	return ok && p.state == PagePresent && p.wp
+}
+
+// WPFaults reports write-protect faults taken since creation.
+func (f *FD) WPFaults() uint64 { return f.wpFaults }
 
 // Remap evicts the page at addr: page-table entries move the frame out of
 // the VM into a monitor-owned buffer without copying the contents (the

@@ -337,3 +337,109 @@ func TestEventsFIFO(t *testing.T) {
 		t.Fatal("queue should be empty")
 	}
 }
+
+func TestWriteProtectTracksDirtiness(t *testing.T) {
+	f, _ := newFD(t)
+	addr := uint64(0x100000)
+	if _, err := f.Copy(0, addr, filled(7)); err != nil {
+		t.Fatal(err)
+	}
+	if f.PageClean(addr) {
+		t.Fatal("unprotected page reported clean")
+	}
+	done, err := f.SetWriteProtect(time.Microsecond, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= time.Microsecond {
+		t.Fatal("write-protect cost nothing")
+	}
+	if !f.PageClean(addr) {
+		t.Fatal("protected page not clean")
+	}
+
+	// Reads do not disturb cleanliness and cost nothing extra.
+	data, at, hit, err := f.Access(done, addr, false)
+	if err != nil || !hit {
+		t.Fatalf("read: hit=%v err=%v", hit, err)
+	}
+	if at != done {
+		t.Fatalf("read of clean page cost %v", at-done)
+	}
+	if !bytes.Equal(data, filled(7)) {
+		t.Fatal("data corrupted by protection")
+	}
+	if !f.PageClean(addr) {
+		t.Fatal("read cleared cleanliness")
+	}
+
+	// The first write takes a WP fault, charges its cost, and dirties the page.
+	_, at2, hit, err := f.Access(done, addr, true)
+	if err != nil || !hit {
+		t.Fatalf("write: hit=%v err=%v", hit, err)
+	}
+	if at2 <= done {
+		t.Fatal("WP fault cost nothing")
+	}
+	if f.PageClean(addr) {
+		t.Fatal("written page still clean")
+	}
+	if f.WPFaults() != 1 {
+		t.Fatalf("WPFaults = %d, want 1", f.WPFaults())
+	}
+
+	// The second write is free: protection is gone.
+	_, at3, _, err := f.Access(at2, addr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at3 != at2 {
+		t.Fatalf("second write cost %v", at3-at2)
+	}
+	if f.WPFaults() != 1 {
+		t.Fatalf("WPFaults = %d after free write, want 1", f.WPFaults())
+	}
+}
+
+func TestWriteProtectRejectsMissingAndZeroCOW(t *testing.T) {
+	f, _ := newFD(t)
+	if _, err := f.SetWriteProtect(0, 0x100000); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("missing page: err = %v, want ErrNotMapped", err)
+	}
+	if _, err := f.SetWriteProtect(0, 0x999999000); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("unregistered: err = %v, want ErrNotRegistered", err)
+	}
+	if _, err := f.ZeroPage(0, 0x101000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetWriteProtect(0, 0x101000); err == nil {
+		t.Fatal("zero-COW page accepted for write-protect")
+	}
+	if f.PageClean(0x101000) {
+		t.Fatal("zero-COW page reported clean")
+	}
+}
+
+func TestWriteProtectClearedByRemapAndReinstall(t *testing.T) {
+	f, _ := newFD(t)
+	addr := uint64(0x102000)
+	if _, err := f.Copy(0, addr, filled(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetWriteProtect(0, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Remap(0, addr, false); err != nil {
+		t.Fatal(err)
+	}
+	if f.PageClean(addr) {
+		t.Fatal("evicted page reported clean")
+	}
+	// Re-install without protection: dirty by default (conservative).
+	if _, err := f.Copy(0, addr, filled(4)); err != nil {
+		t.Fatal(err)
+	}
+	if f.PageClean(addr) {
+		t.Fatal("fresh install reported clean without protection")
+	}
+}
