@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle trace-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
-# shard-oracle re-proves worker-count determinism on the write-back workloads
-# and fuzz-short gives the coalescing model checker a short adversarial pass.
-check: vet build test check-race shard-oracle fuzz-short
+# shard-oracle re-proves worker-count determinism on the write-back workloads,
+# trace-oracle re-proves trace determinism (byte-identical replays, identical
+# logical event sequences across worker counts), and fuzz-short gives the
+# coalescing model checker a short adversarial pass.
+check: vet build test check-race shard-oracle trace-oracle fuzz-short
 
 build:
 	$(GO) build ./...
@@ -28,15 +30,22 @@ check-race:
 bench-quick:
 	$(GO) run ./cmd/fluidmem-bench -quick
 
-# Regenerate the machine-readable write-back crossover artifact
-# (BENCH_writeback.json) at full scale.
+# Regenerate the machine-readable artifacts at full scale: the write-back
+# crossover (BENCH_writeback.json) and the fault-latency breakdown with its
+# per-phase percentile rows (BENCH_trace.json).
 bench-json:
-	$(GO) run ./cmd/fluidmem-bench -run writeback -json
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace -json
 
 # The write-back determinism oracle: N-worker monitors must be logically
 # identical to the serial monitor on the write-heavy / zero-heavy workloads.
 shard-oracle:
 	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestWorkerCountEquivalence/.*writeback.*'
+
+# The trace determinism oracle: same seed must serialise byte-identical
+# Chrome traces, and every workload must feed the logical-digest comparison
+# that TestWorkerCountEquivalence applies across worker counts.
+trace-oracle:
+	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestTrace'
 
 # Short fuzz pass over the coalescing write-back engine's flat-model checker.
 fuzz-short:

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,6 +19,10 @@ type renderable interface{ Render() string }
 // jsonable marks results that can also be emitted as a machine-readable
 // BENCH_<name>.json artifact (the -json flag).
 type jsonable interface{ JSON() ([]byte, error) }
+
+// traceable marks results that recorded a full virtual-time event log and
+// can serialise it as a Chrome trace (the -trace flag).
+type traceable interface{ WriteChromeTrace(io.Writer) error }
 
 // experiment couples a name to its runner.
 type experiment struct {
@@ -44,6 +49,7 @@ func experiments() []experiment {
 		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
 		{"workers", "fault throughput vs pipeline width, batched MultiGet readahead", func(o bench.Options) (renderable, error) { return bench.RunWorkers(o) }},
 		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
+		{"trace", "virtual-time fault-latency breakdown: per-phase p50/p90/p99 from the tracer", func(o bench.Options) (renderable, error) { return bench.RunTrace(o) }},
 	}
 }
 
@@ -62,6 +68,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonOut  = fs.Bool("json", false, "also write BENCH_<name>.json for experiments that support it")
+		traceOut = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file, for experiments that record one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +113,24 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
 			fmt.Printf("wrote %s\n", artifact)
+		}
+		if *traceOut != "" {
+			tr, ok := res.(traceable)
+			if !ok {
+				continue
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			if err := tr.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return fmt.Errorf("%s: trace: %w", e.name, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
 		}
 	}
 	if matched == 0 {

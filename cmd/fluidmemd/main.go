@@ -39,13 +39,14 @@ func run(args []string) error {
 		localMB = fs.Int("local", 64, "local DRAM budget in MB")
 		guestMB = fs.Int("guest", 256, "guest memory in MB")
 		script  = fs.String("script", "status;resize 180;probe;resize 80;probe;resize 32768;probe;status",
-			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n> | health")
+			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n> | health | hist")
 		seed      = fs.Uint64("seed", 1, "simulation seed")
 		replicas  = fs.Int("replicas", 1, "replication factor across backend members")
 		chaos     = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
 		workers   = fs.Int("workers", 1, "fault-pipeline width: page-address-sharded workers in the monitor")
 		elideZero = fs.Bool("elide-zero", false, "elide all-zero evicted pages into the zero bitmap (re-faults resolve with UFFDIO_ZEROPAGE, no store traffic)")
 		cleanDrop = fs.Bool("clean-drop", false, "write-protect store-backed installs and drop still-clean eviction victims without a store write")
+		traceOut  = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file; also enables the hist command")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +58,9 @@ func run(args []string) error {
 		GuestMemory: uint64(*guestMB) << 20,
 		BootOS:      true,
 		Seed:        *seed,
+	}
+	if *traceOut != "" {
+		mcfg.Tracer = fluidmem.NewTracer(true)
 	}
 	if *replicas > 1 || *chaos > 0 || *workers > 1 || *elideZero || *cleanDrop {
 		store, err := buildStore(*backend, *replicas, *chaos, *seed)
@@ -90,6 +94,20 @@ func run(args []string) error {
 		if err := execute(m, fields); err != nil {
 			return fmt.Errorf("%s: %w", fields[0], err)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (%d events)\n", *traceOut, len(m.Tracer().Events()))
 	}
 	return nil
 }
@@ -127,18 +145,31 @@ func buildStore(backend string, replicas int, chaos float64, seed uint64) (kvsto
 	return replicated.New(members...)
 }
 
+// unwrapStore peels the tracing decorator (if present) so type assertions
+// against concrete backends — e.g. the replication wrapper — still land.
+func unwrapStore(s kvstore.Store) kvstore.Store {
+	for {
+		inner, ok := s.(interface{ Inner() kvstore.Store })
+		if !ok {
+			return s
+		}
+		s = inner.Inner()
+	}
+}
+
 func execute(m *fluidmem.Machine, fields []string) error {
 	switch fields[0] {
 	case "status":
-		st := m.Monitor().Stats()
+		st := m.Stats()
+		mon := st.Monitor
 		fmt.Printf("  t=%v resident=%d pages (%.3f MB) limit=%d faults=%d first-touch=%d remote-reads=%d steals=%d evictions=%d\n",
-			m.Now(), m.ResidentPages(), float64(m.ResidentPages())*4/1024,
-			m.Monitor().FootprintLimit(), st.Faults, st.FirstTouch, st.RemoteReads, st.Steals, st.Evictions)
-		if st.ZeroElided > 0 || st.CleanDropped > 0 || st.ZeroRefills > 0 {
+			st.Now, st.ResidentPages, float64(st.ResidentPages)*4/1024,
+			st.FootprintLimit, mon.Faults, mon.FirstTouch, mon.RemoteReads, mon.Steals, mon.Evictions)
+		if mon.ZeroElided > 0 || mon.CleanDropped > 0 || mon.ZeroRefills > 0 {
 			fmt.Printf("  writeback: zero-elided=%d clean-dropped=%d zero-refills=%d wp-faults=%d\n",
-				st.ZeroElided, st.CleanDropped, st.ZeroRefills, m.Monitor().WPFaults())
+				mon.ZeroElided, mon.CleanDropped, mon.ZeroRefills, st.WPFaults)
 		}
-		fmt.Printf("  store: %+v\n", m.Store().Stats())
+		fmt.Printf("  store: %+v\n", *st.Store)
 	case "resize":
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: resize <pages>")
@@ -179,25 +210,43 @@ func execute(m *fluidmem.Machine, fields []string) error {
 			fmt.Printf("  %s @ %d pages: %s\n", svc.Name, res.FootprintPages, verdict)
 		}
 	case "health":
-		h, ok := m.Monitor().StoreHealth()
-		if !ok {
+		st := m.Stats()
+		if st.Health == nil {
 			fmt.Println("  resilience policy disabled (run with -chaos or -replicas > 1)")
 			break
 		}
+		h := st.Health
 		fmt.Printf("  backend %s: consecutive-failures=%d stall=%v",
 			h.State, h.ConsecutiveFailures, h.StallTime.Round(time.Microsecond))
 		if h.LastError != nil {
 			fmt.Printf(" last-error=%q", h.LastError)
 		}
 		fmt.Println()
-		if c := m.Monitor().ResilienceCounters(); c != nil {
+		if st.Resilience != nil {
+			c := st.Resilience.Counters()
 			for _, name := range c.Names() {
 				fmt.Printf("  resilience.%s=%d\n", name, c.Get(name))
 			}
 		}
-		if rep, ok := m.Store().(*replicated.Store); ok {
+		if rep, ok := unwrapStore(m.Store()).(*replicated.Store); ok {
 			fmt.Printf("  replication: members=%d primary=%d failovers=%d member-errors=%d read-repairs=%d partial-puts=%d\n",
 				rep.Members(), rep.Primary(), rep.Failovers(), rep.MemberErrors(), rep.ReadRepairs(), rep.PartialPuts())
+		}
+	case "hist":
+		st := m.Stats()
+		if len(st.Phases) == 0 {
+			fmt.Println("  no latency histograms (run with -trace <file>)")
+			break
+		}
+		fmt.Printf("  %-18s %7s %9s %12s %12s %12s %12s\n",
+			"phase", "worker", "count", "p50", "p90", "p99", "max")
+		for _, row := range st.Phases {
+			worker := strconv.Itoa(row.Worker)
+			if row.Worker == fluidmem.MergedWorkers {
+				worker = "all"
+			}
+			fmt.Printf("  %-18s %7s %9d %12v %12v %12v %12v\n",
+				row.Phase, worker, row.Count, row.P50, row.P90, row.P99, row.Max)
 		}
 	case "tick":
 		if len(fields) != 2 {

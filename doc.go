@@ -25,8 +25,12 @@
 //	machine.Write64(seg.Addr(0), 42)
 //	v, _ := machine.Read64(seg.Addr(0))
 //
-// The machine's Elapsed() reports virtual time consumed; monitor statistics
-// and the Table-I-style code-path profiler are reachable through Monitor().
+// The machine's Elapsed() reports virtual time consumed. Stats() returns one
+// aggregated telemetry snapshot — per-layer counters plus, when a Tracer is
+// configured in MachineConfig, per-phase fault-latency percentiles; the
+// Table-I-style code-path profiler stays reachable through Monitor(). Pass
+// NewTracer(true) as MachineConfig.Tracer and WriteTrace() emits the run's
+// virtual-time event log in Chrome trace format.
 //
 // The same MachineConfig with ModeSwap builds the swap-based partial
 // disaggregation baseline (NVMeoF / SSD / remote-DRAM swap) the paper

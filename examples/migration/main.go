@@ -58,7 +58,7 @@ func run() error {
 		}
 	}
 	fmt.Printf("hypervisor-a: guest running, %d pages resident, %.1f MB already in the store\n",
-		src.ResidentPages(), float64(src.Store().Stats().BytesStored)/(1<<20))
+		src.ResidentPages(), float64(src.Stats().Store.BytesStored)/(1<<20))
 
 	// Migrate.
 	fmt.Println("migrating guest to hypervisor-b (post-copy over the store)...")
@@ -78,7 +78,7 @@ func run() error {
 			return fmt.Errorf("page %d corrupted in migration: %d", i, v)
 		}
 	}
-	st := dst.Monitor().Stats()
+	st := dst.Stats().Monitor
 	fmt.Printf("hypervisor-b: all %d heap pages verified after migration\n", heap.Pages())
 	fmt.Printf("             %d faults since adoption (%d remote reads, %d first-touch)\n",
 		st.Faults, st.RemoteReads, st.FirstTouch)

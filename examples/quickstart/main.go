@@ -55,14 +55,14 @@ func run() error {
 		}
 	}
 
-	st := machine.Monitor().Stats()
-	store := machine.Store().Stats()
+	snap := machine.Stats() // one aggregated snapshot of every layer
+	st, store := snap.Monitor, snap.Store
 	fmt.Printf("\nall %d pages verified.\n", words)
-	fmt.Printf("resident now: %d pages — never above the local budget\n", machine.ResidentPages())
+	fmt.Printf("resident now: %d pages — never above the local budget\n", snap.ResidentPages)
 	fmt.Printf("monitor: %d faults (%d first-touch, %d remote reads, %d steals), %d evictions\n",
 		st.Faults, st.FirstTouch, st.RemoteReads, st.Steals, st.Evictions)
 	fmt.Printf("store:   %d gets, %d puts (%d batched flushes), %.1f MB resident remotely\n",
 		store.Gets, store.Puts, st.Flushes, float64(store.BytesStored)/(1<<20))
-	fmt.Printf("virtual time elapsed: %v\n", machine.Now())
+	fmt.Printf("virtual time elapsed: %v\n", snap.Now)
 	return nil
 }

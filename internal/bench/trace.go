@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/trace"
+)
+
+// TraceRow is one per-phase fault-latency histogram row in virtual
+// nanoseconds, per worker or merged across workers (Worker == -1).
+type TraceRow struct {
+	Phase  string `json:"phase"`
+	Worker int    `json:"worker"`
+	Count  uint64 `json:"count"`
+	P50ns  int64  `json:"p50_ns"`
+	P90ns  int64  `json:"p90_ns"`
+	P99ns  int64  `json:"p99_ns"`
+	MaxNs  int64  `json:"max_ns"`
+}
+
+// TraceResult is the fault-latency breakdown experiment: the full §V-B
+// monitor replays a mixed workload with the virtual-time tracer attached,
+// then reports per-phase latency percentiles — the decomposition behind a
+// Fig.5-style latency figure, with the end-to-end FAULT distribution split
+// by resolution path (first_touch / read / batched_read / steal / tier) and
+// by pipeline stage (store ops, UFFD ops, eviction, flushes).
+type TraceResult struct {
+	Pages    int    `json:"pages"`
+	Capacity int    `json:"capacity"`
+	Ops      int    `json:"ops"`
+	Workers  int    `json:"workers"`
+	Seed     uint64 `json:"seed"`
+	Events   int    `json:"events"`
+	// Digest is the logical event-sequence digest: the same seed must
+	// reproduce the same value on every run and worker count (the
+	// shardtest oracle enforces the latter).
+	Digest uint64     `json:"logical_digest"`
+	Rows   []TraceRow `json:"rows"`
+
+	tr *trace.Tracer
+}
+
+// RunTrace replays the write-back bench's offered-load shape against the
+// fully optimised monitor with tracing on and reports the latency breakdown.
+func RunTrace(opts Options) (*TraceResult, error) {
+	pages, capacity, ops := 1024, 192, 4096
+	if opts.Quick {
+		pages, capacity, ops = 256, 48, 1024
+	}
+	const workers = 4
+	const interArrival = 2 * time.Microsecond
+
+	tr := trace.New(true)
+	store := ramcloud.New(ramcloud.DefaultParams(), opts.Seed+101)
+	cfg := core.DefaultConfig(kvstore.Instrumented(store, tr), capacity)
+	cfg.Workers = workers
+	cfg.Seed = opts.Seed
+	cfg.ElideZeroPages = true
+	cfg.CleanPageDrop = true
+	cfg.PrefetchPages = 4
+	cfg.Trace = tr
+	m, err := core.NewMonitor(cfg, nil, "bench-trace")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.RegisterRange(writebackBase, uint64(pages)*core.PageSize, 1); err != nil {
+		return nil, err
+	}
+
+	// Same op-stream construction as RunWriteback: mixed reads, tag writes,
+	// and zeroing writes over a region far larger than local DRAM.
+	rng := clock.NewRand(opts.Seed ^ 0xb17e_bac4)
+	stream := make([]wbOp, ops)
+	for i := range stream {
+		op := wbOp{addr: writebackBase + uint64(rng.Intn(pages))*core.PageSize}
+		if rng.Float64() < 0.5 {
+			op.write = true
+			op.tag = byte(i%249) + 1
+			if rng.Intn(2) == 0 {
+				op.tag = 0
+			}
+		}
+		stream[i] = op
+	}
+
+	now := time.Duration(0)
+	for p := 0; p < pages; p++ {
+		data, done, err := m.Touch(now, writebackBase+uint64(p)*core.PageSize, true)
+		if err != nil {
+			return nil, fmt.Errorf("trace populate page %d: %w", p, err)
+		}
+		data[0] = byte(p%249) + 1
+		now = done
+	}
+	if now, err = m.Drain(now); err != nil {
+		return nil, err
+	}
+
+	sched := clock.NewScheduler()
+	var benchErr error
+	var finish time.Duration
+	arrival := now
+	for i, op := range stream {
+		op := op
+		sched.Schedule(arrival, i, func(at time.Duration) {
+			if benchErr != nil {
+				return
+			}
+			data, done, err := m.Touch(at, op.addr, op.write)
+			if err != nil {
+				benchErr = fmt.Errorf("trace touch %#x: %w", op.addr, err)
+				return
+			}
+			if op.write {
+				data[0] = op.tag
+			}
+			if done > finish {
+				finish = done
+			}
+		})
+		arrival += interArrival
+	}
+	sched.Run()
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	if _, err := m.Drain(finish); err != nil {
+		return nil, err
+	}
+
+	res := &TraceResult{
+		Pages: pages, Capacity: capacity, Ops: ops,
+		Workers: workers, Seed: opts.Seed,
+		Events: len(tr.Events()),
+		Digest: tr.LogicalDigest(),
+		tr:     tr,
+	}
+	for _, ph := range tr.Snapshot() {
+		res.Rows = append(res.Rows, TraceRow{
+			Phase:  ph.Phase,
+			Worker: ph.Worker,
+			Count:  ph.Count,
+			P50ns:  ph.P50.Nanoseconds(),
+			P90ns:  ph.P90.Nanoseconds(),
+			P99ns:  ph.P99.Nanoseconds(),
+			MaxNs:  ph.Max.Nanoseconds(),
+		})
+	}
+	return res, nil
+}
+
+// WriteChromeTrace emits the run's full event log in Chrome trace event
+// format (the fluidmem-bench -trace flag).
+func (r *TraceResult) WriteChromeTrace(w io.Writer) error {
+	return r.tr.WriteChromeTrace(w)
+}
+
+// JSON renders the result for BENCH_trace.json.
+func (r *TraceResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render prints the merged (across-workers) latency breakdown; per-worker
+// rows stay in the JSON artifact.
+func (r *TraceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-latency breakdown — %d ops over %d pages, capacity %d, %d workers, RAMCloud, %d events (digest %#x)\n",
+		r.Ops, r.Pages, r.Capacity, r.Workers, r.Events, r.Digest)
+	fmt.Fprintf(&b, "%-22s %9s %12s %12s %12s %12s\n", "phase", "count", "p50", "p90", "p99", "max")
+	for _, row := range r.Rows {
+		if row.Worker != trace.MergedWorker {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %9d %12v %12v %12v %12v\n",
+			row.Phase, row.Count,
+			time.Duration(row.P50ns), time.Duration(row.P90ns),
+			time.Duration(row.P99ns), time.Duration(row.MaxNs))
+	}
+	return b.String()
+}

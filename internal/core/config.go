@@ -12,6 +12,7 @@ import (
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core/resilience"
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
 	"fluidmem/internal/uffd"
 )
 
@@ -91,6 +92,14 @@ type Config struct {
 	// plus a health signal instead of a hard error. Nil disables the layer
 	// (a backend error aborts the fault, the seed behaviour).
 	Resilience *resilience.Policy
+
+	// Trace optionally receives virtual-time events and phase-latency
+	// observations from the whole fault pipeline (monitor, write-back
+	// engine, UFFD ops, resilience layer). Tracing is pure observation: it
+	// draws no randomness and charges no virtual time, so results are
+	// bit-for-bit identical with tracing on or off. Nil disables it at zero
+	// cost.
+	Trace *trace.Tracer
 
 	// UFFD holds the simulated userfaultfd op costs.
 	UFFD uffd.Params

@@ -10,6 +10,7 @@ import (
 	"fluidmem/internal/core/resilience"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/stats"
+	"fluidmem/internal/trace"
 	"fluidmem/internal/uffd"
 	"fluidmem/internal/vm"
 )
@@ -79,6 +80,9 @@ type Monitor struct {
 	fd   *uffd.FD
 	rng  *clock.Rand
 	prof *Profiler
+	// tr receives trace events and phase-latency observations; nil (the
+	// default) disables tracing with no behavioural difference.
+	tr *trace.Tracer
 
 	lru  *lruList
 	seen map[uint64]bool
@@ -138,6 +142,7 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 	var res *resilience.Store
 	if cfg.Resilience != nil {
 		res = resilience.Wrap(cfg.Store, *cfg.Resilience, cfg.Seed+0x7e57)
+		res.SetTracer(cfg.Trace)
 		cfg.Store = res
 	}
 	local := false
@@ -155,20 +160,23 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 	if workers < 1 {
 		workers = 1
 	}
+	fd := uffd.New(cfg.UFFD, cfg.Seed)
+	fd.SetTracer(cfg.Trace, workers)
 	return &Monitor{
 		storeLocal:   local,
 		resilient:    res,
 		tier:         tier,
 		cfg:          cfg,
-		fd:           uffd.New(cfg.UFFD, cfg.Seed),
+		fd:           fd,
 		rng:          clock.NewRand(cfg.Seed + 0x5151),
 		prof:         NewProfiler(true),
+		tr:           cfg.Trace,
 		workers:      workers,
 		workerFree:   make([]time.Duration, workers),
 		statsCells:   make([]Stats, workers),
 		lru:          newShardedLRU(workers),
 		seen:         make(map[uint64]bool),
-		wb:           newShardedWriteback(cfg.Store, cfg.WriteBatchSize, workers),
+		wb:           newShardedWriteback(cfg.Store, cfg.WriteBatchSize, workers, cfg.Trace),
 		registry:     registry,
 		hypervisorID: hypervisorID,
 		partitions:   make(map[int]kvstore.PartitionID),
@@ -187,6 +195,27 @@ func (m *Monitor) workerOf(addr uint64) int {
 // memory model.
 func (m *Monitor) cell(addr uint64) *Stats {
 	return &m.statsCells[m.workerOf(addr)]
+}
+
+// record charges one profiled monitor operation to both the Table-I
+// profiler and the tracer's per-(phase, worker) latency histogram, with the
+// worker attributed by the page address that caused the work.
+func (m *Monitor) record(op string, addr uint64, d time.Duration) {
+	m.prof.Record(op, d)
+	m.tr.Observe(op, m.workerOf(addr), d)
+}
+
+// traceFault emits the end-to-end FAULT span for a resolved fault: the
+// event's arg carries the resolution path, and a per-path histogram
+// ("FAULT.<path>") accumulates alongside the merged FAULT one so the
+// paper's Fig. 5-style breakdown falls straight out of a Snapshot.
+func (m *Monitor) traceFault(ev uffd.Event, start, resume time.Duration, path string, err error) {
+	if err != nil || m.tr == nil {
+		return
+	}
+	w := m.workerOf(ev.Addr)
+	m.tr.Emit(trace.EvFault, w, ev.Addr, start, resume-start, path)
+	m.tr.Observe("FAULT."+path, w, resume-start)
 }
 
 // RegisterRange registers [start, start+length) for fault handling on behalf
@@ -306,12 +335,14 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 
 	// Seen-pages hash probe (the "pagetracker", §V-A).
 	hashCost := m.cfg.MonitorOps.HashLookup.Sample(m.rng)
-	m.prof.Record(OpInsertPageHash, hashCost)
+	m.record(OpInsertPageHash, ev.Addr, hashCost)
 	t += hashCost
 
 	key := kvstore.MakeKey(ev.Addr, part)
 	if !m.seen[ev.Addr] && m.cfg.PageTracker {
-		return m.resolveFirstTouch(t, ev)
+		resumeAt, err := m.resolveFirstTouch(t, ev)
+		m.traceFault(ev, eventAt, resumeAt, "first_touch", err)
+		return resumeAt, err
 	}
 	// Zero-bitmap hit: the page's latest eviction was elided, so any store
 	// copy is stale — restore it with UFFDIO_ZEROPAGE, no store traffic.
@@ -319,15 +350,18 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 	// mark means the store was never updated, so reading it would be wrong
 	// even if the feature has since been toggled off.
 	if m.wb.TakeZero(key) {
-		return m.resolveZeroRefill(t, ev)
+		resumeAt, err := m.resolveZeroRefill(t, ev)
+		m.traceFault(ev, eventAt, resumeAt, "zero_refill", err)
+		return resumeAt, err
 	}
-	resumeAt, batched, err := m.resolveFromStore(t, ev, key)
+	resumeAt, path, batched, err := m.resolveFromStore(t, ev, key)
 	if err == nil && m.cfg.PrefetchPages > 0 && !batched {
 		// Read ahead while the guest is already running (off the critical
 		// path; occupies only the fault's worker). The batched-read path
 		// has already folded the prefetch into its MultiGet.
 		m.workerFree[w] = m.prefetch(m.workerFree[w], ev.Addr, part)
 	}
+	m.traceFault(ev, eventAt, resumeAt, path, err)
 	return resumeAt, err
 }
 
@@ -360,7 +394,7 @@ func (m *Monitor) zeroFill(t time.Duration, ev uffd.Event) (time.Duration, error
 	m.epoch++
 
 	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-	m.prof.Record(OpInsertLRUCache, lruCost)
+	m.record(OpInsertLRUCache, ev.Addr, lruCost)
 	t += lruCost
 	m.lru.Insert(ev.Addr)
 
@@ -382,20 +416,21 @@ func (m *Monitor) zeroFill(t time.Duration, ev uffd.Event) (time.Duration, error
 
 // resolveFromStore fetches a previously seen page: from the write list
 // (steal), after an in-flight write, or from the key-value store, evicting
-// to make room. The batched return flag reports that the read already folded
-// the prefetch window into its MultiGet, so the caller must not prefetch
-// again.
-func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, bool, error) {
+// to make room. path names the resolution route for the fault trace
+// ("tier", "steal", "read", "batched_read"). The batched return flag
+// reports that the read already folded the prefetch window into its
+// MultiGet, so the caller must not prefetch again.
+func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (resumeAt time.Duration, path string, batched bool, err error) {
 	// Compressed-tier hit: decompress locally, no network round trip.
 	if m.tier != nil {
 		data, done, hit, err := m.tier.take(t, key)
 		if err != nil {
-			return t, false, err
+			return t, "tier", false, err
 		}
 		if hit {
 			// Not store-backed: the tier held the only current copy.
 			rt, err := m.installAndWake(done, ev, data, false, true)
-			return rt, false, err
+			return rt, "tier", false, err
 		}
 	}
 	// Steal shortcut: the page is sitting on the pending write list.
@@ -404,14 +439,14 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 			m.cell(ev.Addr).Steals++
 			// Not store-backed: the stolen write never reached the store.
 			rt, err := m.installAndWake(t, ev, data, false, true)
-			return rt, false, err
+			return rt, "steal", false, err
 		}
 	} else if m.cfg.AsyncWrite && m.wb.Queued(key) {
 		// Without stealing, a queued write must be flushed and completed
 		// before the read can see the page — the two round trips the steal
 		// optimisation shortcuts (§V-B).
 		if err := m.wb.Flush(t); err != nil {
-			return t, false, fmt.Errorf("core: forced flush for %v: %w", key, err)
+			return t, "read", false, fmt.Errorf("core: forced flush for %v: %w", key, err)
 		}
 	}
 	// A write of this page is in flight: wait for it to land, then read.
@@ -422,12 +457,10 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 
 	m.cell(ev.Addr).RemoteReads++
 	if m.cfg.AsyncRead && m.cfg.BatchReads && m.cfg.PrefetchPages > 0 {
-		return m.resolveBatchedRead(t, ev, key)
+		rt, b, err := m.resolveBatchedRead(t, ev, key)
+		return rt, "batched_read", b, err
 	}
-	var (
-		data []byte
-		err  error
-	)
+	var data []byte
 	if m.cfg.AsyncRead {
 		// Top half: issue the read immediately; the eviction's REMAP and
 		// all monitor bookkeeping (LRU insert, cache update) run while the
@@ -441,37 +474,37 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 		overlap := issue
 		for m.lru.Len() >= m.cfg.LRUCapacity {
 			if overlap, err = m.evictOne(overlap, true); err != nil {
-				return t, false, err
+				return t, "read", false, err
 			}
 			overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
 		}
 		updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
-		m.prof.Record(OpUpdatePageCache, updCost)
+		m.record(OpUpdatePageCache, ev.Addr, updCost)
 		overlap += updCost
 		lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-		m.prof.Record(OpInsertLRUCache, lruCost)
+		m.record(OpInsertLRUCache, ev.Addr, lruCost)
 		overlap += lruCost
 		m.lru.Insert(ev.Addr)
 
 		// Bottom half.
 		var readDone time.Duration
 		data, readDone, err = pending.Wait(overlap)
-		m.prof.Record(OpReadPage, pending.ReadyAt-issue)
+		m.record(OpReadPage, ev.Addr, pending.ReadyAt-issue)
 		if err != nil {
-			return readDone, false, fmt.Errorf("core: read %v: %w", key, err)
+			return readDone, "read", false, fmt.Errorf("core: read %v: %w", key, err)
 		}
 		done, err := m.fd.Copy(readDone, ev.Addr, data)
 		if err != nil {
-			return readDone, false, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+			return readDone, "read", false, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
 		}
 		m.prof.Record(OpUffdCopy, done-readDone)
 		m.epoch++
 		if done, err = m.markClean(done, ev.Addr); err != nil {
-			return done, false, err
+			return done, "read", false, err
 		}
 		t = m.fd.Wake(done, ev.Addr)
 		m.workerFree[m.workerOf(ev.Addr)] = t
-		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), false, nil
+		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), "read", false, nil
 	}
 	{
 		if !m.storeLocal {
@@ -479,19 +512,19 @@ func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.K
 		}
 		var readDone time.Duration
 		data, readDone, err = m.cfg.Store.Get(t, key)
-		m.prof.Record(OpReadPage, readDone-t)
+		m.record(OpReadPage, ev.Addr, readDone-t)
 		if err != nil {
-			return readDone, false, fmt.Errorf("core: read %v: %w", key, err)
+			return readDone, "read", false, fmt.Errorf("core: read %v: %w", key, err)
 		}
 		t = readDone
 		for m.lru.Len() >= m.cfg.LRUCapacity {
 			if t, err = m.evictOne(t, false); err != nil {
-				return t, false, err
+				return t, "read", false, err
 			}
 		}
 	}
 	rt, err := m.installAndWake(t, ev, data, true, false)
-	return rt, false, err
+	return rt, "read", false, err
 }
 
 // resolveBatchedRead resolves a demand fault and its readahead window with a
@@ -535,13 +568,13 @@ func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore
 		overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
 	}
 	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
-	m.prof.Record(OpUpdatePageCache, updCost)
+	m.record(OpUpdatePageCache, ev.Addr, updCost)
 	overlap += updCost
 	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-	m.prof.Record(OpInsertLRUCache, lruCost)
+	m.record(OpInsertLRUCache, ev.Addr, lruCost)
 	overlap += lruCost
 	m.lru.Insert(ev.Addr)
-	m.prof.Record(OpReadPage, readDone-issue)
+	m.record(OpReadPage, ev.Addr, readDone-issue)
 
 	// Bottom half: the copy and wake run once both the reply has landed and
 	// the overlapped bookkeeping is done.
@@ -593,7 +626,7 @@ func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, st
 		}
 	}
 	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
-	m.prof.Record(OpUpdatePageCache, updCost)
+	m.record(OpUpdatePageCache, ev.Addr, updCost)
 	t += updCost
 
 	done, err := m.fd.Copy(t, ev.Addr, data)
@@ -610,7 +643,7 @@ func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, st
 	}
 
 	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-	m.prof.Record(OpInsertLRUCache, lruCost)
+	m.record(OpInsertLRUCache, ev.Addr, lruCost)
 	t += lruCost
 	m.lru.Insert(ev.Addr)
 
@@ -630,6 +663,7 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 	}
 	m.lru.Remove(victim)
 	m.cell(victim).Evictions++
+	evictStart := t
 
 	// Dirty check (must precede the remap, which destroys the mapping): a
 	// page still write-protected since its store-backed install was never
@@ -657,6 +691,7 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		t = copyDone
 		m.fd.Drop(victim)
 		m.prof.Record(OpUffdRemap, t-start)
+		m.tr.Emit(trace.EvEvict, m.workerOf(victim), victim, evictStart, t-evictStart, "copy")
 	} else {
 		var done time.Duration
 		data, done, err = m.fd.Remap(t, victim, interleaved)
@@ -665,6 +700,7 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		}
 		m.prof.Record(OpUffdRemap, done-t)
 		t = done
+		m.tr.Emit(trace.EvEvict, m.workerOf(victim), victim, evictStart, t-evictStart, "remap")
 	}
 	m.epoch++
 
@@ -673,6 +709,7 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		// freed — the eviction is done, with no write, no tier offer, no
 		// list traffic.
 		m.cell(victim).CleanDropped++
+		m.tr.Emit(trace.EvCleanDrop, m.workerOf(victim), victim, t, 0, "")
 		return t, nil
 	}
 
@@ -688,13 +725,14 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 
 	if m.cfg.ElideZeroPages {
 		scanCost := m.cfg.MonitorOps.ZeroScan.Sample(m.rng)
-		m.prof.Record(OpZeroScan, scanCost)
+		m.record(OpZeroScan, victim, scanCost)
 		t += scanCost
 		if allZero(data) {
 			// Zero elision: record the mark instead of shipping 4 KiB of
 			// zeroes; the re-fault resolves with UFFDIO_ZEROPAGE.
 			m.wb.NoteZero(key)
 			m.cell(victim).ZeroElided++
+			m.tr.Emit(trace.EvZeroElide, m.workerOf(victim), victim, t, 0, "")
 			return t, nil
 		}
 	}
@@ -728,7 +766,7 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
 	}
 	done, err := m.cfg.Store.Put(t, key, data)
-	m.prof.Record(OpWritePage, done-t)
+	m.record(OpWritePage, victim, done-t)
 	if err != nil {
 		return done, fmt.Errorf("core: write %v: %w", key, err)
 	}
@@ -873,6 +911,10 @@ func (m *Monitor) ResidentAddrs() []uint64 {
 
 // Profiler exposes the per-code-path latency profiler (§VI-C).
 func (m *Monitor) Profiler() *Profiler { return m.prof }
+
+// Tracer exposes the tracer threaded through the fault pipeline (nil when
+// tracing is disabled).
+func (m *Monitor) Tracer() *trace.Tracer { return m.tr }
 
 // Partition reports the virtual partition assigned to pid.
 func (m *Monitor) Partition(pid int) (kvstore.PartitionID, bool) {

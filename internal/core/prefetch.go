@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
 )
 
 // This file implements sequential prefetching, an optional monitor extension
@@ -76,6 +77,7 @@ func (m *Monitor) installPrefetched(t time.Duration, demand, addr uint64, data [
 	if oldest, ok := m.lru.Oldest(); ok && oldest == demand && m.lru.Len() >= m.cfg.LRUCapacity {
 		return t, true
 	}
+	installStart := t
 	var err error
 	for m.lru.Len() >= m.cfg.LRUCapacity {
 		if t, err = m.evictOne(t, false); err != nil {
@@ -95,6 +97,7 @@ func (m *Monitor) installPrefetched(t time.Duration, demand, addr uint64, data [
 	}
 	m.lru.Insert(addr)
 	m.cell(addr).Prefetches++
+	m.tr.Emit(trace.EvPrefetch, m.workerOf(addr), addr, installStart, t-installStart, "")
 	return t, false
 }
 

@@ -36,6 +36,7 @@ import (
 	"fluidmem/internal/clock"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/stats"
+	"fluidmem/internal/trace"
 )
 
 // ErrStallBudgetExhausted reports an outage that outlived the policy's
@@ -203,6 +204,11 @@ type Store struct {
 	inner  kvstore.Store
 	policy Policy
 	rng    *clock.Rand
+	// tr receives retry/failover/degraded events. These are all declared
+	// timing-dependent in the trace taxonomy: whether a retry happens can
+	// depend on virtual-time interleaving, so they are excluded from the
+	// cross-worker logical digest.
+	tr *trace.Tracer
 
 	state       HealthState
 	consecFails int
@@ -218,6 +224,10 @@ var _ kvstore.Store = (*Store)(nil)
 func Wrap(inner kvstore.Store, policy Policy, seed uint64) *Store {
 	return &Store{inner: inner, policy: policy.withDefaults(), rng: clock.NewRand(seed)}
 }
+
+// SetTracer routes the layer's interventions (retries, failovers, degraded
+// stalls) to tr; nil disables emission.
+func (s *Store) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // Name implements kvstore.Store.
 func (s *Store) Name() string { return "resilient(" + s.inner.Name() + ")" }
@@ -257,8 +267,10 @@ func (s *Store) backoff(retry int) time.Duration {
 	return d + time.Duration(s.rng.Float64()*0.5*float64(d))
 }
 
-// noteFailure updates failure tracking and fires failover when due.
-func (s *Store) noteFailure(err error) {
+// noteFailure updates failure tracking and fires failover when due. at is
+// the virtual time of the failed attempt's completion (trace timestamping
+// only).
+func (s *Store) noteFailure(at time.Duration, err error) {
 	s.consecFails++
 	s.consecSlow = 0
 	s.lastErr = err
@@ -266,12 +278,14 @@ func (s *Store) noteFailure(err error) {
 		if r, ok := s.inner.(primaryRotator); ok {
 			r.RotatePrimary()
 			s.stats.Failovers++
+			s.tr.Emit(trace.EvFailover, 0, 0, at, 0, "errors")
 		}
 	}
 }
 
-// noteSuccess updates health tracking after a completed operation.
-func (s *Store) noteSuccess(elapsed time.Duration) {
+// noteSuccess updates health tracking after a completed operation. at is
+// the operation's completion time (trace timestamping only).
+func (s *Store) noteSuccess(at, elapsed time.Duration) {
 	s.consecFails = 0
 	s.lastErr = nil
 	if s.state == Degraded {
@@ -285,6 +299,7 @@ func (s *Store) noteSuccess(elapsed time.Duration) {
 			if r, ok := s.inner.(primaryRotator); ok {
 				r.RotatePrimary()
 				s.stats.Failovers++
+				s.tr.Emit(trace.EvFailover, 0, 0, at, 0, "slow")
 			}
 			s.consecSlow = 0
 		}
@@ -303,7 +318,7 @@ func (s *Store) do(now time.Duration, op func(t time.Duration) (time.Duration, e
 	for {
 		done, err := op(t)
 		if err == nil {
-			s.noteSuccess(done - now)
+			s.noteSuccess(done, done-now)
 			return done, nil
 		}
 		if permanent(err) {
@@ -311,7 +326,7 @@ func (s *Store) do(now time.Duration, op func(t time.Duration) (time.Duration, e
 			s.stats.PermanentErrors++
 			return done, err
 		}
-		s.noteFailure(err)
+		s.noteFailure(done, err)
 		if retries >= s.policy.MaxRetries || done >= deadline {
 			s.stats.DeadlineExceeded++
 			return s.park(now, done, op)
@@ -319,6 +334,7 @@ func (s *Store) do(now time.Duration, op func(t time.Duration) (time.Duration, e
 		delay := s.backoff(retries)
 		s.stats.Retries++
 		s.stats.BackoffTime += delay
+		s.tr.Emit(trace.EvRetry, 0, 0, done, delay, "")
 		retries++
 		t = done + delay
 	}
@@ -332,6 +348,7 @@ func (s *Store) park(opStart, now time.Duration, op func(t time.Duration) (time.
 	if s.state != Degraded {
 		s.state = Degraded
 		s.stats.DegradedEntries++
+		s.tr.Emit(trace.EvDegraded, 0, 0, now, 0, "")
 	}
 	stallStart := now
 	budget := opStart + s.policy.MaxStall
@@ -350,7 +367,7 @@ func (s *Store) park(opStart, now time.Duration, op func(t time.Duration) (time.
 			stalled := done - stallStart
 			s.stats.StallTime += stalled
 			s.stallTotal += stalled
-			s.noteSuccess(done - opStart)
+			s.noteSuccess(done, done-opStart)
 			return done, nil
 		}
 		if permanent(err) {
@@ -360,7 +377,7 @@ func (s *Store) park(opStart, now time.Duration, op func(t time.Duration) (time.
 			s.stats.PermanentErrors++
 			return done, err
 		}
-		s.noteFailure(err)
+		s.noteFailure(done, err)
 		t = done
 	}
 }
@@ -420,7 +437,7 @@ func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet
 	p := s.inner.StartGet(now, key)
 	if p.Err == nil {
 		s.stats.Ops++
-		s.noteSuccess(p.ReadyAt - now)
+		s.noteSuccess(p.ReadyAt, p.ReadyAt-now)
 		return p
 	}
 	if permanent(p.Err) {
@@ -428,7 +445,7 @@ func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet
 		s.stats.PermanentErrors++
 		return p
 	}
-	s.noteFailure(p.Err)
+	s.noteFailure(p.ReadyAt, p.Err)
 	data, done, err := s.Get(p.ReadyAt, key)
 	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
 }

@@ -3,7 +3,8 @@
 // monitors configured with different worker counts and captures everything a
 // guest or an operator can observe logically: the bytes returned by every
 // Touch, the final resident set, the monitor's logical epoch, the merged
-// monitor counters, and the backend's per-op traffic counters.
+// monitor counters, the backend's per-op traffic counters, and the logical
+// digest of the full ordered trace-event sequence.
 //
 // The pipeline's design contract is that worker parallelism is timing-only —
 // sharding the LRU list, the write queues, and the stats cells by page
@@ -25,6 +26,7 @@ import (
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core"
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
 )
 
 // Base is the guest physical base address the harness registers.
@@ -69,6 +71,17 @@ type Outcome struct {
 	Stats core.Stats
 	// Store is the backend's traffic counter snapshot.
 	Store kvstore.Stats
+	// TraceDigest folds the logical event sequence of the replay's trace —
+	// event names, arguments, and page addresses, in emission order, with
+	// timing-dependent events (waits, retries) and all timestamps excluded.
+	// It widens the equivalence contract from counters to the full ordered
+	// operation log: two replays that agree on every counter but, say,
+	// flush in a different batch order diverge here.
+	TraceDigest uint64
+	// Trace is the replay's full tracer (events + histograms). It is NOT
+	// part of the equivalence contract — timestamps legitimately differ
+	// across worker counts — but byte-level determinism tests use it.
+	Trace *trace.Tracer
 	// FinalTime is the virtual completion time. It is NOT part of the
 	// equivalence contract: more workers should finish sooner.
 	FinalTime time.Duration
@@ -85,6 +98,12 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 	cfg.Workers = workers
 	cfg.Seed = seed
 	store := cfg.Store
+	// Trace every replay: the tracer is pure observation (no virtual time,
+	// no randomness), so running it unconditionally cannot perturb the
+	// outcome — and its logical digest joins the equivalence contract.
+	tr := trace.New(true)
+	cfg.Trace = tr
+	cfg.Store = kvstore.Instrumented(store, tr)
 	m, err := core.NewMonitor(cfg, nil, "shardtest")
 	if err != nil {
 		tb.Fatalf("%s/w%d: new monitor: %v", wl.Name, workers, err)
@@ -180,12 +199,14 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 	}
 
 	return Outcome{
-		TouchHash: h.Sum64(),
-		Resident:  m.ResidentAddrs(),
-		Epoch:     m.Epoch(),
-		Stats:     m.Stats(),
-		Store:     store.Stats(),
-		FinalTime: now,
+		TouchHash:   h.Sum64(),
+		Resident:    m.ResidentAddrs(),
+		Epoch:       m.Epoch(),
+		Stats:       m.Stats(),
+		Store:       store.Stats(),
+		TraceDigest: tr.LogicalDigest(),
+		Trace:       tr,
+		FinalTime:   now,
 	}
 }
 
@@ -217,5 +238,9 @@ func Equal(tb testing.TB, label string, ref, got Outcome) {
 	}
 	if ref.Store != got.Store {
 		tb.Errorf("%s: store op counts diverged:\n  ref %+v\n  got %+v", label, ref.Store, got.Store)
+	}
+	if ref.TraceDigest != got.TraceDigest {
+		tb.Errorf("%s: logical trace digest diverged: %#x vs %#x (ref %d events, got %d)",
+			label, ref.TraceDigest, got.TraceDigest, len(ref.Trace.Events()), len(got.Trace.Events()))
 	}
 }

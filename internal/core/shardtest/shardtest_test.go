@@ -1,6 +1,7 @@
 package shardtest
 
 import (
+	"bytes"
 	"testing"
 
 	"fluidmem/internal/core"
@@ -218,5 +219,54 @@ func TestSeedsDiverge(t *testing.T) {
 	b := Replay(t, wl, 1, 2)
 	if a.TouchHash == b.TouchHash && a.FinalTime == b.FinalTime {
 		t.Fatal("different seeds produced identical outcomes; oracle is vacuous")
+	}
+	if a.TraceDigest == b.TraceDigest {
+		t.Fatal("different seeds produced identical trace digests; trace oracle is vacuous")
+	}
+}
+
+// TestTraceByteIdentical pins trace determinism all the way down to bytes:
+// the same (workload, workers, seed) must serialise to a byte-identical
+// Chrome trace — timestamps, durations, worker attribution and all. This is
+// the strongest replay guarantee the tracer offers and the one EXPERIMENTS
+// recipes rely on (re-running a figure regenerates the same trace file).
+func TestTraceByteIdentical(t *testing.T) {
+	for _, wl := range workloads()[:2] {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				a := Replay(t, wl, workers, 7)
+				b := Replay(t, wl, workers, 7)
+				var bufA, bufB bytes.Buffer
+				if err := a.Trace.WriteChromeTrace(&bufA); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Trace.WriteChromeTrace(&bufB); err != nil {
+					t.Fatal(err)
+				}
+				if bufA.Len() == 0 || len(a.Trace.Events()) == 0 {
+					t.Fatalf("%s/w%d: empty trace; byte test is vacuous", wl.Name, workers)
+				}
+				if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+					t.Errorf("%s/w%d: same seed serialised different trace bytes (%d vs %d bytes)",
+						wl.Name, workers, bufA.Len(), bufB.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestTraceDigestSeesEveryWorkload guards the trace oracle against partial
+// vacuity: every workload's replay must emit a non-trivial event stream, so
+// the digest comparison in Equal always has material to disagree on.
+func TestTraceDigestSeesEveryWorkload(t *testing.T) {
+	for _, wl := range workloads() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			out := Replay(t, wl, 2, 42)
+			if n := len(out.Trace.Events()); n < wl.Steps {
+				t.Errorf("%s: only %d trace events for %d steps", wl.Name, n, wl.Steps)
+			}
+		})
 	}
 }

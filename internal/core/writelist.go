@@ -2,9 +2,11 @@ package core
 
 import (
 	"sort"
+	"strconv"
 	"time"
 
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
 )
 
 // pendingWrite is one evicted page awaiting its store write.
@@ -47,6 +49,8 @@ type pendingWrite struct {
 type writeback struct {
 	store     kvstore.Store
 	batchSize int
+	// tr receives flush/steal/wait events; nil disables tracing.
+	tr *trace.Tracer
 
 	// shards holds the per-worker queues of evicted pages not yet submitted.
 	shards  []map[kvstore.Key]*pendingWrite
@@ -90,10 +94,10 @@ type WritebackStats struct {
 }
 
 func newWriteback(store kvstore.Store, batchSize int) *writeback {
-	return newShardedWriteback(store, batchSize, 1)
+	return newShardedWriteback(store, batchSize, 1, nil)
 }
 
-func newShardedWriteback(store kvstore.Store, batchSize, shards int) *writeback {
+func newShardedWriteback(store kvstore.Store, batchSize, shards int, tr *trace.Tracer) *writeback {
 	if batchSize <= 0 {
 		batchSize = 32
 	}
@@ -103,6 +107,7 @@ func newShardedWriteback(store kvstore.Store, batchSize, shards int) *writeback 
 	w := &writeback{
 		store:      store,
 		batchSize:  batchSize,
+		tr:         tr,
 		zero:       make(map[kvstore.Key]bool),
 		inflight:   make(map[kvstore.Key]time.Duration),
 		flushSizes: make(map[int]uint64),
@@ -113,9 +118,15 @@ func newShardedWriteback(store kvstore.Store, batchSize, shards int) *writeback 
 	return w
 }
 
+// shardIndex maps a key to its queue's shard (the same formula as the
+// monitor's workerOf, so a key's queue and its fault worker coincide).
+func (w *writeback) shardIndex(key kvstore.Key) int {
+	return int((key.Page() / kvstore.PageSize) % uint64(len(w.shards)))
+}
+
 // shardOf maps a key to its queue.
 func (w *writeback) shardOf(key kvstore.Key) map[kvstore.Key]*pendingWrite {
-	return w.shards[(key.Page()/kvstore.PageSize)%uint64(len(w.shards))]
+	return w.shards[w.shardIndex(key)]
 }
 
 // Enqueue adds an evicted page and flushes if the global batch threshold is
@@ -168,6 +179,7 @@ func (w *writeback) Flush(now time.Duration) error {
 	if err != nil {
 		return err
 	}
+	w.tr.Emit(trace.EvFlush, 0, 0, now, done-now, strconv.Itoa(len(batch)))
 	for _, pw := range batch {
 		delete(w.shardOf(pw.key), pw.key)
 		w.inflight[pw.key] = done
@@ -255,6 +267,7 @@ func (w *writeback) Steal(now time.Duration, key kvstore.Key) ([]byte, bool) {
 	delete(shard, key)
 	w.queued--
 	w.steals++
+	w.tr.Emit(trace.EvSteal, w.shardIndex(key), key.Page(), now, 0, "")
 	return pw.data, true
 }
 
@@ -271,6 +284,7 @@ func (w *writeback) WaitFor(now time.Duration, key kvstore.Key) (time.Duration, 
 	if done < now {
 		done = now
 	}
+	w.tr.Emit(trace.EvWait, w.shardIndex(key), key.Page(), now, done-now, "")
 	return done, true
 }
 

@@ -32,7 +32,7 @@ func FuzzWriteCoalesce(f *testing.F) {
 		const keySpace = 8
 		shards := int(raw[0]%4) + 1
 		store := dram.New(dram.DefaultParams(), 1)
-		w := newShardedWriteback(store, batchSize, shards)
+		w := newShardedWriteback(store, batchSize, shards, nil)
 
 		// Flat model: pending data (tag per key), zero marks, and the tag
 		// the store must durably hold for each flushed key.

@@ -1,0 +1,105 @@
+package kvstore_test
+
+import (
+	"testing"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/kvstore/storetest"
+	"fluidmem/internal/trace"
+)
+
+// The instrumentation wrapper must change no Store semantics: the full
+// conformance suite (including error paths) runs through it.
+func TestInstrumentedConformance(t *testing.T) {
+	storetest.Run(t, func() kvstore.Store {
+		return kvstore.Instrumented(dram.New(dram.DefaultParams(), 1), trace.New(true))
+	})
+}
+
+// A nil tracer must return the store unwrapped — identity, zero overhead.
+func TestInstrumentedNilTracerIsIdentity(t *testing.T) {
+	inner := dram.New(dram.DefaultParams(), 1)
+	if got := kvstore.Instrumented(inner, nil); got != kvstore.Store(inner) {
+		t.Fatal("Instrumented(store, nil) did not return the store itself")
+	}
+}
+
+// The wrapper must emit one event per operation with the operation's true
+// virtual span, and preserve the inner store's Local signal.
+func TestInstrumentedEmitsStoreEvents(t *testing.T) {
+	tr := trace.New(true)
+	s := kvstore.Instrumented(dram.New(dram.DefaultParams(), 1), tr)
+
+	key := kvstore.MakeKey(0x10000, 1)
+	page := storetest.Page(9)
+	putDone, err := s.Put(0, key, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(putDone, key); err != nil {
+		t.Fatal(err)
+	}
+	keys := []kvstore.Key{kvstore.MakeKey(0x20000, 1), kvstore.MakeKey(0x21000, 1)}
+	if _, err := s.MultiPut(putDone, keys, [][]byte{storetest.Page(1), storetest.Page(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.MultiGet(putDone, keys); err != nil {
+		t.Fatal(err)
+	}
+	p := s.StartGet(putDone, key)
+	if _, _, err := p.Wait(putDone + time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(putDone, key); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]string{
+		trace.EvStorePut:      "",
+		trace.EvStoreGet:      "", // sync get; the split read adds arg "split"
+		trace.EvStoreMultiPut: "2",
+		trace.EvStoreMultiGet: "2",
+		trace.EvStoreDelete:   "",
+	}
+	seen := map[string]int{}
+	split := false
+	for _, ev := range tr.Events() {
+		seen[ev.Name]++
+		if ev.Name == trace.EvStoreGet && ev.Arg == "split" {
+			split = true
+		}
+		if arg, ok := want[ev.Name]; ok && arg != "" && ev.Arg != arg {
+			t.Errorf("%s arg = %q, want %q", ev.Name, ev.Arg, arg)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("%s has negative duration %v", ev.Name, ev.Dur)
+		}
+	}
+	for name := range want {
+		if seen[name] == 0 {
+			t.Errorf("no %s event emitted", name)
+		}
+	}
+	if !split {
+		t.Error("StartGet did not emit a split-read STORE_GET event")
+	}
+
+	if l, ok := s.(kvstore.Local); !ok || !l.Local() {
+		t.Error("wrapper lost the dram store's Local() signal")
+	}
+}
+
+// A failed operation must not emit an event (the trace records work the
+// store actually performed; the resilience layer traces the failures).
+func TestInstrumentedSkipsFailedOps(t *testing.T) {
+	tr := trace.New(true)
+	s := kvstore.Instrumented(dram.New(dram.DefaultParams(), 1), tr)
+	if _, _, err := s.Get(0, kvstore.MakeKey(0x999000, 1)); err == nil {
+		t.Fatal("expected miss")
+	}
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("miss emitted %d events", n)
+	}
+}

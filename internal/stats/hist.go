@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math/bits"
+	"time"
+)
+
+// HistBuckets is the number of fixed log2-spaced buckets in a Histogram:
+// bucket i covers virtual durations in [2^(i-1), 2^i) ns (bucket 0 holds
+// non-positive observations), so the bucket layout spans 1 ns to ~292 years
+// of virtual time without ever depending on the data. Fixed boundaries are
+// what make histograms mergeable across workers and byte-identical across
+// runs — the properties the trace determinism oracle asserts.
+const HistBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram over virtual durations.
+// Unlike Sample it never retains raw observations, so its memory cost is
+// constant no matter how many faults a run handles, and two histograms fed
+// the same observations in any order are identical — including their
+// percentile estimates, which interpolate linearly inside a bucket.
+//
+// The zero value is an empty histogram ready to use.
+type Histogram struct {
+	counts [HistBuckets]uint64
+	n      uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// histBucket maps a duration to its bucket index.
+func histBucket(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// histBucketBounds returns the [lo, hi) duration range of bucket i.
+func histBucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, 1
+	}
+	return time.Duration(1) << uint(i-1), time.Duration(1) << uint(i)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d time.Duration) {
+	h.counts[histBucket(d)]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Max returns the largest observation (tracked exactly, not bucketed).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Merge folds other into h (the per-worker to merged-view reduction).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Percentile estimates the p-th percentile (p in [0, 100]): the bucket
+// holding the rank is found by cumulative count, and the estimate
+// interpolates linearly inside it, clamped to the exact tracked maximum.
+// It returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(h.n)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := histBucketBounds(i)
+			est := lo + time.Duration((rank-cum)/float64(c)*float64(hi-lo))
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Buckets returns a copy of the raw bucket counts (export/debug surface).
+func (h *Histogram) Buckets() [HistBuckets]uint64 { return h.counts }

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Fatalf("empty histogram not zero: count=%d max=%v mean=%v p99=%v",
+			h.Count(), h.Max(), h.Mean(), h.Percentile(99))
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Nanosecond, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1023, 10}, {1024, 11}, {time.Duration(1) << 62, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.d); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Bounds must tile: hi of bucket i == lo of bucket i+1.
+	for i := 0; i < HistBuckets-2; i++ {
+		_, hi := histBucketBounds(i)
+		lo, _ := histBucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("buckets %d/%d do not tile: hi=%d lo=%d", i, i+1, hi, lo)
+		}
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of exactly 1µs: every percentile must land inside
+	// the 1µs bucket and be clamped to the exact max.
+	for i := 0; i < 100; i++ {
+		h.Add(time.Microsecond)
+	}
+	for _, p := range []float64{50, 90, 99, 100} {
+		got := h.Percentile(p)
+		if got > time.Microsecond || got < 512*time.Nanosecond {
+			t.Errorf("p%.0f = %v, want within (512ns, 1µs]", p, got)
+		}
+	}
+	if h.Max() != time.Microsecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	if h.Mean() != time.Microsecond {
+		t.Errorf("mean = %v", h.Mean())
+	}
+
+	// Bimodal: 90 fast (1µs) + 10 slow (1ms). p50 must sit in the fast
+	// mode, p99 in the slow mode.
+	var b Histogram
+	for i := 0; i < 90; i++ {
+		b.Add(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		b.Add(time.Millisecond)
+	}
+	if p50 := b.Percentile(50); p50 > 2*time.Microsecond {
+		t.Errorf("bimodal p50 = %v, want ~1µs", p50)
+	}
+	if p99 := b.Percentile(99); p99 < 512*time.Microsecond {
+		t.Errorf("bimodal p99 = %v, want in the ms bucket", p99)
+	}
+	if b.Percentile(100) != time.Millisecond {
+		t.Errorf("p100 = %v, want exact max", b.Percentile(100))
+	}
+}
+
+// Percentiles must not depend on insertion order, and Merge of per-worker
+// cells must equal one histogram fed everything.
+func TestHistogramOrderInvarianceAndMerge(t *testing.T) {
+	ds := []time.Duration{5 * time.Microsecond, time.Microsecond, time.Millisecond,
+		3 * time.Microsecond, 40 * time.Nanosecond, 7 * time.Microsecond}
+
+	var fwd, rev Histogram
+	for _, d := range ds {
+		fwd.Add(d)
+	}
+	for i := len(ds) - 1; i >= 0; i-- {
+		rev.Add(ds[i])
+	}
+	if fwd != rev {
+		t.Fatal("histogram depends on insertion order")
+	}
+
+	var a, b, merged Histogram
+	for i, d := range ds {
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged != fwd {
+		t.Fatal("merge of split cells differs from direct accumulation")
+	}
+	merged.Merge(nil) // must be a no-op
+	if merged != fwd {
+		t.Fatal("Merge(nil) changed the histogram")
+	}
+}

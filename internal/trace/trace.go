@@ -1,0 +1,269 @@
+// Package trace is the deterministic observability layer for the fault
+// pipeline: virtual-clock-timestamped events plus fixed-bucket latency
+// histograms per phase and per worker.
+//
+// Two properties are load-bearing and must survive any change here:
+//
+//  1. Tracing is pure observation. A Tracer draws no randomness and charges
+//     no virtual time, so a run's simulated results are bit-for-bit
+//     identical whether tracing is on, off, or absent (nil *Tracer is a
+//     valid, inert tracer — every method is nil-safe).
+//  2. Event order is code-execution order. The simulator is single-threaded
+//     and worker parallelism only changes *computed times*, never the
+//     sequence of logical operations, so the same seed yields the same
+//     logical event sequence at any worker count. The only events whose
+//     existence depends on timing (in-flight waits, resilience retries /
+//     failovers / degraded stalls) are declared TimingDependent and skipped
+//     by LogicalDigest, mirroring the shard oracle's InFlightWaits carve-out.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+
+	"fluidmem/internal/stats"
+)
+
+// Event names. The UFFD names deliberately match the Table-I profiler ops so
+// a trace lines up with the paper's per-syscall cost rows; the rest name the
+// pipeline phase that produced them. Hosted here (not in core) because
+// internal/uffd and internal/kvstore emit them too and cannot import core.
+const (
+	EvFault         = "FAULT"         // arg = resolution path (first_touch, zero_refill, tier, steal, read, batched_read)
+	EvUffdZeroPage  = "UFFD_ZEROPAGE" //
+	EvUffdCopy      = "UFFD_COPY"     //
+	EvUffdRemap     = "UFFD_REMAP"    // arg = "interleaved" when eviction overlaps resolution
+	EvUffdWP        = "UFFD_WRITEPROTECT"
+	EvEvict         = "EVICT"          // arg = "remap" | "copy" | "drop" | "elide" | "tier"
+	EvZeroElide     = "WB_ZERO_ELIDE"  //
+	EvCleanDrop     = "WB_CLEAN_DROP"  //
+	EvFlush         = "WB_FLUSH"       // arg = batch size
+	EvSteal         = "WB_STEAL"       //
+	EvWait          = "WB_WAIT"        // timing-dependent: exists only when a fault catches an in-flight write
+	EvStoreGet      = "STORE_GET"      //
+	EvStoreMultiGet = "STORE_MULTIGET" // arg = batch size
+	EvStorePut      = "STORE_PUT"      //
+	EvStoreMultiPut = "STORE_MULTIPUT" // arg = batch size
+	EvStoreDelete   = "STORE_DELETE"   //
+	EvPrefetch      = "PREFETCH"       //
+	EvRetry         = "RES_RETRY"      // timing-dependent: resilience backoff
+	EvFailover      = "RES_FAILOVER"   // timing-dependent: replica rotation
+	EvDegraded      = "RES_DEGRADED"   // timing-dependent: degraded-mode stall
+)
+
+// TimingDependent reports whether events named name may exist in one
+// worker-count configuration and not another, because their trigger is a
+// virtual-time race (a fault landing during an in-flight write, a health
+// deadline expiring). These are excluded from LogicalDigest; everything
+// else must be sequence-identical across worker counts.
+func TimingDependent(name string) bool {
+	switch name {
+	case EvWait, EvRetry, EvFailover, EvDegraded:
+		return true
+	}
+	return false
+}
+
+// Event is one traced operation on the virtual clock.
+type Event struct {
+	Name   string        // event taxonomy constant (EvFault, EvFlush, ...)
+	Arg    string        // name-specific detail (resolution path, batch size)
+	Page   uint64        // guest page address, 0 when not page-scoped
+	Worker int           // owning fault-pipeline worker (page-address shard)
+	Start  time.Duration // virtual start time
+	Dur    time.Duration // virtual duration (0 for instantaneous marks)
+}
+
+// PhaseStats is one histogram row of a Snapshot: latency percentiles for a
+// phase, either merged across workers (Worker == MergedWorker) or for one
+// worker cell.
+type PhaseStats struct {
+	Phase  string
+	Worker int // MergedWorker for the all-workers row
+	Count  uint64
+	P50    time.Duration
+	P90    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// MergedWorker is the Worker value of a Snapshot row aggregated across all
+// workers.
+const MergedWorker = -1
+
+type histKey struct {
+	phase  string
+	worker int
+}
+
+// Tracer accumulates events and per-(phase, worker) histograms. It is not
+// safe for concurrent use, which matches the single-threaded simulator. The
+// nil Tracer is valid and records nothing, so instrumented code never needs
+// an enabled check.
+type Tracer struct {
+	keepEvents bool
+	events     []Event
+	hists      map[histKey]*stats.Histogram
+}
+
+// New returns a Tracer. With keepEvents false only histograms accumulate —
+// the cheap mode for long benches that want percentiles but not a full
+// event log.
+func New(keepEvents bool) *Tracer {
+	return &Tracer{keepEvents: keepEvents, hists: map[histKey]*stats.Histogram{}}
+}
+
+// Emit records one event span and feeds its duration into the (name,
+// worker) histogram.
+func (t *Tracer) Emit(name string, worker int, page uint64, start, dur time.Duration, arg string) {
+	if t == nil {
+		return
+	}
+	if t.keepEvents {
+		t.events = append(t.events, Event{Name: name, Arg: arg, Page: page, Worker: worker, Start: start, Dur: dur})
+	}
+	t.observe(name, worker, dur)
+}
+
+// Observe feeds a duration into the (phase, worker) histogram without
+// recording an event — for sub-phase costs (hash lookup, LRU update, zero
+// scan) where an event per occurrence would swamp the log.
+func (t *Tracer) Observe(phase string, worker int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.observe(phase, worker, d)
+}
+
+func (t *Tracer) observe(phase string, worker int, d time.Duration) {
+	k := histKey{phase, worker}
+	h := t.hists[k]
+	if h == nil {
+		h = &stats.Histogram{}
+		t.hists[k] = h
+	}
+	h.Add(d)
+}
+
+// Events returns the recorded event log (nil when keepEvents is off).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Snapshot renders every histogram as percentile rows, sorted by phase name
+// and then worker, with each phase's merged-across-workers row first.
+func (t *Tracer) Snapshot() []PhaseStats {
+	if t == nil {
+		return nil
+	}
+	// Merge per-worker cells into a per-phase aggregate.
+	merged := map[string]*stats.Histogram{}
+	for k, h := range t.hists {
+		m := merged[k.phase]
+		if m == nil {
+			m = &stats.Histogram{}
+			merged[k.phase] = m
+		}
+		m.Merge(h)
+	}
+	rows := make([]PhaseStats, 0, len(t.hists)+len(merged))
+	for phase, h := range merged {
+		rows = append(rows, phaseRow(phase, MergedWorker, h))
+	}
+	for k, h := range t.hists {
+		rows = append(rows, phaseRow(k.phase, k.worker, h))
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Phase != rows[j].Phase {
+			return rows[i].Phase < rows[j].Phase
+		}
+		return rows[i].Worker < rows[j].Worker
+	})
+	return rows
+}
+
+func phaseRow(phase string, worker int, h *stats.Histogram) PhaseStats {
+	return PhaseStats{
+		Phase:  phase,
+		Worker: worker,
+		Count:  h.Count(),
+		P50:    h.Percentile(50),
+		P90:    h.Percentile(90),
+		P99:    h.Percentile(99),
+		Max:    h.Max(),
+	}
+}
+
+// LogicalDigest hashes the sequence of non-timing-dependent events —
+// (name, arg, page) only, no timestamps, no worker IDs — which is the
+// quantity the shard oracle asserts identical across worker counts.
+func (t *Tracer) LogicalDigest() uint64 {
+	if t == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range t.events {
+		ev := &t.events[i]
+		if TimingDependent(ev.Name) {
+			continue
+		}
+		io.WriteString(h, ev.Name)
+		h.Write([]byte{0})
+		io.WriteString(h, ev.Arg)
+		h.Write([]byte{0})
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(ev.Page >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// WriteChromeTrace emits the event log in Chrome trace event format
+// (chrome://tracing, Perfetto): complete ("X") events with microsecond
+// timestamps carrying nanosecond precision in the fraction. The output is
+// hand-formatted, not encoding/json, so it is byte-deterministic: same
+// events in, same bytes out.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`+"\n")
+		return err
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i := range t.events {
+		ev := &t.events[i]
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			"%s\n{\"name\":%q,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"page\":\"0x%x\",\"arg\":%q}}",
+			sep, ev.Name, micros(ev.Start), micros(ev.Dur), ev.Worker, ev.Page, ev.Arg)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ns\"}\n")
+	return err
+}
+
+// micros formats a duration as decimal microseconds with the nanosecond
+// remainder in three fixed fraction digits ("12.345"), avoiding float
+// formatting so output bytes are deterministic.
+func micros(d time.Duration) string {
+	ns := d.Nanoseconds()
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A nil *Tracer must be fully inert: every method callable, zero effect.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(EvFault, 0, 0x1000, 0, time.Microsecond, "read")
+	tr.Observe("HASH_LOOKUP", 0, time.Nanosecond)
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer Events() = %v, want nil", got)
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer Snapshot() = %v, want nil", got)
+	}
+	if got := tr.LogicalDigest(); got != 0 {
+		t.Fatalf("nil tracer LogicalDigest() = %d, want 0", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChromeTrace: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("nil tracer chrome trace = %q", buf.String())
+	}
+}
+
+func TestEmitFeedsEventsAndHistograms(t *testing.T) {
+	tr := New(true)
+	tr.Emit(EvFault, 1, 0x2000, 10*time.Microsecond, 5*time.Microsecond, "read")
+	tr.Emit(EvFault, 2, 0x3000, 20*time.Microsecond, 7*time.Microsecond, "tier")
+	tr.Observe("FAULT.read", 1, 5*time.Microsecond)
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Page != 0x2000 || evs[0].Arg != "read" || evs[0].Worker != 1 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+
+	rows := tr.Snapshot()
+	var merged *PhaseStats
+	for i := range rows {
+		if rows[i].Phase == EvFault && rows[i].Worker == MergedWorker {
+			merged = &rows[i]
+		}
+	}
+	if merged == nil {
+		t.Fatalf("no merged FAULT row in %+v", rows)
+	}
+	if merged.Count != 2 {
+		t.Fatalf("merged FAULT count = %d, want 2", merged.Count)
+	}
+	if merged.Max != 7*time.Microsecond {
+		t.Fatalf("merged FAULT max = %v, want 7µs", merged.Max)
+	}
+	if merged.P50 <= 0 || merged.P99 > merged.Max {
+		t.Fatalf("implausible percentiles: %+v", merged)
+	}
+}
+
+// keepEvents=false must still feed histograms but retain no event log.
+func TestHistogramOnlyMode(t *testing.T) {
+	tr := New(false)
+	tr.Emit(EvEvict, 0, 0x1000, 0, time.Microsecond, "remap")
+	if got := tr.Events(); len(got) != 0 {
+		t.Fatalf("histogram-only tracer retained %d events", len(got))
+	}
+	rows := tr.Snapshot()
+	if len(rows) == 0 || rows[0].Count != 1 {
+		t.Fatalf("histogram-only tracer lost the observation: %+v", rows)
+	}
+}
+
+// Snapshot must be deterministically ordered: phase ascending, merged row
+// before per-worker rows.
+func TestSnapshotOrdering(t *testing.T) {
+	tr := New(false)
+	tr.Observe("B_PHASE", 3, time.Microsecond)
+	tr.Observe("A_PHASE", 1, time.Microsecond)
+	tr.Observe("A_PHASE", 0, 2*time.Microsecond)
+	rows := tr.Snapshot()
+	want := []struct {
+		phase  string
+		worker int
+	}{
+		{"A_PHASE", MergedWorker}, {"A_PHASE", 0}, {"A_PHASE", 1},
+		{"B_PHASE", MergedWorker}, {"B_PHASE", 3},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i, w := range want {
+		if rows[i].Phase != w.phase || rows[i].Worker != w.worker {
+			t.Fatalf("row %d = (%s, %d), want (%s, %d)", i, rows[i].Phase, rows[i].Worker, w.phase, w.worker)
+		}
+	}
+}
+
+// The digest must ignore timestamps and worker IDs (timing artifacts) but
+// see names, args, and pages (logical content), and skip timing-dependent
+// event kinds entirely.
+func TestLogicalDigestSemantics(t *testing.T) {
+	base := func() *Tracer {
+		tr := New(true)
+		tr.Emit(EvFault, 0, 0x1000, 0, time.Microsecond, "read")
+		tr.Emit(EvEvict, 1, 0x2000, time.Microsecond, 2*time.Microsecond, "remap")
+		return tr
+	}
+
+	a := base()
+	// Same logical events at different times, on different workers.
+	b := New(true)
+	b.Emit(EvFault, 3, 0x1000, 9*time.Microsecond, 44*time.Microsecond, "read")
+	b.Emit(EvEvict, 7, 0x2000, 100*time.Microsecond, time.Microsecond, "remap")
+	if a.LogicalDigest() != b.LogicalDigest() {
+		t.Fatal("digest must be invariant to timestamps and worker IDs")
+	}
+
+	// A timing-dependent event must not perturb the digest.
+	c := base()
+	c.Emit(EvWait, 0, 0x3000, 0, time.Microsecond, "")
+	if a.LogicalDigest() != c.LogicalDigest() {
+		t.Fatal("digest must skip timing-dependent events")
+	}
+
+	// A different page is a different logical sequence.
+	d := New(true)
+	d.Emit(EvFault, 0, 0x1001, 0, time.Microsecond, "read")
+	d.Emit(EvEvict, 1, 0x2000, time.Microsecond, 2*time.Microsecond, "remap")
+	if a.LogicalDigest() == d.LogicalDigest() {
+		t.Fatal("digest must see page addresses")
+	}
+
+	// A different arg (resolution path) is a different logical sequence.
+	e := New(true)
+	e.Emit(EvFault, 0, 0x1000, 0, time.Microsecond, "tier")
+	e.Emit(EvEvict, 1, 0x2000, time.Microsecond, 2*time.Microsecond, "remap")
+	if a.LogicalDigest() == e.LogicalDigest() {
+		t.Fatal("digest must see event args")
+	}
+}
+
+func TestTimingDependentTaxonomy(t *testing.T) {
+	for _, name := range []string{EvWait, EvRetry, EvFailover, EvDegraded} {
+		if !TimingDependent(name) {
+			t.Errorf("%s should be timing-dependent", name)
+		}
+	}
+	for _, name := range []string{EvFault, EvEvict, EvFlush, EvStoreMultiPut, EvUffdRemap, EvPrefetch} {
+		if TimingDependent(name) {
+			t.Errorf("%s should not be timing-dependent", name)
+		}
+	}
+}
+
+// Byte determinism: the same event sequence must serialize identically, and
+// the output must carry nanosecond precision in the microsecond fraction.
+func TestChromeTraceBytes(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(true)
+		tr.Emit(EvFault, 2, 0x7c0000001000, 1234*time.Nanosecond, 5678*time.Nanosecond, "read")
+		tr.Emit(EvFlush, 0, 0, 10*time.Microsecond, 3*time.Microsecond, "8")
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same events produced different trace bytes")
+	}
+	out := a.String()
+	for _, frag := range []string{
+		`"name":"FAULT"`, `"ph":"X"`, `"ts":1.234`, `"dur":5.678`,
+		`"tid":2`, `"page":"0x7c0000001000"`, `"arg":"read"`,
+		`"name":"WB_FLUSH"`, `"displayTimeUnit":"ns"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace missing %s in:\n%s", frag, out)
+		}
+	}
+}

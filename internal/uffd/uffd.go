@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fluidmem/internal/clock"
+	"fluidmem/internal/trace"
 )
 
 // PageSize is the page granularity of fault handling.
@@ -159,6 +160,11 @@ type FD struct {
 	waiting map[uint64]bool
 	// wpFaults counts write-protect faults taken (dirty-tracking traffic).
 	wpFaults uint64
+
+	// tr receives one event per page operation; trWorkers attributes each
+	// to its fault-pipeline worker by the monitor's page-address shard.
+	tr        *trace.Tracer
+	trWorkers int
 }
 
 // New returns a descriptor with the given service-time parameters.
@@ -168,6 +174,26 @@ func New(params Params, seed uint64) *FD {
 		rng:     clock.NewRand(seed),
 		waiting: make(map[uint64]bool),
 	}
+}
+
+// SetTracer routes page-operation events (ZEROPAGE, COPY, REMAP,
+// WRITEPROTECT) to tr, attributed to workers fault-pipeline workers by page
+// address — the same sharding the monitor uses. A nil tracer disables
+// emission; tracing never samples the RNG or changes any returned time.
+func (f *FD) SetTracer(tr *trace.Tracer, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	f.tr = tr
+	f.trWorkers = workers
+}
+
+// traceWorker is the fault-pipeline worker owning addr.
+func (f *FD) traceWorker(addr uint64) int {
+	if f.trWorkers < 1 {
+		return 0
+	}
+	return int((addr / PageSize) % uint64(f.trWorkers))
 }
 
 // Register adds [start, start+length) as a fault-handled region for pid,
@@ -287,7 +313,9 @@ func (f *FD) ZeroPage(now time.Duration, addr uint64) (time.Duration, error) {
 		return now, fmt.Errorf("%w: %#x", ErrAlreadyMapped, aligned)
 	}
 	region.pages[aligned] = &page{state: PageZeroCOW}
-	return now + f.params.ZeroPage.Sample(f.rng), nil
+	done := now + f.params.ZeroPage.Sample(f.rng)
+	f.tr.Emit(trace.EvUffdZeroPage, f.traceWorker(aligned), aligned, now, done-now, "")
+	return done, nil
 }
 
 // Copy resolves a fault by allocating a frame at addr and copying data into
@@ -306,7 +334,9 @@ func (f *FD) Copy(now time.Duration, addr uint64, data []byte) (time.Duration, e
 		return now, fmt.Errorf("%w: %#x", ErrAlreadyMapped, aligned)
 	}
 	region.pages[aligned] = &page{state: PagePresent, data: append([]byte(nil), data...)}
-	return now + f.params.Copy.Sample(f.rng), nil
+	done := now + f.params.Copy.Sample(f.rng)
+	f.tr.Emit(trace.EvUffdCopy, f.traceWorker(aligned), aligned, now, done-now, "")
+	return done, nil
 }
 
 // SetWriteProtect marks the present page at addr write-protected
@@ -329,7 +359,9 @@ func (f *FD) SetWriteProtect(now time.Duration, addr uint64) (time.Duration, err
 		return now, fmt.Errorf("uffd: write-protect of non-private page %#x", aligned)
 	}
 	p.wp = true
-	return now + f.params.WriteProtect.Sample(f.rng), nil
+	done := now + f.params.WriteProtect.Sample(f.rng)
+	f.tr.Emit(trace.EvUffdWP, f.traceWorker(aligned), aligned, now, done-now, "")
+	return done, nil
 }
 
 // PageClean reports whether the page at addr is present, write-protected,
@@ -372,10 +404,14 @@ func (f *FD) Remap(now time.Duration, addr uint64, interleaved bool) ([]byte, ti
 	}
 	delete(region.pages, aligned)
 	model := f.params.Remap
+	arg := ""
 	if interleaved {
 		model = f.params.RemapInterleaved
+		arg = "interleaved"
 	}
-	return data, now + model.Sample(f.rng), nil
+	done := now + model.Sample(f.rng)
+	f.tr.Emit(trace.EvUffdRemap, f.traceWorker(aligned), aligned, now, done-now, arg)
+	return data, done, nil
 }
 
 // Drop removes the page at addr without preserving its contents (madvise

@@ -90,15 +90,31 @@ type MachineConfig struct {
 	// Monitor optionally overrides the FluidMem monitor configuration
 	// (optimisation toggles for ablations). Store and LRUCapacity fields
 	// are filled in by NewMachine. Nil selects the fully optimised default.
+	//
+	// Machine-level conveniences MERGE with the override rather than being
+	// discarded by it: CompressPool, PrefetchPages, and Tracer still apply
+	// when the override leaves the corresponding Config field at its zero
+	// value (Compress == nil, PrefetchPages == 0, Trace == nil). An
+	// explicitly configured field in the override always wins.
 	Monitor *core.Config
 	// CompressPool, when non-zero, enables the zswap-style compressed tier
 	// with the given pool budget in bytes (§III's page-compression
-	// customisation). Ignored when Monitor is set (configure it there).
+	// customisation). When Monitor is set, this applies unless the override
+	// configures Compress itself.
 	CompressPool uint64
 	// PrefetchPages, when positive, enables sequential prefetching of the
 	// next N pages after each remote-read fault (extension; helps scans,
-	// hurts random access). Ignored when Monitor is set.
+	// hurts random access). When Monitor is set, this applies unless the
+	// override sets its own PrefetchPages.
 	PrefetchPages int
+	// Tracer optionally enables virtual-time tracing: events and phase
+	// latency histograms from the whole fault pipeline, surfaced through
+	// Machine.Stats and Machine.WriteTrace. Tracing never changes simulated
+	// results. When Monitor is set, this applies unless the override sets
+	// its own Trace. The backend built by NewMachine is also routed through
+	// kvstore.Instrumented so store traffic appears in the trace
+	// (SharedStore is left untouched — wrap it yourself if desired).
+	Tracer *Tracer
 	// SwapParams optionally overrides the swap subsystem tuning.
 	SwapParams *swap.Params
 	// SharedStore optionally supplies an existing key-value store shared
@@ -160,17 +176,27 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		}
 		m.store = store
 		mcfg := core.DefaultConfig(store, int(cfg.LocalMemory/PageSize))
-		if cfg.CompressPool > 0 {
-			params := core.DefaultCompressParams(cfg.CompressPool)
-			mcfg.Compress = &params
-		}
-		mcfg.PrefetchPages = cfg.PrefetchPages
 		if cfg.Monitor != nil {
 			mcfg = *cfg.Monitor
 			mcfg.Store = store
 			if mcfg.LRUCapacity == 0 {
 				mcfg.LRUCapacity = int(cfg.LocalMemory / PageSize)
 			}
+		}
+		// Machine-level conveniences merge with a Monitor override instead
+		// of being silently discarded by it: each applies unless the
+		// override configured the same feature explicitly (see the
+		// MachineConfig.Monitor doc; TestMonitorOverrideMergesConveniences
+		// pins the precedence).
+		if mcfg.Compress == nil && cfg.CompressPool > 0 {
+			params := core.DefaultCompressParams(cfg.CompressPool)
+			mcfg.Compress = &params
+		}
+		if mcfg.PrefetchPages == 0 && cfg.PrefetchPages > 0 {
+			mcfg.PrefetchPages = cfg.PrefetchPages
+		}
+		if mcfg.Trace == nil {
+			mcfg.Trace = cfg.Tracer
 		}
 		mcfg.Seed = cfg.Seed + 11
 		monitor, err := core.NewMonitor(mcfg, cfg.Registry, cfg.HypervisorID)
@@ -248,20 +274,24 @@ func applyMachineDefaults(cfg *MachineConfig) {
 }
 
 func newStore(cfg MachineConfig) (kvstore.Store, error) {
+	var backend kvstore.Store
 	switch cfg.Backend {
 	case BackendDRAM:
-		return dram.New(dram.DefaultParams(), cfg.Seed+101), nil
+		backend = dram.New(dram.DefaultParams(), cfg.Seed+101)
 	case BackendRAMCloud:
 		p := ramcloud.DefaultParams()
 		p.CapacityBytes = cfg.StoreCapacity
-		return ramcloud.New(p, cfg.Seed+102), nil
+		backend = ramcloud.New(p, cfg.Seed+102)
 	case BackendMemcached:
 		p := memcached.DefaultParams()
 		p.CapacityBytes = cfg.StoreCapacity
-		return memcached.New(p, cfg.Seed+103), nil
+		backend = memcached.New(p, cfg.Seed+103)
 	default:
 		return nil, fmt.Errorf("fluidmem: unknown backend %q", cfg.Backend)
 	}
+	// Every built-in backend routes through the instrumentation wrapper so
+	// its traffic shows up in traces; with no tracer this is the identity.
+	return kvstore.Instrumented(backend, cfg.Tracer), nil
 }
 
 func newSwapSubsystem(cfg MachineConfig) (*swap.Subsystem, error) {

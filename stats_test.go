@@ -1,0 +1,238 @@
+package fluidmem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/trace"
+)
+
+// A machine-level CompressPool / PrefetchPages / Tracer must survive a
+// Monitor override that does not configure the same feature, and an
+// override that does configure it must win — the documented merge
+// precedence.
+func TestMonitorOverrideMergesConveniences(t *testing.T) {
+	tr := NewTracer(false)
+	mon := core.DefaultConfig(nil, 0) // Store/LRUCapacity filled by NewMachine
+	m, err := NewMachine(MachineConfig{
+		Mode:          ModeFluidMem,
+		Backend:       BackendDRAM,
+		LocalMemory:   1 << 20,
+		GuestMemory:   8 << 20,
+		Monitor:       &mon,
+		CompressPool:  256 << 10,
+		PrefetchPages: 4,
+		Tracer:        tr,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Monitor().CompressStats(); !ok {
+		t.Error("Monitor override silently discarded CompressPool")
+	}
+	if m.Monitor().Tracer() != tr {
+		t.Error("Monitor override silently discarded Tracer")
+	}
+	// PrefetchPages is observable through behaviour: on a machine without a
+	// compressed tier (which would absorb these compressible pages and starve
+	// the store of readable copies), a sequential re-read must trigger
+	// prefetch installs.
+	mon2 := core.DefaultConfig(nil, 0)
+	mp, err := NewMachine(MachineConfig{
+		Mode:          ModeFluidMem,
+		Backend:       BackendDRAM,
+		LocalMemory:   1 << 20,
+		GuestMemory:   8 << 20,
+		Monitor:       &mon2,
+		PrefetchPages: 4,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := mp.Alloc("heap", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seg.Pages(); i++ {
+		if err := mp.Write64(seg.Addr(uint64(i)*PageSize), uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mp.Drain(); err != nil { // park evicted pages in the store so prefetch can read them
+		t.Fatal(err)
+	}
+	for i := 0; i < seg.Pages(); i++ {
+		if _, err := mp.Read64(seg.Addr(uint64(i) * PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := mp.Monitor().Stats(); st.Prefetches == 0 {
+		t.Error("Monitor override silently discarded PrefetchPages (no prefetch installs)")
+	}
+
+	// Explicit override fields win over the machine-level conveniences.
+	own := core.DefaultConfig(nil, 0)
+	own.PrefetchPages = 2
+	ownTr := trace.New(false)
+	own.Trace = ownTr
+	m2, err := NewMachine(MachineConfig{
+		Mode:          ModeFluidMem,
+		Backend:       BackendDRAM,
+		LocalMemory:   1 << 20,
+		GuestMemory:   8 << 20,
+		Monitor:       &own,
+		PrefetchPages: 9,
+		Tracer:        NewTracer(false),
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Monitor().Tracer() != ownTr {
+		t.Error("machine-level Tracer overrode the Monitor config's own Trace")
+	}
+}
+
+// Stats() must aggregate every layer behind one call, and the deprecated
+// shims must agree with it.
+func TestPublicStatsSnapshot(t *testing.T) {
+	tr := NewTracer(true)
+	m, err := NewMachine(MachineConfig{
+		Mode:        ModeFluidMem,
+		Backend:     BackendDRAM,
+		LocalMemory: 1 << 20,
+		GuestMemory: 8 << 20,
+		Tracer:      tr,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := m.Alloc("heap", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seg.Pages(); i++ {
+		if err := m.Write64(seg.Addr(uint64(i)*PageSize), uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Now != m.Now() {
+		t.Errorf("Stats().Now = %v, want %v", st.Now, m.Now())
+	}
+	if st.Monitor == nil || st.Writeback == nil || st.Store == nil {
+		t.Fatalf("Stats() missing layers: %+v", st)
+	}
+	if st.Monitor.Faults == 0 || st.Monitor.Evictions == 0 {
+		t.Errorf("implausible monitor counters: %+v", *st.Monitor)
+	}
+	if *st.Monitor != m.MonitorStats() {
+		t.Error("Stats().Monitor disagrees with the MonitorStats shim")
+	}
+	if st.Writeback.Flushes != m.WritebackStats().Flushes {
+		t.Error("Stats().Writeback disagrees with the WritebackStats shim")
+	}
+	if st.Store.Puts != m.StoreStats().Puts {
+		t.Error("Stats().Store disagrees with the StoreStats shim")
+	}
+	if st.Resilience != nil || st.Health != nil || st.Compress != nil {
+		t.Error("disabled subsystems should be nil in the snapshot")
+	}
+	if st.FootprintLimit != m.Monitor().FootprintLimit() || st.Workers != 1 {
+		t.Errorf("footprint/workers wrong: %+v", st)
+	}
+
+	// The tracer fed the snapshot: a FAULT phase row with percentiles must
+	// be present, and the merged row must come first for its phase.
+	var fault *PhaseLatency
+	for i := range st.Phases {
+		if st.Phases[i].Phase == trace.EvFault {
+			fault = &st.Phases[i]
+			break
+		}
+	}
+	if fault == nil {
+		t.Fatal("no FAULT phase row in Stats().Phases")
+	}
+	if fault.Worker != trace.MergedWorker || fault.Count == 0 || fault.P50 <= 0 || fault.P99 > fault.Max {
+		t.Errorf("implausible FAULT row: %+v", *fault)
+	}
+
+	// WriteTrace round trip: a chrome trace with FAULT events.
+	var buf bytes.Buffer
+	if err := m.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"FAULT"`) {
+		t.Error("WriteTrace output has no FAULT events")
+	}
+}
+
+// In ModeSwap the snapshot carries only machine-level fields.
+func TestPublicStatsSwapMode(t *testing.T) {
+	m, err := NewMachine(MachineConfig{
+		Mode:        ModeSwap,
+		LocalMemory: 1 << 20,
+		GuestMemory: 8 << 20,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Monitor != nil || st.Writeback != nil || st.Store != nil || st.Phases != nil {
+		t.Errorf("swap-mode snapshot should have nil monitor layers: %+v", st)
+	}
+	if st.ResidentPages != m.ResidentPages() {
+		t.Error("swap-mode snapshot lost ResidentPages")
+	}
+	if m.MonitorStats() != (MonitorCounters{}) {
+		t.Error("MonitorStats shim should be zero in ModeSwap")
+	}
+}
+
+// Tracing must not perturb the simulation: same seed with and without a
+// tracer gives identical virtual time and counters.
+func TestTracingIsPureObservation(t *testing.T) {
+	run := func(tr *Tracer) (Stats, *Machine) {
+		m, err := NewMachine(MachineConfig{
+			Mode:        ModeFluidMem,
+			Backend:     BackendRAMCloud,
+			LocalMemory: 1 << 20,
+			GuestMemory: 8 << 20,
+			Tracer:      tr,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := m.Alloc("heap", 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < seg.Pages(); i++ {
+				if err := m.Write64(seg.Addr(uint64(i)*PageSize), uint64(i)+3); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return m.Stats(), m
+	}
+	plain, _ := run(nil)
+	traced, _ := run(NewTracer(true))
+	if plain.Now != traced.Now {
+		t.Errorf("tracing changed virtual time: %v vs %v", plain.Now, traced.Now)
+	}
+	if *plain.Monitor != *traced.Monitor {
+		t.Errorf("tracing changed monitor counters:\n%+v\n%+v", *plain.Monitor, *traced.Monitor)
+	}
+	if *plain.Store != *traced.Store {
+		t.Errorf("tracing changed store traffic:\n%+v\n%+v", *plain.Store, *traced.Store)
+	}
+}
