@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle trace-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle trace-oracle arbiter-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
 # shard-oracle re-proves worker-count determinism on the write-back workloads,
 # trace-oracle re-proves trace determinism (byte-identical replays, identical
-# logical event sequences across worker counts), and fuzz-short gives the
-# coalescing model checker a short adversarial pass.
-check: vet build test check-race shard-oracle trace-oracle fuzz-short
+# logical event sequences across worker counts), arbiter-oracle re-proves that
+# working-set estimates and arbiter decisions are invariant across worker
+# counts and VM interleavings, and fuzz-short gives the model checkers a short
+# adversarial pass.
+check: vet build test check-race shard-oracle trace-oracle arbiter-oracle fuzz-short
 
 build:
 	$(GO) build ./...
@@ -31,10 +33,11 @@ bench-quick:
 	$(GO) run ./cmd/fluidmem-bench -quick
 
 # Regenerate the machine-readable artifacts at full scale: the write-back
-# crossover (BENCH_writeback.json) and the fault-latency breakdown with its
-# per-phase percentile rows (BENCH_trace.json).
+# crossover (BENCH_writeback.json), the fault-latency breakdown with its
+# per-phase percentile rows (BENCH_trace.json), and the multi-tenant arbiter
+# comparison (BENCH_arbiter.json).
 bench-json:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace -json
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter -json
 
 # The write-back determinism oracle: N-worker monitors must be logically
 # identical to the serial monitor on the write-heavy / zero-heavy workloads.
@@ -47,6 +50,16 @@ shard-oracle:
 trace-oracle:
 	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestTrace'
 
-# Short fuzz pass over the coalescing write-back engine's flat-model checker.
+# The arbiter determinism oracle: ghost-LRU digests, working-set estimates,
+# and synthetic arbiter plans must be identical across worker counts
+# (shardtest outcomes carry them), and host-level arbiter decisions must be
+# invariant across VM interleavings and worker counts.
+arbiter-oracle:
+	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestHotsetOracle|TestWorkerCountEquivalence'
+	$(GO) test . -count=1 -run 'TestHostWorkerCountInvariance|TestHostInterleavingInvariance|TestHostTracedBitIdentical'
+
+# Short fuzz passes over the flat-model checkers: the coalescing write-back
+# engine and the ghost-LRU working-set estimator.
 fuzz-short:
 	$(GO) test ./internal/core/ -run FuzzWriteCoalesce -fuzz FuzzWriteCoalesce -fuzztime=5s
+	$(GO) test ./internal/hotset/ -run FuzzGhostLRU -fuzz FuzzGhostLRU -fuzztime=5s

@@ -47,9 +47,17 @@ func run(args []string) error {
 		elideZero = fs.Bool("elide-zero", false, "elide all-zero evicted pages into the zero bitmap (re-faults resolve with UFFDIO_ZEROPAGE, no store traffic)")
 		cleanDrop = fs.Bool("clean-drop", false, "write-protect store-backed installs and drop still-clean eviction victims without a store write")
 		traceOut  = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file; also enables the hist command")
+		vms       = fs.Int("vms", 1, "tenant count: > 1 runs a multi-tenant host sharing the local budget (one VM hot, the rest cold) instead of the scripted single machine")
+		arb       = fs.Bool("arbiter", false, "with -vms > 1: rebalance the shared budget each epoch from the ghost-LRU miss-ratio curves (default keeps the static equal split)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *vms > 1 {
+		return runHost(*backend, *vms, *arb, *localMB, *seed)
+	}
+	if *arb {
+		return fmt.Errorf("-arbiter needs -vms > 1 (a single tenant has nothing to rebalance)")
 	}
 	mcfg := fluidmem.MachineConfig{
 		Mode:        fluidmem.ModeFluidMem,
@@ -108,6 +116,91 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (%d events)\n", *traceOut, len(m.Tracer().Events()))
+	}
+	return nil
+}
+
+// runHost is the multi-tenant console: N guests share one store and one
+// local DRAM budget. VM 0 cycles a working set 25% past its equal split
+// (steep miss-ratio curve); the others cycle a quarter of theirs (flat
+// curves). With -arbiter the host reads the ghost-LRU curves each epoch and
+// moves slab grants toward the steep curve; without it the equal split is
+// frozen — run both and compare the per-tenant fault counts and shares.
+func runHost(backend string, vms int, withArbiter bool, localMB int, seed uint64) error {
+	const epochOps, rounds = 512, 8
+	totalPages := (localMB << 20) / int(fluidmem.PageSize)
+	cfgs := make([]fluidmem.MachineConfig, vms)
+	for i := range cfgs {
+		cfgs[i] = fluidmem.MachineConfig{
+			Backend:     fluidmem.Backend(backend),
+			GuestMemory: uint64(totalPages) * fluidmem.PageSize,
+		}
+	}
+	hc := fluidmem.HostConfig{VMs: cfgs, TotalLocalPages: totalPages, Seed: seed}
+	if withArbiter {
+		hc.Arbiter = &fluidmem.ArbiterConfig{EpochOps: epochOps}
+	}
+	h, err := fluidmem.NewHost(hc)
+	if err != nil {
+		return err
+	}
+	mode := "static equal split"
+	if withArbiter {
+		mode = "arbiter rebalancing"
+	}
+	fmt.Printf("fluidmemd: host with %d tenants on %s, %d shared pages (%d MB), %s\n",
+		vms, backend, totalPages, localMB, mode)
+
+	equal := totalPages / vms
+	spans := make([]int, vms)
+	segs := make([]uint64, vms)
+	spans[0] = equal + equal/4
+	for i := 1; i < vms; i++ {
+		spans[i] = equal / 4
+		if spans[i] < 1 {
+			spans[i] = 1
+		}
+	}
+	for i := 0; i < vms; i++ {
+		seg, err := h.Machine(i).Alloc("ws", uint64(spans[i])*fluidmem.PageSize)
+		if err != nil {
+			return err
+		}
+		segs[i] = seg.Addr(0)
+	}
+	for r := 0; r < rounds; r++ {
+		for op := 0; op < epochOps; op++ {
+			for i := 0; i < vms; i++ {
+				addr := segs[i] + uint64((r*epochOps+op)%spans[i])*fluidmem.PageSize
+				if _, err := h.Touch(i, addr, op%3 == 0); err != nil {
+					return fmt.Errorf("vm%d: %w", i, err)
+				}
+			}
+		}
+		st := h.Stats()
+		fmt.Printf("epoch %d: t=%v shares=%v wss=%v\n", r+1, st.Now.Round(time.Microsecond), st.Shares, st.WSSPages)
+	}
+	if err := h.Drain(); err != nil {
+		return err
+	}
+
+	st := h.Stats()
+	fmt.Printf("\n%-6s %6s %7s %5s %10s %11s %10s\n", "vm", "span", "share", "wss", "faults", "ghost-hits", "evictions")
+	for i, ms := range st.VMs {
+		var faults, hits, evicts uint64
+		if ms.Monitor != nil {
+			faults, evicts = ms.Monitor.Faults, ms.Monitor.Evictions
+		}
+		if ms.Hotset != nil {
+			hits = ms.Hotset.GhostHits
+		}
+		fmt.Printf("vm%-4d %6d %7d %5d %10d %11d %10d\n",
+			i, spans[i], st.Shares[i], st.WSSPages[i], faults, hits, evicts)
+	}
+	if withArbiter {
+		a := st.Arbiter
+		fmt.Printf("arbiter: epochs=%d moves=%d granted=%d donated=%d predicted-savings=%d realized-savings=%d\n",
+			a.Epochs, a.Moves, a.GrantedPages, a.DonatedPages, a.PredictedSavings, a.RealizedSavings)
 	}
 	return nil
 }

@@ -1,0 +1,340 @@
+package fluidmem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/arbiter"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
+)
+
+// ArbiterPolicy re-exports the greedy reallocation policy knobs
+// (floor/ceiling, slab size, moves per epoch, hysteresis).
+type ArbiterPolicy = arbiter.Policy
+
+// ArbiterConfig enables adaptive local-memory balancing on a Host.
+type ArbiterConfig struct {
+	// Policy tunes the greedy reallocator; the zero value selects
+	// arbiter.DefaultPolicy for the host's budget and VM count.
+	Policy ArbiterPolicy
+	// EpochOps is the per-VM guest-operation count that closes an epoch
+	// window: each VM's miss-ratio curve is snapshotted as it crosses the
+	// boundary, and the arbiter runs once every VM has crossed. Counting
+	// operations instead of virtual time keeps epoch decisions identical
+	// across worker counts and VM interleavings — operation sequences are
+	// invariant, timings are not. Default 512.
+	EpochOps int
+}
+
+// HostConfig assembles a multi-tenant host: N guests on one hypervisor
+// sharing one key-value store and one local DRAM page budget.
+type HostConfig struct {
+	// VMs configures each guest. LocalMemory is overridden by the host's
+	// equal split of TotalLocalPages; SharedStore, Registry, HypervisorID,
+	// and (unless set) Hotset and Seed are filled in per VM.
+	VMs []MachineConfig
+	// TotalLocalPages is the host DRAM page budget shared across all VMs.
+	// Must admit at least one page per VM.
+	TotalLocalPages int
+	// Arbiter, when non-nil, rebalances the budget every epoch; nil keeps
+	// the static equal split (the baseline the arbiter must beat).
+	Arbiter *ArbiterConfig
+	// Tracer optionally instruments the SHARED store and receives the
+	// host's ARBITER epoch events. Per-VM pipelines are traced via each
+	// MachineConfig's own Tracer. Pure observation, as everywhere.
+	Tracer *Tracer
+	// Seed derives per-VM seeds for VMs that leave Seed zero.
+	Seed uint64
+}
+
+// Host runs N Machines against one shared store under one global DRAM page
+// budget — the multi-tenant deployment of §IV, with the arbiter supplying
+// the working-set-driven resizing loop that Memtrade-style memory markets
+// build on FluidMem's resize primitive.
+type Host struct {
+	machines []*Machine
+	ids      []string
+	cfg      HostConfig
+	policy   arbiter.Policy
+	epochOps int
+
+	// opCount counts guest operations per VM inside the current window;
+	// captured[i] holds the VM's cumulative hotset snapshot taken as it
+	// crossed the window boundary (capture-on-cross: the snapshot depends
+	// only on the VM's own operation sequence, never on how the driver
+	// interleaved the VMs, so arbiter inputs — and therefore decisions —
+	// are interleaving-invariant).
+	opCount  []int
+	captured []*HotsetCounters
+	// windowBase is each VM's snapshot at the previous epoch boundary;
+	// window curves are cumulative differences against it.
+	windowBase []HotsetCounters
+	// lastGranted/lastWindowHits feed the realized-savings feedback: a VM
+	// granted pages last epoch should show fewer ghost hits this window.
+	lastGranted    map[int]bool
+	lastWindowHits []uint64
+
+	stats arbiter.Stats
+}
+
+// NewHost builds the machines and wires the shared plumbing. Every VM runs
+// ModeFluidMem (the swap baseline cannot resize, so it cannot participate in
+// a shared budget).
+func NewHost(cfg HostConfig) (*Host, error) {
+	n := len(cfg.VMs)
+	if n == 0 {
+		return nil, errors.New("fluidmem: host needs at least one VM")
+	}
+	if cfg.TotalLocalPages < n {
+		return nil, fmt.Errorf("fluidmem: budget %d pages cannot give %d VMs a page each", cfg.TotalLocalPages, n)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	h := &Host{
+		cfg:            cfg,
+		epochOps:       512,
+		opCount:        make([]int, n),
+		captured:       make([]*HotsetCounters, n),
+		windowBase:     make([]HotsetCounters, n),
+		lastGranted:    make(map[int]bool),
+		lastWindowHits: make([]uint64, n),
+	}
+	if cfg.Arbiter != nil {
+		h.policy = cfg.Arbiter.Policy
+		if h.policy == (arbiter.Policy{}) {
+			h.policy = arbiter.DefaultPolicy(cfg.TotalLocalPages, n)
+		}
+		if err := h.policy.Validate(); err != nil {
+			return nil, fmt.Errorf("fluidmem: %w", err)
+		}
+		if cfg.Arbiter.EpochOps > 0 {
+			h.epochOps = cfg.Arbiter.EpochOps
+		}
+	}
+
+	// One shared backend + one shared partition registry: the registry's
+	// collision handling guarantees each VM a distinct store partition even
+	// if two seeds produce the same guest pid.
+	template := cfg.VMs[0]
+	applyMachineDefaults(&template)
+	shared := template.SharedStore
+	if shared == nil {
+		backend, err := newStore(MachineConfig{Backend: template.Backend, StoreCapacity: template.StoreCapacity, Seed: cfg.Seed + 7})
+		if err != nil {
+			return nil, err
+		}
+		shared = backend
+	}
+	shared = kvstore.Instrumented(shared, cfg.Tracer)
+	registry := template.Registry
+	if registry == nil {
+		registry = kvstore.NewLocalRegistry()
+	}
+
+	share := cfg.TotalLocalPages / n
+	for i := range cfg.VMs {
+		mc := cfg.VMs[i]
+		if mc.Mode != 0 && mc.Mode != ModeFluidMem {
+			return nil, fmt.Errorf("fluidmem: host VM %d: only ModeFluidMem machines can share a resizable budget", i)
+		}
+		mc.Mode = ModeFluidMem
+		mc.SharedStore = shared
+		mc.Registry = registry
+		mc.HypervisorID = fmt.Sprintf("host-vm-%d", i)
+		mc.LocalMemory = uint64(share) * PageSize
+		if mc.Seed == 0 {
+			mc.Seed = cfg.Seed + uint64(i)*0x9e37_79b9 + 1
+		}
+		if mc.Hotset == nil {
+			// The ghost list must see past the equal split for the arbiter
+			// to price grants: shadow up to the FULL host budget.
+			p := DefaultHotsetParams(share)
+			p.GhostCapacity = cfg.TotalLocalPages
+			mc.Hotset = &p
+		}
+		m, err := NewMachine(mc)
+		if err != nil {
+			return nil, fmt.Errorf("fluidmem: host VM %d: %w", i, err)
+		}
+		h.machines = append(h.machines, m)
+		h.ids = append(h.ids, fmt.Sprintf("vm%d", i))
+	}
+	return h, nil
+}
+
+// VMs reports the tenant count.
+func (h *Host) VMs() int { return len(h.machines) }
+
+// Machine exposes tenant i for direct drive (allocation, stats, teardown).
+// Guest operations that should count toward the arbiter's epoch windows must
+// go through Host.Touch / Host.NoteOp.
+func (h *Host) Machine(i int) *Machine { return h.machines[i] }
+
+// Now reports the host's virtual clock: the frontier (max) of the tenant
+// clocks. Tenants run concurrently on one host, so the host has existed for
+// as long as its longest-running tenant.
+func (h *Host) Now() time.Duration {
+	var now time.Duration
+	for _, m := range h.machines {
+		if m.Now() > now {
+			now = m.Now()
+		}
+	}
+	return now
+}
+
+// Touch performs one guest access on tenant i and counts it toward the
+// epoch window.
+func (h *Host) Touch(i int, addr uint64, write bool) ([]byte, error) {
+	data, err := h.machines[i].Touch(addr, write)
+	if err != nil {
+		return data, err
+	}
+	return data, h.NoteOp(i)
+}
+
+// NoteOp counts one guest operation for tenant i (use after driving the
+// Machine directly) and runs the arbiter when every tenant has crossed the
+// current epoch boundary. Decisions are interleaving-invariant: each VM's
+// snapshot is captured at its own EpochOps-th operation of the window —
+// a function of the VM's private operation sequence only — and the arbiter
+// sees exactly those N snapshots no matter the order in which tenants
+// reached the boundary.
+func (h *Host) NoteOp(i int) error {
+	if h.cfg.Arbiter == nil {
+		return nil
+	}
+	h.opCount[i]++
+	if h.opCount[i] == h.epochOps && h.captured[i] == nil {
+		snap := h.machines[i].monitor.HotsetSnapshot()
+		h.captured[i] = &snap
+	}
+	for _, c := range h.captured {
+		if c == nil {
+			return nil
+		}
+	}
+	return h.rebalance()
+}
+
+// rebalance runs one arbiter epoch: price each tenant's window curve, decide
+// the plan, apply donations before grants (the budget is never transiently
+// exceeded), and fold predicted/realized savings into the host stats.
+func (h *Host) rebalance() error {
+	n := len(h.machines)
+	views := make([]arbiter.VMView, n)
+	windowHits := make([]uint64, n)
+	for i, m := range h.machines {
+		snap := *h.captured[i]
+		windowCurve := snap.Curve.Sub(h.windowBase[i].Curve)
+		windowHits[i] = snap.GhostHits - h.windowBase[i].GhostHits
+		views[i] = arbiter.VMView{
+			ID:           h.ids[i],
+			SharePages:   m.monitor.FootprintLimit(),
+			Curve:        windowCurve,
+			WindowFaults: snap.Faults - h.windowBase[i].Faults,
+		}
+	}
+
+	// Realized-savings feedback: tenants granted pages last epoch should
+	// re-reference less this window. The drop in window ghost hits is the
+	// observable fraction of what the grant actually bought.
+	for i := range h.machines {
+		if h.lastGranted[i] && h.lastWindowHits[i] > windowHits[i] {
+			h.stats.RealizedSavings += h.lastWindowHits[i] - windowHits[i]
+		}
+	}
+
+	plan, err := h.policy.Decide(views)
+	if err != nil {
+		return fmt.Errorf("fluidmem: arbiter: %w", err)
+	}
+	h.stats.Observe(plan)
+
+	// Shrink donors first: every grant is then funded by pages already
+	// returned, so the sum of shares never exceeds the budget mid-apply.
+	for pass := 0; pass < 2; pass++ {
+		for i, m := range h.machines {
+			target, cur := plan.Shares[h.ids[i]], m.monitor.FootprintLimit()
+			shrink := target < cur
+			if target == cur || (pass == 0) != shrink {
+				continue
+			}
+			if err := m.ResizeFootprint(target); err != nil {
+				return fmt.Errorf("fluidmem: arbiter resize %s: %w", h.ids[i], err)
+			}
+		}
+	}
+
+	h.lastGranted = make(map[int]bool)
+	for _, mv := range plan.Moves {
+		for i, id := range h.ids {
+			if id == mv.To {
+				h.lastGranted[i] = true
+			}
+		}
+	}
+	copy(h.lastWindowHits, windowHits)
+
+	if len(plan.Moves) > 0 {
+		pages := 0
+		for _, mv := range plan.Moves {
+			pages += mv.Pages
+		}
+		h.cfg.Tracer.Emit(trace.EvArbiter, 0, uint64(h.stats.Epochs), h.Now(), 0,
+			fmt.Sprintf("moves=%d pages=%d", len(plan.Moves), pages))
+	}
+
+	// Open the next window from the captured boundary snapshots.
+	for i := range h.machines {
+		h.windowBase[i] = *h.captured[i]
+		h.captured[i] = nil
+		h.opCount[i] = 0
+	}
+	return nil
+}
+
+// HostStats is the host-level telemetry snapshot.
+type HostStats struct {
+	// Now is the host clock (frontier of tenant clocks).
+	Now time.Duration
+	// TotalLocalPages is the shared budget; Shares the current per-VM
+	// split (always summing to at most the budget).
+	TotalLocalPages int
+	Shares          []int
+	// WSSPages is each tenant's current working-set estimate.
+	WSSPages []int
+	// Arbiter accumulates epoch activity (zero-valued without an arbiter).
+	Arbiter ArbiterCounters
+	// VMs holds each tenant's full machine snapshot.
+	VMs []Stats
+}
+
+// Stats snapshots the host and every tenant.
+func (h *Host) Stats() HostStats {
+	st := HostStats{
+		Now:             h.Now(),
+		TotalLocalPages: h.cfg.TotalLocalPages,
+		Arbiter:         h.stats,
+	}
+	for _, m := range h.machines {
+		ms := m.Stats()
+		st.VMs = append(st.VMs, ms)
+		st.Shares = append(st.Shares, ms.FootprintLimit)
+		st.WSSPages = append(st.WSSPages, ms.WSSPages)
+	}
+	return st
+}
+
+// Drain quiesces every tenant's writeback engine.
+func (h *Host) Drain() error {
+	for i, m := range h.machines {
+		if err := m.Drain(); err != nil {
+			return fmt.Errorf("fluidmem: drain vm%d: %w", i, err)
+		}
+	}
+	return nil
+}

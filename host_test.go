@@ -1,0 +1,331 @@
+package fluidmem
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fluidmem/internal/core"
+)
+
+// hostVMs builds n identical FluidMem VM configs for a host.
+func hostVMs(n int) []MachineConfig {
+	vms := make([]MachineConfig, n)
+	for i := range vms {
+		vms[i] = MachineConfig{Backend: BackendDRAM, GuestMemory: 4 << 20}
+	}
+	return vms
+}
+
+func TestNewHostValidation(t *testing.T) {
+	if _, err := NewHost(HostConfig{TotalLocalPages: 64}); err == nil {
+		t.Fatal("empty VM list accepted")
+	}
+	if _, err := NewHost(HostConfig{VMs: hostVMs(4), TotalLocalPages: 3}); err == nil {
+		t.Fatal("budget below one page per VM accepted")
+	}
+	vms := hostVMs(2)
+	vms[1].Mode = ModeSwap
+	if _, err := NewHost(HostConfig{VMs: vms, TotalLocalPages: 64}); err == nil {
+		t.Fatal("swap-mode VM accepted into a resizable shared budget")
+	}
+	bad := &ArbiterConfig{Policy: ArbiterPolicy{FloorPages: -1, Step: 1}}
+	if _, err := NewHost(HostConfig{VMs: hostVMs(2), TotalLocalPages: 64, Arbiter: bad}); err == nil {
+		t.Fatal("invalid arbiter policy accepted")
+	}
+}
+
+// Capacity inputs must fail NewMachine up front, each with a clear error.
+func TestMachineCapacityValidation(t *testing.T) {
+	base := MachineConfig{Backend: BackendDRAM, LocalMemory: 1 << 20, GuestMemory: 4 << 20}
+
+	neg := base
+	neg.Monitor = &core.Config{LRUCapacity: -5}
+	if _, err := NewMachine(neg); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative override capacity: err = %v", err)
+	}
+
+	ghost := base
+	ghost.Hotset = &HotsetParams{GhostCapacity: 0, BucketPages: 1}
+	if _, err := NewMachine(ghost); err == nil || !strings.Contains(err.Error(), "GhostCapacity") {
+		t.Fatalf("zero ghost capacity: err = %v", err)
+	}
+	ghost.Hotset = &HotsetParams{GhostCapacity: -8, BucketPages: 1}
+	if _, err := NewMachine(ghost); err == nil || !strings.Contains(err.Error(), "GhostCapacity") {
+		t.Fatalf("negative ghost capacity: err = %v", err)
+	}
+
+	bucket := base
+	bucket.Hotset = &HotsetParams{GhostCapacity: 64, BucketPages: 0}
+	if _, err := NewMachine(bucket); err == nil || !strings.Contains(err.Error(), "BucketPages") {
+		t.Fatalf("zero bucket width: err = %v", err)
+	}
+
+	// A valid Hotset config must still work.
+	ok := base
+	p := DefaultHotsetParams(256)
+	ok.Hotset = &p
+	m, err := NewMachine(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Monitor().Hotset() == nil {
+		t.Fatal("valid Hotset config did not attach a tracker")
+	}
+}
+
+// driveHost runs rounds of exactly epochOps operations per VM, with the
+// given within-round schedule. Each VM's op stream is a fixed cyclic walk
+// over its own page set, so the logical per-VM histories are identical no
+// matter the schedule or worker count.
+type hostSchedule func(t *testing.T, h *Host, round int, epochOps int, walk func(t *testing.T, h *Host, vmIdx, op int))
+
+func roundRobin(t *testing.T, h *Host, round, epochOps int, walk func(*testing.T, *Host, int, int)) {
+	for op := 0; op < epochOps; op++ {
+		for i := 0; i < h.VMs(); i++ {
+			walk(t, h, i, round*epochOps+op)
+		}
+	}
+}
+
+func blocked(t *testing.T, h *Host, round, epochOps int, walk func(*testing.T, *Host, int, int)) {
+	for i := 0; i < h.VMs(); i++ {
+		for op := 0; op < epochOps; op++ {
+			walk(t, h, i, round*epochOps+op)
+		}
+	}
+}
+
+func blockedReversed(t *testing.T, h *Host, round, epochOps int, walk func(*testing.T, *Host, int, int)) {
+	for i := h.VMs() - 1; i >= 0; i-- {
+		for op := 0; op < epochOps; op++ {
+			walk(t, h, i, round*epochOps+op)
+		}
+	}
+}
+
+// skewedHostRun builds a 2-VM host (one VM cycling a working set 3x its
+// share, one fitting comfortably), drives it for `rounds` epochs under the
+// schedule, and returns the host.
+func skewedHostRun(t *testing.T, workers int, withArbiter, traced bool, sched hostSchedule) *Host {
+	t.Helper()
+	const totalPages, epochOps, rounds = 64, 200, 6
+	vms := hostVMs(2)
+	if workers > 1 {
+		for i := range vms {
+			// The override replaces the whole monitor config, so it must
+			// start from the full default (NewMachine fills Store/capacity).
+			mc := core.DefaultConfig(nil, 0)
+			mc.Workers = workers
+			vms[i].Monitor = &mc
+		}
+	}
+	if traced {
+		for i := range vms {
+			vms[i].Tracer = NewTracer(false)
+		}
+	}
+	cfg := HostConfig{VMs: vms, TotalLocalPages: totalPages, Seed: 42}
+	if withArbiter {
+		cfg.Arbiter = &ArbiterConfig{EpochOps: epochOps}
+	}
+	if traced {
+		cfg.Tracer = NewTracer(false)
+	}
+	h, err := NewHost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// vm0 cycles 40 pages (just past its 32-page split: every access misses
+	// under LRU and re-references at ghost depth 8 — a steep curve the
+	// arbiter can close); vm1 cycles 8 pages (fits: flat curve).
+	segs := make([]uint64, h.VMs())
+	spans := []int{40, 8}
+	for i := 0; i < h.VMs(); i++ {
+		seg, err := h.Machine(i).Alloc("ws", uint64(spans[i])*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[i] = seg.Addr(0)
+	}
+	walk := func(t *testing.T, h *Host, vmIdx, op int) {
+		t.Helper()
+		addr := segs[vmIdx] + uint64(op%spans[vmIdx])*PageSize
+		if _, err := h.Touch(vmIdx, addr, op%3 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		sched(t, h, r, epochOps, walk)
+	}
+	return h
+}
+
+// The arbiter must move pages from the flat-curve VM to the steep one,
+// conserving the budget and keeping the floor.
+func TestHostArbiterShiftsPagesToHotVM(t *testing.T) {
+	h := skewedHostRun(t, 1, true, false, roundRobin)
+	st := h.Stats()
+	if st.Arbiter.Epochs == 0 || st.Arbiter.Moves == 0 {
+		t.Fatalf("arbiter never acted: %+v", st.Arbiter)
+	}
+	if st.Shares[0] <= 32 {
+		t.Fatalf("hot VM share %d did not grow past the equal split", st.Shares[0])
+	}
+	if st.Shares[1] >= 32 {
+		t.Fatalf("cold VM share %d did not shrink", st.Shares[1])
+	}
+	if total := st.Shares[0] + st.Shares[1]; total != 64 {
+		t.Fatalf("budget not conserved: %d", total)
+	}
+	if st.Arbiter.GrantedPages != st.Arbiter.DonatedPages {
+		t.Fatalf("grant/donate flow unbalanced: %+v", st.Arbiter)
+	}
+	if st.Arbiter.PredictedSavings == 0 {
+		t.Fatal("moves with no predicted savings")
+	}
+	if st.WSSPages[0] <= st.WSSPages[1] {
+		t.Fatalf("WSS estimates do not reflect the skew: %v", st.WSSPages)
+	}
+}
+
+// hostDecisionDigest captures everything the arbiter decided plus the
+// logical state it decided from: per-VM shares, hotset digests, and the
+// epoch counters.
+func hostDecisionDigest(h *Host) []uint64 {
+	st := h.Stats()
+	var out []uint64
+	for i := 0; i < h.VMs(); i++ {
+		out = append(out, uint64(st.Shares[i]), uint64(st.WSSPages[i]),
+			h.Machine(i).Monitor().Hotset().Digest(),
+			st.VMs[i].Monitor.Faults, st.VMs[i].Monitor.Evictions)
+	}
+	out = append(out, st.Arbiter.Epochs, st.Arbiter.Moves,
+		st.Arbiter.GrantedPages, st.Arbiter.PredictedSavings, st.Arbiter.RealizedSavings)
+	return out
+}
+
+// Same seed, different fault-pipeline widths: per-VM WSS estimates and every
+// arbiter decision must be identical — worker parallelism is timing-only.
+func TestHostWorkerCountInvariance(t *testing.T) {
+	ref := hostDecisionDigest(skewedHostRun(t, 1, true, false, roundRobin))
+	for _, workers := range []int{2, 4, 8} {
+		got := hostDecisionDigest(skewedHostRun(t, workers, true, false, roundRobin))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged:\n got %v\nwant %v", workers, got, ref)
+		}
+	}
+}
+
+// Same per-VM op streams, different within-round interleavings: arbiter
+// decisions must be identical — snapshots are captured as each VM crosses
+// its own op boundary, never at a shared wall-clock instant.
+func TestHostInterleavingInvariance(t *testing.T) {
+	ref := hostDecisionDigest(skewedHostRun(t, 2, true, false, roundRobin))
+	for name, sched := range map[string]hostSchedule{
+		"blocked":          blocked,
+		"blocked_reversed": blockedReversed,
+	} {
+		got := hostDecisionDigest(skewedHostRun(t, 2, true, false, sched))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("schedule %s diverged:\n got %v\nwant %v", name, got, ref)
+		}
+	}
+}
+
+// Tracing a multi-VM run is pure observation: virtual clocks, shares, and
+// every counter must be bit-identical to the untraced run.
+func TestHostTracedBitIdentical(t *testing.T) {
+	plain := skewedHostRun(t, 2, true, false, roundRobin)
+	traced := skewedHostRun(t, 2, true, true, roundRobin)
+	if plain.Now() != traced.Now() {
+		t.Fatalf("tracing moved the host clock: %v != %v", plain.Now(), traced.Now())
+	}
+	for i := 0; i < plain.VMs(); i++ {
+		if pn, tn := plain.Machine(i).Now(), traced.Machine(i).Now(); pn != tn {
+			t.Fatalf("vm%d clock diverged under tracing: %v != %v", i, pn, tn)
+		}
+		ps, ts := plain.Machine(i).Stats(), traced.Machine(i).Stats()
+		if *ps.Monitor != *ts.Monitor {
+			t.Fatalf("vm%d monitor counters diverged: %+v != %+v", i, ps.Monitor, ts.Monitor)
+		}
+	}
+	if !reflect.DeepEqual(hostDecisionDigest(plain), hostDecisionDigest(traced)) {
+		t.Fatal("tracing changed arbiter decisions")
+	}
+}
+
+// Without an arbiter the split stays static and NoteOp is free.
+func TestHostStaticSplitStaysPut(t *testing.T) {
+	h := skewedHostRun(t, 1, false, false, roundRobin)
+	st := h.Stats()
+	if st.Shares[0] != 32 || st.Shares[1] != 32 {
+		t.Fatalf("static split moved: %v", st.Shares)
+	}
+	if st.Arbiter.Epochs != 0 {
+		t.Fatalf("arbiter ran without being configured: %+v", st.Arbiter)
+	}
+}
+
+// Tenants share one store but must never share pages: full isolation via
+// distinct partitions, even with a shared registry.
+func TestHostTenantsIsolated(t *testing.T) {
+	h, err := NewHost(HostConfig{VMs: hostVMs(2), TotalLocalPages: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]*Machine, 2)
+	addrs := make([]uint64, 2)
+	for i := 0; i < 2; i++ {
+		segs[i] = h.Machine(i)
+		seg, err := segs[i].Alloc("data", 32*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = seg.Addr(0)
+	}
+	// Same guest-physical addresses, different tenants, different values —
+	// cycle past the 8-page share so both evict through the shared store.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 2; i++ {
+			for p := 0; p < 32; p++ {
+				a := addrs[i] + uint64(p)*PageSize
+				if pass == 0 {
+					if err := segs[i].Write64(a, uint64(i+1)*1000+uint64(p)); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					v, err := segs[i].Read64(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v != uint64(i+1)*1000+uint64(p) {
+						t.Fatalf("vm%d page %d = %d: tenant data bled through the shared store", i, p, v)
+					}
+				}
+			}
+		}
+	}
+	if err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The refusal is stable and side-effect-free: the swap machine's footprint
+// is untouched after the rejected resize, and the error points the operator
+// at the balloon.
+func TestResizeRefusalLeavesSwapUntouched(t *testing.T) {
+	m := newSwapMachine(t, SwapNVMeoF, 4, 32, true)
+	before := m.ResidentPages()
+	err := m.ResizeFootprint(before / 2)
+	if err == nil {
+		t.Fatal("swap machine allowed footprint resize")
+	}
+	if !strings.Contains(err.Error(), "balloon") {
+		t.Fatalf("refusal does not mention the balloon escape hatch: %v", err)
+	}
+	if m.ResidentPages() != before {
+		t.Fatalf("rejected resize changed the footprint: %d != %d", m.ResidentPages(), before)
+	}
+}

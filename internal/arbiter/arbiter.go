@@ -1,0 +1,270 @@
+// Package arbiter decides how a host's shared DRAM page budget is split
+// across its VMs — the control plane that makes FluidMem's resizable local
+// buffer (§III, "the local memory buffer can be actively sized up or down")
+// earn its keep in a multi-tenant cloud, following the working-set-driven
+// reallocation loop of Memtrade and the Maruf & Chowdhury disaggregation
+// survey.
+//
+// Each epoch the host hands the arbiter one VMView per machine: its current
+// share plus the window's miss-ratio curve from the internal/hotset ghost
+// LRU. The policy is greedy benefit matching: the curve prices what one
+// Step-sized slab of extra DRAM is worth to each VM (the best per-slab rate
+// of ghost hits any contiguous grant would have absorbed — see slabRate)
+// and, symmetrically, what a slab costs its owner to give up; pages move
+// from the flattest donor to the steepest taker while the spread clears the
+// hysteresis threshold. Every VM keeps a floor and respects a ceiling, so
+// one noisy tenant can neither starve the others nor hoard the pool.
+//
+// The decision is a pure function of the views — no randomness, no clock —
+// so arbiter plans inherit the determinism the shardtest oracle proves for
+// the curves themselves: same logical histories, same plans, at any worker
+// count or VM interleaving.
+package arbiter
+
+import (
+	"fmt"
+	"sort"
+
+	"fluidmem/internal/hotset"
+)
+
+// Policy parametrises the greedy reallocator.
+type Policy struct {
+	// FloorPages is the minimum share any VM can be shrunk to. Must be >= 1:
+	// a monitor cannot run with a zero-page LRU.
+	FloorPages int
+	// CeilPages caps any single VM's share; 0 means no ceiling.
+	CeilPages int
+	// Step is the slab size in pages moved per donor→taker transfer. Must be
+	// >= 1. Smaller steps converge smoother; larger steps react faster.
+	Step int
+	// MaxMoves bounds the transfers per epoch (0 = one move). The cap keeps
+	// a single epoch's resize churn — and its eviction burst — bounded.
+	MaxMoves int
+	// Hysteresis is the minimum ghost-hit spread (taker's predicted gain
+	// minus donor's predicted loss, in hits over the window) before a slab
+	// moves. Zero moves on any positive spread, which oscillates when two
+	// curves are near-equal; a small positive value keeps the split stable.
+	Hysteresis uint64
+}
+
+// DefaultPolicy returns a conservative policy for a host whose total budget
+// is totalPages across vms machines: floor at 1/8 of an equal share, no
+// ceiling, slabs of 1/16 of an equal share, at most 4 moves per epoch, and
+// hysteresis of 8 ghost hits.
+func DefaultPolicy(totalPages, vms int) Policy {
+	if vms < 1 {
+		vms = 1
+	}
+	equal := totalPages / vms
+	floor := equal / 8
+	if floor < 1 {
+		floor = 1
+	}
+	step := equal / 16
+	if step < 1 {
+		step = 1
+	}
+	return Policy{FloorPages: floor, Step: step, MaxMoves: 4, Hysteresis: 8}
+}
+
+// Validate rejects unusable policies loudly.
+func (p Policy) Validate() error {
+	if p.FloorPages < 1 {
+		return fmt.Errorf("arbiter: floor %d < 1 page", p.FloorPages)
+	}
+	if p.Step < 1 {
+		return fmt.Errorf("arbiter: step %d < 1 page", p.Step)
+	}
+	if p.CeilPages != 0 && p.CeilPages < p.FloorPages {
+		return fmt.Errorf("arbiter: ceiling %d below floor %d", p.CeilPages, p.FloorPages)
+	}
+	return nil
+}
+
+// VMView is one machine's epoch snapshot as the arbiter sees it.
+type VMView struct {
+	// ID names the VM (stable across epochs; used for deterministic
+	// tie-breaking, trace args, and plan reporting).
+	ID string
+	// SharePages is the VM's current local-buffer capacity.
+	SharePages int
+	// Curve is the window's miss-ratio curve beyond SharePages (cumulative
+	// snapshot differences, via hotset.Curve.Sub).
+	Curve hotset.Curve
+	// WindowFaults counts the VM's faults in the window (reporting only).
+	WindowFaults uint64
+}
+
+// slabRate prices one Step-sized slab for a VM already granted `granted`
+// extra pages: the best average hits-per-slab over any contiguous extension
+// of the curve beyond the granted offset. Plain marginal pricing
+// (HitsWithin one more Step) is zero on the step-function curves cyclic
+// scans produce — every hit sits at depth span-capacity, so no single slab
+// "pays" until the whole gap is granted. Pricing a slab at 1/j of the best
+// j-slab extension sees through the cliff while still reporting zero for a
+// genuinely flat curve, and decays as grants accumulate (the best extension
+// shrinks), so diminishing returns fall out naturally.
+func slabRate(c hotset.Curve, granted, step int) uint64 {
+	if c.BucketPages <= 0 {
+		return 0
+	}
+	base := c.HitsWithin(granted)
+	span := len(c.Hits) * c.BucketPages
+	var best uint64
+	for j := 1; granted+j*step <= span+step; j++ {
+		rate := (c.HitsWithin(granted+j*step) - base) / uint64(j)
+		if rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// Move is one donor→taker slab transfer.
+type Move struct {
+	From, To string
+	Pages    int
+	// PredictedSavings is the taker's window ghost hits the slab would have
+	// absorbed, minus the donor's predicted forfeit — the quantity the host
+	// checks against realised savings next epoch.
+	PredictedSavings uint64
+}
+
+// Plan is one epoch's decision: the moves plus the resulting share map.
+type Plan struct {
+	Moves []Move
+	// Shares maps VM ID to its post-plan share. Every input VM appears, so
+	// the host can apply the plan with one Resize per changed VM.
+	Shares map[string]int
+}
+
+// Changed reports the IDs whose share differs from its input view, in
+// deterministic (sorted) order.
+func (pl Plan) Changed(views []VMView) []string {
+	var out []string
+	for _, v := range views {
+		if pl.Shares[v.ID] != v.SharePages {
+			out = append(out, v.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPages sums the plan's shares (budget-conservation checks).
+func (pl Plan) TotalPages() int {
+	total := 0
+	for _, s := range pl.Shares {
+		total += s
+	}
+	return total
+}
+
+// Decide computes one epoch's plan from the VM views. The input order does
+// not matter: views are canonicalised by ID before any comparison, and ties
+// in benefit break by ID, so the plan is a pure deterministic function of
+// the set of views. The total share is conserved exactly — every grant is
+// funded by an equal donation.
+func (p Policy) Decide(views []VMView) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	vs := append([]VMView(nil), views...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+	shares := make(map[string]int, len(vs))
+	for _, v := range vs {
+		if _, dup := shares[v.ID]; dup {
+			return Plan{}, fmt.Errorf("arbiter: duplicate VM ID %q", v.ID)
+		}
+		if v.SharePages < 1 {
+			return Plan{}, fmt.Errorf("arbiter: VM %q share %d < 1", v.ID, v.SharePages)
+		}
+		shares[v.ID] = v.SharePages
+	}
+	plan := Plan{Shares: shares}
+	if len(vs) < 2 {
+		return plan, nil
+	}
+
+	moves := p.MaxMoves
+	if moves < 1 {
+		moves = 1
+	}
+	for n := 0; n < moves; n++ {
+		// Re-price every VM at its CURRENT tentative share. The curve only
+		// describes depths beyond the share it was measured at, so a taker
+		// that already received slabs this epoch prices its next slab at the
+		// deeper offset — diminishing returns fall out naturally.
+		taker, donor := -1, -1
+		var takerGain, donorLoss uint64
+		for i, v := range vs {
+			// Re-price at the tentative share: a taker already granted slabs
+			// this epoch prices its next slab at the deeper curve offset; a
+			// VM already shrunk prices restoration from the curve top.
+			granted := shares[v.ID] - v.SharePages
+			if granted < 0 {
+				granted = 0
+			}
+			g := slabRate(v.Curve, granted, p.Step)
+			canTake := p.CeilPages == 0 || shares[v.ID]+p.Step <= p.CeilPages
+			canDonate := shares[v.ID]-p.Step >= p.FloorPages
+			// Donating is priced symmetrically: a VM whose curve says it is
+			// already starved (high slab rate) is an expensive donor; a flat
+			// curve donates for free.
+			l := slabRate(v.Curve, 0, p.Step)
+			// Strict comparisons + ID-sorted iteration: ties break toward
+			// the lowest ID, keeping the plan order-independent.
+			if canTake && (taker == -1 || g > takerGain) {
+				taker, takerGain = i, g
+			}
+			if canDonate && (donor == -1 || l < donorLoss) {
+				donor, donorLoss = i, l
+			}
+		}
+		if taker == -1 || donor == -1 || taker == donor {
+			break
+		}
+		if takerGain < donorLoss || takerGain-donorLoss < p.Hysteresis {
+			break
+		}
+		shares[vs[taker].ID] += p.Step
+		shares[vs[donor].ID] -= p.Step
+		plan.Moves = append(plan.Moves, Move{
+			From:             vs[donor].ID,
+			To:               vs[taker].ID,
+			Pages:            p.Step,
+			PredictedSavings: takerGain - donorLoss,
+		})
+	}
+	return plan, nil
+}
+
+// Stats accumulates arbiter activity across epochs for the host's Stats
+// surface.
+type Stats struct {
+	// Epochs counts Decide invocations; Moves the slab transfers they
+	// produced; GrantedPages / DonatedPages the page flow (always equal in
+	// total — the budget is conserved).
+	Epochs       uint64
+	Moves        uint64
+	GrantedPages uint64
+	DonatedPages uint64
+	// PredictedSavings sums Move.PredictedSavings; RealizedSavings sums the
+	// host's epoch-over-epoch measurement of ghost hits that stopped
+	// happening on granted VMs — the feedback that tells an operator whether
+	// the curves are honest.
+	PredictedSavings uint64
+	RealizedSavings  uint64
+}
+
+// Observe folds one epoch's plan into the running totals.
+func (s *Stats) Observe(pl Plan) {
+	s.Epochs++
+	for _, mv := range pl.Moves {
+		s.Moves++
+		s.GrantedPages += uint64(mv.Pages)
+		s.DonatedPages += uint64(mv.Pages)
+		s.PredictedSavings += mv.PredictedSavings
+	}
+}

@@ -1,0 +1,200 @@
+package arbiter
+
+import (
+	"reflect"
+	"testing"
+
+	"fluidmem/internal/hotset"
+)
+
+func steepView(id string, share int) VMView {
+	// Heavy reuse just beyond the share boundary: a grant pays off.
+	return VMView{ID: id, SharePages: share,
+		Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{100, 80, 60, 40}}}
+}
+
+func flatView(id string, share int) VMView {
+	// Nothing beyond the boundary: donating costs nothing observable.
+	return VMView{ID: id, SharePages: share,
+		Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{0, 0, 0, 0}}}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	bad := []Policy{
+		{FloorPages: 0, Step: 1},
+		{FloorPages: -1, Step: 1},
+		{FloorPages: 1, Step: 0},
+		{FloorPages: 8, Step: 1, CeilPages: 4},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an unusable policy", p)
+		}
+		if _, err := p.Decide(nil); err == nil {
+			t.Errorf("Decide with policy %+v did not fail", p)
+		}
+	}
+	if err := (Policy{FloorPages: 1, Step: 1}).Validate(); err != nil {
+		t.Fatalf("minimal policy rejected: %v", err)
+	}
+}
+
+func TestDecideRejectsBadViews(t *testing.T) {
+	p := Policy{FloorPages: 1, Step: 4}
+	if _, err := p.Decide([]VMView{steepView("a", 16), flatView("a", 16)}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := p.Decide([]VMView{steepView("a", 0)}); err == nil {
+		t.Fatal("zero share accepted")
+	}
+}
+
+// The canonical skew: one steep VM, one flat VM — pages flow flat → steep,
+// conserving the total.
+func TestDecideMovesFromFlatToSteep(t *testing.T) {
+	p := Policy{FloorPages: 4, Step: 4, MaxMoves: 2, Hysteresis: 8}
+	views := []VMView{flatView("cold", 32), steepView("hot", 32)}
+	plan, err := p.Decide(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 2 {
+		t.Fatalf("moves = %+v, want 2", plan.Moves)
+	}
+	for _, mv := range plan.Moves {
+		if mv.From != "cold" || mv.To != "hot" || mv.Pages != 4 {
+			t.Fatalf("unexpected move %+v", mv)
+		}
+		if mv.PredictedSavings == 0 {
+			t.Fatal("move with zero predicted savings")
+		}
+	}
+	if plan.Shares["hot"] != 40 || plan.Shares["cold"] != 24 {
+		t.Fatalf("shares = %v", plan.Shares)
+	}
+	if plan.TotalPages() != 64 {
+		t.Fatalf("budget not conserved: %d", plan.TotalPages())
+	}
+	if got := plan.Changed(views); !reflect.DeepEqual(got, []string{"cold", "hot"}) {
+		t.Fatalf("Changed = %v", got)
+	}
+}
+
+// Equal curves must not churn: hysteresis holds the split still.
+func TestDecideHysteresisPreventsChurn(t *testing.T) {
+	p := Policy{FloorPages: 4, Step: 4, MaxMoves: 4, Hysteresis: 8}
+	plan, err := p.Decide([]VMView{steepView("a", 32), steepView("b", 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatalf("equal curves produced moves: %+v", plan.Moves)
+	}
+}
+
+// The donor stops at its floor even when its curve stays flat.
+func TestDecideRespectsFloor(t *testing.T) {
+	p := Policy{FloorPages: 24, Step: 8, MaxMoves: 16, Hysteresis: 0}
+	plan, err := p.Decide([]VMView{flatView("cold", 32), steepView("hot", 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shares["cold"] != 24 {
+		t.Fatalf("donor shrunk through its floor: %v", plan.Shares)
+	}
+	if plan.TotalPages() != 64 {
+		t.Fatalf("budget not conserved: %d", plan.TotalPages())
+	}
+}
+
+// The taker stops at its ceiling even with appetite left.
+func TestDecideRespectsCeiling(t *testing.T) {
+	p := Policy{FloorPages: 4, Step: 8, MaxMoves: 16, CeilPages: 40, Hysteresis: 0}
+	plan, err := p.Decide([]VMView{flatView("cold", 32), steepView("hot", 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shares["hot"] > 40 {
+		t.Fatalf("taker grew past its ceiling: %v", plan.Shares)
+	}
+}
+
+// A granted taker re-prices its next slab at the deeper curve offset, so
+// appetite decays as grants accumulate (diminishing returns).
+func TestDecideDiminishingReturns(t *testing.T) {
+	p := Policy{FloorPages: 4, Step: 4, MaxMoves: 16, Hysteresis: 50}
+	// Curve worth 100 hits in the first slab, 10 in the second: the first
+	// move clears hysteresis, the second must not.
+	hot := VMView{ID: "hot", SharePages: 32,
+		Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{100, 10, 0, 0}}}
+	plan, err := p.Decide([]VMView{flatView("cold", 32), hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly 1", plan.Moves)
+	}
+}
+
+// Plans are a pure function of the view SET: input order must not matter.
+func TestDecideOrderIndependent(t *testing.T) {
+	p := Policy{FloorPages: 4, Step: 4, MaxMoves: 4, Hysteresis: 8}
+	views := []VMView{
+		steepView("a", 32), flatView("b", 32),
+		{ID: "c", SharePages: 32, Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{20, 5, 0, 0}}},
+	}
+	ref, err := p.Decide(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}}
+	for _, perm := range perms {
+		shuffled := make([]VMView, len(views))
+		for i, j := range perm {
+			shuffled[i] = views[j]
+		}
+		got, err := p.Decide(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("order-dependent plan: perm %v gave %+v, want %+v", perm, got, ref)
+		}
+	}
+}
+
+// A single VM never moves pages; fewer than two views is a no-op plan.
+func TestDecideSingleVM(t *testing.T) {
+	p := Policy{FloorPages: 4, Step: 4, MaxMoves: 4}
+	plan, err := p.Decide([]VMView{steepView("only", 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 || plan.Shares["only"] != 32 {
+		t.Fatalf("single-VM plan moved pages: %+v", plan)
+	}
+}
+
+func TestDefaultPolicyIsValid(t *testing.T) {
+	for _, c := range []struct{ total, vms int }{{1024, 2}, {64, 8}, {4, 4}, {1, 1}, {100, 0}} {
+		p := DefaultPolicy(c.total, c.vms)
+		if err := p.Validate(); err != nil {
+			t.Errorf("DefaultPolicy(%d, %d) invalid: %v", c.total, c.vms, err)
+		}
+	}
+}
+
+func TestStatsObserve(t *testing.T) {
+	var s Stats
+	s.Observe(Plan{Moves: []Move{
+		{From: "a", To: "b", Pages: 4, PredictedSavings: 10},
+		{From: "a", To: "b", Pages: 4, PredictedSavings: 5},
+	}})
+	s.Observe(Plan{})
+	if s.Epochs != 2 || s.Moves != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.GrantedPages != 8 || s.DonatedPages != 8 || s.PredictedSavings != 15 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

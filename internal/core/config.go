@@ -11,6 +11,7 @@ import (
 
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/trace"
 	"fluidmem/internal/uffd"
@@ -100,6 +101,13 @@ type Config struct {
 	// bit-for-bit identical with tracing on or off. Nil disables it at zero
 	// cost.
 	Trace *trace.Tracer
+
+	// Hotset optionally attaches a ghost-LRU working-set estimator: every
+	// fault and eviction is reported to it, building the miss-ratio curve
+	// the host arbiter prices grants against. Like Trace it is pure
+	// observation — zero virtual time, zero randomness — so results are
+	// bit-for-bit identical with estimation on or off. Nil disables it.
+	Hotset *hotset.Tracker
 
 	// UFFD holds the simulated userfaultfd op costs.
 	UFFD uffd.Params

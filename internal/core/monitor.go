@@ -8,6 +8,7 @@ import (
 
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/stats"
 	"fluidmem/internal/trace"
@@ -83,6 +84,9 @@ type Monitor struct {
 	// tr receives trace events and phase-latency observations; nil (the
 	// default) disables tracing with no behavioural difference.
 	tr *trace.Tracer
+	// hot receives fault/evict observations for working-set estimation;
+	// nil (the default) disables it with no behavioural difference.
+	hot *hotset.Tracker
 
 	lru  *lruList
 	seen map[uint64]bool
@@ -171,6 +175,7 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 		rng:          clock.NewRand(cfg.Seed + 0x5151),
 		prof:         NewProfiler(true),
 		tr:           cfg.Trace,
+		hot:          cfg.Hotset,
 		workers:      workers,
 		workerFree:   make([]time.Duration, workers),
 		statsCells:   make([]Stats, workers),
@@ -258,6 +263,7 @@ func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error
 				m.fd.Drop(addr)
 				m.epoch++
 			}
+			m.hot.Remove(addr)
 			if m.seen[addr] {
 				delete(m.seen, addr)
 				key := kvstore.MakeKey(addr, part)
@@ -324,6 +330,7 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 	if !ok {
 		return eventAt, fmt.Errorf("%w: %d", ErrUnknownPID, ev.PID)
 	}
+	m.hot.Fault(ev.Addr)
 	// Handling starts when the fault's worker is free: the pipeline shards
 	// by page address, so a fault queues only behind its own worker.
 	w := m.workerOf(ev.Addr)
@@ -662,6 +669,7 @@ func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, er
 		return t, errors.New("core: eviction needed but LRU list empty")
 	}
 	m.lru.Remove(victim)
+	m.hot.Evict(victim)
 	m.cell(victim).Evictions++
 	evictStart := t
 
@@ -814,6 +822,10 @@ func (m *Monitor) Discard(addr uint64) {
 		m.fd.Drop(addr)
 		m.epoch++
 	}
+	// The page's contents are gone: it must leave the ghost list too, or a
+	// later first touch of the same address would register as a re-reference
+	// and inflate the working-set estimate.
+	m.hot.Remove(addr)
 	if m.seen[addr] {
 		delete(m.seen, addr)
 		if region := m.regionOf(addr); region != nil {
@@ -853,8 +865,18 @@ func (m *Monitor) Resize(now time.Duration, capacity int) (time.Duration, error)
 			return t, err
 		}
 	}
+	// Worker 0 is an arbitrary but fixed attribution: a resize is not caused
+	// by any page address. The arg carries the new capacity in pages.
+	m.tr.Emit(trace.EvResize, 0, uint64(capacity), now, t-now, "")
 	return t, nil
 }
+
+// Hotset returns the attached working-set estimator (nil when disabled).
+func (m *Monitor) Hotset() *hotset.Tracker { return m.hot }
+
+// HotsetSnapshot copies the estimator's counters; the zero Snapshot when
+// estimation is disabled.
+func (m *Monitor) HotsetSnapshot() hotset.Snapshot { return m.hot.Snapshot() }
 
 // Drain flushes the write list and waits for all in-flight writes —
 // quiescing the monitor (tests, teardown, consistent snapshots).

@@ -19,12 +19,15 @@
 package shardtest
 
 import (
+	"fmt"
 	"hash/fnv"
 	"testing"
 	"time"
 
+	"fluidmem/internal/arbiter"
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core"
+	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/trace"
 )
@@ -78,6 +81,21 @@ type Outcome struct {
 	// operation log: two replays that agree on every counter but, say,
 	// flush in a different batch order diverge here.
 	TraceDigest uint64
+	// HotsetDigest folds the ghost-LRU estimator's full logical state —
+	// counters, depth histogram, and ordered shadow-list contents. Joining
+	// the equivalence contract makes the oracle prove that working-set
+	// estimates (and everything the host arbiter derives from them) are
+	// identical at every worker count.
+	HotsetDigest uint64
+	// WSSPages is the 90th-percentile working-set estimate at the final
+	// capacity — the human-readable face of HotsetDigest.
+	WSSPages int
+	// ArbiterPlanDigest folds the reallocation plan a host arbiter would
+	// derive from this replay's miss-ratio curve against a fixed synthetic
+	// peer VM. Plans are pure functions of the curves, so equal curves MUST
+	// yield equal plans; this pins the full estimate→decision path into the
+	// worker-count contract.
+	ArbiterPlanDigest uint64
 	// Trace is the replay's full tracer (events + histograms). It is NOT
 	// part of the equivalence contract — timestamps legitimately differ
 	// across worker counts — but byte-level determinism tests use it.
@@ -104,6 +122,13 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 	tr := trace.New(true)
 	cfg.Trace = tr
 	cfg.Store = kvstore.Instrumented(store, tr)
+	// Attach the ghost-LRU estimator unconditionally for the same reason:
+	// it is pure observation, and its digest joins the equivalence contract.
+	hs, err := hotset.New(hotset.DefaultParams(cfg.LRUCapacity))
+	if err != nil {
+		tb.Fatalf("%s/w%d: new hotset: %v", wl.Name, workers, err)
+	}
+	cfg.Hotset = hs
 	m, err := core.NewMonitor(cfg, nil, "shardtest")
 	if err != nil {
 		tb.Fatalf("%s/w%d: new monitor: %v", wl.Name, workers, err)
@@ -199,15 +224,45 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 	}
 
 	return Outcome{
-		TouchHash:   h.Sum64(),
-		Resident:    m.ResidentAddrs(),
-		Epoch:       m.Epoch(),
-		Stats:       m.Stats(),
-		Store:       store.Stats(),
-		TraceDigest: tr.LogicalDigest(),
-		Trace:       tr,
-		FinalTime:   now,
+		TouchHash:         h.Sum64(),
+		Resident:          m.ResidentAddrs(),
+		Epoch:             m.Epoch(),
+		Stats:             m.Stats(),
+		Store:             store.Stats(),
+		TraceDigest:       tr.LogicalDigest(),
+		HotsetDigest:      hs.Digest(),
+		WSSPages:          hs.Snapshot().WSSEstimate(m.FootprintLimit(), 90),
+		ArbiterPlanDigest: planDigest(tb, hs.Snapshot(), m.FootprintLimit()),
+		Trace:             tr,
+		FinalTime:         now,
 	}
+}
+
+// planDigest derives the reallocation plan a host arbiter would make from
+// the replay's miss-ratio curve paired with a fixed synthetic peer (a flat
+// curve at the same share: the canonical donor), and folds the decision —
+// every move and every resulting share — through FNV-1a. The peer and the
+// policy are constants, so any divergence here traces back to the curve.
+func planDigest(tb testing.TB, snap hotset.Snapshot, share int) uint64 {
+	tb.Helper()
+	step := share / 8
+	if step < 1 {
+		step = 1
+	}
+	policy := arbiter.Policy{FloorPages: 1, Step: step, MaxMoves: 4, Hysteresis: 4}
+	peer := arbiter.VMView{ID: "peer", SharePages: share,
+		Curve: hotset.Curve{BucketPages: snap.Curve.BucketPages, Hits: make([]uint64, len(snap.Curve.Hits))}}
+	replayVM := arbiter.VMView{ID: "replay", SharePages: share, Curve: snap.Curve, WindowFaults: snap.Faults}
+	plan, err := policy.Decide([]arbiter.VMView{replayVM, peer})
+	if err != nil {
+		tb.Fatalf("plan digest: %v", err)
+	}
+	h := fnv.New64a()
+	for _, mv := range plan.Moves {
+		fmt.Fprintf(h, "%s>%s:%d:%d;", mv.From, mv.To, mv.Pages, mv.PredictedSavings)
+	}
+	fmt.Fprintf(h, "replay=%d peer=%d", plan.Shares["replay"], plan.Shares["peer"])
+	return h.Sum64()
 }
 
 // Equal asserts that got matches the reference outcome in every field of the
@@ -242,5 +297,14 @@ func Equal(tb testing.TB, label string, ref, got Outcome) {
 	if ref.TraceDigest != got.TraceDigest {
 		tb.Errorf("%s: logical trace digest diverged: %#x vs %#x (ref %d events, got %d)",
 			label, ref.TraceDigest, got.TraceDigest, len(ref.Trace.Events()), len(got.Trace.Events()))
+	}
+	if ref.HotsetDigest != got.HotsetDigest {
+		tb.Errorf("%s: hotset digest diverged: %#x vs %#x", label, ref.HotsetDigest, got.HotsetDigest)
+	}
+	if ref.WSSPages != got.WSSPages {
+		tb.Errorf("%s: WSS estimate diverged: %d vs %d pages", label, ref.WSSPages, got.WSSPages)
+	}
+	if ref.ArbiterPlanDigest != got.ArbiterPlanDigest {
+		tb.Errorf("%s: arbiter plan diverged: %#x vs %#x", label, ref.ArbiterPlanDigest, got.ArbiterPlanDigest)
 	}
 }

@@ -223,6 +223,35 @@ func TestSeedsDiverge(t *testing.T) {
 	if a.TraceDigest == b.TraceDigest {
 		t.Fatal("different seeds produced identical trace digests; trace oracle is vacuous")
 	}
+	if a.HotsetDigest == b.HotsetDigest {
+		t.Fatal("different seeds produced identical hotset digests; hotset oracle is vacuous")
+	}
+}
+
+// TestHotsetOracleSeesEveryWorkload guards the hotset extension of the
+// oracle against vacuity: every workload churns enough pages through the
+// ghost list to produce a non-trivial digest, real ghost hits, and a WSS
+// estimate strictly beyond the resident capacity — so the Equal comparisons
+// of HotsetDigest/WSSPages/ArbiterPlanDigest always have material to
+// disagree on.
+func TestHotsetOracleSeesEveryWorkload(t *testing.T) {
+	for _, wl := range workloads() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			out := Replay(t, wl, 2, 42)
+			if out.HotsetDigest == 0 {
+				t.Error("replay produced a zero hotset digest")
+			}
+			if out.WSSPages <= 0 {
+				t.Errorf("WSS estimate %d not positive", out.WSSPages)
+			}
+			// Every workload over-subscribes its capacity, so the working
+			// set must not fit: the estimator has to see re-references.
+			if out.Stats.Evictions > 0 && out.WSSPages <= wl.Pages/8 {
+				t.Errorf("WSS estimate %d implausibly small for %d-page workload", out.WSSPages, wl.Pages)
+			}
+		})
+	}
 }
 
 // TestTraceByteIdentical pins trace determinism all the way down to bytes:

@@ -6,16 +6,59 @@ import (
 
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/kvstore/dram"
+	"fluidmem/internal/kvstore/faulty"
+	"fluidmem/internal/kvstore/memcached"
+	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/kvstore/replicated"
 	"fluidmem/internal/kvstore/storetest"
 	"fluidmem/internal/trace"
 )
 
-// The instrumentation wrapper must change no Store semantics: the full
-// conformance suite (including error paths) runs through it.
+// instrumentedBackends builds a fresh instance of every backend the wrapper
+// can decorate: the three latency models, the replication wrapper, and the
+// fault injector (at zero rate, so the contract holds deterministically).
+func instrumentedBackends(t *testing.T) map[string]storetest.Factory {
+	t.Helper()
+	return map[string]storetest.Factory{
+		"dram":      func() kvstore.Store { return dram.New(dram.DefaultParams(), 1) },
+		"ramcloud":  func() kvstore.Store { return ramcloud.New(ramcloud.DefaultParams(), 1) },
+		"memcached": func() kvstore.Store { return memcached.New(memcached.DefaultParams(), 1) },
+		"replicated": func() kvstore.Store {
+			members := []kvstore.Store{
+				ramcloud.New(ramcloud.DefaultParams(), 1),
+				ramcloud.New(ramcloud.DefaultParams(), 2),
+				ramcloud.New(ramcloud.DefaultParams(), 3),
+			}
+			s, err := replicated.New(members...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"faulty": func() kvstore.Store {
+			return faulty.Wrap(dram.New(dram.DefaultParams(), 1), faulty.Uniform(0, 0), 99)
+		},
+	}
+}
+
+// The instrumentation wrapper must change no Store semantics on ANY backend:
+// the full conformance suite (including error paths) runs through it over
+// every store implementation, with a live tracer and with a nil one (the
+// identity path).
 func TestInstrumentedConformance(t *testing.T) {
-	storetest.Run(t, func() kvstore.Store {
-		return kvstore.Instrumented(dram.New(dram.DefaultParams(), 1), trace.New(true))
-	})
+	for name, factory := range instrumentedBackends(t) {
+		factory := factory
+		t.Run(name+"/live-tracer", func(t *testing.T) {
+			storetest.Run(t, func() kvstore.Store {
+				return kvstore.Instrumented(factory(), trace.New(true))
+			})
+		})
+		t.Run(name+"/nil-tracer", func(t *testing.T) {
+			storetest.Run(t, func() kvstore.Store {
+				return kvstore.Instrumented(factory(), nil)
+			})
+		})
+	}
 }
 
 // A nil tracer must return the store unwrapped — identity, zero overhead.

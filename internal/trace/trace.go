@@ -52,6 +52,8 @@ const (
 	EvRetry         = "RES_RETRY"      // timing-dependent: resilience backoff
 	EvFailover      = "RES_FAILOVER"   // timing-dependent: replica rotation
 	EvDegraded      = "RES_DEGRADED"   // timing-dependent: degraded-mode stall
+	EvResize        = "RESIZE"         // addr field = new LRU capacity in pages
+	EvArbiter       = "ARBITER"        // arg = epoch decision summary (moves=N pages=P)
 )
 
 // TimingDependent reports whether events named name may exist in one

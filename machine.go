@@ -7,6 +7,7 @@ import (
 
 	"fluidmem/internal/blockdev"
 	"fluidmem/internal/core"
+	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/kvstore/dram"
 	"fluidmem/internal/kvstore/memcached"
@@ -115,6 +116,14 @@ type MachineConfig struct {
 	// kvstore.Instrumented so store traffic appears in the trace
 	// (SharedStore is left untouched — wrap it yourself if desired).
 	Tracer *Tracer
+	// Hotset optionally attaches a ghost-LRU working-set estimator to the
+	// monitor (ModeFluidMem): evicted page keys shadow in a bounded list
+	// whose hit depths build the miss-ratio curve a Host's arbiter prices
+	// reallocations against. Like Tracer it is pure observation — simulated
+	// results are bit-identical with it on or off. A non-positive
+	// GhostCapacity or BucketPages fails NewMachine. When Monitor is set,
+	// this applies unless the override sets its own Hotset tracker.
+	Hotset *HotsetParams
 	// SwapParams optionally overrides the swap subsystem tuning.
 	SwapParams *swap.Params
 	// SharedStore optionally supplies an existing key-value store shared
@@ -152,6 +161,20 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}
 	if cfg.GuestMemory < cfg.LocalMemory {
 		return nil, errors.New("fluidmem: GuestMemory smaller than LocalMemory")
+	}
+
+	// Capacity inputs are validated up front so a bad share surfaces as a
+	// clear NewMachine error, not a monitor failure mid-run.
+	if cfg.Monitor != nil && cfg.Monitor.LRUCapacity < 0 {
+		return nil, fmt.Errorf("fluidmem: Monitor.LRUCapacity %d is negative", cfg.Monitor.LRUCapacity)
+	}
+	if cfg.Hotset != nil {
+		if cfg.Hotset.GhostCapacity < 1 {
+			return nil, fmt.Errorf("fluidmem: Hotset.GhostCapacity %d < 1 page", cfg.Hotset.GhostCapacity)
+		}
+		if cfg.Hotset.BucketPages < 1 {
+			return nil, fmt.Errorf("fluidmem: Hotset.BucketPages %d < 1 page", cfg.Hotset.BucketPages)
+		}
 	}
 
 	m := &Machine{cfg: cfg}
@@ -197,6 +220,13 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		}
 		if mcfg.Trace == nil {
 			mcfg.Trace = cfg.Tracer
+		}
+		if mcfg.Hotset == nil && cfg.Hotset != nil {
+			hs, err := hotset.New(*cfg.Hotset)
+			if err != nil {
+				return nil, fmt.Errorf("fluidmem: %w", err)
+			}
+			mcfg.Hotset = hs
 		}
 		mcfg.Seed = cfg.Seed + 11
 		monitor, err := core.NewMonitor(mcfg, cfg.Registry, cfg.HypervisorID)

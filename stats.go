@@ -4,8 +4,10 @@ import (
 	"io"
 	"time"
 
+	"fluidmem/internal/arbiter"
 	"fluidmem/internal/core"
 	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/trace"
 )
@@ -48,7 +50,23 @@ type (
 	// p50/p90/p99/max in virtual time, per worker or merged (Worker ==
 	// trace.MergedWorker, i.e. -1).
 	PhaseLatency = trace.PhaseStats
+	// HotsetParams sizes the ghost-LRU working-set estimator
+	// (MachineConfig.Hotset).
+	HotsetParams = hotset.Params
+	// HotsetCounters is the estimator's snapshot: fault/ghost-hit/eviction
+	// counters plus the miss-ratio curve beyond the resident capacity.
+	HotsetCounters = hotset.Snapshot
+	// ArbiterCounters are the host arbiter's cumulative epoch counters
+	// (moves, page flow, predicted vs realized fault savings).
+	ArbiterCounters = arbiter.Stats
 )
+
+// DefaultHotsetParams sizes an estimator for a machine with the given local
+// buffer capacity in pages: the ghost list shadows one full capacity's worth
+// of evictions in 16 curve buckets.
+func DefaultHotsetParams(lruCapacityPages int) HotsetParams {
+	return hotset.DefaultParams(lruCapacityPages)
+}
 
 // Stats is the machine's aggregated telemetry snapshot: every layer's
 // counters plus the tracer's phase-latency histograms behind one call, so
@@ -80,6 +98,13 @@ type Stats struct {
 	Health     *StoreHealth
 	// Compress is non-nil when the compressed tier is enabled.
 	Compress *CompressCounters
+
+	// Hotset is non-nil when the ghost-LRU estimator is attached; WSSPages
+	// is then its 90th-percentile working-set estimate (pages the guest
+	// would need resident to absorb 90% of the observed re-reference
+	// faults).
+	Hotset   *HotsetCounters
+	WSSPages int
 
 	// Phases holds the tracer's per-phase latency histogram rows, sorted by
 	// phase then worker with each phase's merged row first. Nil without a
@@ -113,6 +138,11 @@ func (m *Machine) Stats() Stats {
 	}
 	if cs, ok := m.monitor.CompressStats(); ok {
 		st.Compress = &cs
+	}
+	if hs := m.monitor.Hotset(); hs != nil {
+		snap := hs.Snapshot()
+		st.Hotset = &snap
+		st.WSSPages = snap.WSSEstimate(m.monitor.FootprintLimit(), 90)
 	}
 	st.Phases = m.Tracer().Snapshot()
 	return st
