@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle trace-oracle arbiter-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
 # shard-oracle re-proves worker-count determinism on the write-back workloads,
 # trace-oracle re-proves trace determinism (byte-identical replays, identical
 # logical event sequences across worker counts), arbiter-oracle re-proves that
 # working-set estimates and arbiter decisions are invariant across worker
-# counts and VM interleavings, and fuzz-short gives the model checkers a short
-# adversarial pass.
-check: vet build test check-race shard-oracle trace-oracle arbiter-oracle fuzz-short
+# counts and VM interleavings, cluster-oracle re-proves the no-page-lost
+# contract of the multi-node pool under randomized membership/failure
+# schedules, and fuzz-short gives the model checkers a short adversarial pass.
+check: vet build test check-race shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short
 
 build:
 	$(GO) build ./...
@@ -58,8 +59,17 @@ arbiter-oracle:
 	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestHotsetOracle|TestWorkerCountEquivalence'
 	$(GO) test . -count=1 -run 'TestHostWorkerCountInvariance|TestHostInterleavingInvariance|TestHostTracedBitIdentical'
 
+# The cluster no-page-lost oracle: randomized {add, drain, crash, recover,
+# partition, heal} schedules over ≥3 seeds × {3,5 nodes} × {2,3 replicas},
+# each run twice, must show no page lost, mis-routed, or served stale against
+# the flat model, with bitwise same-seed repeatability.
+cluster-oracle:
+	$(GO) test ./internal/kvstore/cluster/... -count=1 -run 'TestOracle'
+
 # Short fuzz passes over the flat-model checkers: the coalescing write-back
-# engine and the ghost-LRU working-set estimator.
+# engine, the ghost-LRU working-set estimator, and the cluster pool's
+# rendezvous key-routing invariants.
 fuzz-short:
 	$(GO) test ./internal/core/ -run FuzzWriteCoalesce -fuzz FuzzWriteCoalesce -fuzztime=5s
 	$(GO) test ./internal/hotset/ -run FuzzGhostLRU -fuzz FuzzGhostLRU -fuzztime=5s
+	$(GO) test ./internal/kvstore/cluster/ -run FuzzRouting -fuzz FuzzRouting -fuzztime=5s

@@ -47,6 +47,7 @@ func experiments() []experiment {
 		{"ablation-prefetch", "A6: sequential prefetching on/off × pattern", func(o bench.Options) (renderable, error) { return bench.RunAblationPrefetch(o) }},
 		{"density", "multi-VM density: idle guests drain, active guest grows (§VI-E)", func(o bench.Options) (renderable, error) { return bench.RunDensity(o) }},
 		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
+		{"cluster", "multi-node pool lifecycle: fault p50/p99 healthy/crashed/recovered/drained vs single store", func(o bench.Options) (renderable, error) { return bench.RunCluster(o) }},
 		{"workers", "fault throughput vs pipeline width, batched MultiGet readahead", func(o bench.Options) (renderable, error) { return bench.RunWorkers(o) }},
 		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
 		{"trace", "virtual-time fault-latency breakdown: per-phase p50/p90/p99 from the tracer", func(o bench.Options) (renderable, error) { return bench.RunTrace(o) }},

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -35,20 +36,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fluidmemd", flag.ContinueOnError)
 	var (
-		backend = fs.String("backend", "ramcloud", "dram | ramcloud | memcached")
+		backend = fs.String("backend", "ramcloud", "dram | ramcloud | memcached | cluster")
 		localMB = fs.Int("local", 64, "local DRAM budget in MB")
 		guestMB = fs.Int("guest", 256, "guest memory in MB")
 		script  = fs.String("script", "status;resize 180;probe;resize 80;probe;resize 32768;probe;status",
 			"semicolon-separated commands: status | resize <pages> | hotplug <mb> | probe | tick <n> | health | hist")
-		seed      = fs.Uint64("seed", 1, "simulation seed")
-		replicas  = fs.Int("replicas", 1, "replication factor across backend members")
-		chaos     = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
-		workers   = fs.Int("workers", 1, "fault-pipeline width: page-address-sharded workers in the monitor")
-		elideZero = fs.Bool("elide-zero", false, "elide all-zero evicted pages into the zero bitmap (re-faults resolve with UFFDIO_ZEROPAGE, no store traffic)")
-		cleanDrop = fs.Bool("clean-drop", false, "write-protect store-backed installs and drop still-clean eviction victims without a store write")
-		traceOut  = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file; also enables the hist command")
-		vms       = fs.Int("vms", 1, "tenant count: > 1 runs a multi-tenant host sharing the local budget (one VM hot, the rest cold) instead of the scripted single machine")
-		arb       = fs.Bool("arbiter", false, "with -vms > 1: rebalance the shared budget each epoch from the ghost-LRU miss-ratio curves (default keeps the static equal split)")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		replicas   = fs.Int("replicas", 1, "replication factor: backend members (replicated wrapper), or copies per partition with -backend cluster")
+		storeNodes = fs.Int("store-nodes", 3, "store node count for -backend cluster")
+		failSched  = fs.String("failure-schedule", "", "comma-separated cluster failure events fired as virtual time passes, e.g. 'crash:node2@30s,drain:node1@60s' (ops: crash | drain | partition | heal | recover | add; -backend cluster only)")
+		chaos      = fs.Float64("chaos", 0, "per-member transient error+spike rate (0 disables injection); enables the resilience policy")
+		workers    = fs.Int("workers", 1, "fault-pipeline width: page-address-sharded workers in the monitor")
+		elideZero  = fs.Bool("elide-zero", false, "elide all-zero evicted pages into the zero bitmap (re-faults resolve with UFFDIO_ZEROPAGE, no store traffic)")
+		cleanDrop  = fs.Bool("clean-drop", false, "write-protect store-backed installs and drop still-clean eviction victims without a store write")
+		traceOut   = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file; also enables the hist command")
+		vms        = fs.Int("vms", 1, "tenant count: > 1 runs a multi-tenant host sharing the local budget (one VM hot, the rest cold) instead of the scripted single machine")
+		arb        = fs.Bool("arbiter", false, "with -vms > 1: rebalance the shared budget each epoch from the ghost-LRU miss-ratio curves (default keeps the static equal split)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +73,29 @@ func run(args []string) error {
 	if *traceOut != "" {
 		mcfg.Tracer = fluidmem.NewTracer(true)
 	}
-	if *replicas > 1 || *chaos > 0 || *workers > 1 || *elideZero || *cleanDrop {
+	schedule, err := parseFailureSchedule(*failSched)
+	if err != nil {
+		return err
+	}
+	if len(schedule) > 0 && *backend != "cluster" {
+		return fmt.Errorf("-failure-schedule needs -backend cluster")
+	}
+	if *backend == "cluster" {
+		// The cluster backend brings its own replication; the monitor gets
+		// the resilience policy so membership changes (stale epochs, crash
+		// windows) are retried instead of surfacing to the guest.
+		mcfg.StoreNodes = *storeNodes
+		if *replicas > 1 {
+			mcfg.StoreReplicas = *replicas
+		}
+		mon := core.DefaultConfig(nil, int(mcfg.LocalMemory/fluidmem.PageSize))
+		mon.Workers = *workers
+		mon.ElideZeroPages = *elideZero
+		mon.CleanPageDrop = *cleanDrop
+		policy := resilience.DefaultPolicy()
+		mon.Resilience = &policy
+		mcfg.Monitor = &mon
+	} else if *replicas > 1 || *chaos > 0 || *workers > 1 || *elideZero || *cleanDrop {
 		store, err := buildStore(*backend, *replicas, *chaos, *seed)
 		if err != nil {
 			return err
@@ -98,10 +123,16 @@ func run(args []string) error {
 		if len(fields) == 0 {
 			continue
 		}
+		if schedule, err = fireDue(m, schedule, false); err != nil {
+			return err
+		}
 		fmt.Printf("\n> %s\n", strings.Join(fields, " "))
 		if err := execute(m, fields); err != nil {
 			return fmt.Errorf("%s: %w", fields[0], err)
 		}
+	}
+	if _, err := fireDue(m, schedule, true); err != nil {
+		return err
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -238,6 +269,96 @@ func buildStore(backend string, replicas int, chaos float64, seed uint64) (kvsto
 	return replicated.New(members...)
 }
 
+// failureEvent is one entry of the -failure-schedule: a membership or
+// failure operation against the cluster pool at a virtual-time mark.
+type failureEvent struct {
+	op   string // crash | drain | partition | heal | recover | add
+	node string // empty for recover/add
+	at   time.Duration
+}
+
+// parseFailureSchedule parses "crash:node2@30s,drain:node1@60s" into events
+// sorted by time.
+func parseFailureSchedule(s string) ([]failureEvent, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var events []failureEvent
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		spec, atStr, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("failure-schedule %q: want <op>[:<node>]@<time>", item)
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("failure-schedule %q: %w", item, err)
+		}
+		op, node, _ := strings.Cut(spec, ":")
+		switch op {
+		case "crash", "drain", "partition", "heal":
+			if node == "" {
+				return nil, fmt.Errorf("failure-schedule %q: %s needs a node name", item, op)
+			}
+		case "recover", "add":
+			if node != "" {
+				return nil, fmt.Errorf("failure-schedule %q: %s takes no node name", item, op)
+			}
+		default:
+			return nil, fmt.Errorf("failure-schedule %q: unknown op %q", item, op)
+		}
+		events = append(events, failureEvent{op: op, node: node, at: at})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return events, nil
+}
+
+// fireDue applies every scheduled event whose time has passed on the
+// machine's virtual clock (all of them when flush is set, so a schedule that
+// outlives the script still runs to completion) and returns the remainder.
+func fireDue(m *fluidmem.Machine, events []failureEvent, flush bool) ([]failureEvent, error) {
+	pool := m.ClusterPool()
+	for len(events) > 0 && (flush || events[0].at <= m.Now()) {
+		ev := events[0]
+		events = events[1:]
+		now := m.Now()
+		var err error
+		var note string
+		switch ev.op {
+		case "crash":
+			err = pool.Crash(now, ev.node)
+			note = fmt.Sprintf("crashed %s (abrupt: its copies are gone until recover)", ev.node)
+		case "drain":
+			var done time.Duration
+			done, err = pool.Drain(now, ev.node)
+			note = fmt.Sprintf("drained %s (copy-then-cutover done at %v, epoch %d)", ev.node, done, pool.Committed().Epoch)
+		case "partition":
+			err = pool.PartitionNode(ev.node)
+			note = fmt.Sprintf("partitioned %s from the fabric", ev.node)
+		case "heal":
+			var done time.Duration
+			done, err = pool.HealNode(now, ev.node)
+			note = fmt.Sprintf("healed %s (resynced at %v)", ev.node, done)
+		case "recover":
+			var done time.Duration
+			var copied int
+			done, copied, err = pool.Recover(now)
+			note = fmt.Sprintf("recovered crashed nodes (%d copies restored by %v, epoch %d)", copied, done, pool.Committed().Epoch)
+		case "add":
+			var name string
+			var done time.Duration
+			name, done, err = pool.AddNode(now)
+			note = fmt.Sprintf("added %s (populated at %v, epoch %d)", name, done, pool.Committed().Epoch)
+		}
+		if err != nil {
+			return events, fmt.Errorf("failure-schedule %s:%s@%v: %w", ev.op, ev.node, ev.at, err)
+		}
+		fmt.Printf("\n! t=%v %s\n", now, note)
+	}
+	return events, nil
+}
+
 // unwrapStore peels the tracing decorator (if present) so type assertions
 // against concrete backends — e.g. the replication wrapper — still land.
 func unwrapStore(s kvstore.Store) kvstore.Store {
@@ -324,6 +445,11 @@ func execute(m *fluidmem.Machine, fields []string) error {
 		if rep, ok := unwrapStore(m.Store()).(*replicated.Store); ok {
 			fmt.Printf("  replication: members=%d primary=%d failovers=%d member-errors=%d read-repairs=%d partial-puts=%d\n",
 				rep.Members(), rep.Primary(), rep.Failovers(), rep.MemberErrors(), rep.ReadRepairs(), rep.PartialPuts())
+		}
+		if pool := m.ClusterPool(); pool != nil {
+			c := pool.ClusterStats()
+			fmt.Printf("  cluster: epoch=%d nodes=%v replicas=%d stale-rejects=%d refreshes=%d failovers=%d partial-puts=%d read-repairs=%d re-replicated=%d\n",
+				c.Epoch, pool.NodeNames(), c.Replicas, c.StaleRejects, c.Refreshes, c.Failovers, c.PartialPuts, c.ReadRepairs, c.Rereplicated)
 		}
 	case "hist":
 		st := m.Stats()

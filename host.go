@@ -122,7 +122,7 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	applyMachineDefaults(&template)
 	shared := template.SharedStore
 	if shared == nil {
-		backend, err := newStore(MachineConfig{Backend: template.Backend, StoreCapacity: template.StoreCapacity, Seed: cfg.Seed + 7})
+		backend, _, err := newStore(MachineConfig{Backend: template.Backend, StoreCapacity: template.StoreCapacity, Seed: cfg.Seed + 7})
 		if err != nil {
 			return nil, err
 		}

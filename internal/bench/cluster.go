@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"fluidmem"
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/kvstore/cluster"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/vm"
+)
+
+// ClusterRow is the fault-latency distribution observed during one phase of
+// the cluster lifecycle.
+type ClusterRow struct {
+	// Phase labels the lifecycle stage the faults were measured in.
+	Phase string
+	// Faults is the number of measured store-read faults.
+	Faults int
+	// Mean, P50, P99 summarise application-observed fault latency.
+	Mean, P50, P99 time.Duration
+}
+
+// ClusterResult compares guest-observed fault latency on the sharded
+// multi-node pool — healthy, with a node crashed, after recovery, and after
+// a graceful drain — against the single-store baseline, plus the cost of
+// re-replication itself. The paper's cloud deployment assumes the remote
+// memory tier survives node failure; this experiment prices that assumption:
+// a crash costs at most a failover's worth of latency on reads (never an
+// error), and recovery is a bounded background copy.
+type ClusterResult struct {
+	// Nodes and Replicas configure the pool.
+	Nodes, Replicas int
+	// Rows is one latency distribution per phase, in lifecycle order.
+	Rows []ClusterRow
+	// RecoveryTime is the virtual time Recover took: committing the
+	// shrunken table plus re-replicating every under-replicated page.
+	RecoveryTime time.Duration
+	// RecoveredCopies is the page copies restored by that recovery.
+	RecoveredCopies int
+	// DrainTime is the virtual time the graceful drain took (copy +
+	// cutover commit).
+	DrainTime time.Duration
+	// Counters is the pool's final intervention snapshot.
+	Counters cluster.Counters
+}
+
+// RunCluster measures the lifecycle latency matrix.
+func RunCluster(opts Options) (*ClusterResult, error) {
+	faults := 3000
+	if opts.Quick {
+		faults = 800
+	}
+	const localBytes = 2 << 20 // 512 resident pages
+	const wssBytes = 8 << 20   // 2048-page working set
+	res := &ClusterResult{Nodes: 3, Replicas: 2}
+
+	// Baseline: the same workload against the plain single-node RAMCloud
+	// backend (no replication, nothing to survive).
+	base, err := newClusterBenchMachine(fluidmem.MachineConfig{
+		Mode:        fluidmem.ModeFluidMem,
+		Backend:     fluidmem.BackendRAMCloud,
+		LocalMemory: localBytes,
+		GuestMemory: wssBytes + wssBytes/4,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seg, pages, err := populate(base, wssBytes)
+	if err != nil {
+		return nil, err
+	}
+	row, err := measurePhase("single-store", base, seg, pages, faults, opts.Seed+50)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, *row)
+
+	// The pool under test: one machine, phases injected between
+	// measurement windows so each row sees a steady state of its stage.
+	m, err := newClusterBenchMachine(fluidmem.MachineConfig{
+		Mode:          fluidmem.ModeFluidMem,
+		Backend:       fluidmem.BackendCluster,
+		StoreNodes:    res.Nodes,
+		StoreReplicas: res.Replicas,
+		LocalMemory:   localBytes,
+		GuestMemory:   wssBytes + wssBytes/4,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool := m.ClusterPool()
+	seg, pages, err = populate(m, wssBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	for i, phase := range []string{"cluster-healthy", "cluster-crashed", "cluster-recovered", "cluster-drained"} {
+		switch phase {
+		case "cluster-crashed":
+			if err := pool.Crash(m.Now(), pool.NodeNames()[0]); err != nil {
+				return nil, fmt.Errorf("bench cluster: crash: %w", err)
+			}
+		case "cluster-recovered":
+			start := m.Now()
+			done, copied, err := pool.Recover(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench cluster: recover: %w", err)
+			}
+			res.RecoveryTime = done - start
+			res.RecoveredCopies = copied
+		case "cluster-drained":
+			// Grow first so the drain keeps the pool at the replication
+			// floor, then retire a survivor gracefully.
+			if _, _, err := pool.AddNode(m.Now()); err != nil {
+				return nil, fmt.Errorf("bench cluster: add: %w", err)
+			}
+			start := m.Now()
+			done, err := pool.Drain(start, pool.NodeNames()[0])
+			if err != nil {
+				return nil, fmt.Errorf("bench cluster: drain: %w", err)
+			}
+			res.DrainTime = done - start
+		}
+		row, err := measurePhase(phase, m, seg, pages, faults, opts.Seed+60+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	res.Counters = pool.ClusterStats()
+	return res, nil
+}
+
+// newClusterBenchMachine wires a machine with the resilience policy enabled
+// (the layer that absorbs stale epochs and crash windows).
+func newClusterBenchMachine(cfg fluidmem.MachineConfig) (*fluidmem.Machine, error) {
+	mcfg := core.DefaultConfig(nil, int(cfg.LocalMemory/fluidmem.PageSize))
+	policy := resilience.DefaultPolicy()
+	mcfg.Resilience = &policy
+	cfg.Monitor = &mcfg
+	m, err := fluidmem.NewMachine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench cluster: %w", err)
+	}
+	return m, nil
+}
+
+// populate allocates and first-touches the working set.
+func populate(m *fluidmem.Machine, wssBytes uint64) (*vm.Segment, int, error) {
+	seg, err := m.Alloc("cluster.wss", wssBytes)
+	if err != nil {
+		return nil, 0, err
+	}
+	pages := seg.Pages()
+	for i := 0; i < pages; i++ {
+		if err := m.Write64(seg.Addr(uint64(i)*vm.PageSize), uint64(i)); err != nil {
+			return nil, 0, err
+		}
+	}
+	return seg, pages, nil
+}
+
+// measurePhase registers a fresh latency sink, then runs the random
+// read/write mix until `faults` store-read faults land in it, so the row
+// summarises exactly this lifecycle stage.
+func measurePhase(phase string, m *fluidmem.Machine, seg *vm.Segment, pages, faults int, seed uint64) (*ClusterRow, error) {
+	rng := clock.NewRand(seed)
+	window := stats.NewSample(faults * 2)
+	m.Monitor().SetFaultLatencySink(window.Add)
+	for window.Len() < faults {
+		page := rng.Intn(pages)
+		addr := seg.Addr(uint64(page) * vm.PageSize)
+		if rng.Float64() < 0.3 {
+			if err := m.Write64(addr, uint64(page)); err != nil {
+				return nil, fmt.Errorf("bench cluster %s: write: %w", phase, err)
+			}
+		} else if _, err := m.Read64(addr); err != nil {
+			return nil, fmt.Errorf("bench cluster %s: read: %w", phase, err)
+		}
+	}
+	return &ClusterRow{
+		Phase:  phase,
+		Faults: window.Len(),
+		Mean:   window.Mean(),
+		P50:    window.Percentile(50),
+		P99:    window.Percentile(99),
+	}, nil
+}
+
+// JSON renders the result for BENCH_cluster.json.
+func (r *ClusterResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render prints the lifecycle matrix.
+func (r *ClusterResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster pool lifecycle: guest fault latency, %d nodes × %d replicas vs single store\n",
+		r.Nodes, r.Replicas)
+	fmt.Fprintf(&b, "%-18s %8s %10s %10s %10s\n", "phase", "faults", "mean µs", "p50 µs", "p99 µs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %8d %10s %10s %10s\n",
+			row.Phase, row.Faults, microseconds(row.Mean), microseconds(row.P50), microseconds(row.P99))
+	}
+	fmt.Fprintf(&b, "recovery: %v for %d copies; drain: %v\n",
+		r.RecoveryTime.Round(time.Microsecond), r.RecoveredCopies, r.DrainTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "pool: failovers=%d read-repairs=%d re-replicated=%d stale-rejects=%d partial-puts=%d\n",
+		r.Counters.Failovers, r.Counters.ReadRepairs, r.Counters.Rereplicated,
+		r.Counters.StaleRejects, r.Counters.PartialPuts)
+	return b.String()
+}

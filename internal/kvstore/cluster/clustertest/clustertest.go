@@ -1,0 +1,414 @@
+// Package clustertest is the no-page-lost oracle for the cluster pool. It
+// drives a seed-determined interleaving of data operations and membership
+// events — AddNode, Drain, Crash, Recover, network Partition, Heal — against
+// a live cluster on the virtual clock, and checks every observable result
+// against a flat map model. The checkable contract rests on one property the
+// pool promises and the oracle exploits: an operation that returns an error
+// mutated nothing. That makes "apply to the model only on success" an exact
+// mirror of the pool's index, so the model decides presence with no slack: a
+// Get of a model-absent key must return ErrNotFound (a stale or resurrected
+// page fails the run), and a Get of a model-present key must return the
+// exact bytes written.
+//
+// The schedule generator keeps the run inside the regime where the pool owes
+// availability: at most two failures overlap, a crash starts only from a
+// fully healthy pool (so no page's only copy can die), and drains happen
+// only while healthy. With at most one failure active, ANY data-path error
+// is an oracle failure — this is the "a crash with R≥2 never surfaces an
+// error" guarantee, enforced on every operation of every run, through the
+// resilience layer with a deliberately small stall budget. With two overlaid
+// failures, errors are tolerated (and counted) but must still mutate
+// nothing. After the schedule, the harness heals every partition, recovers
+// crashed nodes, resyncs to full replication, and sweeps the whole key space
+// against the model: no page lost, none mis-routed, none served stale.
+//
+// Every run folds its full observable history — each operation's class, key,
+// returned bytes, error class, and completion time, plus every membership
+// event and the final counters — through FNV-1a. Two runs with the same
+// (config, seed) must produce bitwise-identical outcomes.
+package clustertest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/cluster"
+	"fluidmem/internal/kvstore/storetest"
+)
+
+// Config shapes one oracle run.
+type Config struct {
+	// Nodes and Replicas configure the pool under test.
+	Nodes    int
+	Replicas int
+	// Steps is the schedule length (data ops + membership events).
+	Steps int
+	// Seed drives the whole schedule; same seed, same everything.
+	Seed uint64
+	// KeySpace is the number of distinct pages the workload touches
+	// (default 192, spread across partitions).
+	KeySpace int
+}
+
+// Outcome is the fully comparable result of one run. Two runs of the same
+// Config must be equal in every field.
+type Outcome struct {
+	// Digest folds the complete observable history through FNV-1a.
+	Digest uint64
+	// FinalTime is the virtual clock at the end of the final sweep.
+	FinalTime time.Duration
+	// Live is the number of model-present keys at the end.
+	Live int
+	// Tolerated counts data-op errors absorbed during two-failure windows.
+	Tolerated int
+	// Events counts membership events by kind, in fixed order:
+	// add, drain, crash, recover, partition, heal.
+	Events [6]int
+	// Cluster is the pool's intervention counter snapshot.
+	Cluster cluster.Counters
+}
+
+const base = 0x2000_0000
+
+// keyAt spreads the workload across partitions and page addresses.
+func keyAt(i int) kvstore.Key {
+	part := kvstore.PartitionID((i * 131) % kvstore.MaxPartitions)
+	return kvstore.MakeKey(base+uint64(i)*kvstore.PageSize, part)
+}
+
+// errClass collapses an error to a stable label for the digest.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, kvstore.ErrNotFound):
+		return "notfound"
+	case errors.Is(err, cluster.ErrUnavailable):
+		return "unavail"
+	case errors.Is(err, cluster.ErrStaleEpoch):
+		return "stale"
+	case errors.Is(err, resilience.ErrStallBudgetExhausted):
+		return "stallout"
+	default:
+		return err.Error()
+	}
+}
+
+// Run executes one schedule and returns the outcome. Any violation of the
+// oracle contract fails tb immediately.
+func Run(tb testing.TB, cfg Config) Outcome {
+	tb.Helper()
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 192
+	}
+	label := fmt.Sprintf("n%d/r%d/seed%d", cfg.Nodes, cfg.Replicas, cfg.Seed)
+
+	pool, err := cluster.New(cluster.Config{Nodes: cfg.Nodes, Replicas: cfg.Replicas, Seed: cfg.Seed})
+	if err != nil {
+		tb.Fatalf("%s: new pool: %v", label, err)
+	}
+	// The resilience layer absorbs the transient errors membership changes
+	// legitimately produce (stale epochs, brief unavailability). The stall
+	// budget is deliberately small: the oracle wants errors, not long
+	// parks, when a two-failure window genuinely cuts off a page.
+	store := resilience.Wrap(pool, resilience.Policy{
+		MaxStall:      2 * time.Millisecond,
+		DegradedProbe: 100 * time.Microsecond,
+	}, cfg.Seed^0xc105)
+
+	rng := clock.NewRand(cfg.Seed ^ 0x04ac1e)
+	h := fnv.New64a()
+	model := make(map[kvstore.Key]byte) // key → tag of storetest.Page written
+	partitioned := make(map[string]bool)
+	crashed := make(map[string]bool)
+	failures := func() int { return len(partitioned) + len(crashed) }
+	// degraded marks that a two-failure window has occurred and full
+	// replication has not yet been restored. During such a window a write
+	// may land on a single reachable replica; if the failures then swap
+	// (one heals, another is still dark), that page is legitimately
+	// unreadable even at one active failure. The strict no-error contract
+	// applies only to failures that begin from a fully replicated pool, so
+	// the flag clears only after a Resync at zero failures.
+	degraded := false
+	var out Outcome
+	now := time.Duration(0)
+
+	// healthy returns the sorted names of nodes that are committed members
+	// and currently neither crashed nor partitioned.
+	healthy := func() []string {
+		var names []string
+		for _, n := range pool.Committed().Nodes {
+			if !crashed[n.Name] && !partitioned[n.Name] {
+				names = append(names, n.Name)
+			}
+		}
+		sort.Strings(names)
+		return names
+	}
+
+	// checkData verifies a returned page against the model tag.
+	checkData := func(op string, i int, key kvstore.Key, tag byte, data []byte) {
+		if !bytes.Equal(data, storetest.Page(tag)) {
+			tb.Fatalf("%s step %d: %s of %v returned wrong bytes (want tag %d): page mis-routed or stale",
+				label, i, op, key, tag)
+		}
+	}
+	// tolerate decides the fate of a data-op error: inside a two-failure
+	// window it is counted and folded; with at most one failure active the
+	// pool owes success and the run fails.
+	tolerate := func(op string, i int, err error) {
+		if failures() >= 2 || degraded {
+			out.Tolerated++
+			return
+		}
+		tb.Fatalf("%s step %d: %s failed with %d failure(s) active: %v — availability contract broken",
+			label, i, op, failures(), err)
+	}
+
+	for i := 0; i < cfg.Steps; i++ {
+		if rng.Float64() < 0.03 {
+			// Membership event. Build the eligible action set under the
+			// generator's safety regime, then pick one.
+			var actions []string
+			if len(pool.Committed().Nodes) < cfg.Nodes+2 && pool.Committed().NextSlot < 60 {
+				actions = append(actions, "add")
+			}
+			if hs := healthy(); failures() == 0 && len(hs) > cfg.Replicas {
+				actions = append(actions, "drain")
+			}
+			if hs := healthy(); failures() == 0 && len(hs) >= 2 {
+				actions = append(actions, "crash")
+			}
+			if len(crashed) > 0 {
+				actions = append(actions, "recover")
+			}
+			if hs := healthy(); failures() < 2 && len(hs) >= 2 {
+				actions = append(actions, "partition")
+			}
+			if len(partitioned) > 0 {
+				actions = append(actions, "heal")
+			}
+			if len(actions) == 0 {
+				continue
+			}
+			action := actions[rng.Intn(len(actions))]
+			victim := ""
+			switch action {
+			case "add":
+				name, done, err := pool.AddNode(now)
+				if err != nil {
+					tb.Fatalf("%s step %d: add: %v", label, i, err)
+				}
+				victim, now = name, done
+				out.Events[0]++
+			case "drain":
+				hs := healthy()
+				victim = hs[rng.Intn(len(hs))]
+				done, err := pool.Drain(now, victim)
+				if err != nil {
+					tb.Fatalf("%s step %d: drain %s: %v", label, i, victim, err)
+				}
+				now = done
+				out.Events[1]++
+			case "crash":
+				hs := healthy()
+				victim = hs[rng.Intn(len(hs))]
+				if err := pool.Crash(now, victim); err != nil {
+					tb.Fatalf("%s step %d: crash %s: %v", label, i, victim, err)
+				}
+				crashed[victim] = true
+				out.Events[2]++
+			case "recover":
+				done, _, err := pool.Recover(now)
+				if err != nil {
+					tb.Fatalf("%s step %d: recover: %v", label, i, err)
+				}
+				now = done
+				crashed = make(map[string]bool)
+				out.Events[3]++
+			case "partition":
+				hs := healthy()
+				victim = hs[rng.Intn(len(hs))]
+				if err := pool.PartitionNode(victim); err != nil {
+					tb.Fatalf("%s step %d: partition %s: %v", label, i, victim, err)
+				}
+				partitioned[victim] = true
+				out.Events[4]++
+			case "heal":
+				var names []string
+				for n := range partitioned {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				victim = names[rng.Intn(len(names))]
+				done, err := pool.HealNode(now, victim)
+				if err != nil {
+					tb.Fatalf("%s step %d: heal %s: %v", label, i, victim, err)
+				}
+				now = done
+				delete(partitioned, victim)
+				out.Events[5]++
+			}
+			if failures() >= 2 {
+				degraded = true
+			}
+			if degraded && failures() == 0 {
+				done, _ := pool.Resync(now)
+				now = done
+				degraded = false
+			}
+			fmt.Fprintf(h, "ev:%s:%s@%d;", action, victim, now)
+			continue
+		}
+
+		// Data operation against the resilient store.
+		page := rng.Intn(cfg.KeySpace)
+		key := keyAt(page)
+		tag, present := model[key]
+		roll := rng.Float64()
+		switch {
+		case roll < 0.40: // Get
+			data, done, err := store.Get(now, key)
+			switch {
+			case err == nil && !present:
+				tb.Fatalf("%s step %d: get of deleted/unwritten %v returned data: resurrected page", label, i, key)
+			case err == nil:
+				checkData("get", i, key, tag, data)
+				now = done
+			case errors.Is(err, kvstore.ErrNotFound) && !present:
+				now = done // the expected miss
+			case errors.Is(err, kvstore.ErrNotFound):
+				tb.Fatalf("%s step %d: get of live %v: page LOST (%v)", label, i, key, err)
+			default:
+				tolerate("get", i, err)
+			}
+			fmt.Fprintf(h, "get:%d:%s@%d;", page, errClass(err), done)
+		case roll < 0.70: // Put
+			newTag := byte(i%250 + 1)
+			done, err := store.Put(now, key, storetest.Page(newTag))
+			if err == nil {
+				model[key] = newTag
+				now = done
+			} else {
+				tolerate("put", i, err)
+			}
+			fmt.Fprintf(h, "put:%d:%d:%s@%d;", page, newTag, errClass(err), done)
+		case roll < 0.80: // MultiPut of a small run of pages
+			n := 2 + rng.Intn(3)
+			keys := make([]kvstore.Key, 0, n)
+			pages := make([][]byte, 0, n)
+			tags := make([]byte, 0, n)
+			for j := 0; j < n; j++ {
+				t := byte((i+j)%250 + 1)
+				keys = append(keys, keyAt((page+j)%cfg.KeySpace))
+				pages = append(pages, storetest.Page(t))
+				tags = append(tags, t)
+			}
+			done, err := store.MultiPut(now, keys, pages)
+			if err == nil {
+				for j, k := range keys {
+					model[k] = tags[j]
+				}
+				now = done
+			} else {
+				tolerate("multiput", i, err)
+			}
+			fmt.Fprintf(h, "mput:%d:%d:%s@%d;", page, n, errClass(err), done)
+		case roll < 0.90: // MultiGet of a small run
+			n := 2 + rng.Intn(3)
+			keys := make([]kvstore.Key, 0, n)
+			for j := 0; j < n; j++ {
+				keys = append(keys, keyAt((page+j)%cfg.KeySpace))
+			}
+			datas, done, err := store.MultiGet(now, keys)
+			if err == nil {
+				for j, k := range keys {
+					t, ok := model[k]
+					if !ok {
+						if datas[j] != nil {
+							tb.Fatalf("%s step %d: multiget resurrected %v", label, i, k)
+						}
+						continue
+					}
+					if datas[j] == nil {
+						tb.Fatalf("%s step %d: multiget of live %v: page LOST", label, i, k)
+					}
+					checkData("multiget", i, k, t, datas[j])
+				}
+				now = done
+			} else {
+				tolerate("multiget", i, err)
+			}
+			fmt.Fprintf(h, "mget:%d:%d:%s@%d;", page, n, errClass(err), done)
+		default: // Delete (idempotent: deleting an absent key succeeds)
+			done, err := store.Delete(now, key)
+			if err == nil {
+				delete(model, key)
+				now = done
+			} else {
+				tolerate("delete", i, err)
+			}
+			fmt.Fprintf(h, "del:%d:%s@%d;", page, errClass(err), done)
+		}
+	}
+
+	// Heal the world: every partition healed, crashed nodes recovered, then
+	// resync to full replication.
+	var cut []string
+	for n := range partitioned {
+		cut = append(cut, n)
+	}
+	sort.Strings(cut)
+	for _, n := range cut {
+		if now, err = pool.HealNode(now, n); err != nil {
+			tb.Fatalf("%s: final heal %s: %v", label, n, err)
+		}
+	}
+	if len(crashed) > 0 {
+		done, _, err := pool.Recover(now)
+		if err != nil {
+			tb.Fatalf("%s: final recover: %v", label, err)
+		}
+		now = done
+	}
+	done, _ := pool.Resync(now)
+	now = done
+	if _, more := pool.Resync(now); more != 0 {
+		tb.Fatalf("%s: pool did not converge: %d copies still missing after resync", label, more)
+	}
+
+	// Final sweep over the whole key space against the BARE pool: presence,
+	// absence, and contents must all match the flat model exactly.
+	for i := 0; i < cfg.KeySpace; i++ {
+		key := keyAt(i)
+		tag, present := model[key]
+		data, done, err := pool.Get(now, key)
+		switch {
+		case present && err != nil:
+			tb.Fatalf("%s: sweep: live key %d (%v) LOST: %v", label, i, key, err)
+		case present:
+			checkData("sweep", i, key, tag, data)
+			now = done
+		case err == nil:
+			tb.Fatalf("%s: sweep: absent key %d (%v) resurrected", label, i, key)
+		case !errors.Is(err, kvstore.ErrNotFound):
+			tb.Fatalf("%s: sweep: absent key %d (%v): want ErrNotFound, got %v", label, i, key, err)
+		}
+		fmt.Fprintf(h, "sweep:%d:%t@%d;", i, present, now)
+	}
+
+	out.Cluster = pool.ClusterStats()
+	fmt.Fprintf(h, "end:%+v:%d", out.Cluster, len(model))
+	out.Digest = h.Sum64()
+	out.FinalTime = now
+	out.Live = len(model)
+	return out
+}

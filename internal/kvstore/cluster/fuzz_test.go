@@ -1,0 +1,69 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/cluster"
+)
+
+// FuzzRouting checks the key→node routing invariants over arbitrary
+// memberships and partitions: every assignment is exactly min(R, N) distinct
+// live slots, placement is a pure function of membership (rebuilding the
+// table yields the identical assignment), and growing the membership only
+// ever inserts the new node — it never shuffles a partition between
+// survivors (the rendezvous minimal-movement property the re-replication
+// cost model depends on).
+func FuzzRouting(f *testing.F) {
+	f.Add(uint16(0), uint8(3), uint8(2))
+	f.Add(uint16(4095), uint8(1), uint8(3))
+	f.Add(uint16(0xBEEF), uint8(7), uint8(1))
+	f.Fuzz(func(t *testing.T, rawPart uint16, rawNodes, rawReplicas uint8) {
+		nodes := int(rawNodes)%8 + 1
+		replicas := int(rawReplicas)%4 + 1
+		part := kvstore.PartitionID(rawPart) & (kvstore.MaxPartitions - 1)
+
+		infos := make([]cluster.NodeInfo, nodes)
+		for i := range infos {
+			infos[i] = cluster.NodeInfo{Name: fmt.Sprintf("node%d", i), Slot: i}
+		}
+		table := cluster.NewTable(1, replicas, infos, nodes)
+
+		want := replicas
+		if want > nodes {
+			want = nodes
+		}
+		assign := table.Assign(part)
+		if len(assign) != want {
+			t.Fatalf("assignment of partition %d has %d slots, want %d", part, len(assign), want)
+		}
+		seen := make(map[int]bool)
+		for _, s := range assign {
+			if s < 0 || s >= nodes {
+				t.Fatalf("partition %d routed to slot %d outside membership [0,%d)", part, s, nodes)
+			}
+			if seen[s] {
+				t.Fatalf("partition %d assigned slot %d twice", part, s)
+			}
+			seen[s] = true
+		}
+
+		again := cluster.NewTable(1, replicas, infos, nodes)
+		for i, s := range again.Assign(part) {
+			if s != assign[i] {
+				t.Fatalf("partition %d assignment not deterministic: %v vs %v", part, again.Assign(part), assign)
+			}
+		}
+
+		grown := table.WithNode("nodeX")
+		if grown == nil {
+			t.Fatalf("WithNode refused a fresh name")
+		}
+		for _, s := range grown.Assign(part) {
+			if !seen[s] && s != nodes {
+				t.Fatalf("partition %d moved to pre-existing slot %d on AddNode: movement not minimal", part, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/raft"
+)
+
+// leader returns the highest-term live controller leader, if any.
+func (p *Pool) leader() *raft.Node {
+	var lead *raft.Node
+	for _, n := range p.ctrls {
+		if n.Role() == raft.Leader {
+			if lead == nil || n.Term() > lead.Term() {
+				lead = n
+			}
+		}
+	}
+	return lead
+}
+
+// applyCommand is every controller's Raft apply hook. The first replica to
+// apply a command commits the table and fans installs out to the store nodes
+// over the fabric (where a partitioned node simply misses them — it catches
+// up when it next serves a request or gets resynced after a heal). Later
+// replicas applying the same entry see a non-successor epoch and only record
+// completion.
+func (p *Pool) applyCommand(index uint64, cmd any) {
+	c, ok := cmd.(tableCommand)
+	if !ok {
+		return
+	}
+	if c.Table.Epoch == p.committed.Epoch+1 {
+		p.committed = c.Table
+		for _, ni := range c.Table.Nodes {
+			p.net.Send(controllerNames[0], ni.Name, installMsg{table: c.Table})
+		}
+	}
+	p.proposals[c.ID] = true
+}
+
+// propose commits a successor table through the controller ensemble,
+// pumping the fabric until the command applies (retrying across leader
+// changes; proposals are idempotent by ID).
+func (p *Pool) propose(t *Table) error {
+	p.nextID++
+	cmd := tableCommand{ID: p.nextID, Table: t}
+	overall := p.net.Clock.Now() + p.cfg.OpTimeout
+	for p.net.Clock.Now() < overall {
+		lead := p.leader()
+		if lead == nil {
+			p.net.RunFor(20 * time.Millisecond)
+			continue
+		}
+		if _, _, ok := lead.Propose(cmd); !ok {
+			p.net.RunFor(20 * time.Millisecond)
+			continue
+		}
+		attempt := p.net.Clock.Now() + 2*time.Second
+		for p.net.Clock.Now() < attempt {
+			if p.proposals[cmd.ID] {
+				return p.drainInstalls()
+			}
+			p.net.RunFor(5 * time.Millisecond)
+		}
+	}
+	if p.proposals[cmd.ID] {
+		return p.drainInstalls()
+	}
+	return ErrProposalTimeout
+}
+
+// drainInstalls pumps the fabric long enough for in-flight install messages
+// to land on reachable nodes, so a membership operation returns only after
+// the new epoch has propagated (a partitioned node's install is dropped and
+// it catches up later).
+func (p *Pool) drainInstalls() error {
+	p.net.RunFor(10 * time.Millisecond)
+	return nil
+}
+
+// span charges the control-plane time a membership operation consumed onto
+// the caller's timeline: done = now + (fabric time elapsed since start).
+func (p *Pool) span(now, start time.Duration) time.Duration {
+	return now + (p.net.Clock.Now() - start)
+}
+
+// findActive resolves a name to its live node struct.
+func (p *Pool) findActive(name string) *storeNode {
+	for _, n := range p.nodes {
+		if n != nil && n.name == name && !n.removed {
+			return n
+		}
+	}
+	return nil
+}
+
+// sortedKeys snapshots the index keys in ascending order, so every sweep is
+// deterministic regardless of map iteration.
+func (p *Pool) sortedKeys() []kvstore.Key {
+	keys := make([]kvstore.Key, 0, len(p.keys))
+	for key := range p.keys {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// clearSlotBits demotes a slot from every mask — the node's copies are gone
+// (crash) or about to be (drain cutover). Keys whose mask reaches zero stay
+// in the index: the page may still exist on an unreachable holder, and reads
+// report the transient ErrUnavailable rather than a false ErrNotFound.
+func (p *Pool) clearSlotBits(slot int) {
+	bit := uint64(1) << uint(slot)
+	for key, mask := range p.keys {
+		if mask&bit != 0 {
+			p.keys[key] = mask &^ bit
+		}
+	}
+}
+
+// resyncTo is the generalized re-replication primitive behind AddNode,
+// Drain, crash Recovery, and HealNode: sweep the index (sorted, so the pass
+// is deterministic) and ensure every key has a current copy on each
+// reachable node of its target assignment, copying from the first reachable
+// current holder. Copies are batched per (source, destination) pair and
+// amortised on both devices. Keys whose holders are all unreachable are
+// skipped — a later heal-plus-resync converges them.
+func (p *Pool) resyncTo(now time.Duration, target *Table) time.Duration {
+	type pair struct{ src, dst int }
+	moves := make(map[pair][]kvstore.Key)
+	var order []pair
+	for _, key := range p.sortedKeys() {
+		mask := p.keys[key]
+		src := -1
+		for s := 0; s < maxSlots; s++ {
+			if mask&(1<<uint(s)) == 0 {
+				continue
+			}
+			if n := p.slotNode(s); p.reachable(n) {
+				if _, held := n.pages[key]; held {
+					src = s
+					break
+				}
+			}
+		}
+		if src < 0 {
+			continue
+		}
+		for _, want := range target.Assign(key.Partition()) {
+			if mask&(1<<uint(want)) != 0 {
+				continue
+			}
+			n := p.slotNode(want)
+			if !p.reachable(n) {
+				continue
+			}
+			pr := pair{src: src, dst: want}
+			if _, seen := moves[pr]; !seen {
+				order = append(order, pr)
+			}
+			moves[pr] = append(moves[pr], key)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].src != order[j].src {
+			return order[i].src < order[j].src
+		}
+		return order[i].dst < order[j].dst
+	})
+	latest := now
+	for _, pr := range order {
+		keys := moves[pr]
+		src, dst := p.slotNode(pr.src), p.slotNode(pr.dst)
+		readDone := src.read.SubmitN(now, len(keys))
+		writeDone := dst.write.SubmitN(readDone, len(keys))
+		if writeDone > latest {
+			latest = writeDone
+		}
+		for _, key := range keys {
+			page, held := src.pages[key]
+			if !held {
+				continue
+			}
+			dst.pages[key] = append([]byte(nil), page...)
+			p.keys[key] |= dst.bit()
+			p.ctr.Rereplicated++
+		}
+	}
+	return latest
+}
+
+// Resync converges every key to the committed table's placement — the
+// full-convergence pass an operator runs after healing, returning the
+// completion time and copies restored.
+func (p *Pool) Resync(now time.Duration) (time.Duration, int) {
+	before := p.ctr.Rereplicated
+	done := p.resyncTo(now, p.committed)
+	return done, int(p.ctr.Rereplicated - before)
+}
+
+// AddNode grows the pool by one store node: the successor table commits
+// through the controllers, then a resync copies each partition the new node
+// now owns onto it. Returns the new node's name. The data path keeps its old
+// cached table until a write is stale-rejected — by design, so the epoch
+// handshake is genuinely exercised.
+func (p *Pool) AddNode(now time.Duration) (string, time.Duration, error) {
+	start := p.net.Clock.Now()
+	next := p.committed.WithNode(fmt.Sprintf("node%d", p.committed.NextSlot))
+	if next == nil {
+		return "", now, ErrSlotSpace
+	}
+	added := next.Nodes[len(next.Nodes)-1]
+	p.newNode(added.Slot)
+	if err := p.propose(next); err != nil {
+		p.nodes[added.Slot] = nil
+		return "", p.span(now, start), err
+	}
+	copyDone := p.resyncTo(now, p.committed)
+	done := p.span(now, start)
+	if copyDone > done {
+		done = copyDone
+	}
+	return added.Name, done, nil
+}
+
+// Drain removes a node gracefully: copy-then-cutover. Pages are first copied
+// to their new homes under the prospective table while the node keeps
+// serving; only then does the epoch commit and the node leave. A drain that
+// would strand any page (its last reachable copy on the leaving node with
+// nowhere to go) aborts on the old epoch. Draining an unreachable node is
+// refused — crash it instead.
+func (p *Pool) Drain(now time.Duration, name string) (time.Duration, error) {
+	n := p.findActive(name)
+	if n == nil || !p.committed.Has(name) {
+		return now, fmt.Errorf("%w: %s", ErrNodeUnknown, name)
+	}
+	if n.crashed {
+		return now, fmt.Errorf("%w: %s", ErrNodeCrashed, name)
+	}
+	if p.net.Partitioned(name) {
+		return now, fmt.Errorf("%w: %s", ErrNodePartitioned, name)
+	}
+	if len(p.committed.Nodes)-1 < p.cfg.Replicas {
+		return now, fmt.Errorf("%w: %d nodes, %d replicas", ErrTooFewNodes, len(p.committed.Nodes), p.cfg.Replicas)
+	}
+	start := p.net.Clock.Now()
+	target := p.committed.WithoutNodes(name)
+	copyDone := p.resyncTo(now, target)
+	// Safety gate before cutover: every page the leaving node holds must
+	// survive its departure on some reachable replica.
+	for _, key := range p.sortedKeys() {
+		mask := p.keys[key]
+		if mask&n.bit() == 0 || mask&^n.bit() != 0 {
+			continue
+		}
+		rescued := false
+		for _, want := range target.Assign(key.Partition()) {
+			d := p.slotNode(want)
+			if !p.reachable(d) {
+				continue
+			}
+			d.pages[key] = append([]byte(nil), n.pages[key]...)
+			d.write.Submit(copyDone)
+			p.keys[key] |= d.bit()
+			p.ctr.Rereplicated++
+			rescued = true
+			break
+		}
+		if !rescued {
+			return p.span(now, start), fmt.Errorf("%w: %v has no surviving replica", ErrDrainStranded, key)
+		}
+	}
+	if err := p.propose(target); err != nil {
+		return p.span(now, start), err
+	}
+	// Cutover: the node leaves service and its copies stop counting.
+	n.removed = true
+	n.pages = make(map[kvstore.Key][]byte)
+	p.clearSlotBits(n.slot)
+	done := p.span(now, start)
+	if copyDone > done {
+		done = copyDone
+	}
+	return done, nil
+}
+
+// Crash kills a node abruptly: its memory is gone and every mask bit it held
+// is demoted immediately — reads fail over to surviving replicas with no
+// error surfaced (R≥2), writes go partial until Recover re-replicates. The
+// routing table is untouched: the controllers have not "noticed" yet, which
+// is exactly the window the oracle probes.
+func (p *Pool) Crash(now time.Duration, name string) error {
+	n := p.findActive(name)
+	if n == nil || !p.committed.Has(name) {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, name)
+	}
+	if n.crashed {
+		return fmt.Errorf("%w: %s already crashed", ErrNodeCrashed, name)
+	}
+	n.crashed = true
+	n.pages = make(map[kvstore.Key][]byte)
+	p.clearSlotBits(n.slot)
+	return nil
+}
+
+// Recover is the controllers noticing crashed nodes: a successor table
+// without them commits, and a resync re-replicates every under-replicated
+// partition from the surviving copies. Returns the completion time and the
+// number of copies restored.
+func (p *Pool) Recover(now time.Duration) (time.Duration, int, error) {
+	var names []string
+	for _, n := range p.nodes {
+		if n != nil && n.crashed && !n.removed && p.committed.Has(n.name) {
+			names = append(names, n.name)
+		}
+	}
+	if len(names) == 0 {
+		return now, 0, nil
+	}
+	start := p.net.Clock.Now()
+	target := p.committed.WithoutNodes(names...)
+	if err := p.propose(target); err != nil {
+		return p.span(now, start), 0, err
+	}
+	for _, name := range names {
+		if n := p.findActive(name); n != nil {
+			n.removed = true
+		}
+	}
+	before := p.ctr.Rereplicated
+	copyDone := p.resyncTo(now, p.committed)
+	done := p.span(now, start)
+	if copyDone > done {
+		done = copyDone
+	}
+	return done, int(p.ctr.Rereplicated - before), nil
+}
+
+// PartitionNode cuts a node off the network: the data path skips it, table
+// installs are dropped on the floor, and its pages go dark but are NOT lost.
+func (p *Pool) PartitionNode(name string) error {
+	if p.findActive(name) == nil {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, name)
+	}
+	p.net.Partition(name)
+	return nil
+}
+
+// HealNode reconnects a partitioned node and resyncs: writes it slept
+// through demoted its copies, so the sweep restores it as a current replica
+// (its stale copies were never servable — the index is the ground truth).
+func (p *Pool) HealNode(now time.Duration, name string) (time.Duration, error) {
+	n := p.findActive(name)
+	if n == nil {
+		return now, fmt.Errorf("%w: %s", ErrNodeUnknown, name)
+	}
+	p.net.Heal(name)
+	if n.epoch < p.committed.Epoch {
+		n.epoch = p.committed.Epoch
+	}
+	return p.resyncTo(now, p.committed), nil
+}

@@ -1,0 +1,93 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/cluster"
+	"fluidmem/internal/kvstore/storetest"
+)
+
+// TestWriteToDeadPlacementRefreshes pins the client-side self-heal for a
+// fully dark placement. A client whose cached table predates a burst of
+// membership changes can route a partition to replicas that are ALL gone —
+// the crashed node plus the drained node — and with nobody reachable there
+// is no store node left to bounce ErrStaleEpoch and trigger the usual
+// refresh handshake. The pool must refresh from the controllers on its own
+// in that case: the very first write to such a partition succeeds rather
+// than returning ErrUnavailable forever (which would outlive any resilience
+// stall budget, surfacing a hard error to the faulting VM).
+func TestWriteToDeadPlacementRefreshes(t *testing.T) {
+	for _, seed := range []uint64{113, 114} {
+		p, err := cluster.New(cluster.Config{Nodes: 3, Replicas: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Burst: crash node0, accept the loss, grow, retire node1 — all
+		// before the client issues a single data op, so its cached table
+		// is still the epoch-1 membership {node0, node1, node2}.
+		now := 111175659 * time.Nanosecond
+		if err := p.Crash(now, "node0"); err != nil {
+			t.Fatalf("seed %d: crash: %v", seed, err)
+		}
+		if _, _, err := p.Recover(now); err != nil {
+			t.Fatalf("seed %d: recover: %v", seed, err)
+		}
+		if _, _, err := p.AddNode(now); err != nil {
+			t.Fatalf("seed %d: add: %v", seed, err)
+		}
+		if _, err := p.Drain(now, "node1"); err != nil {
+			t.Fatalf("seed %d: drain: %v", seed, err)
+		}
+		// Every partition must be writable in at most one retry. A stale
+		// placement that still reaches a live node gets the ordinary
+		// ErrStaleEpoch bounce (refresh + one retry, what resilience
+		// absorbs); a stale placement that reaches NOBODY — the ones routed
+		// to {node0, node1} — must self-refresh rather than return
+		// ErrUnavailable against the dead table on every retry forever.
+		for part := 0; part < int(kvstore.MaxPartitions); part++ {
+			key := kvstore.MakeKey(0x1000000, kvstore.PartitionID(part))
+			_, err := p.Put(now, key, storetest.Page(byte(part)))
+			if errors.Is(err, cluster.ErrStaleEpoch) {
+				_, err = p.Put(now, key, storetest.Page(byte(part)))
+			}
+			if err != nil {
+				t.Fatalf("seed %d: put to partition %d: %v", seed, part, err)
+			}
+		}
+		if c := p.ClusterStats(); c.Refreshes == 0 {
+			t.Fatalf("seed %d: no client refresh recorded — dead placement never hit?", seed)
+		}
+		// And a delete through the same dead-placement path is transparent
+		// too (fresh pool, same burst, first op is a delete of a live key).
+		q, err := cluster.New(cluster.Config{Nodes: 3, Replicas: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := kvstore.MakeKey(0x1000000, 2560)
+		if _, err := q.Put(0, key, storetest.Page(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Crash(now, "node0"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := q.Recover(now); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := q.AddNode(now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Drain(now, "node1"); err != nil {
+			t.Fatal(err)
+		}
+		_, err = q.Delete(now, key)
+		if errors.Is(err, cluster.ErrStaleEpoch) {
+			_, err = q.Delete(now, key)
+		}
+		if err != nil {
+			t.Fatalf("seed %d: delete via dead placement: %v", seed, err)
+		}
+	}
+}

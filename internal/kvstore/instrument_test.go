@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/cluster"
 	"fluidmem/internal/kvstore/dram"
 	"fluidmem/internal/kvstore/faulty"
 	"fluidmem/internal/kvstore/memcached"
@@ -37,6 +38,13 @@ func instrumentedBackends(t *testing.T) map[string]storetest.Factory {
 		},
 		"faulty": func() kvstore.Store {
 			return faulty.Wrap(dram.New(dram.DefaultParams(), 1), faulty.Uniform(0, 0), 99)
+		},
+		"cluster": func() kvstore.Store {
+			s, err := cluster.New(cluster.Config{Nodes: 3, Replicas: 2, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
 		},
 	}
 }

@@ -133,9 +133,12 @@ func (r *LocalRegistry) Allocate(hypervisorID string, pid int) (PartitionID, err
 
 // Adopt records ownership of a migrated partition. With a shared local
 // registry the slot is already marked used by the source's allocation;
-// adoption simply asserts it stays reserved.
+// adopting a partition nobody allocated is a caller bug (the migrated VM's
+// pages cannot exist in the store), matching ZKRegistry's behaviour.
 func (r *LocalRegistry) Adopt(part PartitionID) error {
-	r.used[part] = true
+	if !r.used[part] {
+		return fmt.Errorf("registry: adopt partition %d: no such allocation", part)
+	}
 	return nil
 }
 

@@ -1,0 +1,105 @@
+package kvstore
+
+import (
+	"testing"
+)
+
+// registryOps drives the same table-driven edge-case matrix against any
+// Registry implementation: lifecycle misuse (double release, adoption of a
+// never-allocated slot) must fail loudly on both backends, since a silent
+// success would let a migrated VM claim a partition with no pages behind it.
+type registryStep struct {
+	op      string // "allocate", "release", "adopt", "release-allocated", "adopt-allocated"
+	wantErr bool
+}
+
+func runRegistrySteps(t *testing.T, name string, r Registry, steps []registryStep) {
+	t.Helper()
+	var last PartitionID
+	allocated := false
+	for i, s := range steps {
+		var err error
+		switch s.op {
+		case "allocate":
+			last, err = r.Allocate("hyp-edge", 9000+i)
+			allocated = err == nil
+		case "release-allocated":
+			if !allocated {
+				t.Fatalf("%s step %d: release-allocated without a prior allocate", name, i)
+			}
+			err = r.Release(last)
+		case "adopt-allocated":
+			if !allocated {
+				t.Fatalf("%s step %d: adopt-allocated without a prior allocate", name, i)
+			}
+			err = r.Adopt(last)
+		case "release-unallocated":
+			err = r.Release(PartitionID(0xABC))
+		case "adopt-unallocated":
+			err = r.Adopt(PartitionID(0xABC))
+		default:
+			t.Fatalf("%s step %d: unknown op %q", name, i, s.op)
+		}
+		if s.wantErr && err == nil {
+			t.Fatalf("%s step %d (%s): want error, got nil", name, i, s.op)
+		}
+		if !s.wantErr && err != nil {
+			t.Fatalf("%s step %d (%s): unexpected error %v", name, i, s.op, err)
+		}
+	}
+}
+
+func TestRegistryEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []registryStep
+	}{
+		{"adopt-never-allocated", []registryStep{
+			{op: "adopt-unallocated", wantErr: true},
+		}},
+		{"release-never-allocated", []registryStep{
+			{op: "release-unallocated", wantErr: true},
+		}},
+		{"double-release", []registryStep{
+			{op: "allocate"},
+			{op: "release-allocated"},
+			{op: "release-allocated", wantErr: true},
+		}},
+		{"adopt-after-release", []registryStep{
+			{op: "allocate"},
+			{op: "release-allocated"},
+			{op: "adopt-allocated", wantErr: true},
+		}},
+		{"adopt-allocated-is-idempotent", []registryStep{
+			{op: "allocate"},
+			{op: "adopt-allocated"},
+			{op: "adopt-allocated"},
+		}},
+		{"release-after-adopt", []registryStep{
+			{op: "allocate"},
+			{op: "adopt-allocated"},
+			{op: "release-allocated"},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run("local/"+tc.name, func(t *testing.T) {
+			runRegistrySteps(t, "local", NewLocalRegistry(), tc.steps)
+		})
+		t.Run("zk/"+tc.name, func(t *testing.T) {
+			runRegistrySteps(t, "zk", newZKRegistry(t), tc.steps)
+		})
+	}
+}
+
+func TestLocalRegistryAdoptDoesNotReserve(t *testing.T) {
+	// A failed Adopt must not leave the slot marked used: the slot stays
+	// allocatable by a later Allocate probe.
+	r := NewLocalRegistry()
+	if err := r.Adopt(PartitionID(7)); err == nil {
+		t.Fatal("adopt of never-allocated partition succeeded")
+	}
+	if r.used[PartitionID(7)] {
+		t.Fatal("failed adopt reserved the slot")
+	}
+}

@@ -2,6 +2,7 @@ package raft
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -287,6 +288,67 @@ func TestMessageDuplicationSafe(t *testing.T) {
 		for i := 0; i < limit; i++ {
 			if got[i] != ref[i] {
 				t.Fatalf("%s diverges from leader at %d: %v vs %v", id, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestElectsThroughPartialPartition(t *testing.T) {
+	// Pairwise cut between the leader and one follower: neither hears the
+	// other, but the third node talks to both sides. Without PreVote this
+	// churns leadership between the two cut nodes, yet the shared node sits
+	// in every majority, so the cluster must keep electing functioning
+	// leaders and committing entries through the partial partition.
+	c := newCluster(t, 3, 12)
+	lead := c.waitLeader(t, 5*time.Second)
+	ids := []string{"n0", "n1", "n2"}
+	var cut, shared string
+	for _, id := range ids {
+		if id == lead.cfg.ID {
+			continue
+		}
+		if cut == "" {
+			cut = id
+		} else {
+			shared = id
+		}
+	}
+	c.net.PartitionPair(lead.cfg.ID, cut)
+
+	committed := func() int {
+		count := 0
+		for _, cmd := range c.applied[shared] {
+			if s, ok := cmd.(string); ok && strings.HasPrefix(s, "pp") {
+				count++
+			}
+		}
+		return count
+	}
+	next := 0
+	deadline := c.net.Clock.Now() + 120*time.Second
+	for committed() < 3 && c.net.Clock.Now() < deadline {
+		if l := c.leader(); l != nil {
+			if _, _, ok := l.Propose(fmt.Sprintf("pp%d", next)); ok {
+				next++
+			}
+		}
+		c.net.RunFor(300 * time.Millisecond)
+	}
+	if got := committed(); got < 3 {
+		t.Fatalf("only %d entries committed through partial partition", got)
+	}
+	// Both sides of the cut still agree with the shared node on the prefix
+	// they applied — no divergent logs.
+	ref := c.applied[shared]
+	for _, id := range ids {
+		got := c.applied[id]
+		limit := len(got)
+		if len(ref) < limit {
+			limit = len(ref)
+		}
+		for i := 0; i < limit; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("%s diverges from %s at %d: %v vs %v", id, shared, i, got[i], ref[i])
 			}
 		}
 	}

@@ -58,6 +58,7 @@ type Network struct {
 	links       map[string]clock.LatencyModel // "from->to"
 	handlers    map[string]Handler
 	partitioned map[string]bool // node isolation
+	cutLinks    map[string]bool // directed link cuts, "from->to"
 	lossRate    float64
 	dupRate     float64
 	rng         *clock.Rand
@@ -80,6 +81,7 @@ func New(defaultLink clock.LatencyModel, seed uint64) *Network {
 		links:       make(map[string]clock.LatencyModel),
 		handlers:    make(map[string]Handler),
 		partitioned: make(map[string]bool),
+		cutLinks:    make(map[string]bool),
 		rng:         clock.NewRand(seed),
 	}
 }
@@ -118,10 +120,43 @@ func (n *Network) Heal(name string) {
 	delete(n.partitioned, name)
 }
 
+// Partitioned reports whether a node is currently isolated by Partition.
+func (n *Network) Partitioned(name string) bool { return n.partitioned[name] }
+
+// PartitionLink cuts the single directed link from->to: messages in that
+// direction are dropped while the reverse direction keeps flowing. Real
+// partial partitions are frequently asymmetric (a broken switch queue, a
+// one-way firewall rule), and consensus protocols must survive them.
+func (n *Network) PartitionLink(from, to string) {
+	n.cutLinks[linkKey(from, to)] = true
+}
+
+// HealLink restores the directed link from->to.
+func (n *Network) HealLink(from, to string) {
+	delete(n.cutLinks, linkKey(from, to))
+}
+
+// PartitionPair cuts both directions between a and b — a pairwise partial
+// partition. Unlike Partition(name), the two nodes keep talking to everyone
+// else; only their mutual links are severed.
+func (n *Network) PartitionPair(a, b string) {
+	n.PartitionLink(a, b)
+	n.PartitionLink(b, a)
+}
+
+// HealPair restores both directions between a and b.
+func (n *Network) HealPair(a, b string) {
+	n.HealLink(a, b)
+	n.HealLink(b, a)
+}
+
+// LinkCut reports whether the directed link from->to is currently cut.
+func (n *Network) LinkCut(from, to string) bool { return n.cutLinks[linkKey(from, to)] }
+
 // Send schedules delivery of payload from->to after the link latency.
 // Messages on the same link are delivered in send order (FIFO links).
 func (n *Network) Send(from, to string, payload any) {
-	if n.partitioned[from] || n.partitioned[to] {
+	if n.partitioned[from] || n.partitioned[to] || n.cutLinks[linkKey(from, to)] {
 		n.dropped++
 		return
 	}
@@ -146,7 +181,9 @@ func (n *Network) Send(from, to string, payload any) {
 // deliverAfter schedules one delivery attempt of msg after delay.
 func (n *Network) deliverAfter(delay time.Duration, msg Message) {
 	n.schedule(n.Clock.Now()+delay, func(now time.Duration) {
-		if n.partitioned[msg.To] {
+		// A cut that lands while the message is in flight still eats it:
+		// partitions sever the wire, not just the send queue.
+		if n.partitioned[msg.To] || n.cutLinks[linkKey(msg.From, msg.To)] {
 			n.dropped++
 			return
 		}

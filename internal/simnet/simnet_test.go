@@ -143,6 +143,71 @@ func TestPartitionAppliedAtDelivery(t *testing.T) {
 	}
 }
 
+func TestPartitionPairBlocksBothDirections(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	recv := make(map[string]int)
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		n.Register(name, func(now time.Duration, m Message) { recv[name]++ })
+	}
+	n.PartitionPair("a", "b")
+	n.Send("a", "b", 1)
+	n.Send("b", "a", 2)
+	// Both keep talking to c — a pairwise cut is not node isolation.
+	n.Send("a", "c", 3)
+	n.Send("c", "b", 4)
+	n.Drain(10)
+	if recv["a"] != 0 || recv["b"] != 1 || recv["c"] != 1 {
+		t.Fatalf("recv = %v, want a:0 b:1 c:1", recv)
+	}
+	n.HealPair("a", "b")
+	n.Send("a", "b", 5)
+	n.Send("b", "a", 6)
+	n.Drain(10)
+	if recv["a"] != 1 || recv["b"] != 2 {
+		t.Fatalf("after heal recv = %v, want a:1 b:2", recv)
+	}
+}
+
+func TestPartitionLinkIsAsymmetric(t *testing.T) {
+	n := fixedNet(time.Microsecond)
+	recv := make(map[string]int)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		n.Register(name, func(now time.Duration, m Message) { recv[name]++ })
+	}
+	n.PartitionLink("a", "b")
+	n.Send("a", "b", 1) // cut direction: dropped
+	n.Send("b", "a", 2) // reverse direction: flows
+	n.Drain(10)
+	if recv["b"] != 0 || recv["a"] != 1 {
+		t.Fatalf("recv = %v, want a:1 b:0", recv)
+	}
+	if !n.LinkCut("a", "b") || n.LinkCut("b", "a") {
+		t.Fatal("LinkCut should report a->b cut, b->a open")
+	}
+	n.HealLink("a", "b")
+	n.Send("a", "b", 3)
+	n.Drain(10)
+	if recv["b"] != 1 {
+		t.Fatalf("after heal recv = %v, want b:1", recv)
+	}
+}
+
+func TestPartitionPairAppliedAtDelivery(t *testing.T) {
+	// A cut that lands while a message is in flight still eats it, matching
+	// whole-node partition semantics.
+	n := fixedNet(10 * time.Microsecond)
+	recv := 0
+	n.Register("b", func(now time.Duration, m Message) { recv++ })
+	n.Send("a", "b", 1)
+	n.PartitionPair("a", "b")
+	n.Drain(10)
+	if recv != 0 {
+		t.Fatal("in-flight message delivered through pairwise cut")
+	}
+}
+
 func TestLossRate(t *testing.T) {
 	n := fixedNet(time.Microsecond)
 	n.SetLossRate(0.5)

@@ -9,6 +9,7 @@ import (
 	"fluidmem/internal/core"
 	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/kvstore/cluster"
 	"fluidmem/internal/kvstore/dram"
 	"fluidmem/internal/kvstore/memcached"
 	"fluidmem/internal/kvstore/ramcloud"
@@ -41,6 +42,10 @@ const (
 	// BackendRAMCloud stores pages in a RAMCloud-style log-structured store
 	// over an InfiniBand-class transport.
 	BackendRAMCloud Backend = "ramcloud"
+	// BackendCluster stores pages in the sharded multi-node pool with
+	// Raft-committed membership: N store nodes, R-way replication, and the
+	// full add/drain/crash/partition lifecycle (internal/kvstore/cluster).
+	BackendCluster Backend = "cluster"
 	// BackendMemcached stores pages in a Memcached-style slab store over a
 	// TCP (IP-over-IB) transport.
 	BackendMemcached Backend = "memcached"
@@ -78,6 +83,11 @@ type MachineConfig struct {
 	// StoreCapacity is the key-value store capacity (ModeFluidMem).
 	// Default 25 GB as in the paper's RAMCloud deployment.
 	StoreCapacity uint64
+	// StoreNodes and StoreReplicas shape the cluster backend
+	// (BackendCluster): node count and replication factor. Zero values
+	// take the cluster package defaults (3 nodes, 2 replicas).
+	StoreNodes    int
+	StoreReplicas int
 	// VCPUs for the guest. Default 2 (the Graph500 configuration).
 	VCPUs int
 	// Virt is the virtualisation mode. Default KVM.
@@ -144,12 +154,13 @@ type Machine struct {
 	cfg MachineConfig
 	now time.Duration
 
-	vm      *vm.VM
-	os      *vm.GuestOS
-	monitor *core.Monitor
-	swap    *swap.Subsystem
-	store   kvstore.Store
-	balloon *vm.Balloon
+	vm          *vm.VM
+	os          *vm.GuestOS
+	monitor     *core.Monitor
+	swap        *swap.Subsystem
+	store       kvstore.Store
+	clusterPool *cluster.Pool
+	balloon     *vm.Balloon
 }
 
 // NewMachine builds and wires a machine; with BootOS set it also boots the
@@ -193,7 +204,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		store := cfg.SharedStore
 		if store == nil {
 			var err error
-			if store, err = newStore(cfg); err != nil {
+			if store, m.clusterPool, err = newStore(cfg); err != nil {
 				return nil, err
 			}
 		}
@@ -303,8 +314,9 @@ func applyMachineDefaults(cfg *MachineConfig) {
 	}
 }
 
-func newStore(cfg MachineConfig) (kvstore.Store, error) {
+func newStore(cfg MachineConfig) (kvstore.Store, *cluster.Pool, error) {
 	var backend kvstore.Store
+	var pool *cluster.Pool
 	switch cfg.Backend {
 	case BackendDRAM:
 		backend = dram.New(dram.DefaultParams(), cfg.Seed+101)
@@ -316,12 +328,23 @@ func newStore(cfg MachineConfig) (kvstore.Store, error) {
 		p := memcached.DefaultParams()
 		p.CapacityBytes = cfg.StoreCapacity
 		backend = memcached.New(p, cfg.Seed+103)
+	case BackendCluster:
+		var err error
+		pool, err = cluster.New(cluster.Config{
+			Nodes:    cfg.StoreNodes,
+			Replicas: cfg.StoreReplicas,
+			Seed:     cfg.Seed + 104,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		backend = pool
 	default:
-		return nil, fmt.Errorf("fluidmem: unknown backend %q", cfg.Backend)
+		return nil, nil, fmt.Errorf("fluidmem: unknown backend %q", cfg.Backend)
 	}
 	// Every built-in backend routes through the instrumentation wrapper so
 	// its traffic shows up in traces; with no tracer this is the identity.
-	return kvstore.Instrumented(backend, cfg.Tracer), nil
+	return kvstore.Instrumented(backend, cfg.Tracer), pool, nil
 }
 
 func newSwapSubsystem(cfg MachineConfig) (*swap.Subsystem, error) {
@@ -382,6 +405,11 @@ func (m *Machine) Swap() *swap.Subsystem { return m.swap }
 
 // Store exposes the key-value backend (nil in ModeSwap).
 func (m *Machine) Store() kvstore.Store { return m.store }
+
+// ClusterPool exposes the sharded multi-node pool behind the store when the
+// machine was built with BackendCluster (nil otherwise) — the handle the
+// operator surface uses for membership changes and failure injection.
+func (m *Machine) ClusterPool() *cluster.Pool { return m.clusterPool }
 
 // Balloon exposes the guest balloon driver.
 func (m *Machine) Balloon() *vm.Balloon { return m.balloon }
