@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
 # shard-oracle re-proves worker-count determinism on the write-back workloads,
@@ -9,8 +9,10 @@ GO ?= go
 # working-set estimates and arbiter decisions are invariant across worker
 # counts and VM interleavings, cluster-oracle re-proves the no-page-lost
 # contract of the multi-node pool under randomized membership/failure
-# schedules, and fuzz-short gives the model checkers a short adversarial pass.
-check: vet build test check-race shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short
+# schedules, fuzz-short gives the model checkers a short adversarial pass,
+# and bench-ratchet re-measures the committed BENCH_*.json throughput rows
+# and fails on a >10% faults/s regression.
+check: vet build test check-race shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short bench-ratchet
 
 build:
 	$(GO) build ./...
@@ -35,10 +37,19 @@ bench-quick:
 
 # Regenerate the machine-readable artifacts at full scale: the write-back
 # crossover (BENCH_writeback.json), the fault-latency breakdown with its
-# per-phase percentile rows (BENCH_trace.json), and the multi-tenant arbiter
-# comparison (BENCH_arbiter.json).
+# per-phase percentile rows (BENCH_trace.json), the multi-tenant arbiter
+# comparison (BENCH_arbiter.json), and the cluster lifecycle latency matrix
+# (BENCH_cluster.json). fluidmem-bench fails loudly if any experiment named
+# here stops producing its artifact.
 bench-json:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter -json
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster -json
+
+# The throughput ratchet: re-run the artifact experiments and compare every
+# faults_per_sec row against the committed BENCH_*.json baselines; a >10%
+# drop fails the build. The committed rows are virtual-time rates, so on
+# unchanged simulation logic the comparison is exact.
+bench-ratchet:
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster -ratchet
 
 # The write-back determinism oracle: N-worker monitors must be logically
 # identical to the serial monitor on the write-heavy / zero-heavy workloads.

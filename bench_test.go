@@ -22,6 +22,7 @@ func benchOpts(i int) bench.Options {
 // BenchmarkFig3PmbenchCDF regenerates Figure 3: pmbench fault-latency
 // distributions over all six system configurations.
 func BenchmarkFig3PmbenchCDF(b *testing.B) {
+	b.ReportAllocs()
 	var fmRC, swapNVMe float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig3(benchOpts(i))
@@ -42,6 +43,7 @@ func BenchmarkFig3PmbenchCDF(b *testing.B) {
 // BenchmarkTable1CodePathProfile regenerates Table I: the monitor's
 // per-code-path latency profile on RAMCloud.
 func BenchmarkTable1CodePathProfile(b *testing.B) {
+	b.ReportAllocs()
 	var readPage float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunTable1(benchOpts(i))
@@ -58,6 +60,7 @@ func BenchmarkTable1CodePathProfile(b *testing.B) {
 // BenchmarkTable2Optimisations regenerates Table II: fault latency by
 // optimisation level, backend, and access pattern.
 func BenchmarkTable2Optimisations(b *testing.B) {
+	b.ReportAllocs()
 	var def, both float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunTable2(benchOpts(i))
@@ -78,6 +81,7 @@ func BenchmarkTable2Optimisations(b *testing.B) {
 // BenchmarkFig4Graph500 regenerates Figure 4: Graph500 TEPS across scale
 // factors and systems.
 func BenchmarkFig4Graph500(b *testing.B) {
+	b.ReportAllocs()
 	var fm, sw float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig4(benchOpts(i))
@@ -95,6 +99,7 @@ func BenchmarkFig4Graph500(b *testing.B) {
 // BenchmarkFig5MongoDB regenerates Figure 5: YCSB-C read latency over the
 // MongoDB-like store, swap vs FluidMem.
 func BenchmarkFig5MongoDB(b *testing.B) {
+	b.ReportAllocs()
 	var fm, sw float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig5(benchOpts(i))
@@ -116,6 +121,7 @@ func BenchmarkFig5MongoDB(b *testing.B) {
 // BenchmarkTable3Footprint regenerates Table III: footprint minimisation
 // with service-responsiveness probes.
 func BenchmarkTable3Footprint(b *testing.B) {
+	b.ReportAllocs()
 	var minResponsive float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunTable3(benchOpts(i))
@@ -133,6 +139,7 @@ func BenchmarkTable3Footprint(b *testing.B) {
 
 // BenchmarkAblationSteal regenerates ablation A1.
 func BenchmarkAblationSteal(b *testing.B) {
+	b.ReportAllocs()
 	var onP99 float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunAblationSteal(benchOpts(i))
@@ -146,6 +153,7 @@ func BenchmarkAblationSteal(b *testing.B) {
 
 // BenchmarkAblationBatch regenerates ablation A2.
 func BenchmarkAblationBatch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunAblationBatch(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -155,6 +163,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 
 // BenchmarkAblationRemap regenerates ablation A3.
 func BenchmarkAblationRemap(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunAblationRemap(benchOpts(i)); err != nil {
 			b.Fatal(err)
@@ -164,6 +173,7 @@ func BenchmarkAblationRemap(b *testing.B) {
 
 // BenchmarkAblationLRU regenerates ablation A4.
 func BenchmarkAblationLRU(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunAblationLRU(benchOpts(i)); err != nil {
 			b.Fatal(err)

@@ -4,6 +4,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -70,6 +72,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonOut  = fs.Bool("json", false, "also write BENCH_<name>.json for experiments that support it")
+		ratchet  = fs.Bool("ratchet", false, "compare faults_per_sec against the committed BENCH_<name>.json; fail on a >10% regression")
 		traceOut = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file, for experiments that record one")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +107,13 @@ func run(args []string) error {
 		if *jsonOut {
 			j, ok := res.(jsonable)
 			if !ok {
+				// With an explicit -run list every named experiment is
+				// expected to produce an artifact; failing loudly here is
+				// what keeps a BENCH_<name>.json from silently never being
+				// written (the bench-json Makefile target relies on it).
+				if len(want) > 0 {
+					return fmt.Errorf("%s: -json requested but this experiment produces no JSON artifact", e.name)
+				}
 				continue
 			}
 			data, err := j.JSON()
@@ -115,6 +125,11 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
 			fmt.Printf("wrote %s\n", artifact)
+		}
+		if *ratchet {
+			if err := ratchetCheck(e.name, res); err != nil {
+				return err
+			}
 		}
 		if *traceOut != "" {
 			tr, ok := res.(traceable)
@@ -137,6 +152,106 @@ func run(args []string) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("no experiment matches %q (use -list)", *runNames)
+	}
+	return nil
+}
+
+// ratchetCheck is the throughput regression gate: the freshly measured
+// faults_per_sec rows must not fall more than 10% below the ones committed
+// in BENCH_<name>.json. The committed rows are virtual-time throughputs —
+// bit-deterministic per seed — so on unchanged code the comparison is exact;
+// a drop means the change made the simulated pipeline slower, and the gate
+// forces that to be a deliberate, committed decision rather than drift.
+func ratchetCheck(name string, res renderable) error {
+	j, ok := res.(jsonable)
+	if !ok {
+		fmt.Printf("%s: ratchet: no JSON artifact; skipped\n", name)
+		return nil
+	}
+	artifact := "BENCH_" + name + ".json"
+	oldData, err := os.ReadFile(artifact)
+	if err != nil {
+		return fmt.Errorf("%s: ratchet: no committed baseline: %w", name, err)
+	}
+	newData, err := j.JSON()
+	if err != nil {
+		return fmt.Errorf("%s: ratchet: json: %w", name, err)
+	}
+	oldRates, err := throughputRows(oldData)
+	if err != nil {
+		return fmt.Errorf("%s: ratchet: parse %s: %w", name, artifact, err)
+	}
+	newRates, err := throughputRows(newData)
+	if err != nil {
+		return fmt.Errorf("%s: ratchet: parse measured result: %w", name, err)
+	}
+	if len(oldRates) == 0 {
+		fmt.Printf("%s: ratchet: no faults_per_sec rows in %s; skipped\n", name, artifact)
+		return nil
+	}
+	if len(oldRates) != len(newRates) {
+		return fmt.Errorf("%s: ratchet: row count changed: %s has %d faults_per_sec rows, measured %d (regenerate with -json and commit)",
+			name, artifact, len(oldRates), len(newRates))
+	}
+	for i := range oldRates {
+		if newRates[i] < 0.9*oldRates[i] {
+			return fmt.Errorf("%s: ratchet: faults_per_sec row %d regressed: %.0f -> %.0f (-%.1f%%, threshold 10%%)",
+				name, i, oldRates[i], newRates[i], 100*(1-newRates[i]/oldRates[i]))
+		}
+	}
+	fmt.Printf("%s: ratchet: %d faults_per_sec rows within 10%% of %s\n", name, len(oldRates), artifact)
+	return nil
+}
+
+// throughputRows extracts every "faults_per_sec" number from a JSON
+// document, in document order, at any nesting depth. Token-level scanning
+// (rather than unmarshalling into a map) keeps the order stable so old and
+// new artifacts compare row-for-row.
+func throughputRows(data []byte) ([]float64, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out []float64
+	if err := scanValue(dec, false, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanValue consumes one JSON value from dec; record marks a value whose
+// object key was "faults_per_sec", so a plain number gets collected.
+func scanValue(dec *json.Decoder, record bool, out *[]float64) error {
+	t, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	switch tok := t.(type) {
+	case json.Delim:
+		switch tok {
+		case '{':
+			for dec.More() {
+				kt, err := dec.Token()
+				if err != nil {
+					return err
+				}
+				key, _ := kt.(string)
+				if err := scanValue(dec, key == "faults_per_sec", out); err != nil {
+					return err
+				}
+			}
+			_, err := dec.Token() // closing brace
+			return err
+		case '[':
+			for dec.More() {
+				if err := scanValue(dec, false, out); err != nil {
+					return err
+				}
+			}
+			_, err := dec.Token() // closing bracket
+			return err
+		}
+	case float64:
+		if record {
+			*out = append(*out, tok)
+		}
 	}
 	return nil
 }

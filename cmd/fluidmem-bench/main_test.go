@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -45,5 +48,87 @@ func TestExperimentNamesUnique(t *testing.T) {
 		if !seen[want] {
 			t.Fatalf("missing experiment %q", want)
 		}
+	}
+}
+
+func TestThroughputRowsExtraction(t *testing.T) {
+	doc := []byte(`{
+		"meta": {"faults_per_sec": 100.5},
+		"rows": [
+			{"label": "a", "faults_per_sec": 1.25, "other": 7},
+			{"label": "b", "nested": {"faults_per_sec": 2.5}},
+			{"label": "c"}
+		]
+	}`)
+	rates, err := throughputRows(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100.5, 1.25, 2.5}
+	if len(rates) != len(want) {
+		t.Fatalf("rates = %v, want %v", rates, want)
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v (document order)", rates, want)
+		}
+	}
+}
+
+// fakeThroughputResult lets ratchet tests control the "measured" JSON.
+type fakeThroughputResult struct{ doc string }
+
+func (f *fakeThroughputResult) Render() string        { return "fake" }
+func (f *fakeThroughputResult) JSON() ([]byte, error) { return []byte(f.doc), nil }
+
+func TestRatchetCheck(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	baseline := `{"rows":[{"faults_per_sec":1000},{"faults_per_sec":2000}]}`
+	if err := os.WriteFile("BENCH_fake.json", []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical rows pass.
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: baseline}); err != nil {
+		t.Fatalf("identical rows rejected: %v", err)
+	}
+	// A small (<10%) dip passes.
+	ok := `{"rows":[{"faults_per_sec":950},{"faults_per_sec":1900}]}`
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: ok}); err != nil {
+		t.Fatalf("5%% dip rejected: %v", err)
+	}
+	// A >10% regression in any row fails.
+	bad := `{"rows":[{"faults_per_sec":1000},{"faults_per_sec":1500}]}`
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: bad}); err == nil {
+		t.Fatal("25% regression accepted")
+	}
+	// Row-count drift fails: the committed artifact is stale.
+	drift := `{"rows":[{"faults_per_sec":1000}]}`
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: drift}); err == nil {
+		t.Fatal("row-count drift accepted")
+	}
+	// A missing committed baseline fails loudly.
+	if err := ratchetCheck("absent", &fakeThroughputResult{doc: baseline}); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+func TestJSONFlagFailsLoudlyWithoutArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick experiment")
+	}
+	// workers renders a table but has no JSON artifact: naming it explicitly
+	// with -json must be an error, not a silent skip.
+	if err := run([]string{"-quick", "-run", "workers", "-json"}); err == nil {
+		t.Fatal("-json with a non-jsonable experiment silently succeeded")
 	}
 }

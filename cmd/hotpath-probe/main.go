@@ -1,0 +1,58 @@
+// Command hotpath-probe measures wall-clock fault throughput and heap
+// allocations of the monitor's miss+evict+writeback hot path via the public
+// API only, so the same source runs against older trees for before/after
+// comparisons (see EXPERIMENTS.md).
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/kvstore/ramcloud"
+)
+
+func main() {
+	const base = 0x7f00_0000_0000
+	const pages = 512
+	const capacity = 256
+	const faults = 2_000_000
+
+	store := ramcloud.New(ramcloud.DefaultParams(), 9)
+	cfg := core.DefaultConfig(store, capacity)
+	cfg.Workers = 4
+	m, err := core.NewMonitor(cfg, nil, "probe")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.RegisterRange(base, pages*core.PageSize, 1); err != nil {
+		panic(err)
+	}
+	var now time.Duration
+	i := 0
+	touch := func() {
+		_, done, err := m.Touch(now, base+uint64(i%pages)*core.PageSize, true)
+		if err != nil {
+			panic(err)
+		}
+		now = done
+		i++
+	}
+	for k := 0; k < 3*pages; k++ {
+		touch()
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for k := 0; k < faults; k++ {
+		touch()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	fmt.Printf("faults=%d wall=%v wall_faults_per_sec=%.0f allocs_per_fault=%.3f bytes_per_fault=%.1f\n",
+		faults, wall.Round(time.Millisecond), float64(faults)/wall.Seconds(),
+		float64(after.Mallocs-before.Mallocs)/faults,
+		float64(after.TotalAlloc-before.TotalAlloc)/faults)
+}

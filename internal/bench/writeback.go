@@ -24,6 +24,13 @@ type WritebackRow struct {
 	// load; Throughput is faults per virtual second.
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Throughput float64       `json:"faults_per_sec"`
+	// WallElapsed and WallThroughput measure the row in real (host) time —
+	// how fast the simulator itself retires faults. Machine-dependent, so
+	// excluded from the committed JSON artifact (the ratchet gates only the
+	// deterministic virtual rows); see EXPERIMENTS.md for the before/after
+	// recipe they support.
+	WallElapsed    time.Duration `json:"-"`
+	WallThroughput float64       `json:"-"`
 	// StorePuts counts pages that actually crossed the wire (per-key puts,
 	// including those carried inside MultiPuts); MultiPuts counts the
 	// amortised round trips that carried them.
@@ -173,6 +180,7 @@ func runWritebackRow(v writebackVariant, stream []wbOp, pages, capacity, workers
 	storeBefore := store.Stats()
 	wbBefore := m.WritebackStats()
 
+	wallStart := time.Now()
 	sched := clock.NewScheduler()
 	var benchErr error
 	var finish time.Duration
@@ -198,6 +206,7 @@ func runWritebackRow(v writebackVariant, stream []wbOp, pages, capacity, workers
 		arrival += interArrival
 	}
 	sched.Run()
+	wallElapsed := time.Since(wallStart)
 	if benchErr != nil {
 		return nil, benchErr
 	}
@@ -219,6 +228,7 @@ func runWritebackRow(v writebackVariant, stream []wbOp, pages, capacity, workers
 		Coalesced:    wb.Coalesced - wbBefore.Coalesced,
 		FlushSizes:   make(map[int]uint64),
 	}
+	row.WallElapsed = wallElapsed
 	row.WritesAvoided = row.ZeroElided + row.CleanDropped
 	for size, count := range wb.FlushSizes {
 		if delta := count - wbBefore.FlushSizes[size]; delta > 0 {
@@ -227,6 +237,9 @@ func runWritebackRow(v writebackVariant, stream []wbOp, pages, capacity, workers
 	}
 	if row.Elapsed > 0 {
 		row.Throughput = float64(row.Faults) / row.Elapsed.Seconds()
+	}
+	if wallElapsed > 0 {
+		row.WallThroughput = float64(row.Faults) / wallElapsed.Seconds()
 	}
 	return row, nil
 }
@@ -241,11 +254,11 @@ func (r *WritebackResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Write-back pipeline — %d ops over %d pages, capacity %d, %d workers, RAMCloud\n",
 		r.Ops, r.Pages, r.Capacity, r.Workers)
-	fmt.Fprintf(&b, "%-20s %8s %12s %12s %10s %10s %8s %8s %9s\n",
-		"config", "faults", "elapsed", "faults/sec", "store-puts", "multiputs", "elided", "dropped", "coalesced")
+	fmt.Fprintf(&b, "%-20s %8s %12s %12s %16s %10s %10s %8s %8s %9s\n",
+		"config", "faults", "elapsed", "faults/sec", "wall-faults/sec", "store-puts", "multiputs", "elided", "dropped", "coalesced")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-20s %8d %12v %12.0f %10d %10d %8d %8d %9d\n",
-			row.Label, row.Faults, row.Elapsed.Round(time.Microsecond), row.Throughput,
+		fmt.Fprintf(&b, "%-20s %8d %12v %12.0f %16.0f %10d %10d %8d %8d %9d\n",
+			row.Label, row.Faults, row.Elapsed.Round(time.Microsecond), row.Throughput, row.WallThroughput,
 			row.StorePuts, row.MultiPuts, row.ZeroElided, row.CleanDropped, row.Coalesced)
 	}
 	for _, row := range r.Rows {

@@ -1,0 +1,283 @@
+package core
+
+// This file is the monitor's control plane: registration, teardown,
+// resize, drain, stats capture, and the introspection surface. Everything
+// here is slow-path — it may allocate, scan regions, and rebuild maps
+// freely. It talks to the data plane either synchronously (same goroutine,
+// between faults) or through the intake ring (see intake.go) when called
+// from another thread.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fluidmem/internal/core/resilience"
+	"fluidmem/internal/hotset"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/trace"
+	"fluidmem/internal/uffd"
+)
+
+// RegisterRange registers [start, start+length) for fault handling on behalf
+// of the VM process pid, allocating the VM's virtual partition on first use.
+// QEMU calls this when wrapping the guest memory allocation, and again for
+// each hotplugged memory slot (§IV).
+func (m *Monitor) RegisterRange(start, length uint64, pid int) (*uffd.Region, error) {
+	if _, ok := m.partitions[pid]; !ok {
+		part, err := m.registry.Allocate(m.hypervisorID, pid)
+		if err != nil {
+			return nil, fmt.Errorf("core: allocate partition for pid %d: %w", pid, err)
+		}
+		m.partitions[pid] = part
+	}
+	region, err := m.fd.Register(start, length, pid)
+	if err != nil {
+		return nil, fmt.Errorf("core: register region: %w", err)
+	}
+	return region, nil
+}
+
+// UnregisterVM tears down all regions of pid: resident pages are dropped,
+// store contents deleted, and the partition released (VM shutdown, §V-A).
+// Teardown is best-effort under backend failure: a failed delete (a leaked
+// page in a crashed member) is remembered but does not abort the teardown —
+// the partition is still unregistered and released, and the first delete
+// error is reported at the end.
+func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error) {
+	part, ok := m.partitions[pid]
+	if !ok {
+		return now, fmt.Errorf("%w: %d", ErrUnknownPID, pid)
+	}
+	var firstErr error
+	for _, region := range m.fd.Regions() {
+		if region.PID != pid {
+			continue
+		}
+		for addr := region.Start; addr < region.End(); addr += PageSize {
+			if m.lru.Remove(addr) {
+				m.fd.Drop(addr)
+				m.epoch++
+			}
+			m.hot.Remove(addr)
+			if m.seen[addr] {
+				delete(m.seen, addr)
+				key := kvstore.MakeKey(addr, part)
+				if m.tier != nil {
+					m.tier.drop(key)
+				}
+				// Cancel pending engine state so a later flush cannot
+				// resurrect a deleted page in the store.
+				m.wb.DiscardQueued(key)
+				m.wb.DropZero(key)
+				var err error
+				if now, err = m.cfg.Store.Delete(now, key); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: delete page %#x: %w", addr, err)
+				}
+			}
+		}
+		m.fd.Unregister(region)
+	}
+	delete(m.partitions, pid)
+	if err := m.registry.Release(part); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("core: release partition: %w", err)
+	}
+	return now, firstErr
+}
+
+// Discard implements vm.Backing: a balloon-freed page loses its contents.
+func (m *Monitor) Discard(addr uint64) {
+	addr = addr &^ uint64(PageSize-1)
+	if m.lru.Remove(addr) {
+		m.fd.Drop(addr)
+		m.epoch++
+	}
+	// The page's contents are gone: it must leave the ghost list too, or a
+	// later first touch of the same address would register as a re-reference
+	// and inflate the working-set estimate.
+	m.hot.Remove(addr)
+	if m.seen[addr] {
+		delete(m.seen, addr)
+		if region := m.regionOf(addr); region != nil {
+			if part, ok := m.partitions[region.PID]; ok {
+				// Asynchronous tombstone; timing is off any critical path.
+				_, _ = m.cfg.Store.Delete(m.workerFree[m.workerOf(addr)], kvstore.MakeKey(addr, part))
+			}
+		}
+	}
+	if region := m.regionOf(addr); region != nil {
+		if part, ok := m.partitions[region.PID]; ok {
+			key := kvstore.MakeKey(addr, part)
+			// A balloon-freed page's bytes must never reach the store:
+			// cancel any queued write and drop any zero mark or tier copy.
+			m.wb.DiscardQueued(key)
+			m.wb.DropZero(key)
+			if m.tier != nil {
+				m.tier.drop(key)
+			}
+		}
+	}
+}
+
+// Resize changes the LRU capacity at runtime (§III: "the local memory buffer
+// can be actively sized up or down"). Shrinking evicts immediately; the
+// returned time covers the eviction work. This is the mechanism behind
+// Table III's near-zero footprints. Resize must run on the simulation
+// thread; other goroutines use PostResize (intake.go) instead.
+func (m *Monitor) Resize(now time.Duration, capacity int) (time.Duration, error) {
+	if capacity < 1 {
+		return now, fmt.Errorf("%w: LRU capacity %d < 1", ErrBadConfig, capacity)
+	}
+	m.cfg.LRUCapacity = capacity
+	t := now
+	var err error
+	for m.lru.Len() > capacity {
+		if t, err = m.evictOne(t, false); err != nil {
+			return t, err
+		}
+	}
+	// Worker 0 is an arbitrary but fixed attribution: a resize is not caused
+	// by any page address. The arg carries the new capacity in pages.
+	m.tr.Emit(trace.EvResize, 0, uint64(capacity), now, t-now, "")
+	return t, nil
+}
+
+// Hotset returns the attached working-set estimator (nil when disabled).
+func (m *Monitor) Hotset() *hotset.Tracker { return m.hot }
+
+// HotsetSnapshot copies the estimator's counters; the zero Snapshot when
+// estimation is disabled.
+func (m *Monitor) HotsetSnapshot() hotset.Snapshot { return m.hot.Snapshot() }
+
+// Drain flushes the write list and waits for all in-flight writes —
+// quiescing the monitor (tests, teardown, consistent snapshots).
+func (m *Monitor) Drain(now time.Duration) (time.Duration, error) {
+	return m.wb.Drain(now)
+}
+
+// ResidentPages implements vm.Backing.
+func (m *Monitor) ResidentPages() int { return m.lru.Len() }
+
+// FootprintLimit implements vm.FootprintLimiter.
+func (m *Monitor) FootprintLimit() int { return m.cfg.LRUCapacity }
+
+// Epoch implements vm.Backing.
+func (m *Monitor) Epoch() uint64 { return m.epoch }
+
+// Stats returns a snapshot of monitor counters, merged field-wise across
+// every worker's cell — the read-side synchronisation point of the
+// per-worker counter discipline (see Stats).
+func (m *Monitor) Stats() Stats {
+	var total Stats
+	for i := range m.statsCells {
+		c := &m.statsCells[i]
+		total.Faults += c.Faults
+		total.FirstTouch += c.FirstTouch
+		total.RemoteReads += c.RemoteReads
+		total.Steals += c.Steals
+		total.InFlightWaits += c.InFlightWaits
+		total.Evictions += c.Evictions
+		total.SyncWrites += c.SyncWrites
+		total.Flushes += c.Flushes
+		total.Prefetches += c.Prefetches
+		total.ZeroElided += c.ZeroElided
+		total.CleanDropped += c.CleanDropped
+		total.ZeroRefills += c.ZeroRefills
+	}
+	return total
+}
+
+// Workers reports the fault-pipeline width (>= 1).
+func (m *Monitor) Workers() int { return m.workers }
+
+// ResidentAddrs returns the sorted addresses of all currently resident
+// pages — a stable snapshot for equivalence harnesses (shardtest): two
+// monitors are resident-set-equal iff these slices are equal.
+func (m *Monitor) ResidentAddrs() []uint64 {
+	addrs := make([]uint64, 0, len(m.lru.index))
+	for addr := range m.lru.index {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Profiler exposes the per-code-path latency profiler (§VI-C).
+func (m *Monitor) Profiler() *Profiler { return m.prof }
+
+// Tracer exposes the tracer threaded through the fault pipeline (nil when
+// tracing is disabled).
+func (m *Monitor) Tracer() *trace.Tracer { return m.tr }
+
+// Partition reports the virtual partition assigned to pid.
+func (m *Monitor) Partition(pid int) (kvstore.PartitionID, bool) {
+	p, ok := m.partitions[pid]
+	return p, ok
+}
+
+// SetFaultLatencySink registers a callback receiving every end-to-end fault
+// latency (pmbench-style measurement hooks).
+func (m *Monitor) SetFaultLatencySink(sink func(time.Duration)) {
+	m.faultLatencies = sink
+}
+
+// WriteListLen reports pages awaiting flush (test hook).
+func (m *Monitor) WriteListLen() int { return m.wb.QueuedLen() }
+
+// WritebackStats reports the write-back engine's counters: flush batch
+// sizes, coalesced re-evictions, zero-bitmap activity.
+func (m *Monitor) WritebackStats() WritebackStats { return m.wb.Snapshot() }
+
+// WPFaults reports guest writes that tripped the clean-tracking write
+// protection (CleanPageDrop).
+func (m *Monitor) WPFaults() uint64 { return m.fd.WPFaults() }
+
+// regionOf resolves the region containing addr without allocating (the
+// data plane calls it per eviction).
+func (m *Monitor) regionOf(addr uint64) *uffd.Region {
+	return m.fd.RegionFor(addr)
+}
+
+// StoreHealth reports the resilience layer's backend health signal; ok is
+// false when the layer is disabled (cfg.Resilience == nil).
+func (m *Monitor) StoreHealth() (resilience.Health, bool) {
+	if m.resilient == nil {
+		return resilience.Health{}, false
+	}
+	return m.resilient.Health(), true
+}
+
+// ResilienceStats reports the policy layer's intervention counters; ok is
+// false when the layer is disabled.
+func (m *Monitor) ResilienceStats() (resilience.Stats, bool) {
+	if m.resilient == nil {
+		return resilience.Stats{}, false
+	}
+	return m.resilient.ResilienceStats(), true
+}
+
+// ResilienceCounters exports the policy layer's counters as a named set
+// (nil when the layer is disabled) — the surface fluidmemd and the chaos
+// harness render.
+func (m *Monitor) ResilienceCounters() *stats.Counters {
+	if m.resilient == nil {
+		return nil
+	}
+	return m.resilient.ResilienceStats().Counters()
+}
+
+// CompressStats reports the compressed tier's counters; ok is false when the
+// tier is disabled.
+func (m *Monitor) CompressStats() (CompressStats, bool) {
+	if m.tier == nil {
+		return CompressStats{}, false
+	}
+	return m.tier.stats, true
+}
+
+// PageResident reports whether the page containing addr is currently in the
+// monitor's LRU list (operator/experiment introspection).
+func (m *Monitor) PageResident(addr uint64) bool {
+	return m.lru.Contains(addr &^ uint64(PageSize-1))
+}

@@ -1,0 +1,614 @@
+package core
+
+// This file is the monitor's data plane: the per-fault hot path, from fault
+// decode through shard dispatch, LRU touch, store read, and write-list
+// append. Steady state it is allocation-free and lock-free — see DESIGN.md
+// §14 for the rules on what may allocate where. Slow-path work lives in
+// controlplane.go and reaches this side only through the intake ring.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
+	"fluidmem/internal/uffd"
+)
+
+// workerOf shards a page address onto a fault-pipeline worker. The same
+// function shards the LRU segments and write-list queues, so a worker only
+// ever touches its own structures on the fault path (evictions, which pick
+// the globally oldest page, are the one deliberate cross-shard operation).
+func (m *Monitor) workerOf(addr uint64) int {
+	return int((addr / PageSize) % uint64(m.workers))
+}
+
+// cell returns the Stats cell owned by addr's worker; see Stats for the
+// memory model.
+func (m *Monitor) cell(addr uint64) *Stats {
+	return &m.statsCells[m.workerOf(addr)]
+}
+
+// record charges one profiled monitor operation to both the Table-I
+// profiler and the tracer's per-(phase, worker) latency histogram, with the
+// worker attributed by the page address that caused the work.
+func (m *Monitor) record(op string, addr uint64, d time.Duration) {
+	m.prof.Record(op, d)
+	if m.tr != nil {
+		m.tr.Observe(op, m.workerOf(addr), d)
+	}
+}
+
+// traceFault emits the end-to-end FAULT span for a resolved fault: the
+// event's arg carries the resolution path, and a per-path histogram
+// ("FAULT.<path>") accumulates alongside the merged FAULT one so the
+// paper's Fig. 5-style breakdown falls straight out of a Snapshot. The
+// nil-tracer early return is the zero-cost fast path: the "FAULT."+path
+// concatenation never runs untraced.
+func (m *Monitor) traceFault(ev uffd.Event, start, resume time.Duration, path string, err error) {
+	if err != nil || m.tr == nil {
+		return
+	}
+	w := m.workerOf(ev.Addr)
+	m.tr.Emit(trace.EvFault, w, ev.Addr, start, resume-start, path)
+	m.tr.Observe("FAULT."+path, w, resume-start)
+}
+
+// Touch implements vm.Backing: a guest access to addr. Resident pages return
+// immediately; missing pages take the full monitor fault path. Queued
+// control-plane commands are drained first — the fault boundary is the
+// data plane's only synchronisation point with the control plane.
+func (m *Monitor) Touch(now time.Duration, addr uint64, write bool) ([]byte, time.Duration, error) {
+	m.drainIntake(now)
+	data, done, hit, err := m.fd.Access(now, addr, write)
+	if err != nil {
+		return nil, done, err
+	}
+	if hit {
+		return data, done, nil
+	}
+	ev, ok := m.fd.NextEvent()
+	if !ok {
+		return nil, done, errors.New("core: fault raised but no event queued")
+	}
+	resolved, err := m.handleFault(done, ev)
+	if err != nil {
+		return nil, resolved, err
+	}
+	if m.faultLatencies != nil {
+		m.faultLatencies(resolved - now)
+	}
+	// The vCPU retries the instruction; the page is now resident. A write
+	// to a freshly zero-mapped page breaks COW here, exactly as in §V-A.
+	data, done, hit, err = m.fd.Access(resolved, addr, write)
+	if err != nil {
+		return nil, done, err
+	}
+	if !hit {
+		return nil, done, fmt.Errorf("core: page %#x still missing after fault resolution", addr)
+	}
+	return data, done, nil
+}
+
+// handleFault resolves one userfaultfd event, returning the virtual time at
+// which the faulting vCPU resumes.
+func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Duration, error) {
+	m.cell(ev.Addr).Faults++
+	part, ok := m.partitions[ev.PID]
+	if !ok {
+		return eventAt, fmt.Errorf("%w: %d", ErrUnknownPID, ev.PID)
+	}
+	m.hot.Fault(ev.Addr)
+	// Handling starts when the fault's worker is free: the pipeline shards
+	// by page address, so a fault queues only behind its own worker.
+	w := m.workerOf(ev.Addr)
+	t := eventAt
+	if m.workerFree[w] > t {
+		t = m.workerFree[w]
+	}
+	t += m.cfg.MonitorOps.EventDispatch.Sample(m.rng)
+
+	// Seen-pages hash probe (the "pagetracker", §V-A).
+	hashCost := m.cfg.MonitorOps.HashLookup.Sample(m.rng)
+	m.record(OpInsertPageHash, ev.Addr, hashCost)
+	t += hashCost
+
+	key := kvstore.MakeKey(ev.Addr, part)
+	if !m.seen[ev.Addr] && m.cfg.PageTracker {
+		resumeAt, err := m.resolveFirstTouch(t, ev)
+		m.traceFault(ev, eventAt, resumeAt, "first_touch", err)
+		return resumeAt, err
+	}
+	// Zero-bitmap hit: the page's latest eviction was elided, so any store
+	// copy is stale — restore it with UFFDIO_ZEROPAGE, no store traffic.
+	// Checked unconditionally (not gated on cfg.ElideZeroPages): a standing
+	// mark means the store was never updated, so reading it would be wrong
+	// even if the feature has since been toggled off.
+	if m.wb.TakeZero(key) {
+		resumeAt, err := m.resolveZeroRefill(t, ev)
+		m.traceFault(ev, eventAt, resumeAt, "zero_refill", err)
+		return resumeAt, err
+	}
+	resumeAt, path, batched, err := m.resolveFromStore(t, ev, key)
+	if err == nil && m.cfg.PrefetchPages > 0 && !batched {
+		// Read ahead while the guest is already running (off the critical
+		// path; occupies only the fault's worker). The batched-read path
+		// has already folded the prefetch into its MultiGet.
+		m.workerFree[w] = m.prefetch(m.workerFree[w], ev.Addr, part)
+	}
+	m.traceFault(ev, eventAt, resumeAt, path, err)
+	return resumeAt, err
+}
+
+// resolveFirstTouch maps the zero page and wakes the guest; eviction, if
+// needed, happens after the wake-up, off the critical path (Figure 2).
+func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Duration, error) {
+	m.cell(ev.Addr).FirstTouch++
+	m.seen[ev.Addr] = true
+	return m.zeroFill(t, ev)
+}
+
+// resolveZeroRefill resolves a re-fault of a zero-elided page: the eviction
+// recorded the page's all-zero contents in the zero bitmap instead of
+// writing the store, so the refill is a local UFFDIO_ZEROPAGE — the same
+// fast path as first touch, counted separately.
+func (m *Monitor) resolveZeroRefill(t time.Duration, ev uffd.Event) (time.Duration, error) {
+	m.cell(ev.Addr).ZeroRefills++
+	return m.zeroFill(t, ev)
+}
+
+// zeroFill installs the zero page, wakes the guest, and runs asynchronous
+// eviction afterwards — shared tail of first-touch and zero-refill faults.
+func (m *Monitor) zeroFill(t time.Duration, ev uffd.Event) (time.Duration, error) {
+	done, err := m.fd.ZeroPage(t, ev.Addr)
+	if err != nil {
+		return t, fmt.Errorf("core: zeropage %#x: %w", ev.Addr, err)
+	}
+	m.prof.Record(OpUffdZeroPage, done-t)
+	t = done
+	m.epoch++
+
+	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+	m.record(OpInsertLRUCache, ev.Addr, lruCost)
+	t += lruCost
+	m.lru.Insert(ev.Addr)
+
+	t = m.fd.Wake(t, ev.Addr)
+	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
+
+	// Asynchronous eviction (blue path in Figure 2): the monitor keeps
+	// working after the guest resumes.
+	mFree := t
+	var err2 error
+	for m.lru.Len() > m.cfg.LRUCapacity {
+		if mFree, err2 = m.evictOne(mFree, false); err2 != nil {
+			return resumeAt, err2
+		}
+	}
+	m.workerFree[m.workerOf(ev.Addr)] = mFree
+	return resumeAt, nil
+}
+
+// resolveFromStore fetches a previously seen page: from the write list
+// (steal), after an in-flight write, or from the key-value store, evicting
+// to make room. path names the resolution route for the fault trace
+// ("tier", "steal", "read", "batched_read"). The batched return flag
+// reports that the read already folded the prefetch window into its
+// MultiGet, so the caller must not prefetch again.
+func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (resumeAt time.Duration, path string, batched bool, err error) {
+	// Compressed-tier hit: decompress locally, no network round trip.
+	if m.tier != nil {
+		data, done, hit, err := m.tier.take(t, key)
+		if err != nil {
+			return t, "tier", false, err
+		}
+		if hit {
+			// Not store-backed: the tier held the only current copy.
+			rt, err := m.installAndWake(done, ev, data, false, true)
+			// The decompression buffer was copied into the VM; pool it.
+			m.fd.Recycle(data)
+			return rt, "tier", false, err
+		}
+	}
+	// Steal shortcut: the page is sitting on the pending write list.
+	if m.cfg.StealEnabled && m.cfg.AsyncWrite {
+		if data, ok := m.wb.Steal(t, key); ok {
+			m.cell(ev.Addr).Steals++
+			// Not store-backed: the stolen write never reached the store.
+			rt, err := m.installAndWake(t, ev, data, false, true)
+			// Steal transferred the frame to us; UFFDIO_COPY copied it in,
+			// so the buffer goes back to the pool.
+			m.fd.Recycle(data)
+			return rt, "steal", false, err
+		}
+	} else if m.cfg.AsyncWrite && m.wb.Queued(key) {
+		// Without stealing, a queued write must be flushed and completed
+		// before the read can see the page — the two round trips the steal
+		// optimisation shortcuts (§V-B).
+		if err := m.wb.Flush(t); err != nil {
+			return t, "read", false, fmt.Errorf("core: forced flush for %v: %w", key, err)
+		}
+	}
+	// A write of this page is in flight: wait for it to land, then read.
+	if doneAt, ok := m.wb.WaitFor(t, key); ok {
+		m.cell(ev.Addr).InFlightWaits++
+		t = doneAt
+	}
+
+	m.cell(ev.Addr).RemoteReads++
+	if m.cfg.AsyncRead && m.cfg.BatchReads && m.cfg.PrefetchPages > 0 {
+		rt, b, err := m.resolveBatchedRead(t, ev, key)
+		return rt, "batched_read", b, err
+	}
+	var data []byte
+	if m.cfg.AsyncRead {
+		// Top half: issue the read immediately; the eviction's REMAP and
+		// all monitor bookkeeping (LRU insert, cache update) run while the
+		// network waits (§V-B asynchronous reads). Only the copy and wake
+		// remain after the reply lands. The PendingGet handle is a value on
+		// this frame — no allocation per split read.
+		issue := t
+		if !m.storeLocal {
+			issue += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
+		}
+		pending := m.cfg.Store.StartGet(issue, key)
+		overlap := issue
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if overlap, err = m.evictOne(overlap, true); err != nil {
+				return t, "read", false, err
+			}
+			overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
+		}
+		updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
+		m.record(OpUpdatePageCache, ev.Addr, updCost)
+		overlap += updCost
+		lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+		m.record(OpInsertLRUCache, ev.Addr, lruCost)
+		overlap += lruCost
+		m.lru.Insert(ev.Addr)
+
+		// Bottom half.
+		var readDone time.Duration
+		data, readDone, err = pending.Wait(overlap)
+		m.record(OpReadPage, ev.Addr, pending.ReadyAt-issue)
+		if err != nil {
+			return readDone, "read", false, fmt.Errorf("core: read %v: %w", key, err)
+		}
+		done, err := m.fd.Copy(readDone, ev.Addr, data)
+		if err != nil {
+			return readDone, "read", false, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+		}
+		m.prof.Record(OpUffdCopy, done-readDone)
+		m.epoch++
+		if done, err = m.markClean(done, ev.Addr); err != nil {
+			return done, "read", false, err
+		}
+		t = m.fd.Wake(done, ev.Addr)
+		m.workerFree[m.workerOf(ev.Addr)] = t
+		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), "read", false, nil
+	}
+	{
+		if !m.storeLocal {
+			t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
+		}
+		var readDone time.Duration
+		data, readDone, err = m.cfg.Store.Get(t, key)
+		m.record(OpReadPage, ev.Addr, readDone-t)
+		if err != nil {
+			return readDone, "read", false, fmt.Errorf("core: read %v: %w", key, err)
+		}
+		t = readDone
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if t, err = m.evictOne(t, false); err != nil {
+				return t, "read", false, err
+			}
+		}
+	}
+	rt, err := m.installAndWake(t, ev, data, true, false)
+	return rt, "read", false, err
+}
+
+// resolveBatchedRead resolves a demand fault and its readahead window with a
+// single amortised MultiGet (cfg.BatchReads): the demand key and every
+// prefetch candidate travel in one round trip instead of a pipeline of
+// per-page split reads. The eviction's REMAP and monitor bookkeeping still
+// overlap the network wait as in the split-read path, and the readahead
+// pages are installed after the guest wakes, off the critical path. The
+// request vectors live in the data arena, reused across faults.
+func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, bool, error) {
+	w := m.workerOf(ev.Addr)
+	cands := m.gatherPrefetch(t, ev.Addr, key.Partition())
+	issue := t
+	if !m.storeLocal {
+		issue += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
+	}
+	keys := append(m.scratch.keys[:0], key)
+	idx := m.scratch.idx[:0] // candidate index for each extra key
+	for i, c := range cands {
+		if c.data == nil {
+			keys = append(keys, c.key)
+			idx = append(idx, i)
+		}
+	}
+	m.scratch.keys, m.scratch.idx = keys, idx
+	pages, readDone, err := m.cfg.Store.MultiGet(issue, keys)
+	if err != nil {
+		return t, true, fmt.Errorf("core: batched read %v: %w", key, err)
+	}
+	if pages[0] == nil {
+		return t, true, fmt.Errorf("core: read %v: %w", key, kvstore.ErrNotFound)
+	}
+	for j, ci := range idx {
+		cands[ci].data = pages[1+j] // nil stays nil on a store miss
+	}
+	// Eviction and bookkeeping overlap the network wait (§V-B).
+	overlap := issue
+	for m.lru.Len() >= m.cfg.LRUCapacity {
+		if overlap, err = m.evictOne(overlap, true); err != nil {
+			return t, true, err
+		}
+		overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
+	}
+	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
+	m.record(OpUpdatePageCache, ev.Addr, updCost)
+	overlap += updCost
+	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+	m.record(OpInsertLRUCache, ev.Addr, lruCost)
+	overlap += lruCost
+	m.lru.Insert(ev.Addr)
+	m.record(OpReadPage, ev.Addr, readDone-issue)
+
+	// Bottom half: the copy and wake run once both the reply has landed and
+	// the overlapped bookkeeping is done.
+	t = overlap
+	if readDone > t {
+		t = readDone
+	}
+	done, err := m.fd.Copy(t, ev.Addr, pages[0])
+	if err != nil {
+		return t, true, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+	}
+	m.prof.Record(OpUffdCopy, done-t)
+	m.epoch++
+	if done, err = m.markClean(done, ev.Addr); err != nil {
+		return done, true, err
+	}
+	t = m.fd.Wake(done, ev.Addr)
+	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
+
+	// Install the readahead pages while the guest is already running.
+	mFree := t
+	for _, c := range cands {
+		if c.data == nil {
+			continue // store miss: the page will fault normally
+		}
+		var stop bool
+		mFree, stop = m.installPrefetched(mFree, ev.Addr, c.addr, c.data, !c.stolen)
+		if stop {
+			break
+		}
+	}
+	// Stolen candidates own their frames (store-read ones alias store
+	// memory); installed or not, UFFDIO_COPY has taken what it needs.
+	for _, c := range cands {
+		if c.stolen {
+			m.fd.Recycle(c.data)
+		}
+	}
+	m.workerFree[w] = mFree
+	return resumeAt, true, nil
+}
+
+// installAndWake copies data into the faulting page, re-inserts it in the
+// LRU list, and wakes the guest. storeBacked says the bytes match a durable
+// store copy, arming clean tracking; steals and tier hits install data the
+// store does not hold, so they must pass false. The store-read paths have
+// already made room; the steal shortcut has not, so it evicts here
+// (needEvict). Callers keep ownership of data: UFFDIO_COPY duplicates it.
+func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, storeBacked, needEvict bool) (time.Duration, error) {
+	if needEvict {
+		var err error
+		for m.lru.Len() >= m.cfg.LRUCapacity {
+			if t, err = m.evictOne(t, false); err != nil {
+				return t, err
+			}
+		}
+	}
+	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
+	m.record(OpUpdatePageCache, ev.Addr, updCost)
+	t += updCost
+
+	done, err := m.fd.Copy(t, ev.Addr, data)
+	if err != nil {
+		return t, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
+	}
+	m.prof.Record(OpUffdCopy, done-t)
+	t = done
+	m.epoch++
+	if storeBacked {
+		if t, err = m.markClean(t, ev.Addr); err != nil {
+			return t, err
+		}
+	}
+
+	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
+	m.record(OpInsertLRUCache, ev.Addr, lruCost)
+	t += lruCost
+	m.lru.Insert(ev.Addr)
+
+	t = m.fd.Wake(t, ev.Addr)
+	m.workerFree[m.workerOf(ev.Addr)] = t
+	return t + m.cfg.MonitorOps.Resume.Sample(m.rng), nil
+}
+
+// evictOne pushes the oldest LRU page out of the VM and toward the store.
+// Eviction is the one deliberate cross-shard operation: the victim is the
+// globally oldest page, so its counters are attributed to the victim's own
+// cell (see Stats) to keep merged totals worker-count-independent.
+//
+// Frame lifecycle: the remapped frame's ownership moves here, then onward —
+// to the write list (which recycles it after the flush's MultiPut copies
+// it), or straight back to the pool on the clean-drop, zero-elide, tier-
+// accepted, and synchronous-write paths. Store-returned buffers never come
+// through here, so nothing store-owned can reach the pool.
+func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, error) {
+	victim, ok := m.lru.Oldest()
+	if !ok {
+		return t, errors.New("core: eviction needed but LRU list empty")
+	}
+	m.lru.Remove(victim)
+	m.hot.Evict(victim)
+	m.cell(victim).Evictions++
+	evictStart := t
+
+	// Dirty check (must precede the remap, which destroys the mapping): a
+	// page still write-protected since its store-backed install was never
+	// written, so the store copy is current and no write is needed.
+	clean := m.cfg.CleanPageDrop && m.fd.PageClean(victim)
+
+	var (
+		data []byte
+		err  error
+	)
+	if m.cfg.EvictWithCopy {
+		// Ablation A3: copy the page out, then zap the mapping. Costs a
+		// page copy but no TLB shootdown IPI. The copy lands in a pooled
+		// frame; Drop recycles the original in-VM frame.
+		start := t
+		var mapped []byte
+		mapped, t, _, err = m.fd.Access(t, victim, false)
+		if err != nil {
+			return t, fmt.Errorf("core: evict-copy read %#x: %w", victim, err)
+		}
+		data = m.fd.GetFrame()
+		copy(data, mapped)
+		copyDone, err := copyOutCost(m, t)
+		if err != nil {
+			return t, err
+		}
+		t = copyDone
+		m.fd.Drop(victim)
+		m.prof.Record(OpUffdRemap, t-start)
+		m.tr.Emit(trace.EvEvict, m.workerOf(victim), victim, evictStart, t-evictStart, "copy")
+	} else {
+		var done time.Duration
+		data, done, err = m.fd.Remap(t, victim, interleaved)
+		if err != nil {
+			return t, fmt.Errorf("core: remap %#x: %w", victim, err)
+		}
+		m.prof.Record(OpUffdRemap, done-t)
+		t = done
+		m.tr.Emit(trace.EvEvict, m.workerOf(victim), victim, evictStart, t-evictStart, "remap")
+	}
+	m.epoch++
+
+	if clean {
+		// Clean drop: the store copy is current, the local frame is already
+		// freed — the eviction is done, with no write, no tier offer, no
+		// list traffic.
+		m.cell(victim).CleanDropped++
+		m.tr.Emit(trace.EvCleanDrop, m.workerOf(victim), victim, t, 0, "")
+		m.fd.Recycle(data)
+		return t, nil
+	}
+
+	region := m.regionOf(victim)
+	if region == nil {
+		return t, fmt.Errorf("core: evicted page %#x has no region", victim)
+	}
+	part, ok := m.partitions[region.PID]
+	if !ok {
+		return t, fmt.Errorf("%w: %d", ErrUnknownPID, region.PID)
+	}
+	key := kvstore.MakeKey(victim, part)
+
+	if m.cfg.ElideZeroPages {
+		scanCost := m.cfg.MonitorOps.ZeroScan.Sample(m.rng)
+		m.record(OpZeroScan, victim, scanCost)
+		t += scanCost
+		if allZero(data) {
+			// Zero elision: record the mark instead of shipping 4 KiB of
+			// zeroes; the re-fault resolves with UFFDIO_ZEROPAGE.
+			m.wb.NoteZero(key)
+			m.cell(victim).ZeroElided++
+			m.tr.Emit(trace.EvZeroElide, m.workerOf(victim), victim, t, 0, "")
+			m.fd.Recycle(data)
+			return t, nil
+		}
+	}
+
+	if m.tier != nil {
+		done, accepted, displaced, terr := m.tier.offer(t, key, data)
+		if terr != nil {
+			return t, terr
+		}
+		t = done
+		for _, d := range displaced {
+			if t, err = m.wb.Enqueue(t, d.key, d.key.Page(), d.data); err != nil {
+				return t, err
+			}
+		}
+		if accepted {
+			// The tier kept a compressed copy; the raw frame is free.
+			m.fd.Recycle(data)
+			return t, nil
+		}
+	}
+
+	if m.cfg.AsyncWrite {
+		flushesBefore := m.wb.flushes
+		if t, err = m.wb.Enqueue(t, key, victim, data); err != nil {
+			return t, fmt.Errorf("core: enqueue write %v: %w", key, err)
+		}
+		m.cell(victim).Flushes += m.wb.flushes - flushesBefore
+		return t, nil
+	}
+	m.cell(victim).SyncWrites++
+	if !m.storeLocal {
+		t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
+	}
+	done, err := m.cfg.Store.Put(t, key, data)
+	m.record(OpWritePage, victim, done-t)
+	// Put copied the bytes (or failed terminally); either way the frame is
+	// ours again.
+	m.fd.Recycle(data)
+	if err != nil {
+		return done, fmt.Errorf("core: write %v: %w", key, err)
+	}
+	return done, nil
+}
+
+// copyOutCost charges a user-space page copy (ablation A3's replacement for
+// the zero-copy remap).
+func copyOutCost(m *Monitor, t time.Duration) (time.Duration, error) {
+	return t + m.cfg.UFFD.Copy.Sample(m.rng), nil
+}
+
+// markClean write-protects a freshly installed page whose bytes match the
+// durable store copy, arming the clean-drop eviction path: the first guest
+// write trips a (simulated) WP fault that clears the protection, so a page
+// still protected at eviction time is provably unwritten. No-op unless
+// cfg.CleanPageDrop is on, so feature-off runs draw the exact same RNG
+// sequence as before.
+func (m *Monitor) markClean(t time.Duration, addr uint64) (time.Duration, error) {
+	if !m.cfg.CleanPageDrop {
+		return t, nil
+	}
+	done, err := m.fd.SetWriteProtect(t, addr)
+	if err != nil {
+		return t, fmt.Errorf("core: write-protect %#x: %w", addr, err)
+	}
+	m.prof.Record(OpUffdWriteProtect, done-t)
+	return done, nil
+}
+
+// allZero reports whether a page is entirely zero bytes.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

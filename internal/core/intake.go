@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file is the asynchronous control-plane → data-plane handoff: a
+// bounded lock-free intake ring (Vyukov-style bounded queue with a
+// multi-producer enqueue and a single-consumer dequeue) plus the Post* API
+// control threads call and the drain hook the data plane runs at fault
+// boundaries.
+//
+// Memory model: control-plane threads only touch the ring's atomics — never
+// the Monitor's fields — so posting is safe from any goroutine while the
+// data plane is mid-fault. Each slot carries a sequence number: a producer
+// claims a slot by CASing the enqueue cursor, writes the command, then
+// publishes by storing seq = pos+1; the consumer observes the publication
+// via that seq load (acquire), reads the command, and retires the slot by
+// storing seq = pos+mask+1 for the ring's next lap. All Monitor state
+// mutation happens on the data-plane side, inside drainIntake, which runs
+// only from the simulation thread — so the Monitor itself needs no locks.
+//
+// The ring is bounded: Post returns false when full (callers decide whether
+// to retry, drop, or fall back to the synchronous API). Commands are applied
+// at the virtual time of the fault that drains them; the control work they
+// trigger is not charged to the data plane's fault latency, mirroring a real
+// monitor where the control thread burns its own CPU.
+
+// commandKind discriminates intake commands.
+type commandKind uint8
+
+const (
+	cmdNone commandKind = iota
+	// cmdResize asks the data plane to re-bound the LRU to arg pages.
+	cmdResize
+)
+
+// command is one control-plane request.
+type command struct {
+	kind commandKind
+	arg  int
+}
+
+// intakeSlot is one ring cell. seq is the publication/retire stamp.
+type intakeSlot struct {
+	seq atomic.Uint64
+	cmd command
+}
+
+// intakeRing is the bounded MPSC queue.
+type intakeRing struct {
+	mask    uint64
+	slots   []intakeSlot
+	enqueue atomic.Uint64
+	dequeue atomic.Uint64
+}
+
+// newIntakeRing returns a ring with capacity rounded up to a power of two
+// (minimum 2).
+func newIntakeRing(capacity int) *intakeRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &intakeRing{mask: uint64(n - 1), slots: make([]intakeSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Post enqueues a command from any goroutine. It returns false when the
+// ring is full.
+func (r *intakeRing) Post(c command) bool {
+	pos := r.enqueue.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot free for this lap: claim it.
+			if r.enqueue.CompareAndSwap(pos, pos+1) {
+				slot.cmd = c
+				slot.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = r.enqueue.Load()
+		case seq < pos:
+			// Consumer hasn't retired this slot from the previous lap.
+			return false
+		default:
+			// Another producer claimed pos; advance.
+			pos = r.enqueue.Load()
+		}
+	}
+}
+
+// Poll dequeues one command. Single consumer only (the data plane).
+func (r *intakeRing) Poll() (command, bool) {
+	pos := r.dequeue.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return command{}, false // nothing published at this position
+	}
+	c := slot.cmd
+	slot.cmd = command{}
+	slot.seq.Store(pos + r.mask + 1) // retire for the next lap
+	r.dequeue.Store(pos + 1)
+	return c, true
+}
+
+// Len reports queued commands (approximate under concurrent producers).
+func (r *intakeRing) Len() int {
+	e, d := r.enqueue.Load(), r.dequeue.Load()
+	if e < d {
+		return 0
+	}
+	return int(e - d)
+}
+
+// intakeCapacity bounds outstanding async control commands.
+const intakeCapacity = 256
+
+// PostResize asks the data plane to apply a new LRU capacity at its next
+// fault boundary, without blocking the caller. Unlike the synchronous
+// Resize it is safe to call from a goroutine other than the simulation
+// thread; it reports false when the intake ring is full or the capacity is
+// invalid. Eviction work the resize triggers runs on the control plane's
+// budget — it delays no in-flight fault.
+func (m *Monitor) PostResize(capacity int) bool {
+	if capacity < 1 {
+		return false
+	}
+	return m.intake.Post(command{kind: cmdResize, arg: capacity})
+}
+
+// PendingCommands reports queued, undrained control commands.
+func (m *Monitor) PendingCommands() int { return m.intake.Len() }
+
+// drainIntake applies every queued control command at virtual time now. It
+// runs only on the data-plane (simulation) thread, at fault boundaries, so
+// command application is serialised with fault handling by construction.
+func (m *Monitor) drainIntake(now time.Duration) {
+	for {
+		c, ok := m.intake.Poll()
+		if !ok {
+			return
+		}
+		switch c.kind {
+		case cmdResize:
+			// Control-plane work: apply the bound, evict to fit. The time the
+			// evictions take is deliberately not charged to any worker.
+			_, _ = m.Resize(now, c.arg)
+		}
+	}
+}

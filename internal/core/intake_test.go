@@ -1,0 +1,255 @@
+package core
+
+// Tests for the control-plane → data-plane intake ring: single-threaded
+// fill/drain/wrap semantics, multi-producer safety under the race detector,
+// and an end-to-end stress test interleaving PostResize from a control
+// goroutine with faults on the simulation thread.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIntakeRingFillDrain(t *testing.T) {
+	r := newIntakeRing(8)
+	if _, ok := r.Poll(); ok {
+		t.Fatal("empty ring produced a command")
+	}
+	for i := 0; i < 8; i++ {
+		if !r.Post(command{kind: cmdResize, arg: i}) {
+			t.Fatalf("post %d rejected before capacity", i)
+		}
+	}
+	if r.Post(command{kind: cmdResize, arg: 99}) {
+		t.Fatal("post accepted on a full ring")
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		c, ok := r.Poll()
+		if !ok {
+			t.Fatalf("poll %d found nothing", i)
+		}
+		if c.kind != cmdResize || c.arg != i {
+			t.Fatalf("poll %d = %+v, want resize/%d (FIFO order)", i, c, i)
+		}
+	}
+	if _, ok := r.Poll(); ok {
+		t.Fatal("drained ring produced a command")
+	}
+}
+
+// TestIntakeRingWrap cycles the ring many laps with interleaved post/poll so
+// the per-slot sequence stamps exercise every lap transition.
+func TestIntakeRingWrap(t *testing.T) {
+	r := newIntakeRing(4)
+	next := 0
+	for i := 0; i < 1000; i++ {
+		if !r.Post(command{kind: cmdResize, arg: i}) {
+			t.Fatalf("post %d rejected", i)
+		}
+		if i%3 == 2 { // leave up to 3 queued to cross slot boundaries
+			for r.Len() > 1 {
+				c, ok := r.Poll()
+				if !ok {
+					t.Fatal("Len > 1 but poll found nothing")
+				}
+				if c.arg != next {
+					t.Fatalf("out of order: got %d, want %d", c.arg, next)
+				}
+				next++
+			}
+		}
+	}
+	for {
+		c, ok := r.Poll()
+		if !ok {
+			break
+		}
+		if c.arg != next {
+			t.Fatalf("out of order at tail: got %d, want %d", c.arg, next)
+		}
+		next++
+	}
+	if next != 1000 {
+		t.Fatalf("drained %d commands, want 1000", next)
+	}
+}
+
+func TestIntakeRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {256, 256}, {257, 512},
+	} {
+		r := newIntakeRing(tc.ask)
+		if got := len(r.slots); got != tc.want {
+			t.Fatalf("newIntakeRing(%d) has %d slots, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestIntakeRingMultiProducer hammers the ring from several producer
+// goroutines with a single concurrent consumer and checks every command is
+// delivered exactly once. Run under -race this also validates the
+// publication ordering (write cmd before seq store).
+func TestIntakeRingMultiProducer(t *testing.T) {
+	const producers = 8
+	const perProducer = 500
+	r := newIntakeRing(64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !r.Post(command{kind: cmdResize, arg: p*perProducer + i}) {
+					runtime.Gosched() // full: let the consumer catch up
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	seen := make(map[int]bool, producers*perProducer)
+	drained := false
+	for !drained {
+		c, ok := r.Poll()
+		if !ok {
+			select {
+			case <-done:
+				// Producers finished; one final sweep below.
+				drained = true
+			default:
+				runtime.Gosched()
+			}
+			continue
+		}
+		if seen[c.arg] {
+			t.Fatalf("command %d delivered twice", c.arg)
+		}
+		seen[c.arg] = true
+	}
+	for {
+		c, ok := r.Poll()
+		if !ok {
+			break
+		}
+		if seen[c.arg] {
+			t.Fatalf("command %d delivered twice", c.arg)
+		}
+		seen[c.arg] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d commands, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestPostResizeAppliedAtFaultBoundary(t *testing.T) {
+	m := newMonitor(t, dramCfg(32), 256)
+	var now time.Duration
+	for i := 0; i < 64; i++ {
+		_, done, err := m.Touch(now, addr(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if got := m.ResidentPages(); got != 32 {
+		t.Fatalf("resident = %d, want 32", got)
+	}
+	if !m.PostResize(8) {
+		t.Fatal("PostResize rejected")
+	}
+	// Nothing applied until the data plane reaches a fault boundary.
+	if got := m.PendingCommands(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	if got := m.ResidentPages(); got != 32 {
+		t.Fatalf("resize applied early: resident = %d", got)
+	}
+	if _, done, err := m.Touch(now, addr(64), true); err != nil {
+		t.Fatal(err)
+	} else {
+		now = done
+	}
+	if got := m.ResidentPages(); got > 8 {
+		t.Fatalf("resident = %d after resize to 8", got)
+	}
+	if got := m.PendingCommands(); got != 0 {
+		t.Fatalf("pending = %d after drain, want 0", got)
+	}
+	_ = now
+}
+
+func TestPostResizeRejectsBadCapacity(t *testing.T) {
+	m := newMonitor(t, dramCfg(16), 64)
+	if m.PostResize(0) {
+		t.Fatal("capacity 0 accepted")
+	}
+	if m.PostResize(-3) {
+		t.Fatal("negative capacity accepted")
+	}
+	if got := m.PendingCommands(); got != 0 {
+		t.Fatalf("bad capacities queued: pending = %d", got)
+	}
+}
+
+// TestControlDataHandoffStress interleaves a control goroutine posting
+// random resizes with the simulation thread serving faults — the handoff the
+// intake ring exists for. Under -race (check-race) this is the regression
+// test for the control/data concurrency contract; in any build it checks the
+// monitor's LRU bound converges to the last applied capacity.
+func TestControlDataHandoffStress(t *testing.T) {
+	m := newMonitor(t, dramCfg(64), 1024)
+	rng := rand.New(rand.NewSource(42))
+	stop := make(chan struct{})
+	var posted sync.WaitGroup
+	posted.Add(1)
+	go func() {
+		defer posted.Done()
+		ctl := rand.New(rand.NewSource(43))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.PostResize(8 + ctl.Intn(120)) // full ring is fine: drop it
+			}
+		}
+	}()
+	var now time.Duration
+	for i := 0; i < 20000; i++ {
+		_, done, err := m.Touch(now, addr(rng.Intn(1024)), rng.Intn(2) == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	close(stop)
+	posted.Wait()
+	// Drain whatever the control thread left queued, then post one last
+	// resize so the final state is deterministic, and drain that too.
+	if _, done, err := m.Touch(now, addr(0), true); err != nil {
+		t.Fatal(err)
+	} else {
+		now = done
+	}
+	if !m.PostResize(48) {
+		t.Fatal("PostResize rejected on an empty ring")
+	}
+	if _, _, err := m.Touch(now, addr(1), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PendingCommands(); got != 0 {
+		t.Fatalf("pending = %d after final drain, want 0", got)
+	}
+	if got := m.FootprintLimit(); got != 48 {
+		t.Fatalf("final capacity = %d, want 48", got)
+	}
+	if got := m.ResidentPages(); got > 48 {
+		t.Fatalf("resident = %d exceeds final capacity 48", got)
+	}
+}

@@ -1,7 +1,5 @@
 package core
 
-import "container/list"
-
 // lruList is the monitor's resident-page list (§V-A), partitioned into
 // per-shard segments for the multi-worker fault pipeline. Its semantics
 // follow the paper exactly: a page enters the list when the monitor sees it
@@ -20,16 +18,27 @@ import "container/list"
 // page — eviction order is bit-for-bit identical to the single-segment list
 // for ANY shard count, and the capacity budget the monitor enforces with
 // Len stays global. The property tests in lru_test.go assert both.
+//
+// The list is intrusive and pooled: nodes removed by eviction go on a
+// freelist and are reused by the next insert, so the steady-state fault
+// path (evict one, insert one) allocates nothing.
 type lruList struct {
-	shards  []*list.List // each element holds an lruEntry
-	index   map[uint64]*list.Element
+	shards  []lruShard
+	index   map[uint64]*lruNode
+	free    *lruNode // freelist threaded through next
 	nextSeq uint64
 }
 
-// lruEntry is one resident page plus its global insertion stamp.
-type lruEntry struct {
-	addr uint64
-	seq  uint64
+// lruNode is one resident page plus its global insertion stamp.
+type lruNode struct {
+	addr       uint64
+	seq        uint64
+	prev, next *lruNode
+}
+
+// lruShard is one segment: head is the segment's oldest entry.
+type lruShard struct {
+	head, tail *lruNode
 }
 
 // newShardedLRU returns an empty list split into the given number of
@@ -38,23 +47,32 @@ func newShardedLRU(shards int) *lruList {
 	if shards < 1 {
 		shards = 1
 	}
-	l := &lruList{index: make(map[uint64]*list.Element)}
-	for i := 0; i < shards; i++ {
-		l.shards = append(l.shards, list.New())
+	return &lruList{
+		shards: make([]lruShard, shards),
+		index:  make(map[uint64]*lruNode),
 	}
-	return l
 }
 
 // newLRUList returns the single-segment (serial monitor) list.
 func newLRUList() *lruList { return newShardedLRU(1) }
 
 // shardOf maps a page address to its segment.
-func (l *lruList) shardOf(addr uint64) *list.List {
-	return l.shards[(addr/PageSize)%uint64(len(l.shards))]
+func (l *lruList) shardOf(addr uint64) *lruShard {
+	return &l.shards[(addr/PageSize)%uint64(len(l.shards))]
 }
 
 // Len reports tracked pages across all segments.
 func (l *lruList) Len() int { return len(l.index) }
+
+// getNode pops a recycled node or allocates one.
+func (l *lruList) getNode() *lruNode {
+	if n := l.free; n != nil {
+		l.free = n.next
+		*n = lruNode{}
+		return n
+	}
+	return &lruNode{}
+}
 
 // Insert appends addr at the bottom (newest) position of its segment.
 // Inserting an address already present is a bug in the monitor and panics
@@ -64,7 +82,18 @@ func (l *lruList) Insert(addr uint64) {
 		panic("core: page already in LRU list")
 	}
 	l.nextSeq++
-	l.index[addr] = l.shardOf(addr).PushBack(lruEntry{addr: addr, seq: l.nextSeq})
+	n := l.getNode()
+	n.addr = addr
+	n.seq = l.nextSeq
+	s := l.shardOf(addr)
+	n.prev = s.tail
+	if s.tail != nil {
+		s.tail.next = n
+	} else {
+		s.head = n
+	}
+	s.tail = n
+	l.index[addr] = n
 }
 
 // Contains reports membership.
@@ -76,29 +105,41 @@ func (l *lruList) Contains(addr uint64) bool {
 // Oldest returns the eviction candidate: the entry with the globally
 // minimum insertion stamp, found among the segment heads.
 func (l *lruList) Oldest() (uint64, bool) {
-	var best lruEntry
+	var bestAddr, bestSeq uint64
 	found := false
-	for _, shard := range l.shards {
-		front := shard.Front()
+	for i := range l.shards {
+		front := l.shards[i].head
 		if front == nil {
 			continue
 		}
-		e := front.Value.(lruEntry)
-		if !found || e.seq < best.seq {
-			best = e
+		if !found || front.seq < bestSeq {
+			bestAddr, bestSeq = front.addr, front.seq
 			found = true
 		}
 	}
-	return best.addr, found
+	return bestAddr, found
 }
 
-// Remove deletes addr, reporting whether it was present.
+// Remove deletes addr, reporting whether it was present. The node goes on
+// the freelist for reuse.
 func (l *lruList) Remove(addr uint64) bool {
-	elem, ok := l.index[addr]
+	n, ok := l.index[addr]
 	if !ok {
 		return false
 	}
-	l.shardOf(addr).Remove(elem)
+	s := l.shardOf(addr)
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
 	delete(l.index, addr)
+	*n = lruNode{next: l.free}
+	l.free = n
 	return true
 }

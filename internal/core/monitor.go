@@ -3,14 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core/resilience"
 	"fluidmem/internal/hotset"
 	"fluidmem/internal/kvstore"
-	"fluidmem/internal/stats"
 	"fluidmem/internal/trace"
 	"fluidmem/internal/uffd"
 	"fluidmem/internal/vm"
@@ -76,6 +74,18 @@ type Stats struct {
 // Monitor is the FluidMem user-space page-fault handler. One monitor serves
 // all VMs on a hypervisor: its LRU capacity bounds their combined local
 // footprint (§V-A). It implements vm.Backing so a VM plugs into it directly.
+//
+// The implementation is split into two halves, Clio-style:
+//
+//   - The data plane (dataplane.go) is the per-fault path — fault decode,
+//     shard dispatch, LRU touch, store read, write-list append. After a
+//     short warm-up it runs without heap allocation: page frames, LRU
+//     nodes, pending writes, and batch buffers all come from pools, and
+//     the nil-tracer / nil-hotset fast paths cost nothing.
+//   - The control plane (controlplane.go) is everything slow or rare —
+//     registration, teardown, resize, drain, stats capture — and may
+//     allocate freely. Control threads talk to the data plane through the
+//     lock-free intake ring (intake.go), drained at fault boundaries.
 type Monitor struct {
 	cfg  Config
 	fd   *uffd.FD
@@ -110,6 +120,11 @@ type Monitor struct {
 	// resilient is non-nil when cfg.Resilience routed the store through the
 	// fault-handling policy layer; it exposes health and counters.
 	resilient *resilience.Store
+
+	// intake is the control plane's async command queue (see intake.go);
+	// scratch holds the data plane's reusable buffers (see arena.go).
+	intake  *intakeRing
+	scratch dataArena
 
 	epoch uint64
 	// statsCells holds one counter cell per worker; see the Stats comment
@@ -166,7 +181,7 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 	}
 	fd := uffd.New(cfg.UFFD, cfg.Seed)
 	fd.SetTracer(cfg.Trace, workers)
-	return &Monitor{
+	m := &Monitor{
 		storeLocal:   local,
 		resilient:    res,
 		tier:         tier,
@@ -182,833 +197,14 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 		lru:          newShardedLRU(workers),
 		seen:         make(map[uint64]bool),
 		wb:           newShardedWriteback(cfg.Store, cfg.WriteBatchSize, workers, cfg.Trace),
+		intake:       newIntakeRing(intakeCapacity),
 		registry:     registry,
 		hypervisorID: hypervisorID,
 		partitions:   make(map[int]kvstore.PartitionID),
-	}, nil
-}
-
-// workerOf shards a page address onto a fault-pipeline worker. The same
-// function shards the LRU segments and write-list queues, so a worker only
-// ever touches its own structures on the fault path (evictions, which pick
-// the globally oldest page, are the one deliberate cross-shard operation).
-func (m *Monitor) workerOf(addr uint64) int {
-	return int((addr / PageSize) % uint64(m.workers))
-}
-
-// cell returns the Stats cell owned by addr's worker; see Stats for the
-// memory model.
-func (m *Monitor) cell(addr uint64) *Stats {
-	return &m.statsCells[m.workerOf(addr)]
-}
-
-// record charges one profiled monitor operation to both the Table-I
-// profiler and the tracer's per-(phase, worker) latency histogram, with the
-// worker attributed by the page address that caused the work.
-func (m *Monitor) record(op string, addr uint64, d time.Duration) {
-	m.prof.Record(op, d)
-	m.tr.Observe(op, m.workerOf(addr), d)
-}
-
-// traceFault emits the end-to-end FAULT span for a resolved fault: the
-// event's arg carries the resolution path, and a per-path histogram
-// ("FAULT.<path>") accumulates alongside the merged FAULT one so the
-// paper's Fig. 5-style breakdown falls straight out of a Snapshot.
-func (m *Monitor) traceFault(ev uffd.Event, start, resume time.Duration, path string, err error) {
-	if err != nil || m.tr == nil {
-		return
 	}
-	w := m.workerOf(ev.Addr)
-	m.tr.Emit(trace.EvFault, w, ev.Addr, start, resume-start, path)
-	m.tr.Observe("FAULT."+path, w, resume-start)
-}
-
-// RegisterRange registers [start, start+length) for fault handling on behalf
-// of the VM process pid, allocating the VM's virtual partition on first use.
-// QEMU calls this when wrapping the guest memory allocation, and again for
-// each hotplugged memory slot (§IV).
-func (m *Monitor) RegisterRange(start, length uint64, pid int) (*uffd.Region, error) {
-	if _, ok := m.partitions[pid]; !ok {
-		part, err := m.registry.Allocate(m.hypervisorID, pid)
-		if err != nil {
-			return nil, fmt.Errorf("core: allocate partition for pid %d: %w", pid, err)
-		}
-		m.partitions[pid] = part
-	}
-	region, err := m.fd.Register(start, length, pid)
-	if err != nil {
-		return nil, fmt.Errorf("core: register region: %w", err)
-	}
-	return region, nil
-}
-
-// UnregisterVM tears down all regions of pid: resident pages are dropped,
-// store contents deleted, and the partition released (VM shutdown, §V-A).
-// Teardown is best-effort under backend failure: a failed delete (a leaked
-// page in a crashed member) is remembered but does not abort the teardown —
-// the partition is still unregistered and released, and the first delete
-// error is reported at the end.
-func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error) {
-	part, ok := m.partitions[pid]
-	if !ok {
-		return now, fmt.Errorf("%w: %d", ErrUnknownPID, pid)
-	}
-	var firstErr error
-	for _, region := range m.fd.Regions() {
-		if region.PID != pid {
-			continue
-		}
-		for addr := region.Start; addr < region.End(); addr += PageSize {
-			if m.lru.Remove(addr) {
-				m.fd.Drop(addr)
-				m.epoch++
-			}
-			m.hot.Remove(addr)
-			if m.seen[addr] {
-				delete(m.seen, addr)
-				key := kvstore.MakeKey(addr, part)
-				if m.tier != nil {
-					m.tier.drop(key)
-				}
-				// Cancel pending engine state so a later flush cannot
-				// resurrect a deleted page in the store.
-				m.wb.DiscardQueued(key)
-				m.wb.DropZero(key)
-				var err error
-				if now, err = m.cfg.Store.Delete(now, key); err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("core: delete page %#x: %w", addr, err)
-				}
-			}
-		}
-		m.fd.Unregister(region)
-	}
-	delete(m.partitions, pid)
-	if err := m.registry.Release(part); err != nil && firstErr == nil {
-		firstErr = fmt.Errorf("core: release partition: %w", err)
-	}
-	return now, firstErr
-}
-
-// Touch implements vm.Backing: a guest access to addr. Resident pages return
-// immediately; missing pages take the full monitor fault path.
-func (m *Monitor) Touch(now time.Duration, addr uint64, write bool) ([]byte, time.Duration, error) {
-	data, done, hit, err := m.fd.Access(now, addr, write)
-	if err != nil {
-		return nil, done, err
-	}
-	if hit {
-		return data, done, nil
-	}
-	ev, ok := m.fd.NextEvent()
-	if !ok {
-		return nil, done, errors.New("core: fault raised but no event queued")
-	}
-	resolved, err := m.handleFault(done, ev)
-	if err != nil {
-		return nil, resolved, err
-	}
-	if m.faultLatencies != nil {
-		m.faultLatencies(resolved - now)
-	}
-	// The vCPU retries the instruction; the page is now resident. A write
-	// to a freshly zero-mapped page breaks COW here, exactly as in §V-A.
-	data, done, hit, err = m.fd.Access(resolved, addr, write)
-	if err != nil {
-		return nil, done, err
-	}
-	if !hit {
-		return nil, done, fmt.Errorf("core: page %#x still missing after fault resolution", addr)
-	}
-	return data, done, nil
-}
-
-// handleFault resolves one userfaultfd event, returning the virtual time at
-// which the faulting vCPU resumes.
-func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Duration, error) {
-	m.cell(ev.Addr).Faults++
-	part, ok := m.partitions[ev.PID]
-	if !ok {
-		return eventAt, fmt.Errorf("%w: %d", ErrUnknownPID, ev.PID)
-	}
-	m.hot.Fault(ev.Addr)
-	// Handling starts when the fault's worker is free: the pipeline shards
-	// by page address, so a fault queues only behind its own worker.
-	w := m.workerOf(ev.Addr)
-	t := eventAt
-	if m.workerFree[w] > t {
-		t = m.workerFree[w]
-	}
-	t += m.cfg.MonitorOps.EventDispatch.Sample(m.rng)
-
-	// Seen-pages hash probe (the "pagetracker", §V-A).
-	hashCost := m.cfg.MonitorOps.HashLookup.Sample(m.rng)
-	m.record(OpInsertPageHash, ev.Addr, hashCost)
-	t += hashCost
-
-	key := kvstore.MakeKey(ev.Addr, part)
-	if !m.seen[ev.Addr] && m.cfg.PageTracker {
-		resumeAt, err := m.resolveFirstTouch(t, ev)
-		m.traceFault(ev, eventAt, resumeAt, "first_touch", err)
-		return resumeAt, err
-	}
-	// Zero-bitmap hit: the page's latest eviction was elided, so any store
-	// copy is stale — restore it with UFFDIO_ZEROPAGE, no store traffic.
-	// Checked unconditionally (not gated on cfg.ElideZeroPages): a standing
-	// mark means the store was never updated, so reading it would be wrong
-	// even if the feature has since been toggled off.
-	if m.wb.TakeZero(key) {
-		resumeAt, err := m.resolveZeroRefill(t, ev)
-		m.traceFault(ev, eventAt, resumeAt, "zero_refill", err)
-		return resumeAt, err
-	}
-	resumeAt, path, batched, err := m.resolveFromStore(t, ev, key)
-	if err == nil && m.cfg.PrefetchPages > 0 && !batched {
-		// Read ahead while the guest is already running (off the critical
-		// path; occupies only the fault's worker). The batched-read path
-		// has already folded the prefetch into its MultiGet.
-		m.workerFree[w] = m.prefetch(m.workerFree[w], ev.Addr, part)
-	}
-	m.traceFault(ev, eventAt, resumeAt, path, err)
-	return resumeAt, err
-}
-
-// resolveFirstTouch maps the zero page and wakes the guest; eviction, if
-// needed, happens after the wake-up, off the critical path (Figure 2).
-func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Duration, error) {
-	m.cell(ev.Addr).FirstTouch++
-	m.seen[ev.Addr] = true
-	return m.zeroFill(t, ev)
-}
-
-// resolveZeroRefill resolves a re-fault of a zero-elided page: the eviction
-// recorded the page's all-zero contents in the zero bitmap instead of
-// writing the store, so the refill is a local UFFDIO_ZEROPAGE — the same
-// fast path as first touch, counted separately.
-func (m *Monitor) resolveZeroRefill(t time.Duration, ev uffd.Event) (time.Duration, error) {
-	m.cell(ev.Addr).ZeroRefills++
-	return m.zeroFill(t, ev)
-}
-
-// zeroFill installs the zero page, wakes the guest, and runs asynchronous
-// eviction afterwards — shared tail of first-touch and zero-refill faults.
-func (m *Monitor) zeroFill(t time.Duration, ev uffd.Event) (time.Duration, error) {
-	done, err := m.fd.ZeroPage(t, ev.Addr)
-	if err != nil {
-		return t, fmt.Errorf("core: zeropage %#x: %w", ev.Addr, err)
-	}
-	m.prof.Record(OpUffdZeroPage, done-t)
-	t = done
-	m.epoch++
-
-	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-	m.record(OpInsertLRUCache, ev.Addr, lruCost)
-	t += lruCost
-	m.lru.Insert(ev.Addr)
-
-	t = m.fd.Wake(t, ev.Addr)
-	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
-
-	// Asynchronous eviction (blue path in Figure 2): the monitor keeps
-	// working after the guest resumes.
-	mFree := t
-	var err2 error
-	for m.lru.Len() > m.cfg.LRUCapacity {
-		if mFree, err2 = m.evictOne(mFree, false); err2 != nil {
-			return resumeAt, err2
-		}
-	}
-	m.workerFree[m.workerOf(ev.Addr)] = mFree
-	return resumeAt, nil
-}
-
-// resolveFromStore fetches a previously seen page: from the write list
-// (steal), after an in-flight write, or from the key-value store, evicting
-// to make room. path names the resolution route for the fault trace
-// ("tier", "steal", "read", "batched_read"). The batched return flag
-// reports that the read already folded the prefetch window into its
-// MultiGet, so the caller must not prefetch again.
-func (m *Monitor) resolveFromStore(t time.Duration, ev uffd.Event, key kvstore.Key) (resumeAt time.Duration, path string, batched bool, err error) {
-	// Compressed-tier hit: decompress locally, no network round trip.
-	if m.tier != nil {
-		data, done, hit, err := m.tier.take(t, key)
-		if err != nil {
-			return t, "tier", false, err
-		}
-		if hit {
-			// Not store-backed: the tier held the only current copy.
-			rt, err := m.installAndWake(done, ev, data, false, true)
-			return rt, "tier", false, err
-		}
-	}
-	// Steal shortcut: the page is sitting on the pending write list.
-	if m.cfg.StealEnabled && m.cfg.AsyncWrite {
-		if data, ok := m.wb.Steal(t, key); ok {
-			m.cell(ev.Addr).Steals++
-			// Not store-backed: the stolen write never reached the store.
-			rt, err := m.installAndWake(t, ev, data, false, true)
-			return rt, "steal", false, err
-		}
-	} else if m.cfg.AsyncWrite && m.wb.Queued(key) {
-		// Without stealing, a queued write must be flushed and completed
-		// before the read can see the page — the two round trips the steal
-		// optimisation shortcuts (§V-B).
-		if err := m.wb.Flush(t); err != nil {
-			return t, "read", false, fmt.Errorf("core: forced flush for %v: %w", key, err)
-		}
-	}
-	// A write of this page is in flight: wait for it to land, then read.
-	if doneAt, ok := m.wb.WaitFor(t, key); ok {
-		m.cell(ev.Addr).InFlightWaits++
-		t = doneAt
-	}
-
-	m.cell(ev.Addr).RemoteReads++
-	if m.cfg.AsyncRead && m.cfg.BatchReads && m.cfg.PrefetchPages > 0 {
-		rt, b, err := m.resolveBatchedRead(t, ev, key)
-		return rt, "batched_read", b, err
-	}
-	var data []byte
-	if m.cfg.AsyncRead {
-		// Top half: issue the read immediately; the eviction's REMAP and
-		// all monitor bookkeeping (LRU insert, cache update) run while the
-		// network waits (§V-B asynchronous reads). Only the copy and wake
-		// remain after the reply lands.
-		issue := t
-		if !m.storeLocal {
-			issue += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
-		}
-		pending := m.cfg.Store.StartGet(issue, key)
-		overlap := issue
-		for m.lru.Len() >= m.cfg.LRUCapacity {
-			if overlap, err = m.evictOne(overlap, true); err != nil {
-				return t, "read", false, err
-			}
-			overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
-		}
-		updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
-		m.record(OpUpdatePageCache, ev.Addr, updCost)
-		overlap += updCost
-		lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-		m.record(OpInsertLRUCache, ev.Addr, lruCost)
-		overlap += lruCost
-		m.lru.Insert(ev.Addr)
-
-		// Bottom half.
-		var readDone time.Duration
-		data, readDone, err = pending.Wait(overlap)
-		m.record(OpReadPage, ev.Addr, pending.ReadyAt-issue)
-		if err != nil {
-			return readDone, "read", false, fmt.Errorf("core: read %v: %w", key, err)
-		}
-		done, err := m.fd.Copy(readDone, ev.Addr, data)
-		if err != nil {
-			return readDone, "read", false, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
-		}
-		m.prof.Record(OpUffdCopy, done-readDone)
-		m.epoch++
-		if done, err = m.markClean(done, ev.Addr); err != nil {
-			return done, "read", false, err
-		}
-		t = m.fd.Wake(done, ev.Addr)
-		m.workerFree[m.workerOf(ev.Addr)] = t
-		return t + m.cfg.MonitorOps.Resume.Sample(m.rng), "read", false, nil
-	}
-	{
-		if !m.storeLocal {
-			t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
-		}
-		var readDone time.Duration
-		data, readDone, err = m.cfg.Store.Get(t, key)
-		m.record(OpReadPage, ev.Addr, readDone-t)
-		if err != nil {
-			return readDone, "read", false, fmt.Errorf("core: read %v: %w", key, err)
-		}
-		t = readDone
-		for m.lru.Len() >= m.cfg.LRUCapacity {
-			if t, err = m.evictOne(t, false); err != nil {
-				return t, "read", false, err
-			}
-		}
-	}
-	rt, err := m.installAndWake(t, ev, data, true, false)
-	return rt, "read", false, err
-}
-
-// resolveBatchedRead resolves a demand fault and its readahead window with a
-// single amortised MultiGet (cfg.BatchReads): the demand key and every
-// prefetch candidate travel in one round trip instead of a pipeline of
-// per-page split reads. The eviction's REMAP and monitor bookkeeping still
-// overlap the network wait as in the split-read path, and the readahead
-// pages are installed after the guest wakes, off the critical path.
-func (m *Monitor) resolveBatchedRead(t time.Duration, ev uffd.Event, key kvstore.Key) (time.Duration, bool, error) {
-	w := m.workerOf(ev.Addr)
-	cands := m.gatherPrefetch(t, ev.Addr, key.Partition())
-	issue := t
-	if !m.storeLocal {
-		issue += m.cfg.MonitorOps.AsyncIssue.Sample(m.rng)
-	}
-	keys := make([]kvstore.Key, 1, 1+len(cands))
-	keys[0] = key
-	idx := make([]int, 0, len(cands)) // candidate index for each extra key
-	for i, c := range cands {
-		if c.data == nil {
-			keys = append(keys, c.key)
-			idx = append(idx, i)
-		}
-	}
-	pages, readDone, err := m.cfg.Store.MultiGet(issue, keys)
-	if err != nil {
-		return t, true, fmt.Errorf("core: batched read %v: %w", key, err)
-	}
-	if pages[0] == nil {
-		return t, true, fmt.Errorf("core: read %v: %w", key, kvstore.ErrNotFound)
-	}
-	for j, ci := range idx {
-		cands[ci].data = pages[1+j] // nil stays nil on a store miss
-	}
-	// Eviction and bookkeeping overlap the network wait (§V-B).
-	overlap := issue
-	for m.lru.Len() >= m.cfg.LRUCapacity {
-		if overlap, err = m.evictOne(overlap, true); err != nil {
-			return t, true, err
-		}
-		overlap += m.cfg.MonitorOps.EvictFinish.Sample(m.rng)
-	}
-	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
-	m.record(OpUpdatePageCache, ev.Addr, updCost)
-	overlap += updCost
-	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-	m.record(OpInsertLRUCache, ev.Addr, lruCost)
-	overlap += lruCost
-	m.lru.Insert(ev.Addr)
-	m.record(OpReadPage, ev.Addr, readDone-issue)
-
-	// Bottom half: the copy and wake run once both the reply has landed and
-	// the overlapped bookkeeping is done.
-	t = overlap
-	if readDone > t {
-		t = readDone
-	}
-	done, err := m.fd.Copy(t, ev.Addr, pages[0])
-	if err != nil {
-		return t, true, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
-	}
-	m.prof.Record(OpUffdCopy, done-t)
-	m.epoch++
-	if done, err = m.markClean(done, ev.Addr); err != nil {
-		return done, true, err
-	}
-	t = m.fd.Wake(done, ev.Addr)
-	resumeAt := t + m.cfg.MonitorOps.Resume.Sample(m.rng)
-
-	// Install the readahead pages while the guest is already running.
-	mFree := t
-	for _, c := range cands {
-		if c.data == nil {
-			continue // store miss: the page will fault normally
-		}
-		var stop bool
-		mFree, stop = m.installPrefetched(mFree, ev.Addr, c.addr, c.data, !c.stolen)
-		if stop {
-			break
-		}
-	}
-	m.workerFree[w] = mFree
-	return resumeAt, true, nil
-}
-
-// installAndWake copies data into the faulting page, re-inserts it in the
-// LRU list, and wakes the guest. storeBacked says the bytes match a durable
-// store copy, arming clean tracking; steals and tier hits install data the
-// store does not hold, so they must pass false. The store-read paths have
-// already made room; the steal shortcut has not, so it evicts here
-// (needEvict).
-func (m *Monitor) installAndWake(t time.Duration, ev uffd.Event, data []byte, storeBacked, needEvict bool) (time.Duration, error) {
-	if needEvict {
-		var err error
-		for m.lru.Len() >= m.cfg.LRUCapacity {
-			if t, err = m.evictOne(t, false); err != nil {
-				return t, err
-			}
-		}
-	}
-	updCost := m.cfg.MonitorOps.CacheUpdate.Sample(m.rng)
-	m.record(OpUpdatePageCache, ev.Addr, updCost)
-	t += updCost
-
-	done, err := m.fd.Copy(t, ev.Addr, data)
-	if err != nil {
-		return t, fmt.Errorf("core: copy into %#x: %w", ev.Addr, err)
-	}
-	m.prof.Record(OpUffdCopy, done-t)
-	t = done
-	m.epoch++
-	if storeBacked {
-		if t, err = m.markClean(t, ev.Addr); err != nil {
-			return t, err
-		}
-	}
-
-	lruCost := m.cfg.MonitorOps.LRUInsert.Sample(m.rng)
-	m.record(OpInsertLRUCache, ev.Addr, lruCost)
-	t += lruCost
-	m.lru.Insert(ev.Addr)
-
-	t = m.fd.Wake(t, ev.Addr)
-	m.workerFree[m.workerOf(ev.Addr)] = t
-	return t + m.cfg.MonitorOps.Resume.Sample(m.rng), nil
-}
-
-// evictOne pushes the oldest LRU page out of the VM and toward the store.
-// Eviction is the one deliberate cross-shard operation: the victim is the
-// globally oldest page, so its counters are attributed to the victim's own
-// cell (see Stats) to keep merged totals worker-count-independent.
-func (m *Monitor) evictOne(t time.Duration, interleaved bool) (time.Duration, error) {
-	victim, ok := m.lru.Oldest()
-	if !ok {
-		return t, errors.New("core: eviction needed but LRU list empty")
-	}
-	m.lru.Remove(victim)
-	m.hot.Evict(victim)
-	m.cell(victim).Evictions++
-	evictStart := t
-
-	// Dirty check (must precede the remap, which destroys the mapping): a
-	// page still write-protected since its store-backed install was never
-	// written, so the store copy is current and no write is needed.
-	clean := m.cfg.CleanPageDrop && m.fd.PageClean(victim)
-
-	var (
-		data []byte
-		err  error
-	)
-	if m.cfg.EvictWithCopy {
-		// Ablation A3: copy the page out, then zap the mapping. Costs a
-		// page copy but no TLB shootdown IPI.
-		start := t
-		var mapped []byte
-		mapped, t, _, err = m.fd.Access(t, victim, false)
-		if err != nil {
-			return t, fmt.Errorf("core: evict-copy read %#x: %w", victim, err)
-		}
-		data = append([]byte(nil), mapped...)
-		copyDone, err := copyOutCost(m, t)
-		if err != nil {
-			return t, err
-		}
-		t = copyDone
-		m.fd.Drop(victim)
-		m.prof.Record(OpUffdRemap, t-start)
-		m.tr.Emit(trace.EvEvict, m.workerOf(victim), victim, evictStart, t-evictStart, "copy")
-	} else {
-		var done time.Duration
-		data, done, err = m.fd.Remap(t, victim, interleaved)
-		if err != nil {
-			return t, fmt.Errorf("core: remap %#x: %w", victim, err)
-		}
-		m.prof.Record(OpUffdRemap, done-t)
-		t = done
-		m.tr.Emit(trace.EvEvict, m.workerOf(victim), victim, evictStart, t-evictStart, "remap")
-	}
-	m.epoch++
-
-	if clean {
-		// Clean drop: the store copy is current, the local frame is already
-		// freed — the eviction is done, with no write, no tier offer, no
-		// list traffic.
-		m.cell(victim).CleanDropped++
-		m.tr.Emit(trace.EvCleanDrop, m.workerOf(victim), victim, t, 0, "")
-		return t, nil
-	}
-
-	region := m.regionOf(victim)
-	if region == nil {
-		return t, fmt.Errorf("core: evicted page %#x has no region", victim)
-	}
-	part, ok := m.partitions[region.PID]
-	if !ok {
-		return t, fmt.Errorf("%w: %d", ErrUnknownPID, region.PID)
-	}
-	key := kvstore.MakeKey(victim, part)
-
-	if m.cfg.ElideZeroPages {
-		scanCost := m.cfg.MonitorOps.ZeroScan.Sample(m.rng)
-		m.record(OpZeroScan, victim, scanCost)
-		t += scanCost
-		if allZero(data) {
-			// Zero elision: record the mark instead of shipping 4 KiB of
-			// zeroes; the re-fault resolves with UFFDIO_ZEROPAGE.
-			m.wb.NoteZero(key)
-			m.cell(victim).ZeroElided++
-			m.tr.Emit(trace.EvZeroElide, m.workerOf(victim), victim, t, 0, "")
-			return t, nil
-		}
-	}
-
-	if m.tier != nil {
-		done, accepted, displaced, terr := m.tier.offer(t, key, data)
-		if terr != nil {
-			return t, terr
-		}
-		t = done
-		for _, d := range displaced {
-			if t, err = m.wb.Enqueue(t, d.key, d.key.Page(), d.data); err != nil {
-				return t, err
-			}
-		}
-		if accepted {
-			return t, nil
-		}
-	}
-
-	if m.cfg.AsyncWrite {
-		flushesBefore := m.wb.flushes
-		if t, err = m.wb.Enqueue(t, key, victim, data); err != nil {
-			return t, fmt.Errorf("core: enqueue write %v: %w", key, err)
-		}
-		m.cell(victim).Flushes += m.wb.flushes - flushesBefore
-		return t, nil
-	}
-	m.cell(victim).SyncWrites++
-	if !m.storeLocal {
-		t += m.cfg.MonitorOps.RPCOverhead.Sample(m.rng)
-	}
-	done, err := m.cfg.Store.Put(t, key, data)
-	m.record(OpWritePage, victim, done-t)
-	if err != nil {
-		return done, fmt.Errorf("core: write %v: %w", key, err)
-	}
-	return done, nil
-}
-
-// copyOutCost charges a user-space page copy (ablation A3's replacement for
-// the zero-copy remap).
-func copyOutCost(m *Monitor, t time.Duration) (time.Duration, error) {
-	return t + m.cfg.UFFD.Copy.Sample(m.rng), nil
-}
-
-// markClean write-protects a freshly installed page whose bytes match the
-// durable store copy, arming the clean-drop eviction path: the first guest
-// write trips a (simulated) WP fault that clears the protection, so a page
-// still protected at eviction time is provably unwritten. No-op unless
-// cfg.CleanPageDrop is on, so feature-off runs draw the exact same RNG
-// sequence as before.
-func (m *Monitor) markClean(t time.Duration, addr uint64) (time.Duration, error) {
-	if !m.cfg.CleanPageDrop {
-		return t, nil
-	}
-	done, err := m.fd.SetWriteProtect(t, addr)
-	if err != nil {
-		return t, fmt.Errorf("core: write-protect %#x: %w", addr, err)
-	}
-	m.prof.Record(OpUffdWriteProtect, done-t)
-	return done, nil
-}
-
-// allZero reports whether a page is entirely zero bytes.
-func allZero(p []byte) bool {
-	for _, b := range p {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Discard implements vm.Backing: a balloon-freed page loses its contents.
-func (m *Monitor) Discard(addr uint64) {
-	addr = addr &^ uint64(PageSize-1)
-	if m.lru.Remove(addr) {
-		m.fd.Drop(addr)
-		m.epoch++
-	}
-	// The page's contents are gone: it must leave the ghost list too, or a
-	// later first touch of the same address would register as a re-reference
-	// and inflate the working-set estimate.
-	m.hot.Remove(addr)
-	if m.seen[addr] {
-		delete(m.seen, addr)
-		if region := m.regionOf(addr); region != nil {
-			if part, ok := m.partitions[region.PID]; ok {
-				// Asynchronous tombstone; timing is off any critical path.
-				_, _ = m.cfg.Store.Delete(m.workerFree[m.workerOf(addr)], kvstore.MakeKey(addr, part))
-			}
-		}
-	}
-	if region := m.regionOf(addr); region != nil {
-		if part, ok := m.partitions[region.PID]; ok {
-			key := kvstore.MakeKey(addr, part)
-			// A balloon-freed page's bytes must never reach the store:
-			// cancel any queued write and drop any zero mark or tier copy.
-			m.wb.DiscardQueued(key)
-			m.wb.DropZero(key)
-			if m.tier != nil {
-				m.tier.drop(key)
-			}
-		}
-	}
-}
-
-// Resize changes the LRU capacity at runtime (§III: "the local memory buffer
-// can be actively sized up or down"). Shrinking evicts immediately; the
-// returned time covers the eviction work. This is the mechanism behind
-// Table III's near-zero footprints.
-func (m *Monitor) Resize(now time.Duration, capacity int) (time.Duration, error) {
-	if capacity < 1 {
-		return now, fmt.Errorf("%w: LRU capacity %d < 1", ErrBadConfig, capacity)
-	}
-	m.cfg.LRUCapacity = capacity
-	t := now
-	var err error
-	for m.lru.Len() > capacity {
-		if t, err = m.evictOne(t, false); err != nil {
-			return t, err
-		}
-	}
-	// Worker 0 is an arbitrary but fixed attribution: a resize is not caused
-	// by any page address. The arg carries the new capacity in pages.
-	m.tr.Emit(trace.EvResize, 0, uint64(capacity), now, t-now, "")
-	return t, nil
-}
-
-// Hotset returns the attached working-set estimator (nil when disabled).
-func (m *Monitor) Hotset() *hotset.Tracker { return m.hot }
-
-// HotsetSnapshot copies the estimator's counters; the zero Snapshot when
-// estimation is disabled.
-func (m *Monitor) HotsetSnapshot() hotset.Snapshot { return m.hot.Snapshot() }
-
-// Drain flushes the write list and waits for all in-flight writes —
-// quiescing the monitor (tests, teardown, consistent snapshots).
-func (m *Monitor) Drain(now time.Duration) (time.Duration, error) {
-	return m.wb.Drain(now)
-}
-
-// ResidentPages implements vm.Backing.
-func (m *Monitor) ResidentPages() int { return m.lru.Len() }
-
-// FootprintLimit implements vm.FootprintLimiter.
-func (m *Monitor) FootprintLimit() int { return m.cfg.LRUCapacity }
-
-// Epoch implements vm.Backing.
-func (m *Monitor) Epoch() uint64 { return m.epoch }
-
-// Stats returns a snapshot of monitor counters, merged field-wise across
-// every worker's cell — the read-side synchronisation point of the
-// per-worker counter discipline (see Stats).
-func (m *Monitor) Stats() Stats {
-	var total Stats
-	for i := range m.statsCells {
-		c := &m.statsCells[i]
-		total.Faults += c.Faults
-		total.FirstTouch += c.FirstTouch
-		total.RemoteReads += c.RemoteReads
-		total.Steals += c.Steals
-		total.InFlightWaits += c.InFlightWaits
-		total.Evictions += c.Evictions
-		total.SyncWrites += c.SyncWrites
-		total.Flushes += c.Flushes
-		total.Prefetches += c.Prefetches
-		total.ZeroElided += c.ZeroElided
-		total.CleanDropped += c.CleanDropped
-		total.ZeroRefills += c.ZeroRefills
-	}
-	return total
-}
-
-// Workers reports the fault-pipeline width (>= 1).
-func (m *Monitor) Workers() int { return m.workers }
-
-// ResidentAddrs returns the sorted addresses of all currently resident
-// pages — a stable snapshot for equivalence harnesses (shardtest): two
-// monitors are resident-set-equal iff these slices are equal.
-func (m *Monitor) ResidentAddrs() []uint64 {
-	addrs := make([]uint64, 0, len(m.lru.index))
-	for addr := range m.lru.index {
-		addrs = append(addrs, addr)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	return addrs
-}
-
-// Profiler exposes the per-code-path latency profiler (§VI-C).
-func (m *Monitor) Profiler() *Profiler { return m.prof }
-
-// Tracer exposes the tracer threaded through the fault pipeline (nil when
-// tracing is disabled).
-func (m *Monitor) Tracer() *trace.Tracer { return m.tr }
-
-// Partition reports the virtual partition assigned to pid.
-func (m *Monitor) Partition(pid int) (kvstore.PartitionID, bool) {
-	p, ok := m.partitions[pid]
-	return p, ok
-}
-
-// SetFaultLatencySink registers a callback receiving every end-to-end fault
-// latency (pmbench-style measurement hooks).
-func (m *Monitor) SetFaultLatencySink(sink func(time.Duration)) {
-	m.faultLatencies = sink
-}
-
-// WriteListLen reports pages awaiting flush (test hook).
-func (m *Monitor) WriteListLen() int { return m.wb.QueuedLen() }
-
-// WritebackStats reports the write-back engine's counters: flush batch
-// sizes, coalesced re-evictions, zero-bitmap activity.
-func (m *Monitor) WritebackStats() WritebackStats { return m.wb.Snapshot() }
-
-// WPFaults reports guest writes that tripped the clean-tracking write
-// protection (CleanPageDrop).
-func (m *Monitor) WPFaults() uint64 { return m.fd.WPFaults() }
-
-func (m *Monitor) regionOf(addr uint64) *uffd.Region {
-	for _, r := range m.fd.Regions() {
-		if addr >= r.Start && addr < r.End() {
-			return r
-		}
-	}
-	return nil
-}
-
-// StoreHealth reports the resilience layer's backend health signal; ok is
-// false when the layer is disabled (cfg.Resilience == nil).
-func (m *Monitor) StoreHealth() (resilience.Health, bool) {
-	if m.resilient == nil {
-		return resilience.Health{}, false
-	}
-	return m.resilient.Health(), true
-}
-
-// ResilienceStats reports the policy layer's intervention counters; ok is
-// false when the layer is disabled.
-func (m *Monitor) ResilienceStats() (resilience.Stats, bool) {
-	if m.resilient == nil {
-		return resilience.Stats{}, false
-	}
-	return m.resilient.ResilienceStats(), true
-}
-
-// ResilienceCounters exports the policy layer's counters as a named set
-// (nil when the layer is disabled) — the surface fluidmemd and the chaos
-// harness render.
-func (m *Monitor) ResilienceCounters() *stats.Counters {
-	if m.resilient == nil {
-		return nil
-	}
-	return m.resilient.ResilienceStats().Counters()
-}
-
-// CompressStats reports the compressed tier's counters; ok is false when the
-// tier is disabled.
-func (m *Monitor) CompressStats() (CompressStats, bool) {
-	if m.tier == nil {
-		return CompressStats{}, false
-	}
-	return m.tier.stats, true
-}
-
-// PageResident reports whether the page containing addr is currently in the
-// monitor's LRU list (operator/experiment introspection).
-func (m *Monitor) PageResident(addr uint64) bool {
-	return m.lru.Contains(addr &^ uint64(PageSize-1))
+	// When the write-back engine is done with a buffer (flushed, coalesced
+	// away, cancelled) the frame returns to the descriptor's pool: frames
+	// circulate VM → write list → pool → VM without touching the heap.
+	m.wb.setRecycle(fd.Recycle)
+	return m, nil
 }

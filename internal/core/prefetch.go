@@ -40,7 +40,9 @@ func (m *Monitor) gatherPrefetch(now time.Duration, addr uint64, part kvstore.Pa
 	if region == nil {
 		return nil
 	}
-	var cands []prefetchCandidate
+	// The candidate list lives in the data arena: valid until the next
+	// fault's gather, which is after the caller is done with it.
+	cands := m.scratch.cands[:0]
 	for i := 1; i <= m.cfg.PrefetchPages; i++ {
 		next := addr + uint64(i)*PageSize
 		if next >= region.End() {
@@ -64,6 +66,7 @@ func (m *Monitor) gatherPrefetch(now time.Duration, addr uint64, part kvstore.Pa
 		}
 		cands = append(cands, c)
 	}
+	m.scratch.cands = cands
 	return cands
 }
 
@@ -111,8 +114,16 @@ func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionI
 	if len(cands) == 0 {
 		return t
 	}
-	// Top halves: pipeline every read first.
-	gets := make([]*kvstore.PendingGet, len(cands))
+	// Top halves: pipeline every read first. The handle vector is arena
+	// scratch, parallel to cands; a candidate with data already stolen from
+	// the write list needs no read, so its slot stays zero and the bottom
+	// half keys off c.data instead.
+	gets := m.scratch.gets
+	if cap(gets) < len(cands) {
+		gets = make([]kvstore.PendingGet, len(cands))
+	}
+	gets = gets[:len(cands)]
+	m.scratch.gets = gets
 	for i, c := range cands {
 		if c.data != nil {
 			continue // stolen from the write list; no store read needed
@@ -125,7 +136,7 @@ func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionI
 	// Bottom halves: install in order.
 	for i, c := range cands {
 		data := c.data
-		if gets[i] != nil {
+		if data == nil {
 			var err error
 			data, t, err = gets[i].Wait(t)
 			if err != nil {
@@ -137,6 +148,12 @@ func (m *Monitor) prefetch(t time.Duration, addr uint64, part kvstore.PartitionI
 		t, stop = m.installPrefetched(t, addr, c.addr, data, !c.stolen)
 		if stop {
 			break
+		}
+	}
+	// Stolen frames are ours; UFFDIO_COPY copied what it installed.
+	for _, c := range cands {
+		if c.stolen {
+			m.fd.Recycle(c.data)
 		}
 	}
 	return t

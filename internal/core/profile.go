@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -39,16 +40,127 @@ var profileOrder = []string{
 	OpUffdWriteProtect,
 }
 
+// Histogram geometry for OpProfile percentiles: fixed-width buckets sized
+// for Table I's microsecond-scale code paths, with an overflow bucket whose
+// observations report the tracked maximum.
+const (
+	profBucketWidth = 250 * time.Nanosecond
+	profBuckets     = 2048 // covers [0, 512µs)
+)
+
+// OpProfile is a bounded per-code-path latency accumulator: exact mean and
+// standard deviation from running sums, percentiles from a fixed-width
+// histogram. Unlike a sample vector it holds O(1) memory regardless of run
+// length and records without allocating — the property the fault hot path's
+// allocation regression tests pin down.
+type OpProfile struct {
+	n          uint64
+	sum, sumsq float64
+	min, max   time.Duration
+	buckets    [profBuckets + 1]uint64
+}
+
+// add records one observation.
+func (o *OpProfile) add(d time.Duration) {
+	if o.n == 0 || d < o.min {
+		o.min = d
+	}
+	if d > o.max {
+		o.max = d
+	}
+	o.n++
+	f := float64(d)
+	o.sum += f
+	o.sumsq += f * f
+	idx := int(d / profBucketWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > profBuckets {
+		idx = profBuckets
+	}
+	o.buckets[idx]++
+}
+
+// Len reports the number of observations.
+func (o *OpProfile) Len() int { return int(o.n) }
+
+// Mean returns the arithmetic mean, or 0 for an empty profile.
+func (o *OpProfile) Mean() time.Duration {
+	if o.n == 0 {
+		return 0
+	}
+	return time.Duration(o.sum / float64(o.n))
+}
+
+// Stdev returns the population standard deviation, or 0 for fewer than two
+// observations.
+func (o *OpProfile) Stdev() time.Duration {
+	if o.n < 2 {
+		return 0
+	}
+	mean := o.sum / float64(o.n)
+	v := o.sumsq/float64(o.n) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return time.Duration(math.Sqrt(v))
+}
+
+// Min and Max return the extreme observations (0 when empty).
+func (o *OpProfile) Min() time.Duration { return o.min }
+func (o *OpProfile) Max() time.Duration { return o.max }
+
+// Percentile returns the p-th percentile (p in [0, 100]) from the
+// histogram: the upper edge of the bucket holding the rank, clamped to the
+// tracked extremes. Overflow observations report the maximum.
+func (o *OpProfile) Percentile(p float64) time.Duration {
+	if o.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return o.min
+	}
+	if p >= 100 {
+		return o.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(o.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i <= profBuckets; i++ {
+		seen += o.buckets[i]
+		if seen >= rank {
+			if i == profBuckets {
+				return o.max
+			}
+			v := time.Duration(i+1) * profBucketWidth
+			if v > o.max {
+				v = o.max
+			}
+			if v < o.min {
+				v = o.min
+			}
+			return v
+		}
+	}
+	return o.max
+}
+
 // Profiler records per-code-path latencies, reproducing FluidMem's built-in
-// ability to profile individual components of the fault path (§VI-C).
+// ability to profile individual components of the fault path (§VI-C). Each
+// code path's accumulator is allocated on its first observation; recording
+// after that is allocation-free, so the profiler may stay enabled on the
+// data plane's hot path.
 type Profiler struct {
 	enabled bool
-	samples map[string]*stats.Sample
+	samples map[string]*OpProfile
 }
 
 // NewProfiler returns a profiler; when disabled, Record is a no-op.
 func NewProfiler(enabled bool) *Profiler {
-	return &Profiler{enabled: enabled, samples: make(map[string]*stats.Sample)}
+	return &Profiler{enabled: enabled, samples: make(map[string]*OpProfile)}
 }
 
 // Record logs one op taking d.
@@ -56,16 +168,16 @@ func (p *Profiler) Record(op string, d time.Duration) {
 	if !p.enabled {
 		return
 	}
-	s, ok := p.samples[op]
+	o, ok := p.samples[op]
 	if !ok {
-		s = stats.NewSample(1024)
-		p.samples[op] = s
+		o = &OpProfile{}
+		p.samples[op] = o
 	}
-	s.Add(d)
+	o.add(d)
 }
 
-// Sample returns the sample for op, or nil if never recorded.
-func (p *Profiler) Sample(op string) *stats.Sample { return p.samples[op] }
+// Sample returns the profile for op, or nil if never recorded.
+func (p *Profiler) Sample(op string) *OpProfile { return p.samples[op] }
 
 // Table renders the Table I layout: avg / stdev / p99 per code path.
 func (p *Profiler) Table() string {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this binary was built with -race.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race. The allocation
+// regression tests skip under the race detector: its instrumentation
+// allocates on paths that are allocation-free in a normal build.
+const raceEnabled = true

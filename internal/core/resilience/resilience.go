@@ -308,19 +308,15 @@ func (s *Store) noteSuccess(at, elapsed time.Duration) {
 	}
 }
 
-// do runs op under the full policy. op takes an issue time and returns a
-// completion time and error; do returns the final completion time and error.
-func (s *Store) do(now time.Duration, op func(t time.Duration) (time.Duration, error)) (time.Duration, error) {
-	s.stats.Ops++
+// resume runs the policy loop after a first attempt already failed at done
+// with err. The first attempt is made inline by each operation (no closure,
+// so the healthy fast path allocates nothing); only failures pay for the
+// op closure that the retry/park machinery needs. now is the operation's
+// original issue time (deadline and elapsed-time anchor).
+func (s *Store) resume(now, done time.Duration, err error, op func(t time.Duration) (time.Duration, error)) (time.Duration, error) {
 	deadline := now + s.policy.OpDeadline
-	t := now
 	retries := 0
 	for {
-		done, err := op(t)
-		if err == nil {
-			s.noteSuccess(done, done-now)
-			return done, nil
-		}
 		if permanent(err) {
 			// Not a backend failure; the answer is simply "no".
 			s.stats.PermanentErrors++
@@ -336,7 +332,11 @@ func (s *Store) do(now time.Duration, op func(t time.Duration) (time.Duration, e
 		s.stats.BackoffTime += delay
 		s.tr.Emit(trace.EvRetry, 0, 0, done, delay, "")
 		retries++
-		t = done + delay
+		done, err = op(done + delay)
+		if err == nil {
+			s.noteSuccess(done, done-now)
+			return done, nil
+		}
 	}
 }
 
@@ -382,24 +382,42 @@ func (s *Store) park(opStart, now time.Duration, op func(t time.Duration) (time.
 	}
 }
 
-// Put implements kvstore.Store.
+// Put implements kvstore.Store. The first attempt is inline: a healthy
+// backend never pays for the retry machinery (no closure allocation).
 func (s *Store) Put(now time.Duration, key kvstore.Key, page []byte) (time.Duration, error) {
-	return s.do(now, func(t time.Duration) (time.Duration, error) {
+	s.stats.Ops++
+	done, err := s.inner.Put(now, key, page)
+	if err == nil {
+		s.noteSuccess(done, done-now)
+		return done, nil
+	}
+	return s.resume(now, done, err, func(t time.Duration) (time.Duration, error) {
 		return s.inner.Put(t, key, page)
 	})
 }
 
 // MultiPut implements kvstore.Store.
 func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (time.Duration, error) {
-	return s.do(now, func(t time.Duration) (time.Duration, error) {
+	s.stats.Ops++
+	done, err := s.inner.MultiPut(now, keys, pages)
+	if err == nil {
+		s.noteSuccess(done, done-now)
+		return done, nil
+	}
+	return s.resume(now, done, err, func(t time.Duration) (time.Duration, error) {
 		return s.inner.MultiPut(t, keys, pages)
 	})
 }
 
 // Get implements kvstore.Store.
 func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
-	var data []byte
-	done, err := s.do(now, func(t time.Duration) (time.Duration, error) {
+	s.stats.Ops++
+	data, done, err := s.inner.Get(now, key)
+	if err == nil {
+		s.noteSuccess(done, done-now)
+		return data, done, nil
+	}
+	done, err = s.resume(now, done, err, func(t time.Duration) (time.Duration, error) {
 		var d time.Duration
 		var e error
 		data, d, e = s.inner.Get(t, key)
@@ -415,8 +433,13 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 // parks as one unit: per-key misses are nil entries (not errors), so only
 // store-level failures enter the policy loop.
 func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
-	var pages [][]byte
-	done, err := s.do(now, func(t time.Duration) (time.Duration, error) {
+	s.stats.Ops++
+	pages, done, err := s.inner.MultiGet(now, keys)
+	if err == nil {
+		s.noteSuccess(done, done-now)
+		return pages, done, nil
+	}
+	done, err = s.resume(now, done, err, func(t time.Duration) (time.Duration, error) {
 		var d time.Duration
 		var e error
 		pages, d, e = s.inner.MultiGet(t, keys)
@@ -433,7 +456,7 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 // synchronous resilient Get, whose completion time becomes the ReadyAt the
 // bottom half waits on — so retries, failover, and degraded stalls are all
 // charged into the fault's wait window.
-func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	p := s.inner.StartGet(now, key)
 	if p.Err == nil {
 		s.stats.Ops++
@@ -447,12 +470,18 @@ func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet
 	}
 	s.noteFailure(p.ReadyAt, p.Err)
 	data, done, err := s.Get(p.ReadyAt, key)
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
 }
 
 // Delete implements kvstore.Store.
 func (s *Store) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {
-	return s.do(now, func(t time.Duration) (time.Duration, error) {
+	s.stats.Ops++
+	done, err := s.inner.Delete(now, key)
+	if err == nil {
+		s.noteSuccess(done, done-now)
+		return done, nil
+	}
+	return s.resume(now, done, err, func(t time.Duration) (time.Duration, error) {
 		return s.inner.Delete(t, key)
 	})
 }

@@ -92,9 +92,9 @@ func (f *fakeStore) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, t
 	return pages, done, nil
 }
 
-func (f *fakeStore) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (f *fakeStore) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	data, done, err := f.Get(now, key)
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
 }
 
 func (f *fakeStore) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"strconv"
 	"time"
 
@@ -46,16 +45,33 @@ type pendingWrite struct {
 // any shard count. Every elision decision depends only on page contents and
 // logical state, never on virtual time, so the batches stay identical for
 // any worker count with elision on too.
+//
+// Ownership: Enqueue takes ownership of the caller's data buffer. When a
+// buffer's bytes are no longer needed — replaced by a coalescing
+// re-eviction, cancelled by a zero mark or discard, or safely copied by the
+// store's MultiPut — the engine hands it to the recycle hook (if set) so
+// the fault pipeline can reuse the frame. Steal transfers ownership back to
+// the caller. pendingWrite structs and the flush batch/keys/pages scratch
+// are pooled, so steady-state enqueue+flush allocates nothing.
 type writeback struct {
 	store     kvstore.Store
 	batchSize int
 	// tr receives flush/steal/wait events; nil disables tracing.
 	tr *trace.Tracer
+	// recycle, when non-nil, receives buffers the engine is done with.
+	recycle func([]byte)
 
 	// shards holds the per-worker queues of evicted pages not yet submitted.
 	shards  []map[kvstore.Key]*pendingWrite
 	queued  int // total across shards
 	nextSeq uint64
+
+	// freePW pools retired pendingWrite structs; batchScratch, keyScratch
+	// and pageScratch are the reusable flush buffers.
+	freePW      []*pendingWrite
+	batchScratch []*pendingWrite
+	keyScratch  []kvstore.Key
+	pageScratch [][]byte
 
 	// zero is the zero bitmap: keys whose latest evicted contents were all
 	// zeroes and were therefore never written to the store. Membership is
@@ -118,6 +134,32 @@ func newShardedWriteback(store kvstore.Store, batchSize, shards int, tr *trace.T
 	return w
 }
 
+// setRecycle installs the frame-recycling hook (nil disables recycling).
+func (w *writeback) setRecycle(fn func([]byte)) { w.recycle = fn }
+
+// release hands a buffer the engine no longer needs to the recycle hook.
+func (w *writeback) release(buf []byte) {
+	if w.recycle != nil && buf != nil {
+		w.recycle(buf)
+	}
+}
+
+// getPW pops a pooled pendingWrite or allocates one.
+func (w *writeback) getPW() *pendingWrite {
+	if n := len(w.freePW); n > 0 {
+		pw := w.freePW[n-1]
+		w.freePW = w.freePW[:n-1]
+		return pw
+	}
+	return &pendingWrite{}
+}
+
+// putPW retires a pendingWrite struct (its data must already be handed off).
+func (w *writeback) putPW(pw *pendingWrite) {
+	*pw = pendingWrite{}
+	w.freePW = append(w.freePW, pw)
+}
+
 // shardIndex maps a key to its queue's shard (the same formula as the
 // monitor's workerOf, so a key's queue and its fault worker coincide).
 func (w *writeback) shardIndex(key kvstore.Key) int {
@@ -132,7 +174,7 @@ func (w *writeback) shardOf(key kvstore.Key) map[kvstore.Key]*pendingWrite {
 // Enqueue adds an evicted page and flushes if the global batch threshold is
 // reached. It returns the caller-visible completion time: enqueueing is off
 // the critical path, so this is just now (flush I/O occupies the store's
-// device asynchronously).
+// device asynchronously). Ownership of data transfers to the engine.
 func (w *writeback) Enqueue(now time.Duration, key kvstore.Key, addr uint64, data []byte) (time.Duration, error) {
 	w.gc(now)
 	// Fresh data supersedes any zero marker for this key: once the write
@@ -141,18 +183,37 @@ func (w *writeback) Enqueue(now time.Duration, key kvstore.Key, addr uint64, dat
 	shard := w.shardOf(key)
 	if old, ok := shard[key]; ok {
 		// Re-eviction of a page whose previous write never flushed: replace
-		// the data in place, keeping the original queue position.
+		// the data in place, keeping the original queue position. The
+		// superseded buffer goes back to the frame pool.
+		w.release(old.data)
 		old.data = data
 		w.coalesced++
 		return now, nil
 	}
 	w.nextSeq++
-	shard[key] = &pendingWrite{key: key, addr: addr, data: data, seq: w.nextSeq}
+	pw := w.getPW()
+	pw.key, pw.addr, pw.data, pw.seq = key, addr, data, w.nextSeq
+	shard[key] = pw
 	w.queued++
 	if w.queued >= w.batchSize {
 		return now, w.Flush(now)
 	}
 	return now, nil
+}
+
+// sortPendingBySeq orders a gathered batch by global enqueue stamp.
+// Insertion sort: batches are small (≤ a few × batchSize) and this avoids
+// the sort package's interface boxing on the hot flush path.
+func sortPendingBySeq(batch []*pendingWrite) {
+	for i := 1; i < len(batch); i++ {
+		pw := batch[i]
+		j := i - 1
+		for j >= 0 && batch[j].seq > pw.seq {
+			batch[j+1] = batch[j]
+			j--
+		}
+		batch[j+1] = pw
+	}
 }
 
 // Flush submits all queued writes, across every shard in global enqueue
@@ -162,33 +223,56 @@ func (w *writeback) Flush(now time.Duration) error {
 	if w.queued == 0 {
 		return nil
 	}
-	batch := make([]*pendingWrite, 0, w.queued)
+	batch := w.batchScratch[:0]
 	for _, shard := range w.shards {
 		for _, pw := range shard {
 			batch = append(batch, pw)
 		}
 	}
-	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
-	keys := make([]kvstore.Key, len(batch))
-	pages := make([][]byte, len(batch))
-	for i, pw := range batch {
-		keys[i] = pw.key
-		pages[i] = pw.data
+	w.batchScratch = batch
+	sortPendingBySeq(batch)
+	keys := w.keyScratch[:0]
+	pages := w.pageScratch[:0]
+	for _, pw := range batch {
+		keys = append(keys, pw.key)
+		pages = append(pages, pw.data)
 	}
+	w.keyScratch, w.pageScratch = keys, pages
 	done, err := w.store.MultiPut(now, keys, pages)
 	if err != nil {
 		return err
 	}
-	w.tr.Emit(trace.EvFlush, 0, 0, now, done-now, strconv.Itoa(len(batch)))
+	if w.tr != nil {
+		w.tr.Emit(trace.EvFlush, 0, 0, now, done-now, strconv.Itoa(len(batch)))
+	}
 	for _, pw := range batch {
 		delete(w.shardOf(pw.key), pw.key)
 		w.inflight[pw.key] = done
+		// MultiPut copied the bytes (store ownership contract), so the
+		// frames can return to the fault pipeline's pool.
+		w.release(pw.data)
+		w.putPW(pw)
 	}
 	w.queued = 0
 	w.flushes++
 	w.flushedPages += uint64(len(batch))
 	w.flushSizes[len(batch)]++
+	// Drop references so pooled buffers aren't pinned by the scratch.
+	clearPending(w.batchScratch)
+	clearPages(w.pageScratch)
 	return nil
+}
+
+func clearPending(s []*pendingWrite) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+func clearPages(s [][]byte) {
+	for i := range s {
+		s[i] = nil
+	}
 }
 
 // NoteZero records that key's latest evicted contents are all zeroes: any
@@ -196,8 +280,11 @@ func (w *writeback) Flush(now time.Duration) error {
 // the zero bitmap, so the eviction costs no store traffic at all.
 func (w *writeback) NoteZero(key kvstore.Key) {
 	if shard := w.shardOf(key); shard[key] != nil {
+		pw := shard[key]
 		delete(shard, key)
 		w.queued--
+		w.release(pw.data)
+		w.putPW(pw)
 	}
 	w.zero[key] = true
 	w.zeroMarks++
@@ -228,11 +315,14 @@ func (w *writeback) DropZero(key kvstore.Key) { delete(w.zero, key) }
 // hit the store.
 func (w *writeback) DiscardQueued(key kvstore.Key) bool {
 	shard := w.shardOf(key)
-	if shard[key] == nil {
+	pw := shard[key]
+	if pw == nil {
 		return false
 	}
 	delete(shard, key)
 	w.queued--
+	w.release(pw.data)
+	w.putPW(pw)
 	return true
 }
 
@@ -257,6 +347,7 @@ func (w *writeback) Snapshot() WritebackStats {
 // Steal resolves a fault from the write list: if key is still queued, its
 // data is returned and the write is cancelled (the page is going right back
 // into the VM, so nothing needs storing). ok=false if the key is not queued.
+// Ownership of the returned buffer transfers to the caller.
 func (w *writeback) Steal(now time.Duration, key kvstore.Key) ([]byte, bool) {
 	w.gc(now)
 	shard := w.shardOf(key)
@@ -268,7 +359,10 @@ func (w *writeback) Steal(now time.Duration, key kvstore.Key) ([]byte, bool) {
 	w.queued--
 	w.steals++
 	w.tr.Emit(trace.EvSteal, w.shardIndex(key), key.Page(), now, 0, "")
-	return pw.data, true
+	data := pw.data
+	pw.data = nil
+	w.putPW(pw)
+	return data, true
 }
 
 // WaitFor reports when an in-flight write of key completes; ok=false if no

@@ -60,6 +60,27 @@ type storeNode struct {
 
 func (n *storeNode) bit() uint64 { return 1 << uint(n.slot) }
 
+// set copies page into the node's map, reusing the existing buffer on
+// overwrite so steady-state writeback traffic allocates nothing. Buffers are
+// never shared between nodes (membership transfers copy), so reuse is safe.
+func (n *storeNode) set(key kvstore.Key, page []byte) {
+	if old, ok := n.pages[key]; ok {
+		copy(old, page)
+		return
+	}
+	n.pages[key] = append([]byte(nil), page...)
+}
+
+// insertionSortInts sorts a tiny slice in place without the interface boxing
+// sort.Ints may incur; slot lists are bounded by maxSlots.
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
 // Config parametrises a pool.
 type Config struct {
 	// Nodes is the initial store-node count.
@@ -156,6 +177,18 @@ type Pool struct {
 
 	stats kvstore.Stats
 	ctr   Counters
+
+	// Data-plane scratch, reused across operations. The pool is single-
+	// threaded like the rest of the simulator, so one set of buffers
+	// suffices and steady-state reads and writeback flushes allocate
+	// nothing (DESIGN.md §14).
+	orderScratch  []int
+	targetScratch []*storeNode
+	mpNodes       []*storeNode // flat arena of per-key targets, in key order
+	mpCounts      []int        // targets per key, indexes mpNodes
+	mpSlots       []int        // distinct slots touched by the batch
+	mpAll         []*storeNode // distinct target nodes, slot order
+	mpGroups      [maxSlots]int
 }
 
 var _ kvstore.Store = (*Pool)(nil)
@@ -316,23 +349,26 @@ func (p *Pool) checkEpoch(targets []*storeNode) error {
 	return nil
 }
 
-// writeTargets resolves a key's reachable assignment nodes under the client
-// table. If the cached table routes only to dark nodes there is nobody left
-// to bounce ErrStaleEpoch, so the client would retry the same dead placement
-// forever; in that case it refreshes from the committed table and resolves
-// once more — an empty result then means the partition is unreachable under
-// the *current* placement, a genuinely transient condition.
-func (p *Pool) writeTargets(key kvstore.Key) []*storeNode {
+// appendWriteTargets resolves a key's reachable assignment nodes under the
+// client table, appending them to buf (callers pass reusable scratch so the
+// hot path allocates nothing). It returns the extended slice plus the full
+// assignment width, which the caller compares against the appended count to
+// detect partial writes. If the cached table routes only to dark nodes there
+// is nobody left to bounce ErrStaleEpoch, so the client would retry the same
+// dead placement forever; in that case it refreshes from the committed table
+// and resolves once more — an empty result then means the partition is
+// unreachable under the *current* placement, a genuinely transient condition.
+func (p *Pool) appendWriteTargets(buf []*storeNode, key kvstore.Key) ([]*storeNode, int) {
+	start := len(buf)
 	for {
 		slots := p.client.Assign(key.Partition())
-		targets := make([]*storeNode, 0, len(slots))
 		for _, s := range slots {
 			if n := p.slotNode(s); p.reachable(n) {
-				targets = append(targets, n)
+				buf = append(buf, n)
 			}
 		}
-		if len(targets) > 0 || p.client == p.committed {
-			return targets
+		if len(buf) > start || p.client == p.committed {
+			return buf, len(slots)
 		}
 		p.refresh()
 	}
@@ -346,20 +382,21 @@ func (p *Pool) Put(now time.Duration, key kvstore.Key, page []byte) (time.Durati
 		return now, err
 	}
 	p.stats.Puts++
-	targets := p.writeTargets(key)
+	targets, assigned := p.appendWriteTargets(p.targetScratch[:0], key)
+	p.targetScratch = targets[:0]
 	if len(targets) == 0 {
 		return now, fmt.Errorf("%w: partition %d", ErrUnavailable, key.Partition())
 	}
 	if err := p.checkEpoch(targets); err != nil {
 		return now, err
 	}
-	if len(targets) < len(p.client.Assign(key.Partition())) {
+	if len(targets) < assigned {
 		p.ctr.PartialPuts++
 	}
 	latest := now
 	var mask uint64
 	for _, n := range targets {
-		n.pages[key] = append([]byte(nil), page...)
+		n.set(key, page)
 		if done := n.write.Submit(now); done > latest {
 			latest = done
 		}
@@ -387,52 +424,61 @@ func (p *Pool) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (
 	if len(keys) == 0 {
 		return now, nil
 	}
-	// Plan the whole batch first: per-key targets, per-slot groups.
-	perKey := make([][]*storeNode, len(keys))
-	groups := make(map[int]int) // slot → batched key count
-	var slots []int
-	seen := make(map[int]*storeNode)
+	// Plan the whole batch first: per-key targets (a flat arena carved by
+	// per-key counts), per-slot groups. All planning state is pool-level
+	// scratch reused across batches, so a steady-state writeback flush
+	// allocates nothing.
+	p.mpNodes = p.mpNodes[:0]
+	p.mpCounts = p.mpCounts[:0]
+	p.mpSlots = p.mpSlots[:0]
+	for i := range p.mpGroups {
+		p.mpGroups[i] = 0
+	}
 	partial := false
-	for i, key := range keys {
-		targets := p.writeTargets(key)
-		if len(targets) == 0 {
+	for _, key := range keys {
+		start := len(p.mpNodes)
+		buf, assigned := p.appendWriteTargets(p.mpNodes, key)
+		p.mpNodes = buf
+		count := len(buf) - start
+		if count == 0 {
 			return now, fmt.Errorf("%w: partition %d", ErrUnavailable, key.Partition())
 		}
-		if len(targets) < len(p.client.Assign(key.Partition())) {
+		if count < assigned {
 			partial = true
 		}
-		perKey[i] = targets
-		for _, n := range targets {
-			if _, ok := seen[n.slot]; !ok {
-				seen[n.slot] = n
-				slots = append(slots, n.slot)
+		p.mpCounts = append(p.mpCounts, count)
+		for _, n := range buf[start:] {
+			if p.mpGroups[n.slot] == 0 {
+				p.mpSlots = append(p.mpSlots, n.slot)
 			}
-			groups[n.slot]++
+			p.mpGroups[n.slot]++
 		}
 	}
-	sort.Ints(slots)
-	all := make([]*storeNode, 0, len(slots))
-	for _, s := range slots {
-		all = append(all, seen[s])
+	insertionSortInts(p.mpSlots)
+	p.mpAll = p.mpAll[:0]
+	for _, s := range p.mpSlots {
+		p.mpAll = append(p.mpAll, p.slotNode(s))
 	}
-	if err := p.checkEpoch(all); err != nil {
+	if err := p.checkEpoch(p.mpAll); err != nil {
 		return now, err
 	}
 	if partial {
 		p.ctr.PartialPuts++
 	}
 	latest := now
-	for _, s := range slots {
-		if done := seen[s].write.SubmitN(now, groups[s]); done > latest {
+	for _, s := range p.mpSlots {
+		if done := p.slotNode(s).write.SubmitN(now, p.mpGroups[s]); done > latest {
 			latest = done
 		}
 	}
+	off := 0
 	for i, key := range keys {
 		var mask uint64
-		for _, n := range perKey[i] {
-			n.pages[key] = append([]byte(nil), pages[i]...)
+		for _, n := range p.mpNodes[off : off+p.mpCounts[i]] {
+			n.set(key, pages[i])
 			mask |= n.bit()
 		}
+		off += p.mpCounts[i]
 		p.keys[key] = mask
 	}
 	p.stats.BytesStored = uint64(len(p.keys)) * kvstore.PageSize
@@ -442,8 +488,9 @@ func (p *Pool) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) (
 // readOrder lists the slots to try for a key: the client table's assignment
 // (preferred replica first), then any remaining mask holders ascending — so
 // a read survives even when placement has drifted from the cached table.
+// The result aliases pool-level scratch: valid until the next readOrder call.
 func (p *Pool) readOrder(key kvstore.Key, mask uint64) []int {
-	order := make([]int, 0, 4)
+	order := p.orderScratch[:0]
 	seen := uint64(0)
 	for _, s := range p.client.Assign(key.Partition()) {
 		order = append(order, s)
@@ -454,6 +501,7 @@ func (p *Pool) readOrder(key kvstore.Key, mask uint64) []int {
 			order = append(order, s)
 		}
 	}
+	p.orderScratch = order
 	return order
 }
 
@@ -486,7 +534,9 @@ func (p *Pool) getKey(now time.Duration, key kvstore.Key) ([]byte, time.Duration
 			p.ctr.Failovers++
 		}
 		p.repair(done, key, page, p.keys[key])
-		return append([]byte(nil), page...), done, nil
+		// Zero-copy read per the Store ownership contract: the caller gets
+		// a reference to the serving node's buffer.
+		return page, done, nil
 	}
 	return nil, t, fmt.Errorf("%w: %v", ErrUnavailable, key)
 }
@@ -500,7 +550,7 @@ func (p *Pool) repair(now time.Duration, key kvstore.Key, page []byte, mask uint
 		if !p.reachable(n) || mask&(1<<uint(slot)) != 0 {
 			continue
 		}
-		n.pages[key] = append([]byte(nil), page...)
+		n.set(key, page)
 		n.write.Submit(now)
 		p.keys[key] |= n.bit()
 		p.ctr.ReadRepairs++
@@ -571,7 +621,7 @@ func (p *Pool) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.D
 		for _, idx := range idxs {
 			key := keys[idx]
 			page := n.pages[key]
-			out[idx] = append([]byte(nil), page...)
+			out[idx] = page
 			p.repair(done, key, page, p.keys[key])
 		}
 	}
@@ -591,9 +641,9 @@ func (p *Pool) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.D
 // StartGet implements kvstore.Store: the split read issues the failover
 // sweep synchronously and hands the caller a PendingGet whose ReadyAt is the
 // sweep's completion time.
-func (p *Pool) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (p *Pool) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	data, done, err := p.Get(now, key)
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
 }
 
 // Delete implements kvstore.Store. Unlike a write, a delete that reaches no

@@ -59,12 +59,20 @@ func (s *Store) Put(now time.Duration, key kvstore.Key, page []byte) (time.Durat
 	if err := kvstore.ValidatePage(page); err != nil {
 		return now, err
 	}
-	if _, existed := s.pages[key]; !existed {
-		s.stats.BytesStored += kvstore.PageSize
-	}
-	s.pages[key] = append([]byte(nil), page...)
+	s.set(key, page)
 	s.stats.Puts++
 	return s.write.Submit(now), nil
+}
+
+// set copies page into the store, reusing the existing buffer on overwrite
+// so steady-state writeback traffic allocates nothing.
+func (s *Store) set(key kvstore.Key, page []byte) {
+	if old, existed := s.pages[key]; existed {
+		copy(old, page)
+		return
+	}
+	s.stats.BytesStored += kvstore.PageSize
+	s.pages[key] = append([]byte(nil), page...)
 }
 
 // MultiPut implements kvstore.Store.
@@ -80,17 +88,15 @@ func (s *Store) MultiPut(now time.Duration, keys []kvstore.Key, pages [][]byte) 
 		}
 	}
 	for i, key := range keys {
-		if _, existed := s.pages[key]; !existed {
-			s.stats.BytesStored += kvstore.PageSize
-		}
-		s.pages[key] = append([]byte(nil), pages[i]...)
+		s.set(key, pages[i])
 	}
 	s.stats.MultiPuts++
 	s.stats.Puts += uint64(len(keys))
 	return s.write.SubmitN(now, len(keys)), nil
 }
 
-// Get implements kvstore.Store.
+// Get implements kvstore.Store. The returned slice references the store's
+// internal buffer (zero-copy read, per the Store ownership contract).
 func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, error) {
 	s.stats.Gets++
 	page, ok := s.pages[key]
@@ -99,18 +105,19 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 		s.stats.Misses++
 		return nil, done, kvstore.ErrNotFound
 	}
-	return append([]byte(nil), page...), done, nil
+	return page, done, nil
 }
 
 // MultiGet implements kvstore.Store: one batched lookup pass, with the
-// copies amortised onto the read device like MultiPut's writes.
+// copies amortised onto the read device like MultiPut's writes. Returned
+// pages reference internal buffers (zero-copy reads).
 func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
 	s.stats.MultiGets++
 	s.stats.Gets += uint64(len(keys))
 	pages := make([][]byte, len(keys))
 	for i, key := range keys {
 		if page, ok := s.pages[key]; ok {
-			pages[i] = append([]byte(nil), page...)
+			pages[i] = page
 		} else {
 			s.stats.Misses++
 		}
@@ -122,9 +129,9 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 }
 
 // StartGet implements kvstore.Store.
-func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	data, readyAt, err := s.Get(now, key)
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
 }
 
 // Delete implements kvstore.Store.

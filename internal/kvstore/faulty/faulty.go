@@ -314,10 +314,10 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 // StartGet implements kvstore.Store. Injection happens at issue time; a
 // fault surfaces in the returned PendingGet exactly as a lost split read
 // would.
-func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	issue, failAt, err := s.inject(OpGet, now)
 	if err != nil {
-		return &kvstore.PendingGet{Key: key, ReadyAt: failAt, Err: err}
+		return kvstore.PendingGet{Key: key, ReadyAt: failAt, Err: err}
 	}
 	return s.inner.StartGet(issue, key)
 }

@@ -66,7 +66,7 @@ func (s *instrumented) MultiGet(now time.Duration, keys []Key) ([][]byte, time.D
 	return pages, done, err
 }
 
-func (s *instrumented) StartGet(now time.Duration, key Key) *PendingGet {
+func (s *instrumented) StartGet(now time.Duration, key Key) PendingGet {
 	p := s.inner.StartGet(now, key)
 	if p.Err == nil {
 		s.tr.Emit(trace.EvStoreGet, 0, key.Page(), now, p.ReadyAt-now, "split")

@@ -92,6 +92,18 @@ type Stats struct {
 // virtual: each call takes the current virtual time and returns the virtual
 // time at which the operation completes. Implementations model transport and
 // service-time queueing internally.
+//
+// Buffer ownership contract (load-bearing for the allocation-free fault
+// path — see DESIGN.md §14):
+//
+//   - Put / MultiPut: the store COPIES the page before returning. The caller
+//     keeps ownership of the buffer it passed in and may reuse or recycle it
+//     immediately after the call returns.
+//   - Get / MultiGet / StartGet: the store may return a reference to its
+//     INTERNAL buffer (zero-copy read). The returned bytes are valid until
+//     the next Put / MultiPut / Delete touching that key; callers that need
+//     the data past that point must copy it out first, and must never write
+//     into or recycle a store-returned buffer.
 type Store interface {
 	// Name identifies the backend ("ramcloud", "memcached", "dram").
 	Name() string
@@ -112,7 +124,9 @@ type Store interface {
 	MultiGet(now time.Duration, keys []Key) ([][]byte, time.Duration, error)
 	// StartGet issues the top half of a split read (§V-B async reads);
 	// the caller overlaps other work and then calls Wait on the result.
-	StartGet(now time.Duration, key Key) *PendingGet
+	// The result is returned by value so the fault hot path never heap-
+	// allocates a pending-read handle.
+	StartGet(now time.Duration, key Key) PendingGet
 	// Delete removes one page (VM teardown).
 	Delete(now time.Duration, key Key) (time.Duration, error)
 	// Stats returns a snapshot of traffic counters.

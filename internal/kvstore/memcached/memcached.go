@@ -135,7 +135,8 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 		return nil, done, kvstore.ErrNotFound
 	}
 	s.classes[it.class].lru.MoveToBack(it.elem)
-	return append([]byte(nil), it.data...), done, nil
+	// Zero-copy read per the Store ownership contract.
+	return it.data, done, nil
 }
 
 // MultiGet implements kvstore.Store: memcached's native multi-key get —
@@ -152,7 +153,7 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 			continue
 		}
 		s.classes[it.class].lru.MoveToBack(it.elem)
-		pages[i] = append([]byte(nil), it.data...)
+		pages[i] = it.data
 	}
 	if len(keys) == 0 {
 		return pages, now, nil
@@ -161,12 +162,12 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 }
 
 // StartGet implements kvstore.Store.
-func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	data, readyAt, err := s.Get(now, key)
 	if discounted := readyAt - s.params.AsyncReadDiscount; discounted > now {
 		readyAt = discounted
 	}
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
 }
 
 // Delete implements kvstore.Store.

@@ -91,6 +91,11 @@ type Store struct {
 	writeChan *clock.Device
 	stats     kvstore.Stats
 	cleanings uint64
+
+	// freeBufs recycles the 4 KB payloads of killed log entries so the
+	// steady-state overwrite path (kill old version, append new) reuses
+	// memory instead of allocating a fresh page per write.
+	freeBufs [][]byte
 }
 
 var _ kvstore.Store = (*Store)(nil)
@@ -162,8 +167,9 @@ func (s *Store) Get(now time.Duration, key kvstore.Key) ([]byte, time.Duration, 
 		s.stats.Misses++
 		return nil, done, kvstore.ErrNotFound
 	}
-	data := ref.segment.entries[ref.slot].data
-	return append([]byte(nil), data...), done, nil
+	// Zero-copy read per the Store ownership contract: the caller gets a
+	// reference into the log, valid until the next write touching the key.
+	return ref.segment.entries[ref.slot].data, done, nil
 }
 
 // MultiGet implements kvstore.Store. RAMCloud's multi-read amortises the
@@ -175,7 +181,7 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 	pages := make([][]byte, len(keys))
 	for i, key := range keys {
 		if ref, ok := s.index[key]; ok {
-			pages[i] = append([]byte(nil), ref.segment.entries[ref.slot].data...)
+			pages[i] = ref.segment.entries[ref.slot].data
 		} else {
 			s.stats.Misses++
 		}
@@ -190,12 +196,12 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 // reply lands at ReadyAt, letting the caller overlap eviction work (§V-B).
 // The polling async client skips the sync path's dispatch-thread handoff,
 // so the wait is AsyncReadDiscount shorter than a synchronous Get.
-func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	data, readyAt, err := s.Get(now, key)
 	if discounted := readyAt - s.params.AsyncReadDiscount; discounted > now {
 		readyAt = discounted
 	}
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: readyAt, Err: err}
 }
 
 // Delete implements kvstore.Store.
@@ -249,7 +255,16 @@ func (s *Store) appendObject(key kvstore.Key, data []byte) error {
 		s.killEntry(old) // decrements BytesStored; restored just below
 	}
 	s.stats.BytesStored += kvstore.PageSize
-	s.head.entries = append(s.head.entries, logEntry{key: key, data: append([]byte(nil), data...)})
+	var buf []byte
+	if n := len(s.freeBufs); n > 0 {
+		buf = s.freeBufs[n-1]
+		s.freeBufs[n-1] = nil
+		s.freeBufs = s.freeBufs[:n-1]
+		copy(buf, data)
+	} else {
+		buf = append([]byte(nil), data...)
+	}
+	s.head.entries = append(s.head.entries, logEntry{key: key, data: buf})
 	s.head.live++
 	s.index[key] = entryRef{segment: s.head, slot: len(s.head.entries) - 1}
 	return nil
@@ -259,6 +274,9 @@ func (s *Store) killEntry(ref entryRef) {
 	e := &ref.segment.entries[ref.slot]
 	if !e.dead {
 		e.dead = true
+		if len(e.data) == kvstore.PageSize {
+			s.freeBufs = append(s.freeBufs, e.data)
+		}
 		e.data = nil
 		ref.segment.live--
 		s.stats.BytesStored -= kvstore.PageSize

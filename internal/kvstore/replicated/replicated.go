@@ -408,12 +408,12 @@ func (s *Store) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.
 // it holds the current version; otherwise (or on failure) the bottom half
 // falls back to the synchronous failover sweep, so the caller sees one
 // PendingGet either way.
-func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
+func (s *Store) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
 	mask, live := s.keys[key]
 	if !live {
 		s.stats.Gets++
 		s.stats.Misses++
-		return &kvstore.PendingGet{Key: key, ReadyAt: now, Err: kvstore.ErrNotFound}
+		return kvstore.PendingGet{Key: key, ReadyAt: now, Err: kvstore.ErrNotFound}
 	}
 	i := s.primary
 	if !s.down[i] && mask&(1<<uint(i)) != 0 {
@@ -431,10 +431,10 @@ func (s *Store) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet
 		if err == nil {
 			s.failovers++
 		}
-		return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
+		return kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
 	}
 	data, done, err := s.Get(now, key)
-	return &kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
+	return kvstore.PendingGet{Key: key, Data: data, ReadyAt: done, Err: err}
 }
 
 // Delete implements kvstore.Store. The key leaves the authoritative index

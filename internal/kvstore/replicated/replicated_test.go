@@ -347,8 +347,8 @@ func (e erroringStore) Get(now time.Duration, key kvstore.Key) ([]byte, time.Dur
 func (e erroringStore) MultiGet(now time.Duration, keys []kvstore.Key) ([][]byte, time.Duration, error) {
 	return nil, now, errBroken
 }
-func (e erroringStore) StartGet(now time.Duration, key kvstore.Key) *kvstore.PendingGet {
-	return &kvstore.PendingGet{Key: key, ReadyAt: now, Err: errBroken}
+func (e erroringStore) StartGet(now time.Duration, key kvstore.Key) kvstore.PendingGet {
+	return kvstore.PendingGet{Key: key, ReadyAt: now, Err: errBroken}
 }
 func (e erroringStore) Delete(now time.Duration, key kvstore.Key) (time.Duration, error) {
 	return now, errBroken

@@ -416,7 +416,8 @@ func RunErrorPaths(t *testing.T, factory Factory) {
 			t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
 		}
 		// Split reads must agree with synchronous reads on missing keys.
-		if _, _, err := s.StartGet(done, key).Wait(done); !errors.Is(err, kvstore.ErrNotFound) {
+		p := s.StartGet(done, key)
+		if _, _, err := p.Wait(done); !errors.Is(err, kvstore.ErrNotFound) {
 			t.Fatalf("StartGet after Delete: err = %v, want ErrNotFound", err)
 		}
 	})

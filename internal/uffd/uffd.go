@@ -150,16 +150,32 @@ func (r *Region) MappedPages() int { return len(r.pages) }
 
 // FD is the simulated userfaultfd descriptor: the monitor process polls it
 // for fault events and resolves them with page operations.
+//
+// The descriptor recycles page frames and page structs through freelists so
+// the steady-state fault pipeline (install via Copy/ZeroPage, evict via
+// Remap, hand the frame back via Recycle) runs without heap allocation. A
+// frame returned by Remap is owned by the caller until it is passed to
+// Recycle or to a sink that copies it.
 type FD struct {
 	params  Params
 	rng     *clock.Rand
 	regions []*Region
-	queue   []Event
+
+	// queue is a ring buffer of pending fault events: qHead indexes the
+	// oldest event, qLen counts them, and the slice grows (power of two)
+	// only when depth exceeds capacity — never per event.
+	queue []Event
+	qHead int
+	qLen  int
 
 	// waiting tracks faulted addresses whose vCPU is blocked until Wake.
 	waiting map[uint64]bool
 	// wpFaults counts write-protect faults taken (dirty-tracking traffic).
 	wpFaults uint64
+
+	// freePages and freeFrames recycle page structs and PageSize buffers.
+	freePages  []*page
+	freeFrames [][]byte
 
 	// tr receives one event per page operation; trWorkers attributes each
 	// to its fault-pipeline worker by the monitor's page-address shard.
@@ -174,6 +190,68 @@ func New(params Params, seed uint64) *FD {
 		rng:     clock.NewRand(seed),
 		waiting: make(map[uint64]bool),
 	}
+}
+
+// getPage pops a recycled page struct (or allocates one) with the given
+// state. Its data field is nil.
+func (f *FD) getPage(state PageState) *page {
+	if n := len(f.freePages); n > 0 {
+		p := f.freePages[n-1]
+		f.freePages = f.freePages[:n-1]
+		*p = page{state: state}
+		return p
+	}
+	return &page{state: state}
+}
+
+// putPage recycles a page struct and, if it owns a frame, the frame too.
+func (f *FD) putPage(p *page) {
+	if p.data != nil {
+		f.Recycle(p.data)
+	}
+	*p = page{}
+	f.freePages = append(f.freePages, p)
+}
+
+// getFrame pops a recycled frame or allocates a fresh one. The contents are
+// unspecified; callers must fully overwrite or zero it.
+func (f *FD) getFrame() []byte {
+	if n := len(f.freeFrames); n > 0 {
+		buf := f.freeFrames[n-1]
+		f.freeFrames = f.freeFrames[:n-1]
+		return buf
+	}
+	return make([]byte, PageSize)
+}
+
+// GetFrame hands out a pooled PageSize buffer with unspecified contents.
+// Callers use it for monitor-side staging (e.g. copy-out eviction) and
+// return it via Recycle when done.
+func (f *FD) GetFrame() []byte { return f.getFrame() }
+
+// Recycle returns a frame to the descriptor's pool. Only full-size frames
+// whose ownership the caller holds may be recycled: buffers returned by a
+// key-value store read must never be passed here (the store retains them).
+// Short or oversized buffers are ignored.
+func (f *FD) Recycle(buf []byte) {
+	if len(buf) != PageSize {
+		return
+	}
+	f.freeFrames = append(f.freeFrames, buf)
+}
+
+// pushEvent appends a fault event to the ring, growing it only when full.
+func (f *FD) pushEvent(ev Event) {
+	if f.qLen == len(f.queue) {
+		grown := make([]Event, max(16, 2*len(f.queue)))
+		for i := 0; i < f.qLen; i++ {
+			grown[i] = f.queue[(f.qHead+i)%len(f.queue)]
+		}
+		f.queue = grown
+		f.qHead = 0
+	}
+	f.queue[(f.qHead+f.qLen)%len(f.queue)] = ev
+	f.qLen++
 }
 
 // SetTracer routes page-operation events (ZEROPAGE, COPY, REMAP,
@@ -224,13 +302,16 @@ func (f *FD) Unregister(region *Region) {
 		}
 	}
 	f.regions = kept
-	pending := f.queue[:0]
-	for _, ev := range f.queue {
+	kept2 := make([]Event, 0, f.qLen)
+	for i := 0; i < f.qLen; i++ {
+		ev := f.queue[(f.qHead+i)%len(f.queue)]
 		if !region.contains(ev.Addr) {
-			pending = append(pending, ev)
+			kept2 = append(kept2, ev)
 		}
 	}
-	f.queue = pending
+	f.queue = kept2
+	f.qHead = 0
+	f.qLen = len(kept2)
 }
 
 // Regions returns the registered regions (monitor bookkeeping).
@@ -239,6 +320,11 @@ func (f *FD) Regions() []*Region {
 	copy(out, f.regions)
 	return out
 }
+
+// RegionFor returns the region containing addr, or nil. Unlike Regions it
+// allocates nothing, so the fault hot path can resolve a victim's region
+// per eviction.
+func (f *FD) RegionFor(addr uint64) *Region { return f.regionFor(addr) }
 
 // Access performs a guest memory access at addr. If the page is resident it
 // returns its data (for reads) with hit=true and zero added latency beyond
@@ -257,8 +343,7 @@ func (f *FD) Access(now time.Duration, addr uint64, write bool) (data []byte, ev
 	p, ok := region.pages[aligned]
 	if !ok {
 		trap := f.params.FaultTrap.Sample(f.rng)
-		ev := Event{Addr: aligned, PID: region.PID, Write: write, Raised: now}
-		f.queue = append(f.queue, ev)
+		f.pushEvent(Event{Addr: aligned, PID: region.PID, Write: write, Raised: now})
 		f.waiting[aligned] = true
 		return nil, now + trap, false, nil
 	}
@@ -269,7 +354,8 @@ func (f *FD) Access(now time.Duration, addr uint64, write bool) (data []byte, ev
 		}
 		// COW break: private zero-filled frame, no monitor round trip.
 		p.state = PagePresent
-		p.data = make([]byte, PageSize)
+		p.data = f.getFrame()
+		copy(p.data, zeroPage)
 		return p.data, now + f.params.COWBreak.Sample(f.rng), true, nil
 	case PagePresent:
 		if write && p.wp {
@@ -289,16 +375,17 @@ func (f *FD) Access(now time.Duration, addr uint64, write bool) (data []byte, ev
 // NextEvent pops the oldest pending fault event, reporting ok=false when the
 // queue is empty (the monitor's poll loop).
 func (f *FD) NextEvent() (Event, bool) {
-	if len(f.queue) == 0 {
+	if f.qLen == 0 {
 		return Event{}, false
 	}
-	ev := f.queue[0]
-	f.queue = f.queue[1:]
+	ev := f.queue[f.qHead]
+	f.qHead = (f.qHead + 1) % len(f.queue)
+	f.qLen--
 	return ev, true
 }
 
 // PendingEvents reports queued fault count.
-func (f *FD) PendingEvents() int { return len(f.queue) }
+func (f *FD) PendingEvents() int { return f.qLen }
 
 // ZeroPage resolves a fault by mapping the shared zero page copy-on-write at
 // addr (UFFDIO_ZEROPAGE). This is FluidMem's first-touch fast path (§V-A):
@@ -312,7 +399,7 @@ func (f *FD) ZeroPage(now time.Duration, addr uint64) (time.Duration, error) {
 	if _, ok := region.pages[aligned]; ok {
 		return now, fmt.Errorf("%w: %#x", ErrAlreadyMapped, aligned)
 	}
-	region.pages[aligned] = &page{state: PageZeroCOW}
+	region.pages[aligned] = f.getPage(PageZeroCOW)
 	done := now + f.params.ZeroPage.Sample(f.rng)
 	f.tr.Emit(trace.EvUffdZeroPage, f.traceWorker(aligned), aligned, now, done-now, "")
 	return done, nil
@@ -333,7 +420,10 @@ func (f *FD) Copy(now time.Duration, addr uint64, data []byte) (time.Duration, e
 	if _, ok := region.pages[aligned]; ok {
 		return now, fmt.Errorf("%w: %#x", ErrAlreadyMapped, aligned)
 	}
-	region.pages[aligned] = &page{state: PagePresent, data: append([]byte(nil), data...)}
+	p := f.getPage(PagePresent)
+	p.data = f.getFrame()
+	copy(p.data, data)
+	region.pages[aligned] = p
 	done := now + f.params.Copy.Sample(f.rng)
 	f.tr.Emit(trace.EvUffdCopy, f.traceWorker(aligned), aligned, now, done-now, "")
 	return done, nil
@@ -400,9 +490,12 @@ func (f *FD) Remap(now time.Duration, addr uint64, interleaved bool) ([]byte, ti
 	data := p.data
 	if p.state == PageZeroCOW {
 		// The zero page is shared; moving it out materialises zeroes.
-		data = make([]byte, PageSize)
+		data = f.getFrame()
+		copy(data, zeroPage)
 	}
 	delete(region.pages, aligned)
+	p.data = nil // frame ownership moves to the caller
+	f.putPage(p)
 	model := f.params.Remap
 	arg := ""
 	if interleaved {
@@ -423,10 +516,12 @@ func (f *FD) Drop(addr uint64) bool {
 		return false
 	}
 	aligned := align(addr)
-	if _, ok := region.pages[aligned]; !ok {
+	p, ok := region.pages[aligned]
+	if !ok {
 		return false
 	}
 	delete(region.pages, aligned)
+	f.putPage(p)
 	return true
 }
 
