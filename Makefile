@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle cluster-oracle parallel-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
 # shard-oracle re-proves worker-count determinism on the write-back workloads,
@@ -9,10 +9,12 @@ GO ?= go
 # working-set estimates and arbiter decisions are invariant across worker
 # counts and VM interleavings, cluster-oracle re-proves the no-page-lost
 # contract of the multi-node pool under randomized membership/failure
-# schedules, fuzz-short gives the model checkers a short adversarial pass,
+# schedules, parallel-oracle re-proves serial-vs-parallel parity of the
+# multi-goroutine data plane under the race detector, fuzz-short gives the
+# model checkers a short adversarial pass,
 # and bench-ratchet re-measures the committed BENCH_*.json throughput rows
 # and fails on a >10% faults/s regression.
-check: vet build test check-race shard-oracle trace-oracle arbiter-oracle cluster-oracle fuzz-short bench-ratchet
+check: vet build test check-race shard-oracle trace-oracle arbiter-oracle cluster-oracle parallel-oracle fuzz-short bench-ratchet
 
 build:
 	$(GO) build ./...
@@ -41,15 +43,20 @@ bench-quick:
 # comparison (BENCH_arbiter.json), and the cluster lifecycle latency matrix
 # (BENCH_cluster.json). fluidmem-bench fails loudly if any experiment named
 # here stops producing its artifact.
+# BENCH_parallel.json carries the parallel data plane's scaling matrix plus
+# its deterministic serial virtual-time reference row.
 bench-json:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster -json
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel -json
 
 # The throughput ratchet: re-run the artifact experiments and compare every
 # faults_per_sec row against the committed BENCH_*.json baselines; a >10%
 # drop fails the build. The committed rows are virtual-time rates, so on
 # unchanged simulation logic the comparison is exact.
+# parallel contributes exactly one ratchet row: its serial virtual-time
+# reference (the wall-clock matrix rows are machine-dependent by design and
+# use a different key, so the scanner never sees them).
 bench-ratchet:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster -ratchet
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel -ratchet
 
 # The write-back determinism oracle: N-worker monitors must be logically
 # identical to the serial monitor on the write-heavy / zero-heavy workloads.
@@ -76,6 +83,15 @@ arbiter-oracle:
 # the flat model, with bitwise same-seed repeatability.
 cluster-oracle:
 	$(GO) test ./internal/kvstore/cluster/... -count=1 -run 'TestOracle'
+
+# The serial-vs-parallel parity oracle: the multi-goroutine engine must
+# reproduce the single-thread monitor's logical end state exactly — per-shard
+# delivered-data and trace digests, resident set, epoch, and all counters —
+# on every shardtest workload, at several shard counts, repeatably across
+# GOMAXPROCS. Run under -race so the proof also covers the memory model.
+parallel-oracle:
+	$(GO) test ./internal/core/paralleltest/ -count=1 -race
+	$(GO) test ./internal/core/ -count=1 -race -run 'TestSPSC|TestParallel'
 
 # Short fuzz passes over the flat-model checkers: the coalescing write-back
 # engine, the ghost-LRU working-set estimator, and the cluster pool's

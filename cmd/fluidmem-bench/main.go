@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"fluidmem/internal/bench"
+	"fluidmem/internal/profiling"
 )
 
 // renderable is any experiment result.
@@ -51,6 +52,7 @@ func experiments() []experiment {
 		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
 		{"cluster", "multi-node pool lifecycle: fault p50/p99 healthy/crashed/recovered/drained vs single store", func(o bench.Options) (renderable, error) { return bench.RunCluster(o) }},
 		{"workers", "fault throughput vs pipeline width, batched MultiGet readahead", func(o bench.Options) (renderable, error) { return bench.RunWorkers(o) }},
+		{"parallel", "multi-goroutine data plane: wall-clock scaling vs shards × GOMAXPROCS", func(o bench.Options) (renderable, error) { return bench.RunParallel(o) }},
 		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
 		{"trace", "virtual-time fault-latency breakdown: per-phase p50/p90/p99 from the tracer", func(o bench.Options) (renderable, error) { return bench.RunTrace(o) }},
 		{"arbiter", "multi-tenant arbiter vs static equal split: ghost-LRU curves drive budget rebalancing", func(o bench.Options) (renderable, error) { return bench.RunArbiter(o) }},
@@ -64,7 +66,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("fluidmem-bench", flag.ContinueOnError)
 	var (
 		runNames = fs.String("run", "all", "comma-separated experiment names, or 'all'")
@@ -74,10 +76,22 @@ func run(args []string) error {
 		jsonOut  = fs.Bool("json", false, "also write BENCH_<name>.json for experiments that support it")
 		ratchet  = fs.Bool("ratchet", false, "compare faults_per_sec against the committed BENCH_<name>.json; fail on a >10% regression")
 		traceOut = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file, for experiments that record one")
+		cpuOut   = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memOut   = fs.String("memprofile", "", "write an allocation profile to this file when the experiments finish")
+		mutexOut = fs.String("mutexprofile", "", "write a mutex-contention profile to this file when the experiments finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuOut, *memOut, *mutexOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	exps := experiments()
 	if *list {
 		for _, e := range exps {

@@ -1,58 +1,124 @@
 // Command hotpath-probe measures wall-clock fault throughput and heap
 // allocations of the monitor's miss+evict+writeback hot path via the public
 // API only, so the same source runs against older trees for before/after
-// comparisons (see EXPERIMENTS.md).
+// comparisons (see EXPERIMENTS.md). -parallel switches the loop from the
+// single-thread virtual-time monitor to the multi-goroutine engine, and the
+// -cpuprofile/-memprofile/-mutexprofile flags attribute where the time and
+// bytes go.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
 	"fluidmem/internal/core"
 	"fluidmem/internal/kvstore/ramcloud"
+	"fluidmem/internal/profiling"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hotpath-probe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	var (
+		parallel = flag.Bool("parallel", false, "drive the multi-goroutine engine instead of the virtual-time monitor")
+		workers  = flag.Int("workers", 4, "pipeline width (serial) / executor-shard count (parallel)")
+		faults   = flag.Int("faults", 2_000_000, "measured fault count")
+		cpuOut   = flag.String("cpuprofile", "", "write a CPU profile of the measured phase to this file")
+		memOut   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		mutexOut = flag.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
+	)
+	flag.Parse()
+
 	const base = 0x7f00_0000_0000
 	const pages = 512
 	const capacity = 256
-	const faults = 2_000_000
 
 	store := ramcloud.New(ramcloud.DefaultParams(), 9)
 	cfg := core.DefaultConfig(store, capacity)
-	cfg.Workers = 4
-	m, err := core.NewMonitor(cfg, nil, "probe")
-	if err != nil {
-		panic(err)
-	}
-	if _, err := m.RegisterRange(base, pages*core.PageSize, 1); err != nil {
-		panic(err)
-	}
-	var now time.Duration
+	cfg.Workers = *workers
+
+	// touch runs one dirty fault; close drains whatever the engine still owes.
+	var touch func() error
+	close := func() error { return nil }
 	i := 0
-	touch := func() {
-		_, done, err := m.Touch(now, base+uint64(i%pages)*core.PageSize, true)
-		if err != nil {
-			panic(err)
+	if *parallel {
+		var sink uint64
+		p, perr := core.NewParallel(cfg, nil, "probe",
+			func(shard int, ticket, addr uint64, data []byte) { sink += uint64(len(data)) })
+		if perr != nil {
+			return perr
 		}
-		now = done
-		i++
+		if rerr := p.RegisterRange(base, pages*core.PageSize, 1); rerr != nil {
+			return rerr
+		}
+		touch = func() error {
+			terr := p.Touch(base+uint64(i%pages)*core.PageSize, true)
+			i++
+			return terr
+		}
+		close = p.Close
+	} else {
+		m, merr := core.NewMonitor(cfg, nil, "probe")
+		if merr != nil {
+			return merr
+		}
+		if _, rerr := m.RegisterRange(base, pages*core.PageSize, 1); rerr != nil {
+			return rerr
+		}
+		var now time.Duration
+		touch = func() error {
+			_, done, terr := m.Touch(now, base+uint64(i%pages)*core.PageSize, true)
+			now = done
+			i++
+			return terr
+		}
 	}
-	for k := 0; k < 3*pages; k++ {
-		touch()
+
+	for k := 0; k < 3*pages; k++ { // warm to steady state
+		if err := touch(); err != nil {
+			return err
+		}
 	}
+
+	stopProfiles, err := profiling.Start(*cpuOut, *memOut, *mutexOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	for k := 0; k < faults; k++ {
-		touch()
+	for k := 0; k < *faults; k++ {
+		if err := touch(); err != nil {
+			return err
+		}
+	}
+	if err := close(); err != nil { // parallel: include the executors' tail
+		return err
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
-	fmt.Printf("faults=%d wall=%v wall_faults_per_sec=%.0f allocs_per_fault=%.3f bytes_per_fault=%.1f\n",
-		faults, wall.Round(time.Millisecond), float64(faults)/wall.Seconds(),
-		float64(after.Mallocs-before.Mallocs)/faults,
-		float64(after.TotalAlloc-before.TotalAlloc)/faults)
+	mode := "serial"
+	if *parallel {
+		mode = "parallel"
+	}
+	fmt.Printf("mode=%s workers=%d faults=%d wall=%v wall_faults_per_sec=%.0f allocs_per_fault=%.3f bytes_per_fault=%.1f\n",
+		mode, *workers, *faults, wall.Round(time.Millisecond), float64(*faults)/wall.Seconds(),
+		float64(after.Mallocs-before.Mallocs)/float64(*faults),
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(*faults))
+	return nil
 }

@@ -36,6 +36,7 @@ func (m *Monitor) RegisterRange(start, length uint64, pid int) (*uffd.Region, er
 	if err != nil {
 		return nil, fmt.Errorf("core: register region: %w", err)
 	}
+	m.seen.addRegion(start, length)
 	return region, nil
 }
 
@@ -61,8 +62,8 @@ func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error
 				m.epoch++
 			}
 			m.hot.Remove(addr)
-			if m.seen[addr] {
-				delete(m.seen, addr)
+			if m.seen.has(addr) {
+				m.seen.del(addr)
 				key := kvstore.MakeKey(addr, part)
 				if m.tier != nil {
 					m.tier.drop(key)
@@ -78,6 +79,7 @@ func (m *Monitor) UnregisterVM(now time.Duration, pid int) (time.Duration, error
 			}
 		}
 		m.fd.Unregister(region)
+		m.seen.dropRegion(region.Start)
 	}
 	delete(m.partitions, pid)
 	if err := m.registry.Release(part); err != nil && firstErr == nil {
@@ -97,8 +99,8 @@ func (m *Monitor) Discard(addr uint64) {
 	// later first touch of the same address would register as a re-reference
 	// and inflate the working-set estimate.
 	m.hot.Remove(addr)
-	if m.seen[addr] {
-		delete(m.seen, addr)
+	if m.seen.has(addr) {
+		m.seen.del(addr)
 		if region := m.regionOf(addr); region != nil {
 			if part, ok := m.partitions[region.PID]; ok {
 				// Asynchronous tombstone; timing is off any critical path.

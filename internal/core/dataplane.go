@@ -17,11 +17,14 @@ import (
 )
 
 // workerOf shards a page address onto a fault-pipeline worker. The same
-// function shards the LRU segments and write-list queues, so a worker only
+// indexer shards the LRU segments and write-list queues, so a worker only
 // ever touches its own structures on the fault path (evictions, which pick
 // the globally oldest page, are the one deliberate cross-shard operation).
+// The indexer replaces the naive div+mod with a shift/mask (power-of-two
+// widths) or a fixed-point reciprocal (see shardindex.go): workerOf runs
+// several times per fault, so the divide was measurable.
 func (m *Monitor) workerOf(addr uint64) int {
-	return int((addr / PageSize) % uint64(m.workers))
+	return m.shardIdx.index(addr)
 }
 
 // cell returns the Stats cell owned by addr's worker; see Stats for the
@@ -115,7 +118,7 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 	t += hashCost
 
 	key := kvstore.MakeKey(ev.Addr, part)
-	if !m.seen[ev.Addr] && m.cfg.PageTracker {
+	if !m.seen.has(ev.Addr) && m.cfg.PageTracker {
 		resumeAt, err := m.resolveFirstTouch(t, ev)
 		m.traceFault(ev, eventAt, resumeAt, "first_touch", err)
 		return resumeAt, err
@@ -145,7 +148,7 @@ func (m *Monitor) handleFault(eventAt time.Duration, ev uffd.Event) (time.Durati
 // needed, happens after the wake-up, off the critical path (Figure 2).
 func (m *Monitor) resolveFirstTouch(t time.Duration, ev uffd.Event) (time.Duration, error) {
 	m.cell(ev.Addr).FirstTouch++
-	m.seen[ev.Addr] = true
+	m.seen.add(ev.Addr)
 	return m.zeroFill(t, ev)
 }
 

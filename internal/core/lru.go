@@ -24,6 +24,7 @@ package core
 // path (evict one, insert one) allocates nothing.
 type lruList struct {
 	shards  []lruShard
+	idx     shardIndexer
 	index   map[uint64]*lruNode
 	free    *lruNode // freelist threaded through next
 	nextSeq uint64
@@ -43,13 +44,24 @@ type lruShard struct {
 
 // newShardedLRU returns an empty list split into the given number of
 // segments (minimum one), sharded by page number.
-func newShardedLRU(shards int) *lruList {
+func newShardedLRU(shards int) *lruList { return newShardedLRUCap(shards, 0) }
+
+// newShardedLRUCap additionally pre-sizes the page index for the given
+// capacity, so a monitor whose resident set grows to its configured LRU
+// capacity never pays map-growth allocations on the fault path.
+func newShardedLRUCap(shards, capacity int) *lruList {
 	if shards < 1 {
 		shards = 1
 	}
+	if capacity < 0 {
+		capacity = 0
+	}
 	return &lruList{
 		shards: make([]lruShard, shards),
-		index:  make(map[uint64]*lruNode),
+		idx:    newShardIndexer(shards),
+		// +1: Insert runs before the evict loop brings Len back under
+		// capacity, so the index briefly holds capacity+1 entries.
+		index: make(map[uint64]*lruNode, capacity+1),
 	}
 }
 
@@ -58,7 +70,7 @@ func newLRUList() *lruList { return newShardedLRU(1) }
 
 // shardOf maps a page address to its segment.
 func (l *lruList) shardOf(addr uint64) *lruShard {
-	return &l.shards[(addr/PageSize)%uint64(len(l.shards))]
+	return &l.shards[l.idx.index(addr)]
 }
 
 // Len reports tracked pages across all segments.

@@ -99,7 +99,7 @@ type Monitor struct {
 	hot *hotset.Tracker
 
 	lru  *lruList
-	seen map[uint64]bool
+	seen *seenSet
 	wb   *writeback
 	tier *compressedTier // nil unless cfg.Compress is set
 
@@ -114,6 +114,10 @@ type Monitor struct {
 	// this degenerates to the serial monitor's single event loop.
 	workers    int
 	workerFree []time.Duration
+	// shardIdx maps page addresses to workers without a per-fault divide;
+	// the LRU segments and write-list queues share it so a page's structures
+	// always agree on their owning shard.
+	shardIdx shardIndexer
 
 	// storeLocal caches whether the backend is on-hypervisor (no RPC stack).
 	storeLocal bool
@@ -181,6 +185,9 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 	}
 	fd := uffd.New(cfg.UFFD, cfg.Seed)
 	fd.SetTracer(cfg.Trace, workers)
+	// A region's page map holds resident pages only; +1 covers the transient
+	// overshoot between install and the post-wake evict loop.
+	fd.SetPageHint(cfg.LRUCapacity + 1)
 	m := &Monitor{
 		storeLocal:   local,
 		resilient:    res,
@@ -193,9 +200,10 @@ func NewMonitor(cfg Config, registry kvstore.Registry, hypervisorID string) (*Mo
 		hot:          cfg.Hotset,
 		workers:      workers,
 		workerFree:   make([]time.Duration, workers),
+		shardIdx:     newShardIndexer(workers),
 		statsCells:   make([]Stats, workers),
-		lru:          newShardedLRU(workers),
-		seen:         make(map[uint64]bool),
+		lru:          newShardedLRUCap(workers, cfg.LRUCapacity),
+		seen:         newSeenSet(),
 		wb:           newShardedWriteback(cfg.Store, cfg.WriteBatchSize, workers, cfg.Trace),
 		intake:       newIntakeRing(intakeCapacity),
 		registry:     registry,

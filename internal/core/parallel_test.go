@@ -1,0 +1,298 @@
+package core
+
+// Tests for the parallel data plane's shard-local machinery: the SPSC work
+// ring (fill/drain/wrap semantics, cross-goroutine publication under -race,
+// and the head-as-completion-counter barrier the sequencer's waitShard relies
+// on), the control-plane handoff under a PostResize storm against real
+// executor goroutines, and the steady-state allocation bound for the
+// sequencer + executors together.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"fluidmem/internal/kvstore/dram"
+)
+
+func TestSPSCRingFillDrainWrap(t *testing.T) {
+	r := newSPSCRing(8)
+	if _, ok := r.peek(); ok {
+		t.Fatal("empty ring produced an item")
+	}
+	// Fill to capacity, reject the overflow push.
+	for i := 0; i < 8; i++ {
+		if !r.push(parItem{kind: piAccessHit, addr: uint64(i)}) {
+			t.Fatalf("push %d rejected before capacity", i)
+		}
+	}
+	if r.push(parItem{kind: piAccessHit, addr: 99}) {
+		t.Fatal("push accepted on a full ring")
+	}
+	// Drain in FIFO order; peek must not retire.
+	for i := 0; i < 8; i++ {
+		it, ok := r.peek()
+		if !ok {
+			t.Fatalf("peek %d found nothing", i)
+		}
+		if again, _ := r.peek(); again != it {
+			t.Fatalf("peek %d not idempotent", i)
+		}
+		if it.addr != uint64(i) {
+			t.Fatalf("peek %d = addr %d, want %d (FIFO order)", i, it.addr, i)
+		}
+		r.pop()
+	}
+	if _, ok := r.peek(); ok {
+		t.Fatal("drained ring produced an item")
+	}
+	// Many laps with interleaved push/pop so the cursors cross every slot
+	// boundary and wrap the index mask repeatedly.
+	next := uint64(0)
+	for i := 0; i < 1000; i++ {
+		if !r.push(parItem{kind: piAccessHit, addr: uint64(i)}) {
+			t.Fatalf("push %d rejected on lap", i)
+		}
+		if i%3 == 2 {
+			for r.tail.Load()-r.head.Load() > 1 {
+				it, ok := r.peek()
+				if !ok {
+					t.Fatal("non-empty ring but peek found nothing")
+				}
+				if it.addr != next {
+					t.Fatalf("out of order: got %d, want %d", it.addr, next)
+				}
+				next++
+				r.pop()
+			}
+		}
+	}
+	for {
+		it, ok := r.peek()
+		if !ok {
+			break
+		}
+		if it.addr != next {
+			t.Fatalf("out of order at tail: got %d, want %d", it.addr, next)
+		}
+		next++
+		r.pop()
+	}
+	if next != 1000 {
+		t.Fatalf("drained %d items, want 1000", next)
+	}
+}
+
+// TestSPSCRingCrossGoroutineStress runs the ring the way the engine does: one
+// producer goroutine pushing with backpressure, one consumer executing then
+// retiring. Under -race this checks that the tail release-store publishes the
+// slot contents and the head release-store publishes the consumer's effects.
+// The consumer writes each item's addr into a plain (unsynchronised) shard of
+// memory; the producer re-reads it after observing head advance past the
+// item, so any missing happens-before edge is a detector hit.
+func TestSPSCRingCrossGoroutineStress(t *testing.T) {
+	const items = 200_000
+	r := newSPSCRing(64)
+	effects := make([]uint64, items) // written by consumer, read back by producer
+	done := make(chan uint64)
+
+	go func() { // consumer
+		var sum uint64
+		var spin int
+		for seen := uint64(0); seen < items; {
+			it, ok := r.peek()
+			if !ok {
+				spinYield(&spin)
+				continue
+			}
+			spin = 0
+			if it.addr != seen {
+				t.Errorf("consumer saw addr %d, want %d (FIFO order)", it.addr, seen)
+			}
+			effects[it.addr] = it.addr + 1 // execute BEFORE retiring
+			sum += it.addr
+			seen++
+			r.pop()
+		}
+		done <- sum
+	}()
+
+	var spin int
+	for i := uint64(0); i < items; i++ {
+		for !r.push(parItem{kind: piAccessHit, addr: i}) {
+			spinYield(&spin)
+		}
+		spin = 0
+		// Completion-barrier property: once head catches tail, every pushed
+		// item has fully executed — exactly what waitShard depends on when
+		// the sequencer must observe an executor's side effects.
+		if i%1024 == 1023 {
+			for r.head.Load() != r.tail.Load() {
+				spinYield(&spin)
+			}
+			if effects[i] != i+1 {
+				t.Fatalf("head==tail but item %d not executed", i)
+			}
+		}
+	}
+	for r.head.Load() != r.tail.Load() {
+		spinYield(&spin)
+	}
+	if sum := <-done; sum != items*(items-1)/2 {
+		t.Fatalf("consumer sum = %d, want %d", sum, uint64(items*(items-1)/2))
+	}
+	for i := uint64(0); i < items; i++ {
+		if effects[i] != i+1 {
+			t.Fatalf("item %d lost (effect %d)", i, effects[i])
+		}
+	}
+}
+
+// newParallel builds a parallel engine over a DRAM store with one registered
+// VM range, mirroring the newMonitor helper.
+func newParallel(t *testing.T, cfg Config, rangePages int,
+	onData func(shard int, ticket, addr uint64, data []byte)) *Parallel {
+	t.Helper()
+	p, err := NewParallel(cfg, nil, "hyp-test", onData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterRange(testBase, uint64(rangePages)*PageSize, 4242); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParallelControlHandoffStress is the parallel twin of
+// TestControlDataHandoffStress: a control goroutine storms PostResize while
+// the sequencer drives faults through four live executor goroutines. The
+// intake ring's MPMC contract and the fault-boundary drain must hold with
+// real parallelism on the data plane, and the engine must land exactly on the
+// final posted capacity.
+func TestParallelControlHandoffStress(t *testing.T) {
+	cfg := dramCfg(64)
+	cfg.Workers = 4
+	p := newParallel(t, cfg, 1024, nil)
+
+	stop := make(chan struct{})
+	ctlDone := make(chan struct{})
+	var posted atomic.Uint64
+	go func() {
+		defer close(ctlDone)
+		ctl := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if p.PostResize(8 + ctl.Intn(120)) {
+					posted.Add(1)
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		if err := p.Touch(addr(rng.Intn(1024)), rng.Intn(2) == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-ctlDone
+	if posted.Load() == 0 {
+		t.Fatal("control goroutine never posted a resize; stress is vacuous")
+	}
+
+	// One more fault drains whatever the storm left queued, then a final
+	// deterministic resize pins the end state.
+	if err := p.Touch(addr(0), false); err != nil {
+		t.Fatal(err)
+	}
+	if !p.PostResize(48) {
+		t.Fatal("final PostResize rejected")
+	}
+	if err := p.Touch(addr(1), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PendingCommands(); got != 0 {
+		t.Fatalf("%d commands still queued after fault boundary", got)
+	}
+	if got := p.FootprintLimit(); got != 48 {
+		t.Fatalf("footprint limit = %d, want 48", got)
+	}
+	if got := p.ResidentPages(); got > 48 {
+		t.Fatalf("%d resident pages exceed limit 48", got)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parallelAllocHarness warms a parallel engine to steady state and returns a
+// closure running exactly one dirty fault per call, mirroring allocHarness.
+// The delivery callback is live (it sinks the payload length) so the measured
+// path includes the executor-side delivery, not just the sequencer.
+var parallelAllocSink atomic.Uint64
+
+func parallelAllocHarness(t *testing.T, shards, pages int) func() {
+	t.Helper()
+	cfg := DefaultConfig(dram.New(dram.DefaultParams(), 9), pages/2)
+	cfg.Workers = shards
+	p, err := NewParallel(cfg, nil, "hyp-alloc-par",
+		func(shard int, ticket, addr uint64, data []byte) {
+			parallelAllocSink.Add(uint64(len(data)))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterRange(testBase, uint64(pages)*PageSize, 4242); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := p.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	i := 0
+	touch := func() {
+		if err := p.Touch(addr(i%pages), true); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	// Warm-up: three full scans, as in the serial harness, so every frame
+	// pool, pending map, and flush job reaches its steady-state size — then a
+	// drain so no warm-up work bleeds into the measured window.
+	for k := 0; k < 3*pages; k++ {
+		touch()
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return touch
+}
+
+// TestParallelSteadyStateFaultsAllocFree extends the zero-allocs-per-fault
+// pin to the parallel engine. AllocsPerRun counts mallocs process-wide, so
+// the bound covers the executor goroutines too: sequencing, SPSC posting,
+// frame recycling, eviction, flush batching, and delivery must all run out
+// of the warmed pools.
+func TestParallelSteadyStateFaultsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(t *testing.T) {
+			touch := parallelAllocHarness(t, shards, 128)
+			if avg := testing.AllocsPerRun(500, touch); avg != 0 {
+				t.Fatalf("steady-state parallel fault allocates: %.2f allocs/fault, want 0", avg)
+			}
+		})
+	}
+}

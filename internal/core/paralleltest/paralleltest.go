@@ -1,0 +1,410 @@
+// Package paralleltest is the parity oracle for the monitor's parallel
+// execution mode (core.Parallel): the single-thread, virtual-time monitor is
+// the determinism reference, and the multi-goroutine engine must reproduce
+// its logical end state exactly — page contents, store traffic, resident
+// set, merged counters, and per-shard trace digests — for the same workload.
+//
+// The harness precomputes a seed-driven op list (the same generator shape as
+// shardtest.Replay, so the workload table is shared), replays it against
+// both engines, and compares Outcomes. Virtual-time-only quantities
+// (Stats.InFlightWaits, WritebackStats.Waits) are excluded, exactly as the
+// worker-count oracle excludes them: the parallel engine has no virtual
+// clock to race on.
+package paralleltest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fluidmem/internal/clock"
+	"fluidmem/internal/core"
+	"fluidmem/internal/core/shardtest"
+	"fluidmem/internal/kvstore"
+	"fluidmem/internal/trace"
+)
+
+// pid is the process the harness registers, as in shardtest.
+const pid = 77
+
+// OpKind discriminates replay operations.
+type OpKind uint8
+
+const (
+	// OpTouch is a guest access (read or write).
+	OpTouch OpKind = iota
+	// OpDiscard is a balloon discard.
+	OpDiscard
+	// OpResize changes the LRU capacity.
+	OpResize
+	// OpDrain flushes the write list and quiesces.
+	OpDrain
+)
+
+// Op is one precomputed replay operation. Touch ops carry the byte to write
+// (writes always set data[0] = Tag) and, when Check is set, the byte the
+// page must still hold — the data-integrity assertion both engines must
+// pass identically.
+type Op struct {
+	Kind     OpKind
+	Addr     uint64
+	Write    bool
+	Tag      byte
+	Check    bool
+	WantTag  byte
+	Capacity int
+}
+
+// GenOps precomputes wl's op sequence for the given seed: the same RNG
+// structure as shardtest.Replay (mixed random + scan traffic, optional
+// discards and resizes, seed-driven write tags), followed by a drain, a
+// verification sweep over every tagged page in page order, and a final
+// drain so both engines finish fully quiesced.
+func GenOps(wl shardtest.Workload, seed uint64) []Op {
+	capacity := wl.NewConfig(seed).LRUCapacity
+	rng := clock.NewRand(seed ^ 0xd1ce_0f_ca11)
+	tags := make(map[int]byte)
+	ops := make([]Op, 0, wl.Steps+wl.Pages+2)
+	scan := 0
+	for i := 0; i < wl.Steps; i++ {
+		if wl.Resize && rng.Float64() < 0.01 {
+			c := capacity
+			if rng.Intn(2) == 0 {
+				c = capacity/2 + 1
+			}
+			ops = append(ops, Op{Kind: OpResize, Capacity: c})
+			continue
+		}
+		var page int
+		if rng.Float64() < 0.25 {
+			page = scan % wl.Pages
+			scan++
+		} else {
+			page = rng.Intn(wl.Pages)
+		}
+		addr := shardtest.Base + uint64(page)*core.PageSize
+		if wl.Discard && rng.Float64() < 0.02 {
+			ops = append(ops, Op{Kind: OpDiscard, Addr: addr})
+			delete(tags, page)
+			continue
+		}
+		var write bool
+		switch {
+		case wl.WriteProb < 0:
+			write = false
+		case wl.WriteProb > 0:
+			write = rng.Float64() < wl.WriteProb
+		default:
+			write = rng.Intn(3) == 0
+		}
+		op := Op{Kind: OpTouch, Addr: addr, Write: write}
+		if tag, seen := tags[page]; seen {
+			op.Check, op.WantTag = true, tag
+		}
+		if write {
+			tag := byte(i%250 + 1)
+			if wl.ZeroWrites && rng.Intn(2) == 0 {
+				tag = 0
+			}
+			op.Tag = tag
+			tags[page] = tag
+		}
+		ops = append(ops, op)
+	}
+	ops = append(ops, Op{Kind: OpDrain})
+	for page := 0; page < wl.Pages; page++ {
+		tag, seen := tags[page]
+		if !seen {
+			continue
+		}
+		ops = append(ops, Op{
+			Kind: OpTouch, Addr: shardtest.Base + uint64(page)*core.PageSize,
+			Check: true, WantTag: tag,
+		})
+	}
+	return append(ops, Op{Kind: OpDrain})
+}
+
+// Outcome is everything the parity contract compares.
+type Outcome struct {
+	// DataDigests folds, per shard, the full byte contents delivered for
+	// every touch, in per-shard delivery order (= per-shard program order).
+	DataDigests []uint64
+	// TraceDigests folds, per shard, the logical trace-event sequence
+	// (core.ParityTraceEvents) via core.FoldTraceEvent.
+	TraceDigests []uint64
+	// Resident is the sorted final resident set.
+	Resident []uint64
+	// Epoch is the logical mutation counter.
+	Epoch uint64
+	// WPFaults counts clean-tracking write-protection faults.
+	WPFaults uint64
+	// Stats is the merged monitor counter snapshot (InFlightWaits zeroed).
+	Stats core.Stats
+	// Writeback is the write-list engine snapshot (Waits zeroed).
+	Writeback core.WritebackStats
+	// Store is the backend's traffic counter snapshot.
+	Store kvstore.Stats
+}
+
+// foldData chains a page's bytes into a shard digest (FNV-1a with a length
+// separator, chained through dig like core.FoldTraceEvent).
+func foldData(dig uint64, data []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := dig ^ uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	h ^= 0x1F
+	h *= prime
+	return h
+}
+
+// RunSerial replays ops against the single-thread virtual-time monitor with
+// the given worker count and captures the reference Outcome. Trace-event
+// digests come from a full tracer, filtered to the parity event set and
+// folded per worker; data digests fold each Touch's returned bytes into the
+// owning worker's digest.
+func RunSerial(tb testing.TB, wl shardtest.Workload, shards int, seed uint64, ops []Op) Outcome {
+	tb.Helper()
+	cfg := wl.NewConfig(seed)
+	cfg.Workers = shards
+	cfg.Seed = seed
+	store := cfg.Store
+	tr := trace.New(true)
+	cfg.Trace = tr
+	m, err := core.NewMonitor(cfg, nil, "paralleltest")
+	if err != nil {
+		tb.Fatalf("%s/serial: new monitor: %v", wl.Name, err)
+	}
+	if _, err := m.RegisterRange(shardtest.Base, uint64(wl.Pages)*core.PageSize, pid); err != nil {
+		tb.Fatalf("%s/serial: register: %v", wl.Name, err)
+	}
+	dataDigs := make([]uint64, shards)
+	now := time.Duration(0)
+	for i, op := range ops {
+		switch op.Kind {
+		case OpResize:
+			if now, err = m.Resize(now, op.Capacity); err != nil {
+				tb.Fatalf("%s/serial op %d: resize: %v", wl.Name, i, err)
+			}
+		case OpDiscard:
+			m.Discard(op.Addr)
+		case OpDrain:
+			if now, err = m.Drain(now); err != nil {
+				tb.Fatalf("%s/serial op %d: drain: %v", wl.Name, i, err)
+			}
+		case OpTouch:
+			data, done, err := m.Touch(now, op.Addr, op.Write)
+			if err != nil {
+				tb.Fatalf("%s/serial op %d: touch %#x: %v", wl.Name, i, op.Addr, err)
+			}
+			if op.Check && data[0] != op.WantTag {
+				tb.Fatalf("%s/serial op %d: page %#x corrupted: got %d want %d",
+					wl.Name, i, op.Addr, data[0], op.WantTag)
+			}
+			s := core.ShardOf(op.Addr, shards)
+			dataDigs[s] = foldData(dataDigs[s], data)
+			if op.Write {
+				data[0] = op.Tag
+			}
+			now = done + time.Microsecond
+		}
+		if m.ResidentPages() > m.FootprintLimit() {
+			tb.Fatalf("%s/serial op %d: resident %d exceeds limit %d",
+				wl.Name, i, m.ResidentPages(), m.FootprintLimit())
+		}
+	}
+
+	parity := make(map[string]bool, 8)
+	for _, name := range core.ParityTraceEvents() {
+		parity[name] = true
+	}
+	traceDigs := make([]uint64, shards)
+	for _, ev := range tr.Events() {
+		if !parity[ev.Name] {
+			continue
+		}
+		traceDigs[ev.Worker] = core.FoldTraceEvent(traceDigs[ev.Worker], ev.Name, ev.Page, ev.Arg)
+	}
+
+	stats := m.Stats()
+	stats.InFlightWaits = 0
+	wb := m.WritebackStats()
+	wb.Waits = 0
+	return Outcome{
+		DataDigests:  dataDigs,
+		TraceDigests: traceDigs,
+		Resident:     m.ResidentAddrs(),
+		Epoch:        m.Epoch(),
+		WPFaults:     m.WPFaults(),
+		Stats:        stats,
+		Writeback:    wb,
+		Store:        store.Stats(),
+	}
+}
+
+// RunParallel replays ops against the multi-goroutine engine and captures
+// its Outcome. Tag checks and tag writes happen inside the onData callback,
+// on the owning shard's goroutine, in per-shard ticket order — the parallel
+// analogue of acting on Touch's return value.
+func RunParallel(tb testing.TB, wl shardtest.Workload, shards int, seed uint64, ops []Op) Outcome {
+	tb.Helper()
+	cfg := wl.NewConfig(seed)
+	cfg.Workers = shards
+	cfg.Seed = seed
+	store := cfg.Store
+
+	// tinfos[t] describes touch #t; tickets are issued densely in touch
+	// order, so the callback indexes it directly. Fully built before the
+	// engine starts: the executors only ever read it.
+	type tinfo struct {
+		tag, want    byte
+		write, check bool
+	}
+	var tinfos []tinfo
+	for _, op := range ops {
+		if op.Kind == OpTouch {
+			tinfos = append(tinfos, tinfo{tag: op.Tag, want: op.WantTag, write: op.Write, check: op.Check})
+		}
+	}
+
+	dataDigs := make([]uint64, shards)
+	var cbMu sync.Mutex
+	var cbErrs []string
+	onData := func(shard int, ticket, addr uint64, data []byte) {
+		ti := &tinfos[ticket]
+		if ti.check && data[0] != ti.want {
+			cbMu.Lock()
+			cbErrs = append(cbErrs, "page corrupted")
+			cbMu.Unlock()
+		}
+		dataDigs[shard] = foldData(dataDigs[shard], data)
+		if ti.write {
+			data[0] = ti.tag
+		}
+	}
+
+	p, err := core.NewParallel(cfg, nil, "paralleltest", onData)
+	if err != nil {
+		tb.Fatalf("%s/parallel: new engine: %v", wl.Name, err)
+	}
+	if err := p.RegisterRange(shardtest.Base, uint64(wl.Pages)*core.PageSize, pid); err != nil {
+		tb.Fatalf("%s/parallel: register: %v", wl.Name, err)
+	}
+	limit := cfg.LRUCapacity
+	for i, op := range ops {
+		switch op.Kind {
+		case OpResize:
+			if err := p.Resize(op.Capacity); err != nil {
+				tb.Fatalf("%s/parallel op %d: resize: %v", wl.Name, i, err)
+			}
+			limit = op.Capacity
+		case OpDiscard:
+			p.Discard(op.Addr)
+		case OpDrain:
+			if err := p.Drain(); err != nil {
+				tb.Fatalf("%s/parallel op %d: drain: %v", wl.Name, i, err)
+			}
+		case OpTouch:
+			if err := p.Touch(op.Addr, op.Write); err != nil {
+				tb.Fatalf("%s/parallel op %d: touch %#x: %v", wl.Name, i, op.Addr, err)
+			}
+		}
+		if p.ResidentPages() > limit {
+			tb.Fatalf("%s/parallel op %d: resident %d exceeds limit %d",
+				wl.Name, i, p.ResidentPages(), limit)
+		}
+	}
+	if err := p.Drain(); err != nil {
+		tb.Fatalf("%s/parallel: drain: %v", wl.Name, err)
+	}
+	// Scalars are sequencer-owned: capture before Close (the store snapshot
+	// too — Close's internal drain is a no-op after the explicit one).
+	stats := p.Stats()
+	stats.InFlightWaits = 0
+	out := Outcome{
+		TraceDigests: p.TraceDigests(),
+		Resident:     p.ResidentAddrs(),
+		Epoch:        p.Epoch(),
+		WPFaults:     p.WPFaults(),
+		Stats:        stats,
+		Writeback:    p.WritebackStats(),
+		Store:        store.Stats(),
+	}
+	if err := p.Close(); err != nil {
+		tb.Fatalf("%s/parallel: close: %v", wl.Name, err)
+	}
+	if len(cbErrs) > 0 {
+		tb.Fatalf("%s/parallel: %d data-integrity failures in delivery callbacks", wl.Name, len(cbErrs))
+	}
+	// Post-Close frame audit: every resident page must still have a frame on
+	// its shard (nil = the copy-on-write zero page, which is legal).
+	for _, addr := range out.Resident {
+		if _, ok := p.PageData(addr); !ok {
+			tb.Fatalf("%s/parallel: resident page %#x has no frame after close", wl.Name, addr)
+		}
+	}
+	// Executors have joined (Close waits): their digest cells are ours now.
+	out.DataDigests = dataDigs
+	return out
+}
+
+// Equal asserts that the parallel Outcome matches the serial reference in
+// every field of the parity contract, reporting each divergence separately.
+func Equal(tb testing.TB, label string, ref, got Outcome) {
+	tb.Helper()
+	for s := range ref.DataDigests {
+		if ref.DataDigests[s] != got.DataDigests[s] {
+			tb.Errorf("%s: shard %d delivered-data digest diverged: %#x vs %#x",
+				label, s, ref.DataDigests[s], got.DataDigests[s])
+		}
+	}
+	for s := range ref.TraceDigests {
+		if ref.TraceDigests[s] != got.TraceDigests[s] {
+			tb.Errorf("%s: shard %d trace digest diverged: %#x vs %#x",
+				label, s, ref.TraceDigests[s], got.TraceDigests[s])
+		}
+	}
+	if len(ref.Resident) != len(got.Resident) {
+		tb.Errorf("%s: resident set size diverged: %d vs %d", label, len(ref.Resident), len(got.Resident))
+	} else {
+		for i := range ref.Resident {
+			if ref.Resident[i] != got.Resident[i] {
+				tb.Errorf("%s: resident[%d] diverged: %#x vs %#x", label, i, ref.Resident[i], got.Resident[i])
+				break
+			}
+		}
+	}
+	if ref.Epoch != got.Epoch {
+		tb.Errorf("%s: epoch diverged: %d vs %d", label, ref.Epoch, got.Epoch)
+	}
+	if ref.WPFaults != got.WPFaults {
+		tb.Errorf("%s: WP faults diverged: %d vs %d", label, ref.WPFaults, got.WPFaults)
+	}
+	if ref.Stats != got.Stats {
+		tb.Errorf("%s: monitor stats diverged:\n  ref %+v\n  got %+v", label, ref.Stats, got.Stats)
+	}
+	if !writebackEqual(ref.Writeback, got.Writeback) {
+		tb.Errorf("%s: writeback stats diverged:\n  ref %+v\n  got %+v", label, ref.Writeback, got.Writeback)
+	}
+	if ref.Store != got.Store {
+		tb.Errorf("%s: store op counts diverged:\n  ref %+v\n  got %+v", label, ref.Store, got.Store)
+	}
+}
+
+func writebackEqual(a, b core.WritebackStats) bool {
+	if a.Flushes != b.Flushes || a.FlushedPages != b.FlushedPages ||
+		a.Steals != b.Steals || a.Waits != b.Waits ||
+		a.Coalesced != b.Coalesced || a.ZeroMarks != b.ZeroMarks ||
+		a.ZeroBitmap != b.ZeroBitmap || len(a.FlushSizes) != len(b.FlushSizes) {
+		return false
+	}
+	for k, v := range a.FlushSizes {
+		if b.FlushSizes[k] != v {
+			return false
+		}
+	}
+	return true
+}

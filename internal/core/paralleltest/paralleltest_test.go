@@ -1,0 +1,147 @@
+package paralleltest
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fluidmem/internal/core/shardtest"
+)
+
+// TestParallelMatchesSerial is the tentpole oracle: for every shardtest
+// workload and several shard counts, the multi-goroutine engine must
+// reproduce the single-thread virtual-time monitor's logical end state
+// exactly — per-shard delivered-data digests, per-shard trace digests,
+// resident set, epoch, WP faults, merged monitor counters, write-back
+// counters, and store op counts.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, wl := range shardtest.Workloads() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			const seed = 42
+			ops := GenOps(wl, seed)
+			for _, shards := range []int{1, 2, 4} {
+				ref := RunSerial(t, wl, shards, seed, ops)
+				got := RunParallel(t, wl, shards, seed, ops)
+				Equal(t, fmt.Sprintf("%s/shards=%d", wl.Name, shards), ref, got)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialWideShards pushes the shard count past the
+// candidate window and the batch size interactions (8 executors over 20-24
+// LRU slots) on the two widest-surface workloads.
+func TestParallelMatchesSerialWideShards(t *testing.T) {
+	for _, name := range []string{"ramcloud-batched-prefetch", "memcached-writeback-batched-churn"} {
+		for _, wl := range shardtest.Workloads() {
+			if wl.Name != name {
+				continue
+			}
+			wl := wl
+			t.Run(wl.Name, func(t *testing.T) {
+				const seed = 11
+				ops := GenOps(wl, seed)
+				ref := RunSerial(t, wl, 8, seed, ops)
+				got := RunParallel(t, wl, 8, seed, ops)
+				Equal(t, wl.Name+"/shards=8", ref, got)
+			})
+		}
+	}
+}
+
+// TestParallelRepeatableAcrossGOMAXPROCS pins scheduling independence: the
+// engine's outcome must not depend on how many OS threads actually run the
+// shard goroutines. GOMAXPROCS=1 forces full interleaving through the
+// cooperative yields; higher values allow real preemption.
+func TestParallelRepeatableAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, wl := range shardtest.Workloads()[:2] {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			const seed = 7
+			ops := GenOps(wl, seed)
+			ref := RunSerial(t, wl, 4, seed, ops)
+			for _, gmp := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(gmp)
+				got := RunParallel(t, wl, 4, seed, ops)
+				runtime.GOMAXPROCS(prev)
+				Equal(t, fmt.Sprintf("%s/GOMAXPROCS=%d", wl.Name, gmp), ref, got)
+			}
+		})
+	}
+}
+
+// TestParallelOracleSeesEveryPath guards the oracle against vacuity: the
+// parallel replays must actually drive the paths whose determinism they
+// claim to prove (clean drops, zero elision and refills, steals, prefetch,
+// batch flushes, sync writes).
+func TestParallelOracleSeesEveryPath(t *testing.T) {
+	byName := map[string]shardtest.Workload{}
+	for _, wl := range shardtest.Workloads() {
+		byName[wl.Name] = wl
+	}
+	run := func(name string, shards int) Outcome {
+		wl := byName[name]
+		return RunParallel(t, wl, shards, 42, GenOps(wl, 42))
+	}
+
+	heavy := run("ramcloud-writeback-writeheavy", 4)
+	if heavy.Stats.CleanDropped == 0 {
+		t.Errorf("write-heavy replay never clean-dropped: %+v", heavy.Stats)
+	}
+	if heavy.Store.MultiPuts == 0 {
+		t.Errorf("write-heavy replay never flushed a batch: %+v", heavy.Store)
+	}
+	if heavy.Stats.Steals == 0 {
+		t.Errorf("write-heavy replay never stole a pending write: %+v", heavy.Stats)
+	}
+
+	zero := run("ramcloud-writeback-zeroheavy", 4)
+	if zero.Stats.ZeroElided == 0 || zero.Stats.ZeroRefills == 0 {
+		t.Errorf("zero-heavy replay never elided/refilled: %+v", zero.Stats)
+	}
+
+	batched := run("ramcloud-batched-prefetch", 4)
+	if batched.Stats.Prefetches == 0 || batched.Store.MultiGets == 0 {
+		t.Errorf("batched replay never prefetched via MultiGet: %+v %+v", batched.Stats, batched.Store)
+	}
+
+	pipelined := run("memcached-prefetch-churn", 4)
+	if pipelined.Stats.Prefetches == 0 {
+		t.Errorf("pipelined replay never prefetched: %+v", pipelined.Stats)
+	}
+
+	sync := run("dram-sync-baseline", 4)
+	if sync.Stats.SyncWrites == 0 {
+		t.Errorf("baseline replay never wrote synchronously: %+v", sync.Stats)
+	}
+}
+
+// TestParallelSeedsDiverge guards the digest machinery itself: different
+// seeds must produce different data and trace digests, or the parity
+// comparisons compare nothing.
+func TestParallelSeedsDiverge(t *testing.T) {
+	wl := shardtest.Workloads()[0]
+	a := RunParallel(t, wl, 4, 1, GenOps(wl, 1))
+	b := RunParallel(t, wl, 4, 2, GenOps(wl, 2))
+	same := true
+	for s := range a.DataDigests {
+		if a.DataDigests[s] != b.DataDigests[s] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data digests; oracle is vacuous")
+	}
+	same = true
+	for s := range a.TraceDigests {
+		if a.TraceDigests[s] != b.TraceDigests[s] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trace digests; oracle is vacuous")
+	}
+}

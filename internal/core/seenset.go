@@ -1,0 +1,84 @@
+package core
+
+// seenSet tracks which pages the monitor has ever observed (the PageTracker
+// state machine's "not a first touch any more" bit). It used to be a
+// map[uint64]bool, which cost the steady amortised map-growth allocations the
+// cold-path allocation test pins (~one bucket every few first touches, the
+// last ~40 B/fault of the hot path). Page addresses are dense within the
+// registered regions, so a per-region bitmap is exact, allocation-free after
+// registration, and O(1) with no hashing. Regions are added/removed by the
+// control plane (RegisterRange / UnregisterVM / migration); the handful of
+// regions per monitor makes the linear region lookup cheaper than a map probe.
+type seenSet struct {
+	regions []seenRegion
+	// overflow catches addresses outside every registered region — the data
+	// plane never produces them (faults are validated against regions first),
+	// but control-plane callers are not forced to register before marking.
+	overflow map[uint64]bool
+}
+
+type seenRegion struct {
+	start, end uint64 // [start, end) byte addresses, page aligned
+	bits       []uint64
+}
+
+func newSeenSet() *seenSet { return &seenSet{} }
+
+// addRegion allocates tracking for [start, start+length). Overlapping ranges
+// are the caller's bug (uffd.Register rejects them first).
+func (s *seenSet) addRegion(start, length uint64) {
+	pages := (length + PageSize - 1) / PageSize
+	s.regions = append(s.regions, seenRegion{
+		start: start,
+		end:   start + pages*PageSize,
+		bits:  make([]uint64, (pages+63)/64),
+	})
+}
+
+// dropRegion forgets the region starting at start (teardown/migration export).
+func (s *seenSet) dropRegion(start uint64) {
+	for i := range s.regions {
+		if s.regions[i].start == start {
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *seenSet) find(addr uint64) *seenRegion {
+	for i := range s.regions {
+		if r := &s.regions[i]; addr >= r.start && addr < r.end {
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *seenSet) has(addr uint64) bool {
+	if r := s.find(addr); r != nil {
+		page := (addr - r.start) >> pageShift
+		return r.bits[page>>6]&(1<<(page&63)) != 0
+	}
+	return s.overflow[addr]
+}
+
+func (s *seenSet) add(addr uint64) {
+	if r := s.find(addr); r != nil {
+		page := (addr - r.start) >> pageShift
+		r.bits[page>>6] |= 1 << (page & 63)
+		return
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[uint64]bool)
+	}
+	s.overflow[addr] = true
+}
+
+func (s *seenSet) del(addr uint64) {
+	if r := s.find(addr); r != nil {
+		page := (addr - r.start) >> pageShift
+		r.bits[page>>6] &^= 1 << (page & 63)
+		return
+	}
+	delete(s.overflow, addr)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"fluidmem/internal/clock"
+)
+
+// TestShardIndexerMatchesReference pins the indexer's three code paths
+// (mask, fixed-point reciprocal, plain-divide fallback) to the reference
+// formula across adversarial addresses, including the top of the address
+// space where the reciprocal's error term is largest.
+func TestShardIndexerMatchesReference(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 31, 64, 100, 255, 4095, 4096, 4097, 5000}
+	rng := clock.NewRand(99)
+	addrs := []uint64{
+		0, PageSize, PageSize - 1, PageSize + 1,
+		^uint64(0), ^uint64(0) - PageSize, 1 << 52, (1 << 51) * PageSize,
+		0x7c00_0000_0000, 0x7fff_ffff_f000,
+	}
+	for i := 0; i < 4096; i++ {
+		addrs = append(addrs, rng.Uint64())
+	}
+	for _, shards := range shardCounts {
+		ix := newShardIndexer(shards)
+		for _, addr := range addrs {
+			want := int((addr / PageSize) % uint64(shards))
+			if got := ix.index(addr); got != want {
+				t.Fatalf("shards=%d addr=%#x: indexer %d, reference %d", shards, addr, got, want)
+			}
+		}
+	}
+	// Degenerate input clamps to one shard.
+	if ix := newShardIndexer(0); ix.index(1<<40) != 0 {
+		t.Fatalf("zero-shard indexer must clamp to shard 0")
+	}
+}
+
+// benchAddrs is a fixed pseudo-random address stream shared by the workerOf
+// microbenchmarks so the naive and indexed variants chew identical input.
+var benchAddrs = func() []uint64 {
+	rng := clock.NewRand(7)
+	addrs := make([]uint64, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint64()
+	}
+	return addrs
+}()
+
+var benchSink int
+
+// BenchmarkWorkerOf measures the per-fault shard-map cost: the naive 64-bit
+// div+mod against the cached shift/mask (power-of-two shards) and the
+// fixed-point reciprocal (non-power-of-two). The satellite claim this pins:
+// the divide is measurably slower than both replacements.
+func BenchmarkWorkerOf(b *testing.B) {
+	for _, shards := range []int{4, 6} {
+		s := uint64(shards)
+		b.Run(benchName("naive-div", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += int((benchAddrs[i&1023] / PageSize) % s)
+			}
+			benchSink = acc
+		})
+		ix := newShardIndexer(shards)
+		b.Run(benchName("indexer", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += ix.index(benchAddrs[i&1023])
+			}
+			benchSink = acc
+		})
+	}
+}
+
+func benchName(kind string, shards int) string {
+	suffix := "pow2"
+	if shards&(shards-1) != 0 {
+		suffix = "nonpow2"
+	}
+	return kind + "-" + suffix
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"fluidmem/internal/kvstore"
+)
+
+// This file is the parallel data plane's per-shard work queue: a bounded
+// single-producer/single-consumer ring of fixed-size work items. The
+// sequencer (the caller's goroutine, see parallel.go) is the only producer;
+// the shard's executor goroutine is the only consumer. With one producer and
+// one consumer the ring needs no CAS loops at all — the producer owns tail,
+// the consumer owns head, and each side only *reads* the other's cursor to
+// check fullness/emptiness. The release store on tail publishes the slot's
+// contents; the release store on head retires the slot for reuse. Items are
+// plain values, so steady-state posting allocates nothing.
+
+// parOp discriminates parallel work items.
+type parOp uint8
+
+const (
+	piNone parOp = iota
+	// piAccessHit delivers a resident page to the driver (COW break on write).
+	piAccessHit
+	// piZeroInstall installs a zero page (first touch / zero refill).
+	piZeroInstall
+	// piStealInstall moves a pending write-list buffer back in as the page's
+	// frame and delivers it (demand-fault steal).
+	piStealInstall
+	// piPendingInstall is piStealInstall without delivery (prefetch steal).
+	piPendingInstall
+	// piPendingDrop recycles a stolen pending buffer that was never installed
+	// (readahead stopped by the demand-displacement rule).
+	piPendingDrop
+	// piRead performs a demand store Get at its store turn, installs the
+	// page, and delivers it.
+	piRead
+	// piSlotGet performs one pipelined-prefetch store Get at its store turn,
+	// parking the result in a read-job slot for a later install/drop item.
+	piSlotGet
+	// piMultiRead performs the batched demand+readahead MultiGet at its store
+	// turn, parking every result in the read job's slots.
+	piMultiRead
+	// piReadConsume takes a read-job slot as the page's frame and delivers it
+	// (the batched demand page).
+	piReadConsume
+	// piReadInstall is piReadConsume without delivery (readahead install).
+	piReadInstall
+	// piReadDrop discards a read-job slot (store miss or stopped readahead).
+	piReadDrop
+	// piEvictDrop frees a victim's frame (clean drop / zero elide).
+	piEvictDrop
+	// piEvictEnqueue moves a victim's frame onto the shard's pending list.
+	piEvictEnqueue
+	// piEvictCoalesce replaces a pending buffer with the victim's frame
+	// (same-key re-eviction, queue position kept).
+	piEvictCoalesce
+	// piEvictSyncPut writes a victim straight to the store (AsyncWrite off).
+	piEvictSyncPut
+	// piZeroCancel frees a pending buffer cancelled by a zero mark.
+	piZeroCancel
+	// piContribute hands a pending buffer to a flush job; the last
+	// contributor executes the MultiPut at the job's store turn.
+	piContribute
+)
+
+// parItem is one unit of shard work. Fixed size, passed by value through the
+// ring; the pointers reference pooled jobs owned by the engine.
+type parItem struct {
+	kind   parOp
+	write  bool
+	expect bool // piSlotGet: sequencer predicted the key present
+	slot   int32
+	addr   uint64
+	key    kvstore.Key
+	ticket uint64
+	// storeSeq is the item's turn in the global store-operation order;
+	// readsBefore is how many read-class turns precede a mutating one.
+	storeSeq    uint64
+	readsBefore uint64
+	fjob        *parFlushJob
+	rjob        *parReadJob
+}
+
+// spscRing is the bounded SPSC queue. head and tail sit on their own cache
+// lines so the producer and consumer never false-share.
+type spscRing struct {
+	_    [64]byte
+	head atomic.Uint64 // consumer cursor: items fully executed and retired
+	_    [56]byte
+	tail atomic.Uint64 // producer cursor: items published
+	_    [56]byte
+	mask uint64
+	slot []parItem
+}
+
+func newSPSCRing(capacity int) *spscRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{mask: uint64(n - 1), slot: make([]parItem, n)}
+}
+
+// push publishes one item; false when full. Producer side only.
+func (r *spscRing) push(it parItem) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	r.slot[t&r.mask] = it
+	r.tail.Store(t + 1) // release: publishes the slot write
+	return true
+}
+
+// peek returns the next item without retiring it. Consumer side only; the
+// pointer is valid until pop. Retiring only after execution makes head a
+// completion counter: head == tail means every published item has fully run.
+func (r *spscRing) peek() (*parItem, bool) {
+	h := r.head.Load()
+	if r.tail.Load() == h { // acquire: observes the slot write
+		return nil, false
+	}
+	return &r.slot[h&r.mask], true
+}
+
+// pop retires the item returned by the last peek. Consumer side only.
+func (r *spscRing) pop() {
+	h := r.head.Load()
+	r.slot[h&r.mask] = parItem{} // drop job pointers so pools aren't pinned
+	r.head.Store(h + 1)          // release: publishes the executor's effects
+}
+
+// spinYield burns a few polls then yields, so waits stay live at
+// GOMAXPROCS=1 without thrashing the scheduler on multicore.
+func spinYield(n *int) {
+	if *n < 64 {
+		*n++
+		return
+	}
+	runtime.Gosched()
+}

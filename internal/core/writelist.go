@@ -63,15 +63,16 @@ type writeback struct {
 
 	// shards holds the per-worker queues of evicted pages not yet submitted.
 	shards  []map[kvstore.Key]*pendingWrite
+	idx     shardIndexer
 	queued  int // total across shards
 	nextSeq uint64
 
 	// freePW pools retired pendingWrite structs; batchScratch, keyScratch
 	// and pageScratch are the reusable flush buffers.
-	freePW      []*pendingWrite
+	freePW       []*pendingWrite
 	batchScratch []*pendingWrite
-	keyScratch  []kvstore.Key
-	pageScratch [][]byte
+	keyScratch   []kvstore.Key
+	pageScratch  [][]byte
 
 	// zero is the zero bitmap: keys whose latest evicted contents were all
 	// zeroes and were therefore never written to the store. Membership is
@@ -120,16 +121,20 @@ func newShardedWriteback(store kvstore.Store, batchSize, shards int, tr *trace.T
 	if shards < 1 {
 		shards = 1
 	}
+	// Queues hold at most ~batchSize entries between flushes, the inflight
+	// table at most one flush's worth plus stragglers: pre-sizing both keeps
+	// map growth off the steady-state fault path.
 	w := &writeback{
 		store:      store,
 		batchSize:  batchSize,
+		idx:        newShardIndexer(shards),
 		tr:         tr,
-		zero:       make(map[kvstore.Key]bool),
-		inflight:   make(map[kvstore.Key]time.Duration),
-		flushSizes: make(map[int]uint64),
+		zero:       make(map[kvstore.Key]bool, batchSize),
+		inflight:   make(map[kvstore.Key]time.Duration, 2*batchSize),
+		flushSizes: make(map[int]uint64, 16),
 	}
 	for i := 0; i < shards; i++ {
-		w.shards = append(w.shards, make(map[kvstore.Key]*pendingWrite))
+		w.shards = append(w.shards, make(map[kvstore.Key]*pendingWrite, batchSize))
 	}
 	return w
 }
@@ -163,7 +168,7 @@ func (w *writeback) putPW(pw *pendingWrite) {
 // shardIndex maps a key to its queue's shard (the same formula as the
 // monitor's workerOf, so a key's queue and its fault worker coincide).
 func (w *writeback) shardIndex(key kvstore.Key) int {
-	return int((key.Page() / kvstore.PageSize) % uint64(len(w.shards)))
+	return w.idx.index(key.Page())
 }
 
 // shardOf maps a key to its queue.
@@ -402,7 +407,7 @@ func (w *writeback) Drain(now time.Duration) (time.Duration, error) {
 			latest = done
 		}
 	}
-	w.inflight = make(map[kvstore.Key]time.Duration)
+	w.inflight = make(map[kvstore.Key]time.Duration, 2*w.batchSize)
 	return latest, nil
 }
 

@@ -181,6 +181,9 @@ type FD struct {
 	// to its fault-pipeline worker by the monitor's page-address shard.
 	tr        *trace.Tracer
 	trWorkers int
+
+	// pageHint pre-sizes each region's resident-page map (see SetPageHint).
+	pageHint int
 }
 
 // New returns a descriptor with the given service-time parameters.
@@ -266,6 +269,17 @@ func (f *FD) SetTracer(tr *trace.Tracer, workers int) {
 	f.trWorkers = workers
 }
 
+// SetPageHint pre-sizes the resident-page map of regions registered from now
+// on. A region's map holds only resident pages — bounded by the monitor's
+// LRU capacity, not the region size — so sizing it up front removes the map
+// growth a fresh region pays as the working set warms.
+func (f *FD) SetPageHint(pages int) {
+	if pages < 0 {
+		pages = 0
+	}
+	f.pageHint = pages
+}
+
 // traceWorker is the fault-pipeline worker owning addr.
 func (f *FD) traceWorker(addr uint64) int {
 	if f.trWorkers < 1 {
@@ -287,7 +301,7 @@ func (f *FD) Register(start, length uint64, pid int) (*Region, error) {
 			return nil, fmt.Errorf("uffd: region [%#x,+%#x) overlaps [%#x,+%#x)", start, length, r.Start, r.Length)
 		}
 	}
-	region := &Region{Start: start, Length: length, PID: pid, fd: f, pages: make(map[uint64]*page)}
+	region := &Region{Start: start, Length: length, PID: pid, fd: f, pages: make(map[uint64]*page, f.pageHint)}
 	f.regions = append(f.regions, region)
 	return region, nil
 }
@@ -401,7 +415,9 @@ func (f *FD) ZeroPage(now time.Duration, addr uint64) (time.Duration, error) {
 	}
 	region.pages[aligned] = f.getPage(PageZeroCOW)
 	done := now + f.params.ZeroPage.Sample(f.rng)
-	f.tr.Emit(trace.EvUffdZeroPage, f.traceWorker(aligned), aligned, now, done-now, "")
+	if f.tr != nil {
+		f.tr.Emit(trace.EvUffdZeroPage, f.traceWorker(aligned), aligned, now, done-now, "")
+	}
 	return done, nil
 }
 
@@ -425,7 +441,9 @@ func (f *FD) Copy(now time.Duration, addr uint64, data []byte) (time.Duration, e
 	copy(p.data, data)
 	region.pages[aligned] = p
 	done := now + f.params.Copy.Sample(f.rng)
-	f.tr.Emit(trace.EvUffdCopy, f.traceWorker(aligned), aligned, now, done-now, "")
+	if f.tr != nil {
+		f.tr.Emit(trace.EvUffdCopy, f.traceWorker(aligned), aligned, now, done-now, "")
+	}
 	return done, nil
 }
 
@@ -450,7 +468,9 @@ func (f *FD) SetWriteProtect(now time.Duration, addr uint64) (time.Duration, err
 	}
 	p.wp = true
 	done := now + f.params.WriteProtect.Sample(f.rng)
-	f.tr.Emit(trace.EvUffdWP, f.traceWorker(aligned), aligned, now, done-now, "")
+	if f.tr != nil {
+		f.tr.Emit(trace.EvUffdWP, f.traceWorker(aligned), aligned, now, done-now, "")
+	}
 	return done, nil
 }
 
@@ -503,7 +523,9 @@ func (f *FD) Remap(now time.Duration, addr uint64, interleaved bool) ([]byte, ti
 		arg = "interleaved"
 	}
 	done := now + model.Sample(f.rng)
-	f.tr.Emit(trace.EvUffdRemap, f.traceWorker(aligned), aligned, now, done-now, arg)
+	if f.tr != nil {
+		f.tr.Emit(trace.EvUffdRemap, f.traceWorker(aligned), aligned, now, done-now, arg)
+	}
 	return data, done, nil
 }
 
