@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle cluster-oracle parallel-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle market-oracle cluster-oracle parallel-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
 # shard-oracle re-proves worker-count determinism on the write-back workloads,
@@ -14,7 +14,7 @@ GO ?= go
 # model checkers a short adversarial pass,
 # and bench-ratchet re-measures the committed BENCH_*.json throughput rows
 # and fails on a >10% faults/s regression.
-check: vet build test check-race shard-oracle trace-oracle arbiter-oracle cluster-oracle parallel-oracle fuzz-short bench-ratchet
+check: vet build test check-race shard-oracle trace-oracle arbiter-oracle market-oracle cluster-oracle parallel-oracle fuzz-short bench-ratchet
 
 build:
 	$(GO) build ./...
@@ -45,8 +45,11 @@ bench-quick:
 # here stops producing its artifact.
 # BENCH_parallel.json carries the parallel data plane's scaling matrix plus
 # its deterministic serial virtual-time reference row.
+# BENCH_market.json carries the marketplace-vs-arbiter-vs-static comparison;
+# its Validate() makes this target fail loudly if the artifact would record
+# zero SLO-enforcement epochs (a vacuous market run).
 bench-json:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel -json
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel,market -json
 
 # The throughput ratchet: re-run the artifact experiments and compare every
 # faults_per_sec row against the committed BENCH_*.json baselines; a >10%
@@ -56,7 +59,7 @@ bench-json:
 # reference (the wall-clock matrix rows are machine-dependent by design and
 # use a different key, so the scanner never sees them).
 bench-ratchet:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel -ratchet
+	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel,market -ratchet
 
 # The write-back determinism oracle: N-worker monitors must be logically
 # identical to the serial monitor on the write-heavy / zero-heavy workloads.
@@ -76,6 +79,18 @@ trace-oracle:
 arbiter-oracle:
 	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestHotsetOracle|TestWorkerCountEquivalence'
 	$(GO) test . -count=1 -run 'TestHostWorkerCountInvariance|TestHostInterleavingInvariance|TestHostTracedBitIdentical'
+
+# The market determinism oracle: the synthetic two-epoch marketplace plans
+# derived from every replay's curve (grant, then SLO claw-back) must be
+# identical across worker counts (shardtest outcomes carry MarketPlanDigest),
+# host-level market decisions — including the SLO window evaluations feeding
+# them — must be invariant across VM interleavings and worker counts, and
+# the SLO evaluation itself must be partition-invariant, including under the
+# concurrent parallel engine.
+market-oracle:
+	$(GO) test ./internal/core/shardtest/ -count=1 -run 'TestWorkerCountEquivalence|TestSeedsDiverge'
+	$(GO) test . -count=1 -run 'TestHostMarketWorkerCountInvariance|TestHostMarketInterleavingInvariance'
+	$(GO) test ./internal/market/ -count=1 -run 'TestEvaluateSLO'
 
 # The cluster no-page-lost oracle: randomized {add, drain, crash, recover,
 # partition, heal} schedules over ≥3 seeds × {3,5 nodes} × {2,3 replicas},

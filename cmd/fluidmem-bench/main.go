@@ -27,6 +27,12 @@ type jsonable interface{ JSON() ([]byte, error) }
 // can serialise it as a Chrome trace (the -trace flag).
 type traceable interface{ WriteChromeTrace(io.Writer) error }
 
+// validatable marks results that carry their own artifact sanity check; a
+// failing Validate aborts -json before the artifact is written (e.g. a
+// BENCH_market.json with zero SLO-enforcement epochs measures nothing and
+// must never be committed as a baseline).
+type validatable interface{ Validate() error }
+
 // experiment couples a name to its runner.
 type experiment struct {
 	name string
@@ -56,6 +62,7 @@ func experiments() []experiment {
 		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
 		{"trace", "virtual-time fault-latency breakdown: per-phase p50/p90/p99 from the tracer", func(o bench.Options) (renderable, error) { return bench.RunTrace(o) }},
 		{"arbiter", "multi-tenant arbiter vs static equal split: ghost-LRU curves drive budget rebalancing", func(o bench.Options) (renderable, error) { return bench.RunArbiter(o) }},
+		{"market", "memory marketplace vs arbiter vs static split: SLO-aware leases on skewed/shifting/adversarial mixes", func(o bench.Options) (renderable, error) { return bench.RunMarket(o) }},
 	}
 }
 
@@ -119,6 +126,11 @@ func run(args []string) (err error) {
 		}
 		fmt.Println(res.Render())
 		if *jsonOut {
+			if v, ok := res.(validatable); ok {
+				if err := v.Validate(); err != nil {
+					return fmt.Errorf("%s: %w", e.name, err)
+				}
+			}
 			j, ok := res.(jsonable)
 			if !ok {
 				// With an explicit -run list every named experiment is

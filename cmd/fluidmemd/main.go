@@ -53,6 +53,7 @@ func run(args []string) error {
 		traceOut   = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file; also enables the hist command")
 		vms        = fs.Int("vms", 1, "tenant count: > 1 runs a multi-tenant host sharing the local budget (one VM hot, the rest cold) instead of the scripted single machine")
 		arb        = fs.Bool("arbiter", false, "with -vms > 1: rebalance the shared budget each epoch from the ghost-LRU miss-ratio curves (default keeps the static equal split)")
+		mkt        = fs.Bool("market", false, "with -vms > 1: run the Memtrade-style marketplace — curve-priced leases with p99-SLO claw-back — instead of the greedy arbiter (mutually exclusive with -arbiter); host console commands: status | slo | market")
 		parallel   = fs.Bool("parallel", false, "drive the multi-goroutine data plane directly (real executor goroutines, wall-clock time) instead of the virtual-time machine; script commands: status | resize <pages> | tick <n>")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,8 +61,8 @@ func run(args []string) error {
 	}
 	if *parallel {
 		switch {
-		case *vms > 1 || *arb:
-			return fmt.Errorf("-parallel runs a single engine (no -vms/-arbiter)")
+		case *vms > 1 || *arb || *mkt:
+			return fmt.Errorf("-parallel runs a single engine (no -vms/-arbiter/-market)")
 		case *backend == "cluster" || *failSched != "":
 			return fmt.Errorf("-parallel does not support the cluster backend or failure schedules")
 		case *replicas > 1 || *chaos > 0:
@@ -79,10 +80,29 @@ func run(args []string) error {
 			*workers, *elideZero, *cleanDrop)
 	}
 	if *vms > 1 {
-		return runHost(*backend, *vms, *arb, *localMB, *seed)
+		if *arb && *mkt {
+			return fmt.Errorf("-arbiter and -market are mutually exclusive planners")
+		}
+		planner := ""
+		switch {
+		case *arb:
+			planner = "arbiter"
+		case *mkt:
+			planner = "market"
+		}
+		// With -vms the script speaks the host console (status | slo |
+		// market); the single-machine default script would not parse.
+		hostScript := "status;slo;market"
+		if scriptFlagSet(fs) {
+			hostScript = *script
+		}
+		return runHost(*backend, *vms, planner, *localMB, *seed, hostScript)
 	}
 	if *arb {
 		return fmt.Errorf("-arbiter needs -vms > 1 (a single tenant has nothing to rebalance)")
+	}
+	if *mkt {
+		return fmt.Errorf("-market needs -vms > 1 (a single tenant has nobody to trade with)")
 	}
 	mcfg := fluidmem.MachineConfig{
 		Mode:        fluidmem.ModeFluidMem,
@@ -276,40 +296,22 @@ func runParallelConsole(backend string, localMB, guestMB int, script string, see
 	return p.Err()
 }
 
-// runHost is the multi-tenant console: N guests share one store and one
-// local DRAM budget. VM 0 cycles a working set 25% past its equal split
-// (steep miss-ratio curve); the others cycle a quarter of theirs (flat
-// curves). With -arbiter the host reads the ghost-LRU curves each epoch and
-// moves slab grants toward the steep curve; without it the equal split is
-// frozen — run both and compare the per-tenant fault counts and shares.
-func runHost(backend string, vms int, withArbiter bool, localMB int, seed uint64) error {
+// runHost is the multi-tenant console: N named tenants share one store and
+// one local DRAM budget. Tenant "hot" cycles a working set 25% past its
+// equal split (steep miss-ratio curve); the "coldN" tenants cycle a quarter
+// of theirs (flat curves) under a tight p99 fault-latency SLO. With
+// -arbiter the host reads the ghost-LRU curves each epoch and greedily
+// moves slab grants toward the steep curve — SLO-blind. With -market the
+// same curves price leases in the marketplace, and a cold tenant whose
+// donations push its window p99 past its target gets its leases clawed
+// back. Without either, the equal split is frozen but SLO windows still
+// run. After the drive, the script runs against the host console: status |
+// slo | market.
+func runHost(backend string, vms int, planner string, localMB int, seed uint64, script string) error {
 	const epochOps, rounds = 512, 8
 	totalPages := (localMB << 20) / int(fluidmem.PageSize)
-	cfgs := make([]fluidmem.MachineConfig, vms)
-	for i := range cfgs {
-		cfgs[i] = fluidmem.MachineConfig{
-			Backend:     fluidmem.Backend(backend),
-			GuestMemory: uint64(totalPages) * fluidmem.PageSize,
-		}
-	}
-	hc := fluidmem.HostConfig{VMs: cfgs, TotalLocalPages: totalPages, Seed: seed}
-	if withArbiter {
-		hc.Arbiter = &fluidmem.ArbiterConfig{EpochOps: epochOps}
-	}
-	h, err := fluidmem.NewHost(hc)
-	if err != nil {
-		return err
-	}
-	mode := "static equal split"
-	if withArbiter {
-		mode = "arbiter rebalancing"
-	}
-	fmt.Printf("fluidmemd: host with %d tenants on %s, %d shared pages (%d MB), %s\n",
-		vms, backend, totalPages, localMB, mode)
-
 	equal := totalPages / vms
 	spans := make([]int, vms)
-	segs := make([]uint64, vms)
 	spans[0] = equal + equal/4
 	for i := 1; i < vms; i++ {
 		spans[i] = equal / 4
@@ -317,6 +319,43 @@ func runHost(backend string, vms int, withArbiter bool, localMB int, seed uint64
 			spans[i] = 1
 		}
 	}
+	specs := make([]fluidmem.TenantSpec, vms)
+	for i := range specs {
+		mc := fluidmem.MachineConfig{
+			Backend:     fluidmem.Backend(backend),
+			GuestMemory: uint64(totalPages) * fluidmem.PageSize,
+		}
+		if i == 0 {
+			specs[i] = fluidmem.TenantSpec{ID: "hot", VM: mc}
+			continue
+		}
+		// The cold tenants are the marketplace's protected class: donors
+		// with a p99 target below any store's fault latency, so donation-
+		// induced faulting violates the SLO and triggers claw-back.
+		specs[i] = fluidmem.TenantSpec{
+			ID:     fmt.Sprintf("cold%d", i),
+			VM:     mc,
+			Policy: fluidmem.TenantPolicy{SLO: time.Microsecond},
+		}
+	}
+	hc := fluidmem.HostConfig{Tenants: specs, TotalLocalPages: totalPages, Seed: seed, EpochOps: epochOps}
+	mode := "static equal split"
+	switch planner {
+	case "arbiter":
+		hc.Arbiter = &fluidmem.ArbiterConfig{EpochOps: epochOps}
+		mode = "arbiter rebalancing"
+	case "market":
+		hc.Market = &fluidmem.MarketConfig{EpochOps: epochOps}
+		mode = "marketplace (SLO claw-back)"
+	}
+	h, err := fluidmem.NewHost(hc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fluidmemd: host with %d tenants on %s, %d shared pages (%d MB), %s\n",
+		vms, backend, totalPages, localMB, mode)
+
+	segs := make([]uint64, vms)
 	for i := 0; i < vms; i++ {
 		seg, err := h.Machine(i).Alloc("ws", uint64(spans[i])*fluidmem.PageSize)
 		if err != nil {
@@ -329,7 +368,7 @@ func runHost(backend string, vms int, withArbiter bool, localMB int, seed uint64
 			for i := 0; i < vms; i++ {
 				addr := segs[i] + uint64((r*epochOps+op)%spans[i])*fluidmem.PageSize
 				if _, err := h.Touch(i, addr, op%3 == 0); err != nil {
-					return fmt.Errorf("vm%d: %w", i, err)
+					return fmt.Errorf("%s: %w", specs[i].ID, err)
 				}
 			}
 		}
@@ -340,23 +379,69 @@ func runHost(backend string, vms int, withArbiter bool, localMB int, seed uint64
 		return err
 	}
 
-	st := h.Stats()
-	fmt.Printf("\n%-6s %6s %7s %5s %10s %11s %10s\n", "vm", "span", "share", "wss", "faults", "ghost-hits", "evictions")
-	for i, ms := range st.VMs {
-		var faults, hits, evicts uint64
-		if ms.Monitor != nil {
-			faults, evicts = ms.Monitor.Faults, ms.Monitor.Evictions
+	for _, raw := range strings.Split(script, ";") {
+		fields := strings.Fields(strings.TrimSpace(raw))
+		if len(fields) == 0 {
+			continue
 		}
-		if ms.Hotset != nil {
-			hits = ms.Hotset.GhostHits
+		fmt.Printf("\n> %s\n", strings.Join(fields, " "))
+		if err := executeHost(h, spans, fields); err != nil {
+			return fmt.Errorf("%s: %w", fields[0], err)
 		}
-		fmt.Printf("vm%-4d %6d %7d %5d %10d %11d %10d\n",
-			i, spans[i], st.Shares[i], st.WSSPages[i], faults, hits, evicts)
 	}
-	if withArbiter {
-		a := st.Arbiter
-		fmt.Printf("arbiter: epochs=%d moves=%d granted=%d donated=%d predicted-savings=%d realized-savings=%d\n",
-			a.Epochs, a.Moves, a.GrantedPages, a.DonatedPages, a.PredictedSavings, a.RealizedSavings)
+	return nil
+}
+
+// executeHost runs one host-console command: the multi-tenant analogues of
+// the single-machine status/health surface.
+func executeHost(h *fluidmem.Host, spans []int, fields []string) error {
+	st := h.Stats()
+	switch fields[0] {
+	case "status":
+		fmt.Printf("  %-8s %6s %7s %5s %10s %11s %10s\n", "tenant", "span", "share", "wss", "faults", "ghost-hits", "evictions")
+		for i, ms := range st.VMs {
+			var faults, hits, evicts uint64
+			if ms.Monitor != nil {
+				faults, evicts = ms.Monitor.Faults, ms.Monitor.Evictions
+			}
+			if ms.Hotset != nil {
+				hits = ms.Hotset.GhostHits
+			}
+			fmt.Printf("  %-8s %6d %7d %5d %10d %11d %10d\n",
+				st.Tenants[i].ID, spans[i], st.Shares[i], st.WSSPages[i], faults, hits, evicts)
+		}
+		if a := st.Arbiter; a.Epochs > 0 {
+			fmt.Printf("  planner: epochs=%d moves=%d granted=%d donated=%d predicted-savings=%d realized-savings=%d\n",
+				a.Epochs, a.Moves, a.GrantedPages, a.DonatedPages, a.PredictedSavings, a.RealizedSavings)
+		}
+	case "slo":
+		fmt.Printf("  %-8s %10s %8s %10s %12s %12s\n", "tenant", "target", "windows", "violations", "last-p99", "last-faults")
+		for _, ts := range st.Tenants {
+			target := "-"
+			if ts.Policy.SLO > 0 {
+				target = ts.Policy.SLO.String()
+			}
+			fmt.Printf("  %-8s %10s %8d %10d %12v %12d\n",
+				ts.ID, target, ts.SLO.Windows, ts.SLO.Violations, ts.SLO.LastP99, ts.SLO.LastFaults)
+		}
+	case "market":
+		if st.Market == nil {
+			fmt.Println("  marketplace not running (use -market)")
+			break
+		}
+		m := st.Market
+		fmt.Printf("  epochs=%d slo-enforced=%d slo-violations=%d leases=%d leased-pages=%d clawbacks=%d clawed-pages=%d predicted-savings=%d\n",
+			m.Epochs, m.SLOEnforcedEpochs, m.SLOViolations, m.Leases, m.LeasedPages, m.Clawbacks, m.ClawedPages, m.PredictedSavings)
+		if len(st.Leases) == 0 {
+			fmt.Println("  lease book: empty")
+			break
+		}
+		fmt.Printf("  %-6s %-8s %-8s %6s %7s %7s\n", "lease", "from", "to", "pages", "epoch", "price")
+		for _, l := range st.Leases {
+			fmt.Printf("  %-6d %-8s %-8s %6d %7d %7d\n", l.ID, l.From, l.To, l.Pages, l.Epoch, l.Price)
+		}
+	default:
+		return fmt.Errorf("unknown host command %q (status | slo | market)", fields[0])
 	}
 	return nil
 }

@@ -35,3 +35,33 @@ func TestBadBackend(t *testing.T) {
 		t.Fatal("bad backend accepted")
 	}
 }
+
+func TestHostConsole(t *testing.T) {
+	// The default host script runs status, slo, and market against every
+	// planner (market prints a hint when the marketplace is off).
+	for _, planner := range [][]string{nil, {"-arbiter"}, {"-market"}} {
+		args := append([]string{"-vms", "2", "-local", "1", "-backend", "dram"}, planner...)
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", planner, err)
+		}
+	}
+	if err := run([]string{"-vms", "2", "-local", "1", "-backend", "dram",
+		"-script", "status;slo;market;status"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-vms", "2", "-local", "1", "-backend", "dram", "-script", "resize 4"}); err == nil {
+		t.Fatal("machine command accepted by the host console")
+	}
+}
+
+func TestMarketFlagValidation(t *testing.T) {
+	if err := run([]string{"-market"}); err == nil {
+		t.Fatal("-market without -vms accepted")
+	}
+	if err := run([]string{"-vms", "2", "-market", "-arbiter"}); err == nil {
+		t.Fatal("-market with -arbiter accepted")
+	}
+	if err := run([]string{"-parallel", "-market"}); err == nil {
+		t.Fatal("-parallel with -market accepted")
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 	"fluidmem/internal/arbiter"
 	"fluidmem/internal/kvstore"
+	"fluidmem/internal/market"
+	"fluidmem/internal/stats"
 	"fluidmem/internal/trace"
 )
 
@@ -14,7 +16,9 @@ import (
 // (floor/ceiling, slab size, moves per epoch, hysteresis).
 type ArbiterPolicy = arbiter.Policy
 
-// ArbiterConfig enables adaptive local-memory balancing on a Host.
+// ArbiterConfig enables adaptive local-memory balancing on a Host with the
+// PR-5 greedy reallocator — the single-policy baseline the marketplace is
+// benchmarked against.
 type ArbiterConfig struct {
 	// Policy tunes the greedy reallocator; the zero value selects
 	// arbiter.DefaultPolicy for the host's budget and VM count.
@@ -28,19 +32,45 @@ type ArbiterConfig struct {
 	EpochOps int
 }
 
+// MarketConfig enables the Memtrade-style memory marketplace on a Host:
+// tenants bid for slabs priced from their ghost-LRU miss-ratio curves,
+// grants are tracked as leases, and tenants violating their p99
+// fault-latency SLO get their donated leases clawed back (internal/market).
+type MarketConfig struct {
+	// Policy tunes the marketplace; the zero value selects
+	// market.DefaultConfig for the host's budget and tenant count.
+	Policy MarketPolicy
+	// EpochOps is the per-tenant operation count closing an epoch window,
+	// exactly as in ArbiterConfig. Default 512.
+	EpochOps int
+}
+
 // HostConfig assembles a multi-tenant host: N guests on one hypervisor
 // sharing one key-value store and one local DRAM page budget.
 type HostConfig struct {
-	// VMs configures each guest. LocalMemory is overridden by the host's
-	// equal split of TotalLocalPages; SharedStore, Registry, HypervisorID,
-	// and (unless set) Hotset and Seed are filled in per VM.
+	// Tenants declares the guests by name with per-tenant policies — the
+	// primary configuration surface. Mutually exclusive with VMs.
+	Tenants []TenantSpec
+	// VMs configures anonymous guests (tenant IDs "vm0", "vm1", ... with
+	// zero TenantPolicy) — the legacy positional surface, kept so existing
+	// drivers migrate without churn. LocalMemory is overridden by the
+	// host's equal split of TotalLocalPages; SharedStore, Registry,
+	// HypervisorID, and (unless set) Hotset and Seed are filled in per VM.
 	VMs []MachineConfig
 	// TotalLocalPages is the host DRAM page budget shared across all VMs.
 	// Must admit at least one page per VM.
 	TotalLocalPages int
-	// Arbiter, when non-nil, rebalances the budget every epoch; nil keeps
-	// the static equal split (the baseline the arbiter must beat).
+	// Arbiter, when non-nil, rebalances the budget every epoch with the
+	// greedy reallocator. Mutually exclusive with Market; nil keeps the
+	// static equal split (the baseline the planners must beat).
 	Arbiter *ArbiterConfig
+	// Market, when non-nil, runs the marketplace planner every epoch.
+	Market *MarketConfig
+	// EpochOps makes a planner-less host still run epoch windows (curve
+	// capture + SLO evaluation, no rebalancing) — the static-split variant
+	// of the bench needs SLO accounting to report a miss rate. Ignored when
+	// Arbiter or Market is set (their EpochOps governs).
+	EpochOps int
 	// Tracer optionally instruments the SHARED store and receives the
 	// host's ARBITER epoch events. Per-VM pipelines are traced via each
 	// MachineConfig's own Tracer. Pure observation, as everywhere.
@@ -50,31 +80,50 @@ type HostConfig struct {
 }
 
 // Host runs N Machines against one shared store under one global DRAM page
-// budget — the multi-tenant deployment of §IV, with the arbiter supplying
-// the working-set-driven resizing loop that Memtrade-style memory markets
-// build on FluidMem's resize primitive.
+// budget — the multi-tenant deployment of §IV. Tenants are named and carry
+// TenantPolicy contracts; the pluggable planner (greedy arbiter or
+// Memtrade-style marketplace) resizes their shares each epoch using
+// FluidMem's resize primitive.
 type Host struct {
 	machines []*Machine
 	ids      []string
+	tenants  []*Tenant
+	policies []TenantPolicy
+	byID     map[string]int
 	cfg      HostConfig
-	policy   arbiter.Policy
+
+	// planner decides each epoch's share plan; nil means no rebalancing.
+	// mkt aliases the planner when it is the marketplace (lease book and
+	// market counters surface in HostStats).
+	planner  arbiter.Planner
+	mkt      *market.Market
 	epochOps int
+	// windows is true when epoch windows run at all (planner present, or
+	// HostConfig.EpochOps set for SLO-only accounting).
+	windows bool
 
 	// opCount counts guest operations per VM inside the current window;
 	// captured[i] holds the VM's cumulative hotset snapshot taken as it
 	// crossed the window boundary (capture-on-cross: the snapshot depends
 	// only on the VM's own operation sequence, never on how the driver
-	// interleaved the VMs, so arbiter inputs — and therefore decisions —
-	// are interleaving-invariant).
-	opCount  []int
-	captured []*HotsetCounters
-	// windowBase is each VM's snapshot at the previous epoch boundary;
-	// window curves are cumulative differences against it.
-	windowBase []HotsetCounters
+	// interleaved the VMs, so planner inputs — and therefore decisions —
+	// are interleaving-invariant). capturedHist[i] is the cumulative merged
+	// FAULT histogram captured at the same crossing, for SLO windows.
+	opCount      []int
+	captured     []*HotsetCounters
+	capturedHist []stats.Histogram
+	// windowBase / windowBaseHist are each VM's snapshots at the previous
+	// epoch boundary; window curves and window histograms are cumulative
+	// differences against them.
+	windowBase     []HotsetCounters
+	windowBaseHist []stats.Histogram
 	// lastGranted/lastWindowHits feed the realized-savings feedback: a VM
 	// granted pages last epoch should show fewer ghost hits this window.
 	lastGranted    map[int]bool
 	lastWindowHits []uint64
+
+	// Per-tenant SLO accounting, updated as each window closes.
+	slo []SLOStatus
 
 	stats arbiter.Stats
 }
@@ -83,42 +132,75 @@ type Host struct {
 // ModeFluidMem (the swap baseline cannot resize, so it cannot participate in
 // a shared budget).
 func NewHost(cfg HostConfig) (*Host, error) {
-	n := len(cfg.VMs)
+	specs := cfg.Tenants
+	if len(specs) > 0 && len(cfg.VMs) > 0 {
+		return nil, errors.New("fluidmem: HostConfig.Tenants and HostConfig.VMs are mutually exclusive")
+	}
+	for i := range cfg.VMs {
+		specs = append(specs, TenantSpec{ID: fmt.Sprintf("vm%d", i), VM: cfg.VMs[i]})
+	}
+	n := len(specs)
 	if n == 0 {
-		return nil, errors.New("fluidmem: host needs at least one VM")
+		return nil, errors.New("fluidmem: host needs at least one tenant")
 	}
 	if cfg.TotalLocalPages < n {
-		return nil, fmt.Errorf("fluidmem: budget %d pages cannot give %d VMs a page each", cfg.TotalLocalPages, n)
+		return nil, fmt.Errorf("fluidmem: budget %d pages cannot give %d tenants a page each", cfg.TotalLocalPages, n)
+	}
+	if cfg.Arbiter != nil && cfg.Market != nil {
+		return nil, errors.New("fluidmem: Arbiter and Market are mutually exclusive planners")
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
 	h := &Host{
 		cfg:            cfg,
+		byID:           make(map[string]int, n),
 		epochOps:       512,
 		opCount:        make([]int, n),
 		captured:       make([]*HotsetCounters, n),
+		capturedHist:   make([]stats.Histogram, n),
 		windowBase:     make([]HotsetCounters, n),
+		windowBaseHist: make([]stats.Histogram, n),
 		lastGranted:    make(map[int]bool),
 		lastWindowHits: make([]uint64, n),
+		slo:            make([]SLOStatus, n),
 	}
-	if cfg.Arbiter != nil {
-		h.policy = cfg.Arbiter.Policy
-		if h.policy == (arbiter.Policy{}) {
-			h.policy = arbiter.DefaultPolicy(cfg.TotalLocalPages, n)
+	switch {
+	case cfg.Arbiter != nil:
+		policy := cfg.Arbiter.Policy
+		if policy == (arbiter.Policy{}) {
+			policy = arbiter.DefaultPolicy(cfg.TotalLocalPages, n)
 		}
-		if err := h.policy.Validate(); err != nil {
+		if err := policy.Validate(); err != nil {
 			return nil, fmt.Errorf("fluidmem: %w", err)
 		}
+		h.planner = policy
 		if cfg.Arbiter.EpochOps > 0 {
 			h.epochOps = cfg.Arbiter.EpochOps
 		}
+	case cfg.Market != nil:
+		mc := cfg.Market.Policy
+		if mc == (market.Config{}) {
+			mc = market.DefaultConfig(cfg.TotalLocalPages, n)
+		}
+		mkt, err := market.New(mc)
+		if err != nil {
+			return nil, fmt.Errorf("fluidmem: %w", err)
+		}
+		h.planner = mkt
+		h.mkt = mkt
+		if cfg.Market.EpochOps > 0 {
+			h.epochOps = cfg.Market.EpochOps
+		}
+	case cfg.EpochOps > 0:
+		h.epochOps = cfg.EpochOps
 	}
+	h.windows = h.planner != nil || cfg.EpochOps > 0
 
 	// One shared backend + one shared partition registry: the registry's
 	// collision handling guarantees each VM a distinct store partition even
 	// if two seeds produce the same guest pid.
-	template := cfg.VMs[0]
+	template := specs[0].VM
 	applyMachineDefaults(&template)
 	shared := template.SharedStore
 	if shared == nil {
@@ -135,10 +217,23 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	}
 
 	share := cfg.TotalLocalPages / n
-	for i := range cfg.VMs {
-		mc := cfg.VMs[i]
+	for i, spec := range specs {
+		if spec.ID == "" {
+			return nil, fmt.Errorf("fluidmem: tenant %d has an empty ID", i)
+		}
+		if _, dup := h.byID[spec.ID]; dup {
+			return nil, fmt.Errorf("fluidmem: duplicate tenant ID %q", spec.ID)
+		}
+		pol := spec.Policy
+		if pol.FloorPages < 0 || pol.CeilPages < 0 || pol.SLO < 0 {
+			return nil, fmt.Errorf("fluidmem: tenant %q: negative policy field", spec.ID)
+		}
+		if pol.CeilPages != 0 && pol.FloorPages > pol.CeilPages {
+			return nil, fmt.Errorf("fluidmem: tenant %q: floor %d above ceiling %d", spec.ID, pol.FloorPages, pol.CeilPages)
+		}
+		mc := spec.VM
 		if mc.Mode != 0 && mc.Mode != ModeFluidMem {
-			return nil, fmt.Errorf("fluidmem: host VM %d: only ModeFluidMem machines can share a resizable budget", i)
+			return nil, fmt.Errorf("fluidmem: tenant %q: only ModeFluidMem machines can share a resizable budget", spec.ID)
 		}
 		mc.Mode = ModeFluidMem
 		mc.SharedStore = shared
@@ -149,18 +244,28 @@ func NewHost(cfg HostConfig) (*Host, error) {
 			mc.Seed = cfg.Seed + uint64(i)*0x9e37_79b9 + 1
 		}
 		if mc.Hotset == nil {
-			// The ghost list must see past the equal split for the arbiter
+			// The ghost list must see past the equal split for the planners
 			// to price grants: shadow up to the FULL host budget.
 			p := DefaultHotsetParams(share)
 			p.GhostCapacity = cfg.TotalLocalPages
 			mc.Hotset = &p
 		}
+		if pol.SLO > 0 && mc.Tracer == nil && h.windows {
+			// SLO windows need the FAULT histogram. A histogram-only tracer
+			// is pure observation: simulated results are bit-identical with
+			// or without it.
+			mc.Tracer = NewTracer(false)
+		}
 		m, err := NewMachine(mc)
 		if err != nil {
-			return nil, fmt.Errorf("fluidmem: host VM %d: %w", i, err)
+			return nil, fmt.Errorf("fluidmem: tenant %q: %w", spec.ID, err)
 		}
 		h.machines = append(h.machines, m)
-		h.ids = append(h.ids, fmt.Sprintf("vm%d", i))
+		h.ids = append(h.ids, spec.ID)
+		h.policies = append(h.policies, pol)
+		h.byID[spec.ID] = i
+		h.tenants = append(h.tenants, &Tenant{host: h, idx: i, id: spec.ID})
+		h.slo[i].Target = pol.SLO
 	}
 	return h, nil
 }
@@ -168,8 +273,23 @@ func NewHost(cfg HostConfig) (*Host, error) {
 // VMs reports the tenant count.
 func (h *Host) VMs() int { return len(h.machines) }
 
+// Tenant returns the handle for the named tenant.
+func (h *Host) Tenant(id string) (*Tenant, bool) {
+	i, ok := h.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return h.tenants[i], true
+}
+
+// Tenants returns every tenant handle in configuration order.
+func (h *Host) Tenants() []*Tenant {
+	return append([]*Tenant(nil), h.tenants...)
+}
+
 // Machine exposes tenant i for direct drive (allocation, stats, teardown).
-// Guest operations that should count toward the arbiter's epoch windows must
+// Thin index wrapper over Tenant.Machine: i is the tenant's position in the
+// HostConfig. Guest operations that should count toward epoch windows must
 // go through Host.Touch / Host.NoteOp.
 func (h *Host) Machine(i int) *Machine { return h.machines[i] }
 
@@ -187,30 +307,39 @@ func (h *Host) Now() time.Duration {
 }
 
 // Touch performs one guest access on tenant i and counts it toward the
-// epoch window.
+// epoch window. Thin index wrapper over Tenant.Touch.
 func (h *Host) Touch(i int, addr uint64, write bool) ([]byte, error) {
+	return h.touch(i, addr, write)
+}
+
+// NoteOp counts one guest operation for tenant i. Thin index wrapper over
+// Tenant.NoteOp.
+func (h *Host) NoteOp(i int) error { return h.noteOp(i) }
+
+func (h *Host) touch(i int, addr uint64, write bool) ([]byte, error) {
 	data, err := h.machines[i].Touch(addr, write)
 	if err != nil {
 		return data, err
 	}
-	return data, h.NoteOp(i)
+	return data, h.noteOp(i)
 }
 
-// NoteOp counts one guest operation for tenant i (use after driving the
-// Machine directly) and runs the arbiter when every tenant has crossed the
-// current epoch boundary. Decisions are interleaving-invariant: each VM's
-// snapshot is captured at its own EpochOps-th operation of the window —
-// a function of the VM's private operation sequence only — and the arbiter
+// noteOp counts one guest operation for tenant i and plans an epoch when
+// every tenant has crossed the current window boundary. Decisions are
+// interleaving-invariant: each VM's snapshots (hotset counters and FAULT
+// histogram) are captured at its own EpochOps-th operation of the window —
+// a function of the VM's private operation sequence only — and the planner
 // sees exactly those N snapshots no matter the order in which tenants
 // reached the boundary.
-func (h *Host) NoteOp(i int) error {
-	if h.cfg.Arbiter == nil {
+func (h *Host) noteOp(i int) error {
+	if !h.windows {
 		return nil
 	}
 	h.opCount[i]++
 	if h.opCount[i] == h.epochOps && h.captured[i] == nil {
 		snap := h.machines[i].monitor.HotsetSnapshot()
 		h.captured[i] = &snap
+		h.capturedHist[i] = h.machines[i].monitor.Tracer().PhaseHistogram(trace.EvFault)
 	}
 	for _, c := range h.captured {
 		if c == nil {
@@ -220,9 +349,10 @@ func (h *Host) NoteOp(i int) error {
 	return h.rebalance()
 }
 
-// rebalance runs one arbiter epoch: price each tenant's window curve, decide
-// the plan, apply donations before grants (the budget is never transiently
-// exceeded), and fold predicted/realized savings into the host stats.
+// rebalance runs one epoch: price each tenant's window curve, evaluate its
+// SLO window, ask the planner for a plan, apply donations before grants
+// (the budget is never transiently exceeded), and fold predicted/realized
+// savings into the host stats.
 func (h *Host) rebalance() error {
 	n := len(h.machines)
 	views := make([]arbiter.VMView, n)
@@ -231,11 +361,25 @@ func (h *Host) rebalance() error {
 		snap := *h.captured[i]
 		windowCurve := snap.Curve.Sub(h.windowBase[i].Curve)
 		windowHits[i] = snap.GhostHits - h.windowBase[i].GhostHits
+		pol := h.policies[i]
+		verdict := market.EvaluateSLO(pol.SLO, h.capturedHist[i], h.windowBaseHist[i])
+		if verdict.Evaluated {
+			h.slo[i].Windows++
+			if verdict.Violated {
+				h.slo[i].Violations++
+			}
+		}
+		h.slo[i].LastP99 = verdict.P99
+		h.slo[i].LastFaults = verdict.Faults
 		views[i] = arbiter.VMView{
 			ID:           h.ids[i],
 			SharePages:   m.monitor.FootprintLimit(),
 			Curve:        windowCurve,
 			WindowFaults: snap.Faults - h.windowBase[i].Faults,
+			FloorPages:   pol.FloorPages,
+			CeilPages:    pol.CeilPages,
+			SLOTarget:    pol.SLO,
+			WindowP99:    verdict.P99,
 		}
 	}
 
@@ -247,51 +391,55 @@ func (h *Host) rebalance() error {
 			h.stats.RealizedSavings += h.lastWindowHits[i] - windowHits[i]
 		}
 	}
-
-	plan, err := h.policy.Decide(views)
-	if err != nil {
-		return fmt.Errorf("fluidmem: arbiter: %w", err)
-	}
-	h.stats.Observe(plan)
-
-	// Shrink donors first: every grant is then funded by pages already
-	// returned, so the sum of shares never exceeds the budget mid-apply.
-	for pass := 0; pass < 2; pass++ {
-		for i, m := range h.machines {
-			target, cur := plan.Shares[h.ids[i]], m.monitor.FootprintLimit()
-			shrink := target < cur
-			if target == cur || (pass == 0) != shrink {
-				continue
-			}
-			if err := m.ResizeFootprint(target); err != nil {
-				return fmt.Errorf("fluidmem: arbiter resize %s: %w", h.ids[i], err)
-			}
-		}
-	}
-
-	h.lastGranted = make(map[int]bool)
-	for _, mv := range plan.Moves {
-		for i, id := range h.ids {
-			if id == mv.To {
-				h.lastGranted[i] = true
-			}
-		}
-	}
 	copy(h.lastWindowHits, windowHits)
 
-	if len(plan.Moves) > 0 {
-		pages := 0
-		for _, mv := range plan.Moves {
-			pages += mv.Pages
+	if h.planner != nil {
+		plan, err := h.planner.Plan(views)
+		if err != nil {
+			return fmt.Errorf("fluidmem: planner: %w", err)
 		}
-		h.cfg.Tracer.Emit(trace.EvArbiter, 0, uint64(h.stats.Epochs), h.Now(), 0,
-			fmt.Sprintf("moves=%d pages=%d", len(plan.Moves), pages))
+		h.stats.Observe(plan)
+
+		// Shrink donors first: every grant is then funded by pages already
+		// returned, so the sum of shares never exceeds the budget mid-apply.
+		for pass := 0; pass < 2; pass++ {
+			for i, m := range h.machines {
+				target, cur := plan.Shares[h.ids[i]], m.monitor.FootprintLimit()
+				shrink := target < cur
+				if target == cur || (pass == 0) != shrink {
+					continue
+				}
+				if err := m.ResizeFootprint(target); err != nil {
+					return fmt.Errorf("fluidmem: planner resize %s: %w", h.ids[i], err)
+				}
+			}
+		}
+
+		h.lastGranted = make(map[int]bool)
+		for _, mv := range plan.Moves {
+			for i, id := range h.ids {
+				if id == mv.To {
+					h.lastGranted[i] = true
+				}
+			}
+		}
+
+		if len(plan.Moves) > 0 {
+			pages := 0
+			for _, mv := range plan.Moves {
+				pages += mv.Pages
+			}
+			h.cfg.Tracer.Emit(trace.EvArbiter, 0, uint64(h.stats.Epochs), h.Now(), 0,
+				fmt.Sprintf("moves=%d pages=%d", len(plan.Moves), pages))
+		}
 	}
 
 	// Open the next window from the captured boundary snapshots.
 	for i := range h.machines {
 		h.windowBase[i] = *h.captured[i]
+		h.windowBaseHist[i] = h.capturedHist[i]
 		h.captured[i] = nil
+		h.capturedHist[i] = stats.Histogram{}
 		h.opCount[i] = 0
 	}
 	return nil
@@ -307,8 +455,16 @@ type HostStats struct {
 	Shares          []int
 	// WSSPages is each tenant's current working-set estimate.
 	WSSPages []int
-	// Arbiter accumulates epoch activity (zero-valued without an arbiter).
+	// Tenants is the per-tenant view: ID, policy, share, and SLO
+	// accounting, in configuration order.
+	Tenants []TenantStats
+	// Arbiter accumulates epoch activity for whichever planner runs
+	// (zero-valued without one).
 	Arbiter ArbiterCounters
+	// Market holds the marketplace counters and Leases its live lease book,
+	// nil/empty unless the market planner is configured.
+	Market *MarketCounters
+	Leases []MarketLease
 	// VMs holds each tenant's full machine snapshot.
 	VMs []Stats
 }
@@ -320,11 +476,23 @@ func (h *Host) Stats() HostStats {
 		TotalLocalPages: h.cfg.TotalLocalPages,
 		Arbiter:         h.stats,
 	}
-	for _, m := range h.machines {
+	if h.mkt != nil {
+		ms := h.mkt.Stats()
+		st.Market = &ms
+		st.Leases = h.mkt.Leases()
+	}
+	for i, m := range h.machines {
 		ms := m.Stats()
 		st.VMs = append(st.VMs, ms)
 		st.Shares = append(st.Shares, ms.FootprintLimit)
 		st.WSSPages = append(st.WSSPages, ms.WSSPages)
+		st.Tenants = append(st.Tenants, TenantStats{
+			ID:         h.ids[i],
+			Policy:     h.policies[i],
+			SharePages: ms.FootprintLimit,
+			WSSPages:   ms.WSSPages,
+			SLO:        h.slo[i],
+		})
 	}
 	return st
 }
@@ -333,7 +501,7 @@ func (h *Host) Stats() HostStats {
 func (h *Host) Drain() error {
 	for i, m := range h.machines {
 		if err := m.Drain(); err != nil {
-			return fmt.Errorf("fluidmem: drain vm%d: %w", i, err)
+			return fmt.Errorf("fluidmem: drain %s: %w", h.ids[i], err)
 		}
 	}
 	return nil

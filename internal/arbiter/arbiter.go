@@ -9,7 +9,7 @@
 // share plus the window's miss-ratio curve from the internal/hotset ghost
 // LRU. The policy is greedy benefit matching: the curve prices what one
 // Step-sized slab of extra DRAM is worth to each VM (the best per-slab rate
-// of ghost hits any contiguous grant would have absorbed — see slabRate)
+// of ghost hits any contiguous grant would have absorbed — see SlabRate)
 // and, symmetrically, what a slab costs its owner to give up; pages move
 // from the flattest donor to the steepest taker while the spread clears the
 // hysteresis threshold. Every VM keeps a floor and respects a ceiling, so
@@ -24,6 +24,7 @@ package arbiter
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"fluidmem/internal/hotset"
 )
@@ -82,7 +83,7 @@ func (p Policy) Validate() error {
 	return nil
 }
 
-// VMView is one machine's epoch snapshot as the arbiter sees it.
+// VMView is one machine's epoch snapshot as a planner sees it.
 type VMView struct {
 	// ID names the VM (stable across epochs; used for deterministic
 	// tie-breaking, trace args, and plan reporting).
@@ -94,9 +95,38 @@ type VMView struct {
 	Curve hotset.Curve
 	// WindowFaults counts the VM's faults in the window (reporting only).
 	WindowFaults uint64
+
+	// The remaining fields carry per-tenant policy and QoS telemetry for
+	// planners that honour them (internal/market). The greedy Policy
+	// deliberately ignores all four — it predates per-tenant policies and
+	// keeps its PR-5 semantics as the comparison baseline.
+
+	// FloorPages / CeilPages bound this tenant's share (0 = planner default
+	// floor / no ceiling).
+	FloorPages int
+	CeilPages  int
+	// SLOTarget is the tenant's p99 fault-latency target in virtual time
+	// (0 = no SLO); WindowP99 is the p99 fault latency observed over the
+	// closing epoch window, from the merged per-worker trace histograms.
+	SLOTarget time.Duration
+	WindowP99 time.Duration
 }
 
-// slabRate prices one Step-sized slab for a VM already granted `granted`
+// Planner is the host's pluggable reallocation policy: one call per epoch,
+// views in, plan out. Implementations must be deterministic pure functions
+// of the view set plus their own decision history — no clocks, no
+// randomness — so host decisions inherit the worker-count and interleaving
+// invariance the oracles prove for the views themselves. The greedy Policy
+// is the stateless reference implementation; internal/market supplies the
+// stateful lease-tracking marketplace.
+type Planner interface {
+	Plan(views []VMView) (Plan, error)
+}
+
+// Plan implements Planner for the greedy policy.
+func (p Policy) Plan(views []VMView) (Plan, error) { return p.Decide(views) }
+
+// SlabRate prices one Step-sized slab for a VM already granted `granted`
 // extra pages: the best average hits-per-slab over any contiguous extension
 // of the curve beyond the granted offset. Plain marginal pricing
 // (HitsWithin one more Step) is zero on the step-function curves cyclic
@@ -105,7 +135,7 @@ type VMView struct {
 // j-slab extension sees through the cliff while still reporting zero for a
 // genuinely flat curve, and decays as grants accumulate (the best extension
 // shrinks), so diminishing returns fall out naturally.
-func slabRate(c hotset.Curve, granted, step int) uint64 {
+func SlabRate(c hotset.Curve, granted, step int) uint64 {
 	if c.BucketPages <= 0 {
 		return 0
 	}
@@ -206,13 +236,13 @@ func (p Policy) Decide(views []VMView) (Plan, error) {
 			if granted < 0 {
 				granted = 0
 			}
-			g := slabRate(v.Curve, granted, p.Step)
+			g := SlabRate(v.Curve, granted, p.Step)
 			canTake := p.CeilPages == 0 || shares[v.ID]+p.Step <= p.CeilPages
 			canDonate := shares[v.ID]-p.Step >= p.FloorPages
 			// Donating is priced symmetrically: a VM whose curve says it is
 			// already starved (high slab rate) is an expensive donor; a flat
 			// curve donates for free.
-			l := slabRate(v.Curve, 0, p.Step)
+			l := SlabRate(v.Curve, 0, p.Step)
 			// Strict comparisons + ID-sorted iteration: ties break toward
 			// the lowest ID, keeping the plan order-independent.
 			if canTake && (taker == -1 || g > takerGain) {

@@ -3,6 +3,7 @@ package arbiter
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"fluidmem/internal/hotset"
 )
@@ -196,5 +197,39 @@ func TestStatsObserve(t *testing.T) {
 	}
 	if s.GrantedPages != 8 || s.DonatedPages != 8 || s.PredictedSavings != 15 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// Policy must satisfy the Planner seam with Decide semantics, and planners
+// must be swappable behind the interface.
+func TestPolicyImplementsPlanner(t *testing.T) {
+	var pl Planner = Policy{FloorPages: 1, Step: 2, MaxMoves: 2, Hysteresis: 1}
+	views := []VMView{
+		{ID: "a", SharePages: 8, Curve: hotset.Curve{BucketPages: 2, Hits: []uint64{50, 10}}},
+		{ID: "b", SharePages: 8, Curve: hotset.Curve{BucketPages: 2, Hits: []uint64{0, 0}}},
+	}
+	got, err := pl.Plan(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Policy{FloorPages: 1, Step: 2, MaxMoves: 2, Hysteresis: 1}.Decide(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Plan diverged from Decide:\n got %+v\nwant %+v", got, want)
+	}
+	// The greedy policy ignores the per-tenant policy fields: identical
+	// curves with and without floors/ceilings/SLOs yield identical plans.
+	for i := range views {
+		views[i].FloorPages, views[i].CeilPages = 7, 9
+		views[i].SLOTarget, views[i].WindowP99 = time.Microsecond, time.Second
+	}
+	again, err := pl.Plan(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("greedy policy changed behaviour on per-tenant policy fields")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fluidmem/internal/clock"
 	"fluidmem/internal/core"
 	"fluidmem/internal/hotset"
+	"fluidmem/internal/market"
 	"fluidmem/internal/kvstore"
 	"fluidmem/internal/trace"
 )
@@ -96,6 +97,15 @@ type Outcome struct {
 	// yield equal plans; this pins the full estimate→decision path into the
 	// worker-count contract.
 	ArbiterPlanDigest uint64
+	// MarketPlanDigest folds the two-epoch marketplace scenario derived from
+	// the same curve: a grant epoch (the replay bids against a healthy flat
+	// peer) followed by a claw-back epoch (the peer turns SLO-violating via
+	// synthetic window latencies, recalling its donations). Shardtest fault
+	// durations are timing-dependent (WB_WAIT), so the SLO inputs here are
+	// synthetic constants — what the digest pins is the real
+	// curve→bid→lease→claw-back path, which must be a pure function of the
+	// logical history at any worker count.
+	MarketPlanDigest uint64
 	// Trace is the replay's full tracer (events + histograms). It is NOT
 	// part of the equivalence contract — timestamps legitimately differ
 	// across worker counts — but byte-level determinism tests use it.
@@ -233,6 +243,7 @@ func Replay(tb testing.TB, wl Workload, workers int, seed uint64) Outcome {
 		HotsetDigest:      hs.Digest(),
 		WSSPages:          hs.Snapshot().WSSEstimate(m.FootprintLimit(), 90),
 		ArbiterPlanDigest: planDigest(tb, hs.Snapshot(), m.FootprintLimit()),
+		MarketPlanDigest:  marketPlanDigest(tb, hs.Snapshot(), m.FootprintLimit()),
 		Trace:             tr,
 		FinalTime:         now,
 	}
@@ -262,6 +273,54 @@ func planDigest(tb testing.TB, snap hotset.Snapshot, share int) uint64 {
 		fmt.Fprintf(h, "%s>%s:%d:%d;", mv.From, mv.To, mv.Pages, mv.PredictedSavings)
 	}
 	fmt.Fprintf(h, "replay=%d peer=%d", plan.Shares["replay"], plan.Shares["peer"])
+	return h.Sum64()
+}
+
+// marketPlanDigest derives the marketplace's two-epoch decision sequence
+// from the replay's miss-ratio curve: epoch 1 trades (the replay bids
+// against a healthy flat peer that carries an SLO), epoch 2 recalls (the
+// peer's synthetic window p99 blows its target, so every lease it donated
+// is clawed back). Folding both plans plus the final lease-book digest pins
+// the full curve→bid→lease→claw-back path into the worker-count contract.
+// The SLO inputs are synthetic constants because shardtest fault durations
+// are timing-dependent (WB_WAIT); the curve is the real measured one.
+func marketPlanDigest(tb testing.TB, snap hotset.Snapshot, share int) uint64 {
+	tb.Helper()
+	step := share / 8
+	if step < 1 {
+		step = 1
+	}
+	mkt, err := market.New(market.Config{FloorPages: 1, Step: step, MaxLeases: 4, Hysteresis: 4})
+	if err != nil {
+		tb.Fatalf("market plan digest: %v", err)
+	}
+	peer := arbiter.VMView{ID: "peer", SharePages: share,
+		Curve:     hotset.Curve{BucketPages: snap.Curve.BucketPages, Hits: make([]uint64, len(snap.Curve.Hits))},
+		SLOTarget: time.Millisecond}
+	replayVM := arbiter.VMView{ID: "replay", SharePages: share, Curve: snap.Curve, WindowFaults: snap.Faults}
+
+	h := fnv.New64a()
+	foldPlan := func(pl arbiter.Plan) {
+		for _, mv := range pl.Moves {
+			fmt.Fprintf(h, "%s>%s:%d:%d;", mv.From, mv.To, mv.Pages, mv.PredictedSavings)
+		}
+		fmt.Fprintf(h, "replay=%d peer=%d|", pl.Shares["replay"], pl.Shares["peer"])
+	}
+	plan1, err := mkt.Plan([]arbiter.VMView{replayVM, peer})
+	if err != nil {
+		tb.Fatalf("market plan digest epoch 1: %v", err)
+	}
+	foldPlan(plan1)
+	// Epoch 2: shares advance to the plan, and the peer turns violating.
+	replayVM.SharePages = plan1.Shares["replay"]
+	peer.SharePages = plan1.Shares["peer"]
+	peer.WindowP99 = 2 * time.Millisecond
+	plan2, err := mkt.Plan([]arbiter.VMView{replayVM, peer})
+	if err != nil {
+		tb.Fatalf("market plan digest epoch 2: %v", err)
+	}
+	foldPlan(plan2)
+	fmt.Fprintf(h, "book=%#x", mkt.Digest())
 	return h.Sum64()
 }
 
@@ -303,6 +362,9 @@ func Equal(tb testing.TB, label string, ref, got Outcome) {
 	}
 	if ref.WSSPages != got.WSSPages {
 		tb.Errorf("%s: WSS estimate diverged: %d vs %d pages", label, ref.WSSPages, got.WSSPages)
+	}
+	if ref.MarketPlanDigest != got.MarketPlanDigest {
+		tb.Errorf("%s: market plan diverged: %#x vs %#x", label, ref.MarketPlanDigest, got.MarketPlanDigest)
 	}
 	if ref.ArbiterPlanDigest != got.ArbiterPlanDigest {
 		tb.Errorf("%s: arbiter plan diverged: %#x vs %#x", label, ref.ArbiterPlanDigest, got.ArbiterPlanDigest)

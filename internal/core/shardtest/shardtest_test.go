@@ -112,13 +112,16 @@ func TestSeedsDiverge(t *testing.T) {
 	if a.HotsetDigest == b.HotsetDigest {
 		t.Fatal("different seeds produced identical hotset digests; hotset oracle is vacuous")
 	}
+	if a.MarketPlanDigest == b.MarketPlanDigest {
+		t.Fatal("different seeds produced identical market plans; market oracle is vacuous")
+	}
 }
 
 // TestHotsetOracleSeesEveryWorkload guards the hotset extension of the
 // oracle against vacuity: every workload churns enough pages through the
 // ghost list to produce a non-trivial digest, real ghost hits, and a WSS
 // estimate strictly beyond the resident capacity — so the Equal comparisons
-// of HotsetDigest/WSSPages/ArbiterPlanDigest always have material to
+// of HotsetDigest/WSSPages/ArbiterPlanDigest/MarketPlanDigest always have material to
 // disagree on.
 func TestHotsetOracleSeesEveryWorkload(t *testing.T) {
 	for _, wl := range workloads() {
@@ -130,6 +133,9 @@ func TestHotsetOracleSeesEveryWorkload(t *testing.T) {
 			}
 			if out.WSSPages <= 0 {
 				t.Errorf("WSS estimate %d not positive", out.WSSPages)
+			}
+			if out.MarketPlanDigest == 0 {
+				t.Error("replay produced a zero market plan digest")
 			}
 			// Every workload over-subscribes its capacity, so the working
 			// set must not fit: the estimator has to see re-references.

@@ -1,0 +1,314 @@
+package market
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fluidmem/internal/arbiter"
+	"fluidmem/internal/hotset"
+)
+
+func steep(id string, share int) arbiter.VMView {
+	return arbiter.VMView{ID: id, SharePages: share,
+		Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{100, 80, 60, 40}}}
+}
+
+func flat(id string, share int) arbiter.VMView {
+	return arbiter.VMView{ID: id, SharePages: share,
+		Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{0, 0, 0, 0}}}
+}
+
+// missing marks a view as violating its SLO this window.
+func missing(v arbiter.VMView) arbiter.VMView {
+	v.SLOTarget = time.Microsecond
+	v.WindowP99 = time.Millisecond
+	return v
+}
+
+// meeting gives a view an SLO it currently satisfies.
+func meeting(v arbiter.VMView) arbiter.VMView {
+	v.SLOTarget = time.Millisecond
+	v.WindowP99 = time.Microsecond
+	return v
+}
+
+func mustMarket(t *testing.T, cfg Config) *Market {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustPlan(t *testing.T, m *Market, views []arbiter.VMView) arbiter.Plan {
+	t.Helper()
+	plan, err := m.Plan(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.TotalPages(); got != totalShares(views) {
+		t.Fatalf("budget not conserved: plan total %d, views total %d", got, totalShares(views))
+	}
+	return plan
+}
+
+func totalShares(views []arbiter.VMView) int {
+	n := 0
+	for _, v := range views {
+		n += v.SharePages
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{FloorPages: 0, Step: 1},
+		{FloorPages: 1, Step: 0},
+		{FloorPages: 8, Step: 1, CeilPages: 4},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v) accepted an unusable config", c)
+		}
+	}
+	if err := DefaultConfig(64, 2).Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	if err := DefaultConfig(1, 0).Validate(); err != nil {
+		t.Fatalf("DefaultConfig degenerate invalid: %v", err)
+	}
+}
+
+func TestPlanRejectsBadViews(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 1, Step: 4})
+	if _, err := m.Plan([]arbiter.VMView{steep("a", 16), flat("a", 16)}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := m.Plan([]arbiter.VMView{steep("a", 0)}); err == nil {
+		t.Fatal("zero share accepted")
+	}
+}
+
+// The canonical trade: a steep bidder and a flat supplier clear, and the
+// transfer is recorded as one aggregated lease.
+func TestPlanGrantsLease(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 2, Hysteresis: 8})
+	views := []arbiter.VMView{flat("cold", 32), steep("hot", 32)}
+	plan := mustPlan(t, m, views)
+	if len(plan.Moves) != 2 {
+		t.Fatalf("moves = %+v, want 2", plan.Moves)
+	}
+	if plan.Shares["hot"] != 40 || plan.Shares["cold"] != 24 {
+		t.Fatalf("shares = %v", plan.Shares)
+	}
+	leases := m.Leases()
+	if len(leases) != 1 {
+		t.Fatalf("leases = %+v, want 1 aggregated lease", leases)
+	}
+	l := leases[0]
+	if l.From != "cold" || l.To != "hot" || l.Pages != 8 || l.Epoch != 1 {
+		t.Fatalf("lease = %+v", l)
+	}
+	s := m.Stats()
+	if s.Epochs != 1 || s.Leases != 1 || s.LeasedPages != 8 || s.Clawbacks != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.SLOEnforcedEpochs != 0 {
+		t.Fatalf("no view carried an SLO but SLOEnforcedEpochs = %d", s.SLOEnforcedEpochs)
+	}
+}
+
+// A donor that starts missing its SLO gets every lease it funded recalled:
+// pages flow from the holder back to the donor and the book empties.
+func TestPlanClawsBackViolatingDonor(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 2, Hysteresis: 8})
+	mustPlan(t, m, []arbiter.VMView{flat("cold", 32), steep("hot", 32)})
+
+	// Next epoch: cold is now violating. Its 8 donated pages come back, and
+	// no new trade harvests from it (violating tenants never supply).
+	views := []arbiter.VMView{missing(flat("cold", 24)), steep("hot", 40)}
+	plan := mustPlan(t, m, views)
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly the claw-back", plan.Moves)
+	}
+	mv := plan.Moves[0]
+	if mv.From != "hot" || mv.To != "cold" || mv.Pages != 8 {
+		t.Fatalf("claw-back move = %+v", mv)
+	}
+	if plan.Shares["cold"] != 32 || plan.Shares["hot"] != 32 {
+		t.Fatalf("shares after claw-back = %v", plan.Shares)
+	}
+	if got := m.Leases(); len(got) != 0 {
+		t.Fatalf("recalled lease still on the book: %+v", got)
+	}
+	s := m.Stats()
+	if s.Clawbacks != 1 || s.ClawedPages != 8 || s.SLOViolations != 1 || s.SLOEnforcedEpochs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// A partial recall stops at the holder's floor and leaves the remainder of
+// the lease on the book.
+func TestPlanPartialClawbackRespectsHolderFloor(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 8, MaxLeases: 1, Hysteresis: 0})
+	mustPlan(t, m, []arbiter.VMView{flat("cold", 32), steep("hot", 32)})
+	// The holder shrank to 37 pages (e.g. operator resize); its per-view
+	// floor of 34 leaves only 3 of the 8 leased pages recallable.
+	hot := steep("hot", 37)
+	hot.FloorPages = 34
+	plan := mustPlan(t, m, []arbiter.VMView{missing(flat("cold", 24)), hot})
+	if len(plan.Moves) != 1 || plan.Moves[0].Pages != 3 {
+		t.Fatalf("moves = %+v, want one 3-page recall", plan.Moves)
+	}
+	leases := m.Leases()
+	if len(leases) != 1 || leases[0].Pages != 5 {
+		t.Fatalf("leases = %+v, want the 5-page remainder", leases)
+	}
+	if plan.Shares["hot"] != 34 || plan.Shares["cold"] != 27 {
+		t.Fatalf("shares = %v", plan.Shares)
+	}
+}
+
+// Violating tenants are excluded from the supply side even when their curve
+// says donating is free.
+func TestPlanViolatingTenantNeverSupplies(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 4, Hysteresis: 0})
+	views := []arbiter.VMView{missing(flat("cold", 32)), steep("hot", 32)}
+	plan := mustPlan(t, m, views)
+	if len(plan.Moves) != 0 {
+		t.Fatalf("harvested from a violating tenant: %+v", plan.Moves)
+	}
+}
+
+// A violating bidder outranks a higher-bidding healthy one and clears
+// without meeting the hysteresis spread.
+func TestPlanViolatingBidderHasPriority(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 1, Hysteresis: 1000})
+	hurt := arbiter.VMView{ID: "hurt", SharePages: 32,
+		Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{10, 0, 0, 0}}}
+	hurt = missing(hurt)
+	views := []arbiter.VMView{flat("cold", 32), steep("rich", 32), hurt}
+	plan := mustPlan(t, m, views)
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %+v, want 1", plan.Moves)
+	}
+	if mv := plan.Moves[0]; mv.To != "hurt" || mv.From != "cold" {
+		t.Fatalf("move = %+v, want cold→hurt", mv)
+	}
+	// Without the violation, the same hysteresis blocks everyone.
+	m2 := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 1, Hysteresis: 1000})
+	views2 := []arbiter.VMView{flat("cold", 32), steep("rich", 32), meeting(hurt)}
+	views2[2].WindowP99 = time.Nanosecond
+	if plan2 := mustPlan(t, m2, views2); len(plan2.Moves) != 0 {
+		t.Fatalf("hysteresis did not hold for healthy bidders: %+v", plan2.Moves)
+	}
+}
+
+// Per-view floors and ceilings override the config defaults.
+func TestPlanRespectsPerTenantBounds(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 8, Hysteresis: 0})
+	cold := flat("cold", 32)
+	cold.FloorPages = 24
+	hot := steep("hot", 32)
+	hot.CeilPages = 36
+	plan := mustPlan(t, m, []arbiter.VMView{cold, hot})
+	if plan.Shares["hot"] != 36 {
+		t.Fatalf("taker ignored its ceiling: %v", plan.Shares)
+	}
+	if plan.Shares["cold"] < 24 {
+		t.Fatalf("donor shrunk through its floor: %v", plan.Shares)
+	}
+}
+
+// A flat bidder (zero slab rate) never trades: grants require predicted
+// benefit, not just a healthy supplier.
+func TestPlanZeroBidNeverClears(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 4, Hysteresis: 0})
+	plan := mustPlan(t, m, []arbiter.VMView{flat("a", 32), flat("b", 32)})
+	if len(plan.Moves) != 0 {
+		t.Fatalf("zero-bid trade cleared: %+v", plan.Moves)
+	}
+}
+
+// Plans and the lease book are pure functions of the view SET: input order
+// must not matter, and the digest proves it.
+func TestPlanOrderIndependent(t *testing.T) {
+	views := []arbiter.VMView{
+		steep("a", 32), flat("b", 32),
+		{ID: "c", SharePages: 32, Curve: hotset.Curve{BucketPages: 4, Hits: []uint64{20, 5, 0, 0}}},
+	}
+	run := func(perm []int) (arbiter.Plan, uint64) {
+		m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 4, Hysteresis: 8})
+		shuffled := make([]arbiter.VMView, len(views))
+		for i, j := range perm {
+			shuffled[i] = views[j]
+		}
+		plan := mustPlan(t, m, shuffled)
+		return plan, m.Digest()
+	}
+	refPlan, refDig := run([]int{0, 1, 2})
+	for _, perm := range [][]int{{2, 1, 0}, {1, 2, 0}, {2, 0, 1}} {
+		plan, dig := run(perm)
+		if !reflect.DeepEqual(plan, refPlan) {
+			t.Fatalf("order-dependent plan: perm %v gave %+v, want %+v", perm, plan, refPlan)
+		}
+		if dig != refDig {
+			t.Fatalf("order-dependent digest: perm %v gave %#x, want %#x", perm, dig, refDig)
+		}
+	}
+}
+
+// Leases referencing tenants that left the view set are dropped without
+// moving pages.
+func TestPlanDropsOrphanedLeases(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 4, Step: 4, MaxLeases: 1, Hysteresis: 0})
+	mustPlan(t, m, []arbiter.VMView{flat("cold", 32), steep("hot", 32)})
+	if len(m.Leases()) != 1 {
+		t.Fatal("setup: no lease granted")
+	}
+	plan := mustPlan(t, m, []arbiter.VMView{missing(flat("cold", 28)), steep("new", 36)})
+	for _, mv := range plan.Moves {
+		if mv.From == "hot" || mv.To == "hot" {
+			t.Fatalf("moved pages for a departed tenant: %+v", mv)
+		}
+	}
+	for _, l := range m.Leases() {
+		if l.To == "hot" {
+			t.Fatalf("orphaned lease survived: %+v", l)
+		}
+	}
+}
+
+// MaxLeases caps new trades per epoch, but claw-backs are never capped.
+func TestPlanClawbackUncapped(t *testing.T) {
+	m := mustMarket(t, Config{FloorPages: 2, Step: 2, MaxLeases: 1, Hysteresis: 0})
+	// Two epochs of 1-trade-each build two separate leases from cold.
+	mustPlan(t, m, []arbiter.VMView{flat("cold", 32), steep("hot", 16), steep("warm", 16)})
+	mustPlan(t, m, []arbiter.VMView{flat("cold", 30), steep("hot", 18), steep("warm", 16)})
+	leases := m.Leases()
+	if len(leases) != 2 {
+		t.Fatalf("setup: leases = %+v, want 2", leases)
+	}
+	// cold violates: BOTH leases recall in one epoch despite MaxLeases=1.
+	plan := mustPlan(t, m, []arbiter.VMView{
+		missing(flat("cold", 28)), steep("hot", 20), steep("warm", 16)})
+	recalls := 0
+	for _, mv := range plan.Moves {
+		if mv.To == "cold" {
+			recalls++
+		}
+	}
+	if recalls != 2 {
+		t.Fatalf("moves = %+v, want 2 recalls", plan.Moves)
+	}
+	if plan.Shares["cold"] != 32 {
+		t.Fatalf("donor not made whole: %v", plan.Shares)
+	}
+}
+
+// The market satisfies the Planner seam.
+func TestMarketImplementsPlanner(t *testing.T) {
+	var _ arbiter.Planner = &Market{}
+}

@@ -1,0 +1,197 @@
+package market_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/core/paralleltest"
+	"fluidmem/internal/core/shardtest"
+	"fluidmem/internal/market"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/trace"
+)
+
+func TestEvaluateSLOBasics(t *testing.T) {
+	var cum stats.Histogram
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, time.Millisecond} {
+		cum.Add(d)
+	}
+	// No target: reported but never evaluated.
+	v := market.EvaluateSLO(0, cum, stats.Histogram{})
+	if v.Evaluated || v.Violated {
+		t.Fatalf("target-less verdict evaluated: %+v", v)
+	}
+	if v.Faults != 3 || v.P99 == 0 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	// Tight target: the ms outlier blows the p99.
+	v = market.EvaluateSLO(10*time.Microsecond, cum, stats.Histogram{})
+	if !v.Evaluated || !v.Violated {
+		t.Fatalf("verdict = %+v, want violated", v)
+	}
+	// Loose target: met.
+	v = market.EvaluateSLO(time.Second, cum, stats.Histogram{})
+	if !v.Evaluated || v.Violated {
+		t.Fatalf("verdict = %+v, want met", v)
+	}
+	// Empty window (cum == prev): vacuously met even with a target.
+	v = market.EvaluateSLO(time.Nanosecond, cum, cum)
+	if v.Faults != 0 || v.Violated {
+		t.Fatalf("empty-window verdict = %+v", v)
+	}
+}
+
+// synthDur derives a deterministic fault latency from a page address: a
+// spread of magnitudes from ~1µs to ~4ms so windows have real tails.
+func synthDur(addr uint64) time.Duration {
+	x := addr * 2654435761 // Knuth multiplicative hash
+	return time.Duration(1+(x>>12)%4096) * time.Microsecond
+}
+
+// The SLO verdict must be a pure function of the multiset of fault
+// durations: partitioning the same observations across 1, 2, 4, or 8
+// per-worker histogram cells — by round-robin or by address hash — cannot
+// change the merged evaluation.
+func TestEvaluateSLOWorkerPartitionInvariance(t *testing.T) {
+	var durs []time.Duration
+	for i := uint64(0); i < 5000; i++ {
+		durs = append(durs, synthDur(i*4096))
+	}
+	target := 2 * time.Millisecond
+
+	evaluate := func(workers int, byHash bool) market.SLOVerdict {
+		cells := make([]stats.Histogram, workers)
+		for i, d := range durs {
+			w := i % workers
+			if byHash {
+				w = int((uint64(i) * 0x9e3779b97f4a7c15) % uint64(workers))
+			}
+			cells[w].Add(d)
+		}
+		var merged stats.Histogram
+		for i := range cells {
+			merged.Merge(&cells[i])
+		}
+		return market.EvaluateSLO(target, merged, stats.Histogram{})
+	}
+
+	ref := evaluate(1, false)
+	if !ref.Evaluated || ref.Faults != uint64(len(durs)) {
+		t.Fatalf("reference verdict = %+v", ref)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		for _, byHash := range []bool{false, true} {
+			if got := evaluate(workers, byHash); got != ref {
+				t.Fatalf("workers=%d byHash=%v verdict = %+v, want %+v", workers, byHash, got, ref)
+			}
+		}
+	}
+}
+
+// The same invariance through the real tracer plumbing: per-worker
+// Tracer.Observe cells merged by PhaseHistogram give the same windowed
+// verdict regardless of worker partitioning, including across epoch
+// boundaries (cumulative snapshot + Sub).
+func TestEvaluateSLOTracerWindows(t *testing.T) {
+	target := 2 * time.Millisecond
+	run := func(workers int) []market.SLOVerdict {
+		tr := trace.New(false)
+		var prev stats.Histogram
+		var out []market.SLOVerdict
+		for i := uint64(0); i < 3000; i++ {
+			tr.Observe(trace.EvFault, int(i)%workers, synthDur(i*4096))
+			if (i+1)%1000 == 0 {
+				cum := tr.PhaseHistogram(trace.EvFault)
+				out = append(out, market.EvaluateSLO(target, cum, prev))
+				prev = cum
+			}
+		}
+		return out
+	}
+	ref := run(1)
+	if len(ref) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ref))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for w := range ref {
+			if got[w] != ref[w] {
+				t.Fatalf("workers=%d window %d verdict = %+v, want %+v", workers, w, got[w], ref[w])
+			}
+		}
+	}
+}
+
+// SLO accounting under core.NewParallel: real shard goroutines accumulate
+// per-shard histogram cells concurrently through the delivery callback, and
+// the merged evaluation must equal a mutex-serialised global accumulator fed
+// the same deliveries — at every shard count. This is the concurrency leg of
+// the invariance proof: how observations land in per-worker cells (which
+// goroutine, what order) cannot change the verdict.
+func TestEvaluateSLOUnderParallel(t *testing.T) {
+	wl := shardtest.Workloads()[0] // ramcloud-async
+	const seed = 42
+	ops := paralleltest.GenOps(wl, seed)
+	target := 2 * time.Millisecond
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := wl.NewConfig(seed)
+		cfg.Workers = shards
+		cfg.Seed = seed
+
+		cells := make([]stats.Histogram, shards)
+		var mu sync.Mutex
+		var global stats.Histogram
+		onData := func(shard int, ticket, addr uint64, data []byte) {
+			d := synthDur(addr)
+			cells[shard].Add(d) // shard-local: no lock needed
+			mu.Lock()
+			global.Add(d)
+			mu.Unlock()
+		}
+		p, err := core.NewParallel(cfg, nil, "slotest", onData)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if err := p.RegisterRange(shardtest.Base, uint64(wl.Pages)*core.PageSize, 1); err != nil {
+			t.Fatalf("shards=%d: register: %v", shards, err)
+		}
+		for i, op := range ops {
+			var err error
+			switch op.Kind {
+			case paralleltest.OpTouch:
+				err = p.Touch(op.Addr, op.Write)
+			case paralleltest.OpResize:
+				err = p.Resize(op.Capacity)
+			case paralleltest.OpDiscard:
+				p.Discard(op.Addr)
+			case paralleltest.OpDrain:
+				err = p.Drain()
+			}
+			if err != nil {
+				t.Fatalf("shards=%d op %d: %v", shards, i, err)
+			}
+		}
+		if err := p.Drain(); err != nil {
+			t.Fatalf("shards=%d: drain: %v", shards, err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("shards=%d: close: %v", shards, err)
+		}
+
+		var merged stats.Histogram
+		for i := range cells {
+			merged.Merge(&cells[i])
+		}
+		got := market.EvaluateSLO(target, merged, stats.Histogram{})
+		want := market.EvaluateSLO(target, global, stats.Histogram{})
+		if got != want {
+			t.Fatalf("shards=%d: merged cells %+v != serial accumulator %+v", shards, got, want)
+		}
+		if got.Faults == 0 {
+			t.Fatalf("shards=%d: no deliveries observed", shards)
+		}
+	}
+}

@@ -123,5 +123,24 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.max
 }
 
+// Sub returns the bucket-wise difference h - prev: the histogram of the
+// window between two cumulative snapshots of the same monotone accumulator
+// (the inverse of Merge, and the histogram analogue of hotset.Curve.Sub).
+// Each cell of prev must be <= the matching cell of h — the caller's
+// snapshots are cumulative, so this holds by construction. Max cannot be
+// windowed from bucket counts alone; the result carries the cumulative max,
+// which Percentile only uses as an upper clamp, so window percentile
+// estimates stay conservative (never above the largest observation ever
+// seen, never below the window's own bucket interpolation).
+func (h Histogram) Sub(prev Histogram) Histogram {
+	out := h
+	for i := range prev.counts {
+		out.counts[i] -= prev.counts[i]
+	}
+	out.n -= prev.n
+	out.sum -= prev.sum
+	return out
+}
+
 // Buckets returns a copy of the raw bucket counts (export/debug surface).
 func (h *Histogram) Buckets() [HistBuckets]uint64 { return h.counts }

@@ -111,3 +111,47 @@ func TestHistogramOrderInvarianceAndMerge(t *testing.T) {
 		t.Fatal("Merge(nil) changed the histogram")
 	}
 }
+
+// Sub must invert Merge: (cumulative later) - (cumulative earlier) equals a
+// histogram fed only the window's observations, in every bucket, with the
+// window percentile falling out of the differenced counts.
+func TestHistogramSubWindows(t *testing.T) {
+	early := []time.Duration{time.Microsecond, 3 * time.Microsecond, time.Millisecond}
+	late := []time.Duration{5 * time.Microsecond, 7 * time.Microsecond, 40 * time.Nanosecond}
+
+	var cum Histogram
+	for _, d := range early {
+		cum.Add(d)
+	}
+	base := cum
+	for _, d := range late {
+		cum.Add(d)
+	}
+	window := cum.Sub(base)
+
+	var direct Histogram
+	for _, d := range late {
+		direct.Add(d)
+	}
+	if window.Count() != direct.Count() {
+		t.Fatalf("window count %d, want %d", window.Count(), direct.Count())
+	}
+	if window.Buckets() != direct.Buckets() {
+		t.Fatal("window bucket counts differ from direct accumulation")
+	}
+	if window.Mean() != direct.Mean() {
+		t.Fatalf("window mean %v, want %v", window.Mean(), direct.Mean())
+	}
+	// The window's percentile uses the differenced counts; the carried
+	// cumulative max only clamps, so p50 of the window must sit in the
+	// window's own buckets, not the early millisecond outlier's.
+	if p := window.Percentile(50); p > 8*time.Microsecond {
+		t.Fatalf("window p50 %v leaked pre-window observations", p)
+	}
+	// Subtracting the full accumulation leaves the empty histogram's
+	// percentile behaviour (count 0 -> 0), bar the carried max.
+	empty := cum.Sub(cum)
+	if empty.Count() != 0 || empty.Percentile(99) != 0 {
+		t.Fatalf("full self-subtraction not empty: count=%d p99=%v", empty.Count(), empty.Percentile(99))
+	}
+}

@@ -202,6 +202,28 @@ func phaseRow(phase string, worker int, h *stats.Histogram) PhaseStats {
 	}
 }
 
+// PhaseHistogram returns a copy of the named phase's latency histogram
+// merged across all workers — the raw-bucket counterpart of the Snapshot
+// row whose Worker is MergedWorker. Callers that need epoch *windows* (the
+// host's per-tenant SLO accounting) snapshot this cumulative histogram at
+// boundary crossings and difference consecutive snapshots with
+// stats.Histogram.Sub. The zero Histogram is returned for a nil tracer or
+// an unobserved phase. Merging is bucket-wise addition, so the result is a
+// pure function of the multiset of observations — how they were
+// partitioned across worker cells cannot change it.
+func (t *Tracer) PhaseHistogram(phase string) stats.Histogram {
+	var merged stats.Histogram
+	if t == nil {
+		return merged
+	}
+	for k, h := range t.hists {
+		if k.phase == phase {
+			merged.Merge(h)
+		}
+	}
+	return merged
+}
+
 // LogicalDigest hashes the sequence of non-timing-dependent events —
 // (name, arg, page) only, no timestamps, no worker IDs — which is the
 // quantity the shard oracle asserts identical across worker counts.

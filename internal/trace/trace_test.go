@@ -190,3 +190,39 @@ func TestChromeTraceBytes(t *testing.T) {
 		}
 	}
 }
+
+// PhaseHistogram must return the merged-across-workers raw histogram: the
+// same percentiles as the Snapshot's MergedWorker row, invariant to how the
+// observations were spread over worker cells, and the zero histogram for
+// nil tracers and unknown phases.
+func TestPhaseHistogramMergesWorkers(t *testing.T) {
+	var nilTracer *Tracer
+	if h := nilTracer.PhaseHistogram(EvFault); h.Count() != 0 {
+		t.Fatal("nil tracer returned a non-empty histogram")
+	}
+
+	spread := New(false)
+	single := New(false)
+	ds := []time.Duration{time.Microsecond, 5 * time.Microsecond, 9 * time.Microsecond, 20 * time.Microsecond}
+	for i, d := range ds {
+		spread.Observe(EvFault, i%3, d)
+		single.Observe(EvFault, 0, d)
+	}
+	spread.Observe("OTHER", 0, time.Second) // must not bleed into FAULT
+
+	hs, h1 := spread.PhaseHistogram(EvFault), single.PhaseHistogram(EvFault)
+	if hs != h1 {
+		t.Fatal("merged histogram depends on worker partitioning")
+	}
+	for _, row := range spread.Snapshot() {
+		if row.Phase == EvFault && row.Worker == MergedWorker {
+			if row.P99 != hs.Percentile(99) || row.Count != hs.Count() {
+				t.Fatalf("PhaseHistogram disagrees with merged Snapshot row: %v/%d vs %v/%d",
+					hs.Percentile(99), hs.Count(), row.P99, row.Count)
+			}
+		}
+	}
+	if h := spread.PhaseHistogram("NO_SUCH_PHASE"); h.Count() != 0 {
+		t.Fatal("unknown phase returned observations")
+	}
+}

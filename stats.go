@@ -164,33 +164,3 @@ func (m *Machine) WriteTrace(w io.Writer) error {
 	return m.Tracer().WriteChromeTrace(w)
 }
 
-// MonitorStats returns the fault-handler counters (zero value in ModeSwap).
-//
-// Deprecated: use Stats().Monitor.
-func (m *Machine) MonitorStats() MonitorCounters {
-	if m.monitor == nil {
-		return MonitorCounters{}
-	}
-	return m.monitor.Stats()
-}
-
-// WritebackStats returns the write-back engine counters (zero value in
-// ModeSwap).
-//
-// Deprecated: use Stats().Writeback.
-func (m *Machine) WritebackStats() WritebackCounters {
-	if m.monitor == nil {
-		return WritebackCounters{}
-	}
-	return m.monitor.WritebackStats()
-}
-
-// StoreStats returns backend traffic counters (zero value in ModeSwap).
-//
-// Deprecated: use Stats().Store.
-func (m *Machine) StoreStats() StoreCounters {
-	if m.store == nil {
-		return StoreCounters{}
-	}
-	return m.store.Stats()
-}
