@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle market-oracle cluster-oracle parallel-oracle fuzz-short
+.PHONY: check build vet test race check-race bench-quick bench-json bench-ratchet shard-oracle trace-oracle arbiter-oracle market-oracle cluster-oracle parallel-oracle openloop-oracle fuzz-short
 
 # The full gate: what CI (and the chaos PR's acceptance criteria) require.
 # shard-oracle re-proves worker-count determinism on the write-back workloads,
@@ -10,11 +10,13 @@ GO ?= go
 # counts and VM interleavings, cluster-oracle re-proves the no-page-lost
 # contract of the multi-node pool under randomized membership/failure
 # schedules, parallel-oracle re-proves serial-vs-parallel parity of the
-# multi-goroutine data plane under the race detector, fuzz-short gives the
+# multi-goroutine data plane under the race detector, openloop-oracle
+# re-proves that open-loop scenario replays are bitwise repeatable and
+# invariant across fault-pipeline worker counts, fuzz-short gives the
 # model checkers a short adversarial pass,
-# and bench-ratchet re-measures the committed BENCH_*.json throughput rows
-# and fails on a >10% faults/s regression.
-check: vet build test check-race shard-oracle trace-oracle arbiter-oracle market-oracle cluster-oracle parallel-oracle fuzz-short bench-ratchet
+# and bench-ratchet re-measures every directional metric row of the committed
+# BENCH_*.json artifacts and fails on a >10% regression.
+check: vet build test check-race shard-oracle trace-oracle arbiter-oracle market-oracle cluster-oracle parallel-oracle openloop-oracle fuzz-short bench-ratchet
 
 build:
 	$(GO) build ./...
@@ -37,29 +39,27 @@ check-race:
 bench-quick:
 	$(GO) run ./cmd/fluidmem-bench -quick
 
-# Regenerate the machine-readable artifacts at full scale: the write-back
-# crossover (BENCH_writeback.json), the fault-latency breakdown with its
-# per-phase percentile rows (BENCH_trace.json), the multi-tenant arbiter
-# comparison (BENCH_arbiter.json), and the cluster lifecycle latency matrix
-# (BENCH_cluster.json). fluidmem-bench fails loudly if any experiment named
-# here stops producing its artifact.
-# BENCH_parallel.json carries the parallel data plane's scaling matrix plus
-# its deterministic serial virtual-time reference row.
-# BENCH_market.json carries the marketplace-vs-arbiter-vs-static comparison;
-# its Validate() makes this target fail loudly if the artifact would record
-# zero SLO-enforcement epochs (a vacuous market run).
+# Regenerate the machine-readable BENCH_*.json artifacts at full scale. The
+# "artifacts" meta-name expands inside fluidmem-bench to every experiment the
+# registry marks as carrying a committed baseline (see `fluidmem-bench -list`:
+# currently writeback, trace, arbiter, cluster, parallel, market, openloop) —
+# enrolling a new artifact experiment is one registry flag, with no Makefile
+# edit to forget. fluidmem-bench fails loudly if any selected experiment
+# stops producing its artifact, and each result's Validate() vetoes vacuous
+# artifacts (a market run with zero SLO-enforcement epochs, an open-loop
+# sweep that never brackets its knee).
 bench-json:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel,market -json
+	$(GO) run ./cmd/fluidmem-bench -run artifacts -json
 
-# The throughput ratchet: re-run the artifact experiments and compare every
-# faults_per_sec row against the committed BENCH_*.json baselines; a >10%
-# drop fails the build. The committed rows are virtual-time rates, so on
-# unchanged simulation logic the comparison is exact.
-# parallel contributes exactly one ratchet row: its serial virtual-time
-# reference (the wall-clock matrix rows are machine-dependent by design and
-# use a different key, so the scanner never sees them).
+# The metric ratchet: re-run the artifact experiments and compare every
+# directional metric row — throughputs and goodputs must not drop, latency
+# and miss-rate rows must not rise — against the committed BENCH_*.json
+# baselines; a >10% move in the bad direction fails the build. The compared
+# rows are virtual-time measurements, so on unchanged simulation logic the
+# comparison is exact; machine-dependent rows (wall clocks, allocation
+# rates, core counts, speedups) are excluded by key.
 bench-ratchet:
-	$(GO) run ./cmd/fluidmem-bench -run writeback,trace,arbiter,cluster,parallel,market -ratchet
+	$(GO) run ./cmd/fluidmem-bench -run artifacts -ratchet
 
 # The write-back determinism oracle: N-worker monitors must be logically
 # identical to the serial monitor on the write-heavy / zero-heavy workloads.
@@ -108,10 +108,23 @@ parallel-oracle:
 	$(GO) test ./internal/core/paralleltest/ -count=1 -race
 	$(GO) test ./internal/core/ -count=1 -race -run 'TestSPSC|TestParallel'
 
+# The open-loop traffic determinism oracle: same-seed scenario replays must
+# be bitwise repeatable and the full report — offered load, goodput, sojourn
+# histograms, queue depths, planner epochs, logical trace digests — invariant
+# across fault-pipeline worker counts {1,2,4,8}, for every scenario × planner
+# cell; and the arrival schedules themselves must be split/merge-invariant.
+# (The churn-vs-core.NewParallel race leg of scenariotest runs under -race
+# via check-race.)
+openloop-oracle:
+	$(GO) test ./internal/loadgen/scenariotest/ -count=1
+	$(GO) test ./internal/loadgen/ -count=1 -run 'TestSchedule|TestArrivals|TestRun'
+
 # Short fuzz passes over the flat-model checkers: the coalescing write-back
-# engine, the ghost-LRU working-set estimator, and the cluster pool's
-# rendezvous key-routing invariants.
+# engine, the ghost-LRU working-set estimator, the cluster pool's rendezvous
+# key-routing invariants, and the open-loop arrival schedules' monotonicity
+# and split/merge invariance.
 fuzz-short:
 	$(GO) test ./internal/core/ -run FuzzWriteCoalesce -fuzz FuzzWriteCoalesce -fuzztime=5s
 	$(GO) test ./internal/hotset/ -run FuzzGhostLRU -fuzz FuzzGhostLRU -fuzztime=5s
 	$(GO) test ./internal/kvstore/cluster/ -run FuzzRouting -fuzz FuzzRouting -fuzztime=5s
+	$(GO) test ./internal/loadgen/ -run FuzzArrivalSchedule -fuzz FuzzArrivalSchedule -fuzztime=5s

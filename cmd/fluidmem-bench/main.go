@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -33,37 +34,55 @@ type traceable interface{ WriteChromeTrace(io.Writer) error }
 // must never be committed as a baseline).
 type validatable interface{ Validate() error }
 
-// experiment couples a name to its runner.
+// experiment couples a name to its runner. artifact marks the experiments
+// whose results are committed as BENCH_<name>.json baselines: the Makefile's
+// bench-json and bench-ratchet targets select them with the meta-name
+// "artifacts" instead of hand-maintaining a list, so adding an experiment
+// here is the single step that enrolls it in both gates.
 type experiment struct {
-	name string
-	desc string
-	run  func(bench.Options) (renderable, error)
+	name     string
+	desc     string
+	artifact bool
+	run      func(bench.Options) (renderable, error)
 }
 
 func experiments() []experiment {
 	return []experiment{
-		{"fig3", "pmbench page-fault latency CDFs, 6 systems", func(o bench.Options) (renderable, error) { return bench.RunFig3(o) }},
-		{"table1", "monitor code-path latency profile (RAMCloud, sync)", func(o bench.Options) (renderable, error) { return bench.RunTable1(o) }},
-		{"table2", "fault latency vs optimisations × backend × pattern", func(o bench.Options) (renderable, error) { return bench.RunTable2(o) }},
-		{"fig4", "Graph500 TEPS across scale factors, 6 systems", func(o bench.Options) (renderable, error) { return bench.RunFig4(o) }},
-		{"fig5", "MongoDB YCSB-C latency time courses, swap vs FluidMem", func(o bench.Options) (renderable, error) { return bench.RunFig5(o) }},
-		{"table3", "VM footprint minimisation and service responsiveness", func(o bench.Options) (renderable, error) { return bench.RunTable3(o) }},
-		{"ablation-steal", "A1: write-list page stealing on/off", func(o bench.Options) (renderable, error) { return bench.RunAblationSteal(o) }},
-		{"ablation-batch", "A2: writeback batch-size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationBatch(o) }},
-		{"ablation-remap", "A3: UFFD_REMAP vs copy-out eviction", func(o bench.Options) (renderable, error) { return bench.RunAblationRemap(o) }},
-		{"ablation-lru", "A4: LRU list size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationLRU(o) }},
-		{"ablation-compress", "A5: compressed-tier pool size sweep", func(o bench.Options) (renderable, error) { return bench.RunAblationCompress(o) }},
-		{"ablation-prefetch", "A6: sequential prefetching on/off × pattern", func(o bench.Options) (renderable, error) { return bench.RunAblationPrefetch(o) }},
-		{"density", "multi-VM density: idle guests drain, active guest grows (§VI-E)", func(o bench.Options) (renderable, error) { return bench.RunDensity(o) }},
-		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
-		{"cluster", "multi-node pool lifecycle: fault p50/p99 healthy/crashed/recovered/drained vs single store", func(o bench.Options) (renderable, error) { return bench.RunCluster(o) }},
-		{"workers", "fault throughput vs pipeline width, batched MultiGet readahead", func(o bench.Options) (renderable, error) { return bench.RunWorkers(o) }},
-		{"parallel", "multi-goroutine data plane: wall-clock scaling vs shards × GOMAXPROCS", func(o bench.Options) (renderable, error) { return bench.RunParallel(o) }},
-		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
-		{"trace", "virtual-time fault-latency breakdown: per-phase p50/p90/p99 from the tracer", func(o bench.Options) (renderable, error) { return bench.RunTrace(o) }},
-		{"arbiter", "multi-tenant arbiter vs static equal split: ghost-LRU curves drive budget rebalancing", func(o bench.Options) (renderable, error) { return bench.RunArbiter(o) }},
-		{"market", "memory marketplace vs arbiter vs static split: SLO-aware leases on skewed/shifting/adversarial mixes", func(o bench.Options) (renderable, error) { return bench.RunMarket(o) }},
+		{"fig3", "pmbench page-fault latency CDFs, 6 systems", false, func(o bench.Options) (renderable, error) { return bench.RunFig3(o) }},
+		{"table1", "monitor code-path latency profile (RAMCloud, sync)", false, func(o bench.Options) (renderable, error) { return bench.RunTable1(o) }},
+		{"table2", "fault latency vs optimisations × backend × pattern", false, func(o bench.Options) (renderable, error) { return bench.RunTable2(o) }},
+		{"fig4", "Graph500 TEPS across scale factors, 6 systems", false, func(o bench.Options) (renderable, error) { return bench.RunFig4(o) }},
+		{"fig5", "MongoDB YCSB-C latency time courses, swap vs FluidMem", false, func(o bench.Options) (renderable, error) { return bench.RunFig5(o) }},
+		{"table3", "VM footprint minimisation and service responsiveness", false, func(o bench.Options) (renderable, error) { return bench.RunTable3(o) }},
+		{"ablation-steal", "A1: write-list page stealing on/off", false, func(o bench.Options) (renderable, error) { return bench.RunAblationSteal(o) }},
+		{"ablation-batch", "A2: writeback batch-size sweep", false, func(o bench.Options) (renderable, error) { return bench.RunAblationBatch(o) }},
+		{"ablation-remap", "A3: UFFD_REMAP vs copy-out eviction", false, func(o bench.Options) (renderable, error) { return bench.RunAblationRemap(o) }},
+		{"ablation-lru", "A4: LRU list size sweep", false, func(o bench.Options) (renderable, error) { return bench.RunAblationLRU(o) }},
+		{"ablation-compress", "A5: compressed-tier pool size sweep", false, func(o bench.Options) (renderable, error) { return bench.RunAblationCompress(o) }},
+		{"ablation-prefetch", "A6: sequential prefetching on/off × pattern", false, func(o bench.Options) (renderable, error) { return bench.RunAblationPrefetch(o) }},
+		{"density", "multi-VM density: idle guests drain, active guest grows (§VI-E)", false, func(o bench.Options) (renderable, error) { return bench.RunDensity(o) }},
+		{"chaos", "fault-latency degradation under injected failures, replicated + resilient", false, func(o bench.Options) (renderable, error) { return bench.RunChaos(o) }},
+		{"cluster", "multi-node pool lifecycle: fault p50/p99 healthy/crashed/recovered/drained vs single store", true, func(o bench.Options) (renderable, error) { return bench.RunCluster(o) }},
+		{"workers", "fault throughput vs pipeline width, batched MultiGet readahead", false, func(o bench.Options) (renderable, error) { return bench.RunWorkers(o) }},
+		{"parallel", "multi-goroutine data plane: wall-clock scaling vs shards × GOMAXPROCS", true, func(o bench.Options) (renderable, error) { return bench.RunParallel(o) }},
+		{"writeback", "eviction write path: per-page Put vs MultiPut batching vs zero-elide + clean-drop", true, func(o bench.Options) (renderable, error) { return bench.RunWriteback(o) }},
+		{"trace", "virtual-time fault-latency breakdown: per-phase p50/p90/p99 from the tracer", true, func(o bench.Options) (renderable, error) { return bench.RunTrace(o) }},
+		{"arbiter", "multi-tenant arbiter vs static equal split: ghost-LRU curves drive budget rebalancing", true, func(o bench.Options) (renderable, error) { return bench.RunArbiter(o) }},
+		{"market", "memory marketplace vs arbiter vs static split: SLO-aware leases on skewed/shifting/adversarial mixes", true, func(o bench.Options) (renderable, error) { return bench.RunMarket(o) }},
+		{"openloop", "open-loop scenario matrix: offered load vs goodput and sojourn p99, knee of curve per planner", true, func(o bench.Options) (renderable, error) { return bench.RunOpenLoop(o) }},
 	}
+}
+
+// artifactNames lists the experiments whose JSON artifacts are committed as
+// BENCH_<name>.json baselines — the expansion of the "artifacts" meta-name.
+func artifactNames() []string {
+	var names []string
+	for _, e := range experiments() {
+		if e.artifact {
+			names = append(names, e.name)
+		}
+	}
+	return names
 }
 
 func main() {
@@ -76,12 +95,12 @@ func main() {
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("fluidmem-bench", flag.ContinueOnError)
 	var (
-		runNames = fs.String("run", "all", "comma-separated experiment names, or 'all'")
+		runNames = fs.String("run", "all", "comma-separated experiment names, 'all', or 'artifacts' (every experiment with a committed BENCH_<name>.json)")
 		quick    = fs.Bool("quick", false, "run reduced-scale variants")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonOut  = fs.Bool("json", false, "also write BENCH_<name>.json for experiments that support it")
-		ratchet  = fs.Bool("ratchet", false, "compare faults_per_sec against the committed BENCH_<name>.json; fail on a >10% regression")
+		ratchet  = fs.Bool("ratchet", false, "compare every metric row against the committed BENCH_<name>.json; fail on a >10% regression")
 		traceOut = fs.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file, for experiments that record one")
 		cpuOut   = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memOut   = fs.String("memprofile", "", "write an allocation profile to this file when the experiments finish")
@@ -102,7 +121,11 @@ func run(args []string) (err error) {
 	exps := experiments()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("  %-16s %s\n", e.name, e.desc)
+			mark := ""
+			if e.artifact {
+				mark = " [artifact]"
+			}
+			fmt.Printf("  %-16s %s%s\n", e.name, e.desc, mark)
 		}
 		return nil
 	}
@@ -110,7 +133,16 @@ func run(args []string) (err error) {
 	want := map[string]bool{}
 	if *runNames != "all" {
 		for _, n := range strings.Split(*runNames, ",") {
-			want[strings.TrimSpace(n)] = true
+			n = strings.TrimSpace(n)
+			if n == "artifacts" {
+				// Meta-name: the registry, not a Makefile string, decides
+				// which experiments carry committed baselines.
+				for _, a := range artifactNames() {
+					want[a] = true
+				}
+				continue
+			}
+			want[n] = true
 		}
 	}
 	matched := 0
@@ -182,12 +214,18 @@ func run(args []string) (err error) {
 	return nil
 }
 
-// ratchetCheck is the throughput regression gate: the freshly measured
-// faults_per_sec rows must not fall more than 10% below the ones committed
-// in BENCH_<name>.json. The committed rows are virtual-time throughputs —
-// bit-deterministic per seed — so on unchanged code the comparison is exact;
-// a drop means the change made the simulated pipeline slower, and the gate
-// forces that to be a deliberate, committed decision rather than drift.
+// ratchetCheck is the performance regression gate: every directional metric
+// row of the freshly measured artifact is compared against the committed
+// BENCH_<name>.json baseline, and a >10% move in the bad direction fails the
+// build. Direction comes from the key: throughput-like rows (per_sec, teps,
+// goodput, knee_scale) must not drop; latency-like rows (_ns suffixes, the
+// cluster matrix's P50/P99/Mean/RecoveryTime/DrainTime, _pct miss rates)
+// must not rise. Machine-dependent rows (wall clocks, allocations, core
+// counts, speedups) are excluded — everything else in these artifacts is
+// virtual time, bit-deterministic per seed, so on unchanged simulation logic
+// the comparison is exact and a trip means the change really moved a metric;
+// the gate forces that to be a deliberate, committed decision rather than
+// drift.
 func ratchetCheck(name string, res renderable) error {
 	j, ok := res.(jsonable)
 	if !ok {
@@ -203,48 +241,109 @@ func ratchetCheck(name string, res renderable) error {
 	if err != nil {
 		return fmt.Errorf("%s: ratchet: json: %w", name, err)
 	}
-	oldRates, err := throughputRows(oldData)
+	oldRows, err := metricRows(oldData)
 	if err != nil {
 		return fmt.Errorf("%s: ratchet: parse %s: %w", name, artifact, err)
 	}
-	newRates, err := throughputRows(newData)
+	newRows, err := metricRows(newData)
 	if err != nil {
 		return fmt.Errorf("%s: ratchet: parse measured result: %w", name, err)
 	}
-	if len(oldRates) == 0 {
-		fmt.Printf("%s: ratchet: no faults_per_sec rows in %s; skipped\n", name, artifact)
+	if len(oldRows) == 0 {
+		fmt.Printf("%s: ratchet: no directional metric rows in %s; skipped\n", name, artifact)
 		return nil
 	}
-	if len(oldRates) != len(newRates) {
-		return fmt.Errorf("%s: ratchet: row count changed: %s has %d faults_per_sec rows, measured %d (regenerate with -json and commit)",
-			name, artifact, len(oldRates), len(newRates))
+	if len(oldRows) != len(newRows) {
+		return fmt.Errorf("%s: ratchet: metric row count changed: %s has %d rows, measured %d (regenerate with -json and commit)",
+			name, artifact, len(oldRows), len(newRows))
 	}
-	for i := range oldRates {
-		if newRates[i] < 0.9*oldRates[i] {
-			return fmt.Errorf("%s: ratchet: faults_per_sec row %d regressed: %.0f -> %.0f (-%.1f%%, threshold 10%%)",
-				name, i, oldRates[i], newRates[i], 100*(1-newRates[i]/oldRates[i]))
+	for i, old := range oldRows {
+		cur := newRows[i]
+		if old.key != cur.key {
+			return fmt.Errorf("%s: ratchet: metric row %d changed key: %s has %q, measured %q (regenerate with -json and commit)",
+				name, i, artifact, old.key, cur.key)
+		}
+		// 10% relative slack plus a small absolute floor so zero-valued
+		// baselines (a 0 ns p50, an exactly-met bound) don't trip on any
+		// nonzero measurement regardless of magnitude.
+		tol := 0.1*math.Abs(old.val) + metricFloor(old.key)
+		var regressed bool
+		if old.dir > 0 {
+			regressed = cur.val < old.val-tol
+		} else {
+			regressed = cur.val > old.val+tol
+		}
+		if regressed {
+			return fmt.Errorf("%s: ratchet: %s row %d regressed: %g -> %g (threshold 10%%)",
+				name, old.key, i, old.val, cur.val)
 		}
 	}
-	fmt.Printf("%s: ratchet: %d faults_per_sec rows within 10%% of %s\n", name, len(oldRates), artifact)
+	fmt.Printf("%s: ratchet: %d metric rows within 10%% of %s\n", name, len(oldRows), artifact)
 	return nil
 }
 
-// throughputRows extracts every "faults_per_sec" number from a JSON
-// document, in document order, at any nesting depth. Token-level scanning
-// (rather than unmarshalling into a map) keeps the order stable so old and
-// new artifacts compare row-for-row.
-func throughputRows(data []byte) ([]float64, error) {
+// metricRow is one directional numeric field of an artifact, in document
+// order. dir is +1 for higher-is-better rows and -1 for lower-is-better.
+type metricRow struct {
+	key string
+	val float64
+	dir int
+}
+
+// metricDirection classifies an artifact key: +1 higher-is-better, -1
+// lower-is-better, 0 not a performance metric (config echoes, counts, and
+// machine-dependent measurements like wall clocks or allocation rates).
+func metricDirection(key string) int {
+	lk := strings.ToLower(key)
+	for _, skip := range []string{"wall", "alloc", "speedup", "cores", "gomaxprocs", "seed"} {
+		if strings.Contains(lk, skip) {
+			return 0
+		}
+	}
+	switch {
+	case strings.Contains(lk, "per_sec"), strings.Contains(lk, "teps"), key == "knee_scale":
+		return +1
+	case strings.HasSuffix(lk, "_ns"), strings.HasSuffix(lk, "_pct"):
+		return -1
+	}
+	switch key {
+	// The cluster lifecycle matrix predates the _ns suffix convention.
+	case "Mean", "P50", "P99", "RecoveryTime", "DrainTime":
+		return -1
+	}
+	return 0
+}
+
+// metricFloor is the absolute slack added to the 10% relative tolerance.
+func metricFloor(key string) float64 {
+	lk := strings.ToLower(key)
+	switch {
+	case strings.HasSuffix(lk, "_ns"):
+		return 200 // nanoseconds of virtual time
+	case strings.HasSuffix(lk, "_pct"):
+		return 0.5 // percentage points
+	default:
+		return 1e-9
+	}
+}
+
+// metricRows extracts every directional numeric field from a JSON document,
+// in document order, at any nesting depth. Token-level scanning (rather than
+// unmarshalling into a map) keeps the order stable so old and new artifacts
+// compare row-for-row; numbers inside arrays carry no key of their own
+// (spans, sweep lists) and are never collected.
+func metricRows(data []byte) ([]metricRow, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
-	var out []float64
-	if err := scanValue(dec, false, &out); err != nil {
+	var out []metricRow
+	if err := scanValue(dec, "", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// scanValue consumes one JSON value from dec; record marks a value whose
-// object key was "faults_per_sec", so a plain number gets collected.
-func scanValue(dec *json.Decoder, record bool, out *[]float64) error {
+// scanValue consumes one JSON value from dec; key names the object field the
+// value belongs to ("" for array elements and the document root).
+func scanValue(dec *json.Decoder, key string, out *[]metricRow) error {
 	t, err := dec.Token()
 	if err != nil {
 		return err
@@ -258,8 +357,8 @@ func scanValue(dec *json.Decoder, record bool, out *[]float64) error {
 				if err != nil {
 					return err
 				}
-				key, _ := kt.(string)
-				if err := scanValue(dec, key == "faults_per_sec", out); err != nil {
+				k, _ := kt.(string)
+				if err := scanValue(dec, k, out); err != nil {
 					return err
 				}
 			}
@@ -267,7 +366,7 @@ func scanValue(dec *json.Decoder, record bool, out *[]float64) error {
 			return err
 		case '[':
 			for dec.More() {
-				if err := scanValue(dec, false, out); err != nil {
+				if err := scanValue(dec, "", out); err != nil {
 					return err
 				}
 			}
@@ -275,8 +374,8 @@ func scanValue(dec *json.Decoder, record bool, out *[]float64) error {
 			return err
 		}
 	case float64:
-		if record {
-			*out = append(*out, tok)
+		if dir := metricDirection(key); key != "" && dir != 0 {
+			*out = append(*out, metricRow{key: key, val: tok, dir: dir})
 		}
 	}
 	return nil

@@ -49,28 +49,72 @@ func TestExperimentNamesUnique(t *testing.T) {
 			t.Fatalf("missing experiment %q", want)
 		}
 	}
+	// "artifacts" is a reserved meta-name expanding to the registry's
+	// artifact-bearing experiments — it must not collide with a real one,
+	// and the expansion must cover every committed BENCH_*.json producer.
+	if seen["artifacts"] {
+		t.Fatal(`an experiment is literally named "artifacts"`)
+	}
+	arts := make(map[string]bool)
+	for _, name := range artifactNames() {
+		arts[name] = true
+	}
+	for _, want := range []string{"writeback", "trace", "arbiter", "cluster", "parallel", "market", "openloop"} {
+		if !arts[want] {
+			t.Fatalf("artifact experiment %q missing from registry expansion %v", want, artifactNames())
+		}
+	}
 }
 
-func TestThroughputRowsExtraction(t *testing.T) {
+func TestMetricRowsExtraction(t *testing.T) {
 	doc := []byte(`{
-		"meta": {"faults_per_sec": 100.5},
+		"meta": {"faults_per_sec": 100.5, "seed": 42, "wall_ms": 17},
 		"rows": [
-			{"label": "a", "faults_per_sec": 1.25, "other": 7},
-			{"label": "b", "nested": {"faults_per_sec": 2.5}},
-			{"label": "c"}
-		]
+			{"label": "a", "faults_per_sec": 1.25, "sojourn_p99_ns": 900, "other": 7},
+			{"label": "b", "nested": {"goodput_per_sec": 2.5}, "miss_pct": 3.5},
+			{"label": "c", "scales": [0.5, 1, 8], "allocs_per_op": 0}
+		],
+		"knee_scale": 4
 	}`)
-	rates, err := throughputRows(doc)
+	rows, err := metricRows(doc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []float64{100.5, 1.25, 2.5}
-	if len(rates) != len(want) {
-		t.Fatalf("rates = %v, want %v", rates, want)
+	want := []metricRow{
+		{key: "faults_per_sec", val: 100.5, dir: +1},
+		{key: "faults_per_sec", val: 1.25, dir: +1},
+		{key: "sojourn_p99_ns", val: 900, dir: -1},
+		{key: "goodput_per_sec", val: 2.5, dir: +1},
+		{key: "miss_pct", val: 3.5, dir: -1},
+		{key: "knee_scale", val: 4, dir: +1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %+v, want %+v", rows, want)
 	}
 	for i := range want {
-		if rates[i] != want[i] {
-			t.Fatalf("rates = %v, want %v (document order)", rates, want)
+		if rows[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v (document order, seed/wall/alloc/array values excluded)",
+				i, rows[i], want[i])
+		}
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"faults_per_sec", +1}, {"teps", +1}, {"knee_scale", +1},
+		{"sojourn_p99_ns", -1}, {"backlog_ns", -1}, {"miss_pct", -1},
+		{"P99", -1}, {"RecoveryTime", -1},
+		{"wall_ms", 0}, {"allocs_per_op", 0}, {"speedup", 0},
+		{"cores", 0}, {"seed", 0}, {"epochs", 0}, {"label", 0},
+		// Machine-dependent markers win over directional suffixes.
+		{"wall_p99_ns", 0},
+	}
+	for _, c := range cases {
+		if got := metricDirection(c.key); got != c.want {
+			t.Errorf("metricDirection(%q) = %d, want %d", c.key, got, c.want)
 		}
 	}
 }
@@ -92,7 +136,7 @@ func TestRatchetCheck(t *testing.T) {
 	}
 	defer os.Chdir(wd)
 
-	baseline := `{"rows":[{"faults_per_sec":1000},{"faults_per_sec":2000}]}`
+	baseline := `{"rows":[{"faults_per_sec":1000,"p99_ns":5000},{"faults_per_sec":2000}]}`
 	if err := os.WriteFile("BENCH_fake.json", []byte(baseline), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -101,20 +145,47 @@ func TestRatchetCheck(t *testing.T) {
 	if err := ratchetCheck("fake", &fakeThroughputResult{doc: baseline}); err != nil {
 		t.Fatalf("identical rows rejected: %v", err)
 	}
-	// A small (<10%) dip passes.
-	ok := `{"rows":[{"faults_per_sec":950},{"faults_per_sec":1900}]}`
+	// Small (<10%) moves in the bad direction pass, as does any improvement.
+	ok := `{"rows":[{"faults_per_sec":950,"p99_ns":5400},{"faults_per_sec":2600}]}`
 	if err := ratchetCheck("fake", &fakeThroughputResult{doc: ok}); err != nil {
 		t.Fatalf("5%% dip rejected: %v", err)
 	}
-	// A >10% regression in any row fails.
-	bad := `{"rows":[{"faults_per_sec":1000},{"faults_per_sec":1500}]}`
+	// A >10% throughput drop in any row fails.
+	bad := `{"rows":[{"faults_per_sec":1000,"p99_ns":5000},{"faults_per_sec":1500}]}`
 	if err := ratchetCheck("fake", &fakeThroughputResult{doc: bad}); err == nil {
-		t.Fatal("25% regression accepted")
+		t.Fatal("25% throughput regression accepted")
+	}
+	// A >10% latency rise fails too — the ratchet is direction-aware, so a
+	// latency row regresses by going UP.
+	slow := `{"rows":[{"faults_per_sec":1000,"p99_ns":7000},{"faults_per_sec":2000}]}`
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: slow}); err == nil {
+		t.Fatal("40% latency regression accepted")
+	}
+	// A latency *improvement* of any size passes (no ratchet on the good side).
+	fast := `{"rows":[{"faults_per_sec":1000,"p99_ns":100},{"faults_per_sec":2000}]}`
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: fast}); err != nil {
+		t.Fatalf("latency improvement rejected: %v", err)
+	}
+	// A zero-valued latency baseline tolerates only the absolute floor.
+	zeroBase := `{"rows":[{"p50_ns":0}]}`
+	if err := os.WriteFile("BENCH_zero.json", []byte(zeroBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ratchetCheck("zero", &fakeThroughputResult{doc: `{"rows":[{"p50_ns":150}]}`}); err != nil {
+		t.Fatalf("sub-floor rise over zero baseline rejected: %v", err)
+	}
+	if err := ratchetCheck("zero", &fakeThroughputResult{doc: `{"rows":[{"p50_ns":5000}]}`}); err == nil {
+		t.Fatal("5µs rise over a 0ns baseline accepted")
 	}
 	// Row-count drift fails: the committed artifact is stale.
-	drift := `{"rows":[{"faults_per_sec":1000}]}`
+	drift := `{"rows":[{"faults_per_sec":1000,"p99_ns":5000}]}`
 	if err := ratchetCheck("fake", &fakeThroughputResult{doc: drift}); err == nil {
 		t.Fatal("row-count drift accepted")
+	}
+	// So does a key change at the same row position (renamed metric).
+	renamed := `{"rows":[{"faults_per_sec":1000,"p98_ns":5000},{"faults_per_sec":2000}]}`
+	if err := ratchetCheck("fake", &fakeThroughputResult{doc: renamed}); err == nil {
+		t.Fatal("metric rename accepted")
 	}
 	// A missing committed baseline fails loudly.
 	if err := ratchetCheck("absent", &fakeThroughputResult{doc: baseline}); err == nil {

@@ -24,6 +24,7 @@ import (
 	"fluidmem/internal/kvstore/memcached"
 	"fluidmem/internal/kvstore/ramcloud"
 	"fluidmem/internal/kvstore/replicated"
+	"fluidmem/internal/loadgen"
 	"fluidmem/internal/vm"
 )
 
@@ -55,9 +56,27 @@ func run(args []string) error {
 		arb        = fs.Bool("arbiter", false, "with -vms > 1: rebalance the shared budget each epoch from the ghost-LRU miss-ratio curves (default keeps the static equal split)")
 		mkt        = fs.Bool("market", false, "with -vms > 1: run the Memtrade-style marketplace — curve-priced leases with p99-SLO claw-back — instead of the greedy arbiter (mutually exclusive with -arbiter); host console commands: status | slo | market")
 		parallel   = fs.Bool("parallel", false, "drive the multi-goroutine data plane directly (real executor goroutines, wall-clock time) instead of the virtual-time machine; script commands: status | resize <pages> | tick <n>")
+		scenario   = fs.String("scenario", "", "replay a named open-loop traffic scenario (diurnal | flashcrowd | churn) against a multi-tenant host and print the offered-load/goodput report; -arbiter/-market pick the planner, -rate-scale sweeps the offered load")
+		rateScale  = fs.Float64("rate-scale", 1, "with -scenario: multiply every tenant's offered-load curve (the knee-of-curve sweep axis)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenario != "" {
+		if *parallel || *vms > 1 {
+			return fmt.Errorf("-scenario builds its own tenant population (no -parallel/-vms)")
+		}
+		if *arb && *mkt {
+			return fmt.Errorf("-arbiter and -market are mutually exclusive planners")
+		}
+		planner := loadgen.PlannerStatic
+		switch {
+		case *arb:
+			planner = loadgen.PlannerArbiter
+		case *mkt:
+			planner = loadgen.PlannerMarket
+		}
+		return runScenario(*scenario, planner, *rateScale, *workers, *seed)
 	}
 	if *parallel {
 		switch {
@@ -189,6 +208,38 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (%d events)\n", *traceOut, len(m.Tracer().Events()))
+	}
+	return nil
+}
+
+// runScenario is the -scenario console: it replays a named open-loop traffic
+// scenario (internal/loadgen, DESIGN.md §17) against a live multi-tenant host
+// and prints the offered-load/goodput/sojourn report. Everything is virtual
+// time, so the same seed prints the same report on every machine.
+func runScenario(name string, planner loadgen.Planner, scale float64, workers int, seed uint64) error {
+	scen, err := loadgen.NamedScenario(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fluidmemd: open-loop scenario %q — %d tenants on %d shared pages, planner %s, rate x%g\n",
+		name, len(scen.Tenants), scen.TotalLocalPages, planner, scale)
+	rep, err := loadgen.Run(loadgen.Config{
+		Scenario:  scen,
+		Planner:   planner,
+		Workers:   workers,
+		Seed:      seed,
+		RateScale: scale,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if rep.SojournP99 > scen.P99Target {
+		fmt.Printf("p99 sojourn %v EXCEEDS the %v target: this offered load is past the knee\n",
+			rep.SojournP99.Round(time.Microsecond), scen.P99Target)
+	} else {
+		fmt.Printf("p99 sojourn %v meets the %v target: below the knee (try a larger -rate-scale)\n",
+			rep.SojournP99.Round(time.Microsecond), scen.P99Target)
 	}
 	return nil
 }

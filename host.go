@@ -92,6 +92,17 @@ type Host struct {
 	byID     map[string]int
 	cfg      HostConfig
 
+	// active marks tenants currently participating in epoch windows. An
+	// inactive tenant (a VM that has died, or one not yet booted in an
+	// open-loop scenario) issues no guest operations, so waiting for it to
+	// cross the window boundary would stall every other tenant's planner
+	// epoch forever. Instead the barrier skips inactive tenants and captures
+	// their snapshots lazily at window close: an inactive tenant's hotset
+	// counters and FAULT histogram are frozen (no ops mutate them), so the
+	// lazy capture is a pure function of its own operation history and the
+	// interleaving-invariance argument in noteOp still holds.
+	active []bool
+
 	// planner decides each epoch's share plan; nil means no rebalancing.
 	// mkt aliases the planner when it is the marketplace (lease book and
 	// market counters surface in HostStats).
@@ -164,6 +175,10 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		lastGranted:    make(map[int]bool),
 		lastWindowHits: make([]uint64, n),
 		slo:            make([]SLOStatus, n),
+		active:         make([]bool, n),
+	}
+	for i := range h.active {
+		h.active[i] = true
 	}
 	switch {
 	case cfg.Arbiter != nil:
@@ -337,16 +352,54 @@ func (h *Host) noteOp(i int) error {
 	}
 	h.opCount[i]++
 	if h.opCount[i] == h.epochOps && h.captured[i] == nil {
-		snap := h.machines[i].monitor.HotsetSnapshot()
-		h.captured[i] = &snap
-		h.capturedHist[i] = h.machines[i].monitor.Tracer().PhaseHistogram(trace.EvFault)
+		h.capture(i)
 	}
-	for _, c := range h.captured {
-		if c == nil {
+	for j, c := range h.captured {
+		if c == nil && h.active[j] {
 			return nil
 		}
 	}
+	// Every active tenant has crossed; inactive tenants are frozen, so
+	// capturing them now observes exactly the state they died (or have not
+	// yet booted) with, independent of when in the window this op landed.
+	for j, c := range h.captured {
+		if c == nil {
+			h.capture(j)
+		}
+	}
 	return h.rebalance()
+}
+
+// capture snapshots tenant i's cumulative hotset counters and FAULT
+// histogram as its window-boundary state.
+func (h *Host) capture(i int) {
+	snap := h.machines[i].monitor.HotsetSnapshot()
+	h.captured[i] = &snap
+	h.capturedHist[i] = h.machines[i].monitor.Tracer().PhaseHistogram(trace.EvFault)
+}
+
+// SetTenantActive marks the named tenant as participating in (active) or
+// excluded from (inactive) the epoch-window barrier — the host-level
+// lifecycle hook open-loop scenarios use for VMs that boot late or die
+// mid-run. An inactive tenant keeps its machine, its share, and its
+// cumulative telemetry; it simply stops gating other tenants' planner
+// epochs, and the planner sees its frozen window (zero new activity) until
+// it is reactivated. Deactivating a tenant that already crossed the current
+// window boundary keeps its captured snapshot.
+func (h *Host) SetTenantActive(id string, active bool) error {
+	i, ok := h.byID[id]
+	if !ok {
+		return fmt.Errorf("fluidmem: no tenant %q", id)
+	}
+	h.active[i] = active
+	return nil
+}
+
+// TenantActive reports whether the named tenant currently participates in
+// epoch windows.
+func (h *Host) TenantActive(id string) bool {
+	i, ok := h.byID[id]
+	return ok && h.active[i]
 }
 
 // rebalance runs one epoch: price each tenant's window curve, evaluate its
@@ -489,6 +542,7 @@ func (h *Host) Stats() HostStats {
 		st.Tenants = append(st.Tenants, TenantStats{
 			ID:         h.ids[i],
 			Policy:     h.policies[i],
+			Active:     h.active[i],
 			SharePages: ms.FootprintLimit,
 			WSSPages:   ms.WSSPages,
 			SLO:        h.slo[i],

@@ -74,6 +74,94 @@ func TestMachineCapacityValidation(t *testing.T) {
 	}
 }
 
+// Tenant lifecycle is host-visible state: an inactive tenant (a VM that
+// died mid-run, or one that has not booted yet in an open-loop scenario)
+// stops gating the epoch-window barrier, so planner epochs keep closing
+// for the survivors instead of stalling forever; reactivating it makes the
+// barrier wait for it again. This is the host-level hook internal/loadgen's
+// churn scenario drives.
+func TestHostTenantLifecycleWindows(t *testing.T) {
+	const epochOps = 8
+	const span = 24
+	mc := MachineConfig{Backend: BackendDRAM, GuestMemory: 4 << 20}
+	specs := []TenantSpec{{ID: "a", VM: mc}, {ID: "b", VM: mc}, {ID: "dead", VM: mc}}
+	h, err := NewHost(HostConfig{
+		Tenants: specs, TotalLocalPages: 48, Seed: 1,
+		Arbiter: &ArbiterConfig{EpochOps: epochOps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]uint64, len(specs))
+	for i := range specs {
+		seg, err := h.Machine(i).Alloc("ws", span*PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[i] = seg.Addr(0)
+	}
+
+	if err := h.SetTenantActive("ghost", true); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+	if h.TenantActive("ghost") {
+		t.Fatal("unknown tenant reported active")
+	}
+	for _, ts := range h.Stats().Tenants {
+		if !ts.Active {
+			t.Fatalf("tenant %s not active at boot", ts.ID)
+		}
+	}
+
+	// drive issues exactly one window's worth of ops for the given tenants.
+	drive := func(idxs ...int) {
+		for op := 0; op < epochOps; op++ {
+			for _, i := range idxs {
+				addr := segs[i] + uint64(op%span)*PageSize
+				if _, err := h.Touch(i, addr, op%3 == 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	epochs := func() uint64 { return h.Stats().Arbiter.Epochs }
+
+	drive(0, 1, 2)
+	if got := epochs(); got != 1 {
+		t.Fatalf("epochs after a full window = %d, want 1", got)
+	}
+
+	// Mid-run death: the survivors' windows must keep closing.
+	if err := h.SetTenantActive("dead", false); err != nil {
+		t.Fatal(err)
+	}
+	if h.TenantActive("dead") {
+		t.Fatal("deactivated tenant reported active")
+	}
+	drive(0, 1)
+	if got := epochs(); got != 2 {
+		t.Fatalf("barrier stalled on a dead tenant: epochs = %d, want 2", got)
+	}
+	for _, ts := range h.Stats().Tenants {
+		if want := ts.ID != "dead"; ts.Active != want {
+			t.Fatalf("tenant %s Active = %v, want %v", ts.ID, ts.Active, want)
+		}
+	}
+
+	// Reactivation (the late-boot analogue): the barrier waits for it again.
+	if err := h.SetTenantActive("dead", true); err != nil {
+		t.Fatal(err)
+	}
+	drive(0, 1)
+	if got := epochs(); got != 2 {
+		t.Fatalf("epoch closed without the rebooted tenant: epochs = %d, want 2", got)
+	}
+	drive(2)
+	if got := epochs(); got != 3 {
+		t.Fatalf("epochs after the rebooted tenant crossed = %d, want 3", got)
+	}
+}
+
 // driveHost runs rounds of exactly epochOps operations per VM, with the
 // given within-round schedule. Each VM's op stream is a fixed cyclic walk
 // over its own page set, so the logical per-VM histories are identical no

@@ -1,0 +1,140 @@
+package paralleltest
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fluidmem/internal/core"
+	"fluidmem/internal/core/shardtest"
+	"fluidmem/internal/stats"
+	"fluidmem/internal/trace"
+)
+
+// synthFaultDur derives a deterministic fault latency from the page address
+// alone, so the multiset of observations depends only on the op stream —
+// never on which shard goroutine delivered the page or when.
+func synthFaultDur(addr uint64) time.Duration {
+	return time.Duration(1+(addr>>12)*2654435761%4096) * time.Microsecond
+}
+
+// phaseWindow summarises one epoch window of the fault-phase histogram —
+// exactly the quantities the host's SLO accounting reads off a windowed
+// PhaseHistogram delta.
+type phaseWindow struct {
+	Count         uint64
+	P50, P99, Max time.Duration
+	Mean          time.Duration
+}
+
+// TestPhaseHistogramWindowsUnderParallel proves the windowed-delta leg of the
+// histogram algebra against the LIVE multi-goroutine engine: per-shard
+// delivery callbacks observe synthetic fault latencies, those per-worker
+// cells feed a Tracer at drain barriers (the Tracer itself is single-threaded
+// by contract), and consecutive cumulative PhaseHistogram snapshots are
+// differenced with stats.Histogram.Sub. Every window — count, percentiles,
+// mean, carried max — must be identical at every shard count: repartitioning
+// observations across worker cells can never move latency between epoch
+// windows.
+func TestPhaseHistogramWindowsUnderParallel(t *testing.T) {
+	wl := shardtest.Workloads()[0]
+	const seed = 7
+	ops := GenOps(wl, seed)
+	touches := 0
+	for _, op := range ops {
+		if op.Kind == OpTouch {
+			touches++
+		}
+	}
+	if touches < 400 {
+		t.Fatalf("workload %s too small for windowing: %d touches", wl.Name, touches)
+	}
+	windowEvery := touches / 4
+
+	run := func(shards int) []phaseWindow {
+		cfg := wl.NewConfig(seed)
+		cfg.Workers = shards
+		cfg.Seed = seed
+		// Executors append to their own shard's buffer concurrently; the main
+		// goroutine reads the buffers only behind Drain barriers.
+		bufs := make([][]time.Duration, shards)
+		onData := func(shard int, ticket, addr uint64, data []byte) {
+			bufs[shard] = append(bufs[shard], synthFaultDur(addr))
+		}
+		p, err := core.NewParallel(cfg, nil, "phasehist", onData)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if err := p.RegisterRange(shardtest.Base, uint64(wl.Pages)*core.PageSize, pid); err != nil {
+			t.Fatalf("shards=%d: register: %v", shards, err)
+		}
+
+		tr := trace.New(false)
+		var prev stats.Histogram
+		var wins []phaseWindow
+		closeWindow := func() {
+			if err := p.Drain(); err != nil {
+				t.Fatalf("shards=%d: drain: %v", shards, err)
+			}
+			for shard, ds := range bufs {
+				for _, d := range ds {
+					tr.Observe(trace.EvFault, shard, d)
+				}
+				bufs[shard] = bufs[shard][:0]
+			}
+			cum := tr.PhaseHistogram(trace.EvFault)
+			win := cum.Sub(prev)
+			prev = cum
+			wins = append(wins, phaseWindow{
+				Count: win.Count(), P50: win.Percentile(50), P99: win.Percentile(99),
+				Max: win.Max(), Mean: win.Mean(),
+			})
+		}
+
+		seen := 0
+		for i, op := range ops {
+			switch op.Kind {
+			case OpResize:
+				if err := p.Resize(op.Capacity); err != nil {
+					t.Fatalf("shards=%d op %d: resize: %v", shards, i, err)
+				}
+			case OpDiscard:
+				p.Discard(op.Addr)
+			case OpDrain:
+				if err := p.Drain(); err != nil {
+					t.Fatalf("shards=%d op %d: drain: %v", shards, i, err)
+				}
+			case OpTouch:
+				if err := p.Touch(op.Addr, op.Write); err != nil {
+					t.Fatalf("shards=%d op %d: touch: %v", shards, i, err)
+				}
+				seen++
+				if seen%windowEvery == 0 {
+					closeWindow()
+				}
+			}
+		}
+		closeWindow()
+		if err := p.Close(); err != nil {
+			t.Fatalf("shards=%d: close: %v", shards, err)
+		}
+		return wins
+	}
+
+	ref := run(1)
+	if len(ref) < 4 {
+		t.Fatalf("only %d windows", len(ref))
+	}
+	var total uint64
+	for _, w := range ref {
+		total += w.Count
+	}
+	if total != uint64(touches) {
+		t.Fatalf("windows cover %d observations, want %d", total, touches)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(shards); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("shards=%d moved latency between windows:\nref %+v\ngot %+v", shards, ref, got)
+		}
+	}
+}

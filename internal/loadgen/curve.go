@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// RateCurve is an offered-load shape: the instantaneous arrival rate of an
+// open-loop traffic source as a function of virtual time. Curves are pure:
+// no state, no randomness, so the same curve evaluated twice is bit-equal —
+// the property the arrival schedules (and their determinism oracle) build
+// on.
+//
+// CumOps is the load-bearing method: the expected number of arrivals in
+// [0, t), i.e. the integral of Rate. Both the deterministic-rate process
+// (arrivals where CumOps crosses successive integers) and the
+// non-homogeneous Poisson process (inversion sampling of the conditional
+// cumulative measure) are generated purely from CumOps, so a curve only
+// needs a closed-form integral, never a closed-form inverse.
+type RateCurve interface {
+	// Rate reports the instantaneous arrival rate at virtual time t, in
+	// operations per second of virtual time. Must be non-negative.
+	Rate(t time.Duration) float64
+	// CumOps reports the expected number of arrivals in [0, t): the
+	// integral of Rate over [0, t). Must be continuous, non-decreasing,
+	// and zero at t = 0.
+	CumOps(t time.Duration) float64
+}
+
+// secs converts virtual time to float seconds for curve arithmetic.
+func secs(t time.Duration) float64 { return float64(t) / float64(time.Second) }
+
+// ConstantRate offers a fixed load.
+type ConstantRate struct {
+	// PerSec is the arrival rate in ops per second of virtual time.
+	PerSec float64
+}
+
+func (c ConstantRate) Rate(time.Duration) float64     { return c.PerSec }
+func (c ConstantRate) CumOps(t time.Duration) float64 { return c.PerSec * secs(t) }
+
+// DiurnalRate is the datacenter day/night sinusoid:
+//
+//	rate(t) = Base * (1 + Swing*sin(2πt/Period + Phase))
+//
+// with Swing in [0, 1] (Swing = 1 swings between 0 and 2×Base). Two tenants
+// with Phase π apart model anti-correlated day/night populations — the load
+// shape the planners are supposed to arbitrage.
+type DiurnalRate struct {
+	// Base is the mean rate in ops/sec; Swing the relative amplitude.
+	Base, Swing float64
+	// Period is the full day length in virtual time.
+	Period time.Duration
+	// Phase offsets the sinusoid in radians.
+	Phase float64
+}
+
+func (c DiurnalRate) omega() float64 { return 2 * math.Pi / secs(c.Period) }
+
+func (c DiurnalRate) Rate(t time.Duration) float64 {
+	return c.Base * (1 + c.Swing*math.Sin(c.omega()*secs(t)+c.Phase))
+}
+
+func (c DiurnalRate) CumOps(t time.Duration) float64 {
+	w := c.omega()
+	s := secs(t)
+	// ∫ Base*(1+Swing*sin(wt+φ)) dt = Base*(t + Swing/w*(cos φ − cos(wt+φ)))
+	return c.Base * (s + c.Swing/w*(math.Cos(c.Phase)-math.Cos(w*s+c.Phase)))
+}
+
+// FlashCrowdRate is a step spike: Base load everywhere, multiplied by Spike
+// during [Start, Start+Width) — the front-page / breaking-news shape whose
+// queueing transient closed-loop benches cannot exhibit.
+type FlashCrowdRate struct {
+	// Base is the quiescent rate in ops/sec; Spike the multiplier applied
+	// during the crowd (Spike = 8 means 8× Base).
+	Base, Spike float64
+	// Start and Width place the crowd in virtual time.
+	Start, Width time.Duration
+}
+
+func (c FlashCrowdRate) Rate(t time.Duration) float64 {
+	if t >= c.Start && t < c.Start+c.Width {
+		return c.Base * c.Spike
+	}
+	return c.Base
+}
+
+func (c FlashCrowdRate) CumOps(t time.Duration) float64 {
+	cum := c.Base * secs(t)
+	// Add the extra (Spike−1)×Base measure accumulated inside the burst.
+	if t > c.Start {
+		in := t - c.Start
+		if in > c.Width {
+			in = c.Width
+		}
+		cum += c.Base * (c.Spike - 1) * secs(in)
+	}
+	return cum
+}
+
+// ScaledRate multiplies an inner curve by a constant factor — the
+// offered-load sweep knob the knee-of-curve experiment turns.
+type ScaledRate struct {
+	Curve  RateCurve
+	Factor float64
+}
+
+func (c ScaledRate) Rate(t time.Duration) float64   { return c.Factor * c.Curve.Rate(t) }
+func (c ScaledRate) CumOps(t time.Duration) float64 { return c.Factor * c.Curve.CumOps(t) }
+
+// Scale wraps curve so its rate (and cumulative measure) is multiplied by
+// factor; factor 1 returns the curve unchanged.
+func Scale(curve RateCurve, factor float64) RateCurve {
+	if factor == 1 {
+		return curve
+	}
+	return ScaledRate{Curve: curve, Factor: factor}
+}
+
+// invCum finds the earliest nanosecond t in (lo, hi] with CumOps(t) >=
+// target, by bisection. CumOps is monotone, so the loop is a textbook
+// binary search over integer nanoseconds — ~20 iterations for a 1 ms slice,
+// bit-deterministic because it never compares computed floats against each
+// other, only against the fixed target.
+func invCum(c RateCurve, target float64, lo, hi time.Duration) time.Duration {
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if c.CumOps(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

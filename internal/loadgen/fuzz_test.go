@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzArrivalSchedule pins the arrival-schedule invariants over fuzzed
+// (process, curve, seed, split) tuples:
+//
+//  1. every arrival lies in [0, horizon) and timestamps are monotone
+//     non-decreasing;
+//  2. the schedule is bitwise repeatable — generating it twice yields the
+//     same timestamps;
+//  3. schedule splitting/merging is invariant: [0, split) ++ [split, horizon)
+//     equals [0, horizon) element-for-element, for an arbitrary fuzzed split.
+//
+// These are the properties the open-loop engine builds its cross-worker
+// determinism on, so they are fuzzed rather than merely example-tested.
+func FuzzArrivalSchedule(f *testing.F) {
+	f.Add(uint8(0), uint8(0), 40_000.0, 0.9, uint64(1), int64(5_000_000))
+	f.Add(uint8(0), uint8(1), 30_000.0, 0.5, uint64(7), int64(4_111_333))
+	f.Add(uint8(1), uint8(2), 20_000.0, 8.0, uint64(42), int64(1))
+	f.Add(uint8(1), uint8(0), 100_000.0, 0.0, uint64(3), int64(7_999_999))
+	f.Add(uint8(0), uint8(2), 0.0, 2.0, uint64(9), int64(2_000_000))
+	f.Fuzz(func(t *testing.T, proc, curveKind uint8, rate, shape float64, seed uint64, splitNs int64) {
+		const horizon = 8 * time.Millisecond
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			rate = 1000
+		}
+		if rate > 200_000 {
+			rate = math.Mod(rate, 200_000)
+		}
+		if math.IsNaN(shape) || math.IsInf(shape, 0) || shape < 0 {
+			shape = 0.5
+		}
+		var curve RateCurve
+		switch curveKind % 3 {
+		case 0:
+			curve = ConstantRate{PerSec: rate}
+		case 1:
+			curve = DiurnalRate{Base: rate, Swing: math.Mod(shape, 1), Period: 3 * time.Millisecond}
+		default:
+			curve = FlashCrowdRate{Base: rate, Spike: 1 + math.Mod(shape, 8),
+				Start: horizon / 4, Width: horizon / 4}
+		}
+		cfg := ArrivalConfig{Process: Process(proc % 2), Curve: curve, Seed: seed}
+
+		split := time.Duration(splitNs)
+		if split < 0 {
+			split = -split
+		}
+		split %= horizon
+
+		whole := cfg.Schedule(0, horizon)
+		prev := time.Duration(0)
+		for i, at := range whole {
+			if at < 0 || at >= horizon {
+				t.Fatalf("arrival %d at %v outside [0, %v)", i, at, horizon)
+			}
+			if at < prev {
+				t.Fatalf("arrival %d at %v before predecessor %v", i, at, prev)
+			}
+			prev = at
+		}
+
+		again := cfg.Schedule(0, horizon)
+		if len(again) != len(whole) {
+			t.Fatalf("repeat generated %d arrivals, first run %d", len(again), len(whole))
+		}
+		for i := range whole {
+			if whole[i] != again[i] {
+				t.Fatalf("repeat arrival %d is %v, first run %v", i, again[i], whole[i])
+			}
+		}
+
+		merged := append(cfg.Schedule(0, split), cfg.Schedule(split, horizon)...)
+		if len(merged) != len(whole) {
+			t.Fatalf("split at %v: merged %d arrivals, whole %d", split, len(merged), len(whole))
+		}
+		for i := range whole {
+			if merged[i] != whole[i] {
+				t.Fatalf("split at %v: merged arrival %d is %v, whole %v", split, i, merged[i], whole[i])
+			}
+		}
+	})
+}

@@ -155,3 +155,94 @@ func TestHistogramSubWindows(t *testing.T) {
 		t.Fatalf("full self-subtraction not empty: count=%d p99=%v", empty.Count(), empty.Percentile(99))
 	}
 }
+
+// Subtracting a snapshot from itself must behave as the empty histogram in
+// every derived quantity — zero count, zero buckets, zero mean, and zero at
+// every percentile including the clamped endpoints — no matter what the
+// accumulator had seen. The carried cumulative max is the one field allowed
+// to be nonzero, and it must never leak into an empty window's percentiles
+// (an SLO evaluation of a window with no faults must read "no latency", not
+// "the worst latency ever").
+func TestHistogramSubSelfEmptyPercentiles(t *testing.T) {
+	states := [][]time.Duration{
+		nil, // empty minus empty
+		{time.Microsecond},
+		{40 * time.Nanosecond, time.Microsecond, time.Millisecond, time.Second},
+		// Edge buckets: non-positive observations and the saturating top bucket.
+		{0, -time.Nanosecond, time.Duration(1) << 62},
+	}
+	for si, ds := range states {
+		var h Histogram
+		for _, d := range ds {
+			h.Add(d)
+		}
+		w := h.Sub(h)
+		if w.Count() != 0 {
+			t.Fatalf("state %d: self-sub count = %d", si, w.Count())
+		}
+		if w.Buckets() != ([HistBuckets]uint64{}) {
+			t.Fatalf("state %d: self-sub left nonzero buckets", si)
+		}
+		if w.Mean() != 0 {
+			t.Fatalf("state %d: self-sub mean = %v", si, w.Mean())
+		}
+		for _, p := range []float64{0, 50, 99, 100, -5, 200} {
+			if got := w.Percentile(p); got != 0 {
+				t.Fatalf("state %d: self-sub p%g = %v, want 0", si, p, got)
+			}
+		}
+	}
+}
+
+// Sub must commute with Merge: differencing merged cumulative snapshots
+// gives the same window whichever order the per-worker cells were folded in,
+// and equals the merge of the per-cell windows. This is the algebra the
+// host's epoch accounting leans on — it snapshots PhaseHistogram (a merge
+// over worker cells) and differences consecutive snapshots, so a change in
+// how observations were partitioned across workers must never show up in a
+// window.
+func TestHistogramSubAfterMergeOrderInvariant(t *testing.T) {
+	// Three worker cells, each snapshotted mid-accumulation. Durations are a
+	// deterministic spread across several buckets.
+	cells := make([]Histogram, 3)
+	snaps := make([]Histogram, 3)
+	dur := func(i, j int) time.Duration {
+		return time.Duration(1+(uint64(i*977+j)*2654435761)%5_000_000) * time.Nanosecond
+	}
+	for i := range cells {
+		for j := 0; j < 50+i*7; j++ {
+			cells[i].Add(dur(i, j))
+		}
+		snaps[i] = cells[i] // the cumulative "window open" snapshot
+		for j := 0; j < 70+i*11; j++ {
+			cells[i].Add(dur(i, 1000+j))
+		}
+	}
+	merge := func(hs []Histogram, order []int) Histogram {
+		var m Histogram
+		for _, i := range order {
+			m.Merge(&hs[i])
+		}
+		return m
+	}
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}}
+	ref := merge(cells, orders[0]).Sub(merge(snaps, orders[0]))
+	if ref.Count() == 0 {
+		t.Fatal("vacuous window")
+	}
+	for _, ord := range orders[1:] {
+		if got := merge(cells, ord).Sub(merge(snaps, ord)); got != ref {
+			t.Fatalf("merge order %v changed the window: %+v vs %+v", ord, got, ref)
+		}
+	}
+	// Distributivity: windowing each cell and merging the windows is the
+	// same histogram as windowing the merged cumulatives.
+	var dist Histogram
+	for i := range cells {
+		w := cells[i].Sub(snaps[i])
+		dist.Merge(&w)
+	}
+	if dist != ref {
+		t.Fatalf("merge of per-cell windows differs from window of merged cumulatives: %+v vs %+v", dist, ref)
+	}
+}

@@ -90,6 +90,14 @@ func (t *Tenant) NoteOp() error { return t.host.noteOp(t.idx) }
 // Stats snapshots the tenant's machine telemetry.
 func (t *Tenant) Stats() Stats { return t.host.machines[t.idx].Stats() }
 
+// SetActive marks the tenant as participating in (true) or excluded from
+// (false) the host's epoch-window barrier — the lifecycle hook for VMs that
+// boot late or die mid-run (see Host.SetTenantActive).
+func (t *Tenant) SetActive(active bool) { t.host.active[t.idx] = active }
+
+// Active reports whether the tenant currently participates in epoch windows.
+func (t *Tenant) Active() bool { return t.host.active[t.idx] }
+
 // SLOStatus is one tenant's cumulative SLO accounting.
 type SLOStatus struct {
 	// Target echoes the tenant's p99 target (0 = no SLO).
@@ -105,8 +113,11 @@ type SLOStatus struct {
 
 // TenantStats is one tenant's row in HostStats.
 type TenantStats struct {
-	ID         string
-	Policy     TenantPolicy
+	ID     string
+	Policy TenantPolicy
+	// Active reports lifecycle state: false for a tenant that has died (or
+	// not yet booted) and no longer gates epoch windows.
+	Active     bool
 	SharePages int
 	WSSPages   int
 	SLO        SLOStatus
